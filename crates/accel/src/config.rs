@@ -1,0 +1,137 @@
+//! Architecture configuration — the paper's Table 1 setup.
+
+/// Phi architecture parameters. Defaults reproduce Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiConfig {
+    /// Output-row tile size `m` (rows per output tile).
+    pub tile_m: usize,
+    /// Partition width `k` (pattern length).
+    pub tile_k: usize,
+    /// Output-column tile size `n` (SIMD width of both adder trees).
+    pub tile_n: usize,
+    /// Patterns per partition `q`.
+    pub patterns_per_partition: usize,
+    /// Clock frequency in Hz (500 MHz, 28 nm).
+    pub frequency_hz: f64,
+    /// Adder-tree channels in each of the L1 and L2 processors.
+    pub channels: usize,
+    /// Pattern-index entries the L1 processor examines per cycle.
+    pub l1_window: usize,
+    /// Parallel matcher lanes in the preprocessor (row-tiles matched per
+    /// cycle). The paper's preprocessor area (0.099 mm², the largest logic
+    /// block in Table 3) and its "preprocessing overhead effectively
+    /// eliminated" claim (§4.1) imply several concurrent systolic lanes.
+    pub matcher_lanes: usize,
+    /// Units per Level-2 pack.
+    pub pack_units: usize,
+    /// Packer windows (incomplete packs held concurrently).
+    pub packer_windows: usize,
+    /// Partial-sum buffer banks (bank-conflict domain of the packer).
+    pub psum_banks: usize,
+    /// Level-2 pack buffer bytes (Table 1: 4 KB).
+    pub pack_buffer_bytes: usize,
+    /// Weight buffer bytes (Table 1: 16 KB).
+    pub weight_buffer_bytes: usize,
+    /// PWP buffer bytes (Table 1: 64 KB).
+    pub pwp_buffer_bytes: usize,
+    /// Pattern-index buffer bytes (Table 1: 28 KB).
+    pub index_buffer_bytes: usize,
+    /// Partial-sum buffer bytes (Table 1: 128 KB, L1 + L2 halves).
+    pub psum_buffer_bytes: usize,
+    /// Weight element bytes (8-bit integer weights).
+    pub weight_bytes: usize,
+    /// PWP element bytes (quantized like weights).
+    pub pwp_bytes: usize,
+    /// Partial-sum element bytes.
+    pub psum_bytes: usize,
+    /// Whether the PWP prefetcher is enabled (§4.4).
+    pub prefetch: bool,
+    /// Whether the compact Level-2 pack structure is used for DRAM traffic
+    /// (§5.5.1); disabling models the "w/o compress" bar of Fig. 12a.
+    pub compress: bool,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig {
+            tile_m: 256,
+            tile_k: 16,
+            tile_n: 32,
+            patterns_per_partition: 128,
+            frequency_hz: 500e6,
+            channels: 8,
+            l1_window: 16,
+            matcher_lanes: 4,
+            pack_units: 8,
+            packer_windows: 4,
+            psum_banks: 8,
+            pack_buffer_bytes: 4 << 10,
+            weight_buffer_bytes: 16 << 10,
+            pwp_buffer_bytes: 64 << 10,
+            index_buffer_bytes: 28 << 10,
+            psum_buffer_bytes: 128 << 10,
+            weight_bytes: 1,
+            pwp_bytes: 1,
+            psum_bytes: 2,
+            prefetch: true,
+            compress: true,
+        }
+    }
+}
+
+impl PhiConfig {
+    /// Total on-chip buffer capacity in bytes (Fig. 7d's swept quantity).
+    pub fn total_buffer_bytes(&self) -> usize {
+        self.pack_buffer_bytes
+            + self.weight_buffer_bytes
+            + self.pwp_buffer_bytes
+            + self.index_buffer_bytes
+            + self.psum_buffer_bytes
+    }
+
+    /// Scales every buffer proportionally so the total equals
+    /// `total_bytes` (used by the Fig. 7d sweep).
+    pub fn with_total_buffer_bytes(mut self, total_bytes: usize) -> Self {
+        let current = self.total_buffer_bytes() as f64;
+        let scale = total_bytes as f64 / current;
+        let adjust = |b: usize| ((b as f64 * scale).round() as usize).max(1024);
+        self.pack_buffer_bytes = adjust(self.pack_buffer_bytes);
+        self.weight_buffer_bytes = adjust(self.weight_buffer_bytes);
+        self.pwp_buffer_bytes = adjust(self.pwp_buffer_bytes);
+        self.index_buffer_bytes = adjust(self.index_buffer_bytes);
+        self.psum_buffer_bytes = adjust(self.psum_buffer_bytes);
+        self
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = PhiConfig::default();
+        assert_eq!(c.tile_m, 256);
+        assert_eq!(c.tile_k, 16);
+        assert_eq!(c.tile_n, 32);
+        assert_eq!(c.patterns_per_partition, 128);
+        assert_eq!(c.total_buffer_bytes(), (4 + 16 + 64 + 28 + 128) << 10);
+    }
+
+    #[test]
+    fn buffer_rescale_hits_target() {
+        let c = PhiConfig::default().with_total_buffer_bytes(480 << 10);
+        let total = c.total_buffer_bytes() as f64;
+        assert!((total - (480 << 10) as f64).abs() / total < 0.01);
+    }
+
+    #[test]
+    fn cycle_time_is_2ns_at_500mhz() {
+        assert!((PhiConfig::default().cycle_time() - 2e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,316 @@
+//! Functional execution of the Phi datapath.
+//!
+//! The cycle models in [`crate::l1`]/[`crate::l2`] count time; this module
+//! *computes the numbers* the same way the hardware does — L2 packs go
+//! through the dispatcher and the reconfigurable adder tree (Fig. 5/6),
+//! partial sums live in a banked buffer written through the crossbar, and
+//! the L1 processor accumulates prefetched PWP rows — and the result is
+//! checked against the dense spike GEMM. This pins the microarchitecture
+//! (packing, row splitting, psum chaining, bank assignment) to the
+//! algorithm: a scheduling bug that reorders or drops a unit breaks these
+//! tests, not just a counter.
+
+use crate::packer::{pack_rows, Pack, PackUnit, PackerConfig};
+use phi_core::{Decomposition, PwpTable};
+use snn_core::{Error, Matrix, Result};
+
+/// The reconfigurable adder tree (Fig. 6): sums contiguous same-row runs
+/// of dispatched `n`-wide operands in one pass.
+///
+/// The hardware constraint is that a pack holds at most `channels` units;
+/// [`ReconfigurableAdderTree::reduce`] enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigurableAdderTree {
+    /// Input channels (8 in Table 1).
+    pub channels: usize,
+}
+
+impl ReconfigurableAdderTree {
+    /// Creates a tree with `channels` inputs.
+    pub fn new(channels: usize) -> Self {
+        ReconfigurableAdderTree { channels }
+    }
+
+    /// Sums contiguous equal-row runs: input `(row, operand)` pairs in
+    /// dispatch order, output one `(row, sum)` per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `channels` operands are dispatched (a pack can
+    /// never exceed the tree width) or operand widths differ.
+    pub fn reduce(&self, operands: &[(u32, Vec<f32>)]) -> Vec<(u32, Vec<f32>)> {
+        assert!(
+            operands.len() <= self.channels,
+            "pack of {} units exceeds {} adder-tree channels",
+            operands.len(),
+            self.channels
+        );
+        let mut out: Vec<(u32, Vec<f32>)> = Vec::new();
+        for (row, value) in operands {
+            match out.last_mut() {
+                Some((last_row, sum)) if last_row == row => {
+                    assert_eq!(sum.len(), value.len(), "operand width mismatch");
+                    for (s, v) in sum.iter_mut().zip(value) {
+                        *s += v;
+                    }
+                }
+                _ => out.push((*row, value.clone())),
+            }
+        }
+        out
+    }
+}
+
+/// Executes the full two-level datapath for one layer and returns the
+/// output matrix (`rows × n`).
+///
+/// Mirrors the hardware flow per §4: for each K-partition, the packer
+/// builds L2 packs whose units the dispatcher resolves to negated/plain
+/// weight rows or partial sums, the adder tree reduces them, and the
+/// crossbar writes rows back to the psum banks; concurrently the L1 path
+/// accumulates one PWP row per assigned tile. The final psums are the
+/// layer output.
+///
+/// # Errors
+///
+/// Returns a dimension error if `weights` height differs from the
+/// decomposition width or the PWP table disagrees with the patterns.
+pub fn execute_layer(
+    decomp: &Decomposition,
+    pwp: &PwpTable,
+    weights: &Matrix,
+    packer: &PackerConfig,
+) -> Result<Matrix> {
+    if weights.rows() != decomp.cols() {
+        return Err(Error::DimensionMismatch {
+            op: "execute_layer weights",
+            expected: decomp.cols(),
+            actual: weights.rows(),
+        });
+    }
+    if pwp.num_partitions() != decomp.num_partitions() || pwp.n() != weights.cols() {
+        return Err(Error::DimensionMismatch {
+            op: "execute_layer pwp",
+            expected: decomp.num_partitions(),
+            actual: pwp.num_partitions(),
+        });
+    }
+    let n = weights.cols();
+    let rows = decomp.rows();
+    let k = decomp.k();
+    let tree = ReconfigurableAdderTree::new(packer.pack_units);
+
+    // L2 psum buffer: one running n-vector per activation row, banked by
+    // row id. The packer's conflict rule guarantees each pack touches a
+    // bank at most once; validated below.
+    let mut l2_psum = vec![vec![0.0f32; n]; rows];
+    // L1 psum buffer (separate per Fig. 3).
+    let mut l1_psum = vec![vec![0.0f32; n]; rows];
+
+    for part in 0..decomp.num_partitions() {
+        // --- L1 path: PWP retrieval + accumulate. ---
+        for row in 0..rows {
+            if let Some(idx) = decomp.l1_index(row, part) {
+                let pwp_row = pwp.row(part, idx as usize);
+                for (acc, &v) in l1_psum[row].iter_mut().zip(pwp_row) {
+                    *acc += v;
+                }
+            }
+        }
+
+        // --- L2 path: compressor → packer → dispatcher → adder tree. ---
+        let rows_entries: Vec<(u32, Vec<(u8, bool)>)> = (0..rows)
+            .filter_map(|row| {
+                let entries: Vec<(u8, bool)> = decomp
+                    .l2_tile(row, part)
+                    .map(|e| (((e.col as usize) - part * k) as u8, e.value < 0))
+                    .collect();
+                if entries.is_empty() {
+                    None
+                } else {
+                    Some((row as u32, entries))
+                }
+            })
+            .collect();
+        let output = pack_rows(rows_entries.iter().map(|(r, e)| (*r, e.as_slice())), packer);
+        for pack in &output.packs {
+            execute_pack(pack, part, k, weights, packer, &tree, &mut l2_psum);
+        }
+    }
+
+    let mut out = Matrix::zeros(rows, n);
+    for row in 0..rows {
+        let acc = out.row_mut(row);
+        for ((o, l1v), l2v) in acc.iter_mut().zip(&l1_psum[row]).zip(&l2_psum[row]) {
+            *o = l1v + l2v;
+        }
+    }
+    Ok(out)
+}
+
+/// Dispatches and reduces one pack, writing results back to the psum
+/// banks.
+///
+/// # Panics
+///
+/// Panics (debug) if the pack violates the bank-conflict guarantee.
+fn execute_pack(
+    pack: &Pack,
+    part: usize,
+    k: usize,
+    weights: &Matrix,
+    packer: &PackerConfig,
+    tree: &ReconfigurableAdderTree,
+    l2_psum: &mut [Vec<f32>],
+) {
+    // Validate the packer's promise: each psum bank is touched at most
+    // once per pack (step 5 of Fig. 4).
+    let mut banks_seen = 0u64;
+    for unit in &pack.units {
+        if let PackUnit::PartialSum { row } = unit {
+            let bank = *row as usize % packer.psum_banks;
+            debug_assert_eq!(
+                banks_seen & (1 << bank),
+                0,
+                "psum bank {bank} hit twice in one pack"
+            );
+            banks_seen |= 1 << bank;
+        }
+    }
+
+    // Dispatcher (Fig. 5 step 4): label selects weight vs psum source,
+    // index selects the row, value negates.
+    let operands: Vec<(u32, Vec<f32>)> = pack
+        .units
+        .iter()
+        .map(|unit| match *unit {
+            PackUnit::Nonzero { row, col, negative } => {
+                let w = weights.row(part * k + col as usize);
+                let value = if negative {
+                    w.iter().map(|&v| -v).collect()
+                } else {
+                    w.to_vec()
+                };
+                (row, value)
+            }
+            // Partial-sum unit: read the row's running psum and clear it —
+            // the reduced sum (old psum + new corrections) is written back,
+            // which is also how chained chunks of a split row compose.
+            PackUnit::PartialSum { row } => {
+                let slot = &mut l2_psum[row as usize];
+                let width = slot.len();
+                let value = std::mem::replace(slot, vec![0.0; width]);
+                (row, value)
+            }
+        })
+        .collect();
+
+    // Reconfigurable adder tree (step 6) + crossbar writeback (step 7).
+    for (row, sum) in tree.reduce(&operands) {
+        let acc = &mut l2_psum[row as usize];
+        for (a, v) in acc.iter_mut().zip(sum) {
+            *a += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_core::{decompose, CalibrationConfig, Calibrator, PwpTable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_core::SpikeMatrix;
+
+    fn check_equivalence(rows: usize, cols: usize, density: f64, q: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let acts = SpikeMatrix::random(rows, cols, density, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig {
+            q,
+            max_iters: 8,
+            ..Default::default()
+        })
+        .calibrate(&acts, &mut rng);
+        let decomp = decompose(&acts, &patterns);
+        let weights = Matrix::random(cols, 24, &mut rng);
+        let pwp = PwpTable::new(&patterns, &weights).expect("pwp");
+        let hw = execute_layer(&decomp, &pwp, &weights, &PackerConfig::default())
+            .expect("datapath");
+        let reference = acts.spike_matmul(&weights).expect("dense");
+        let diff = hw.max_abs_diff(&reference).expect("same shape");
+        assert!(diff < 1e-3, "datapath diverged by {diff} (seed {seed})");
+    }
+
+    #[test]
+    fn datapath_matches_dense_gemm_low_density() {
+        check_equivalence(64, 48, 0.08, 16, 1);
+    }
+
+    #[test]
+    fn datapath_matches_dense_gemm_high_density() {
+        // High density produces oversize rows that must be split and
+        // psum-chained across packs.
+        check_equivalence(48, 64, 0.6, 16, 2);
+    }
+
+    #[test]
+    fn datapath_matches_with_no_patterns() {
+        // Empty pattern sets: the whole GEMM flows through the L2 path.
+        let mut rng = StdRng::seed_from_u64(3);
+        let acts = SpikeMatrix::random(32, 32, 0.3, &mut rng);
+        let patterns = phi_core::LayerPatterns::new(
+            16,
+            vec![phi_core::PatternSet::empty(16); 2],
+        );
+        let decomp = decompose(&acts, &patterns);
+        let weights = Matrix::random(32, 8, &mut rng);
+        let pwp = PwpTable::new(&patterns, &weights).expect("pwp");
+        let hw = execute_layer(&decomp, &pwp, &weights, &PackerConfig::default())
+            .expect("datapath");
+        let reference = acts.spike_matmul(&weights).expect("dense");
+        assert!(hw.max_abs_diff(&reference).expect("shape") < 1e-3);
+    }
+
+    #[test]
+    fn adder_tree_groups_contiguous_rows() {
+        let tree = ReconfigurableAdderTree::new(8);
+        let operands = vec![
+            (0u32, vec![1.0, 2.0]),
+            (0, vec![10.0, 20.0]),
+            (3, vec![5.0, 5.0]),
+        ];
+        let reduced = tree.reduce(&operands);
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(reduced[0], (0, vec![11.0, 22.0]));
+        assert_eq!(reduced[1], (3, vec![5.0, 5.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 8 adder-tree channels")]
+    fn adder_tree_rejects_oversized_packs() {
+        let tree = ReconfigurableAdderTree::new(8);
+        let operands: Vec<(u32, Vec<f32>)> = (0..9).map(|i| (i, vec![0.0])).collect();
+        tree.reduce(&operands);
+    }
+
+    #[test]
+    fn datapath_with_tight_banks_still_correct() {
+        // Two psum banks force heavy pack fragmentation; numbers must not
+        // change.
+        let mut rng = StdRng::seed_from_u64(4);
+        let acts = SpikeMatrix::random(40, 32, 0.25, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig {
+            q: 8,
+            max_iters: 6,
+            ..Default::default()
+        })
+        .calibrate(&acts, &mut rng);
+        let decomp = decompose(&acts, &patterns);
+        let weights = Matrix::random(32, 8, &mut rng);
+        let pwp = PwpTable::new(&patterns, &weights).expect("pwp");
+        let tight = PackerConfig { psum_banks: 2, ..Default::default() };
+        let hw = execute_layer(&decomp, &pwp, &weights, &tight).expect("datapath");
+        let reference = acts.spike_matmul(&weights).expect("dense");
+        assert!(hw.max_abs_diff(&reference).expect("shape") < 1e-3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Off-chip DRAM model: DDR4-2133, 8Gb×8, 4 channels, 64 GB/s (Table 1).
+//!
+//! The paper drives DRAMsim3 with its access trace; we model the two
+//! quantities that matter at this granularity — sustained bandwidth (which
+//! bounds layer runtime under double buffering) and access energy (which
+//! the Fig. 7d/Fig. 8 energy numbers are built from).
+
+/// DRAM channel model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramModel {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Access energy in picojoules per byte. Calibrated to the paper's own
+    /// budget: Table 2 implies ~0.85 W total for Phi, of which Table 3's
+    /// core+buffer is 0.35 W; dividing the remainder by the Fig. 12 traffic
+    /// at full bandwidth yields ≈8 pJ/B — a DRAMsim3-style device-level
+    /// number (I/O energy excluded).
+    pub pj_per_byte: f64,
+    /// Background (idle/refresh) power in watts, charged for the full
+    /// runtime.
+    pub background_watts: f64,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel { bandwidth_bytes_per_s: 64e9, pj_per_byte: 8.0, background_watts: 0.08 }
+    }
+}
+
+impl DramModel {
+    /// Cycles (at `frequency_hz`) to transfer `bytes` at sustained
+    /// bandwidth.
+    pub fn transfer_cycles(&self, bytes: f64, frequency_hz: f64) -> f64 {
+        bytes / self.bandwidth_bytes_per_s * frequency_hz
+    }
+
+    /// Access energy for `bytes`, in joules.
+    pub fn access_energy_j(&self, bytes: f64) -> f64 {
+        bytes * self.pj_per_byte * 1e-12
+    }
+
+    /// Background energy over `seconds`, in joules.
+    pub fn background_energy_j(&self, seconds: f64) -> f64 {
+        self.background_watts * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes() {
+        let d = DramModel::default();
+        // 128 bytes/cycle at 500 MHz and 64 GB/s.
+        let cycles = d.transfer_cycles(1280.0, 500e6);
+        assert!((cycles - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        let d = DramModel::default();
+        let one = d.access_energy_j(1.0);
+        let kilo = d.access_energy_j(1024.0);
+        assert!((kilo / one - 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn background_energy_uses_runtime() {
+        let d = DramModel::default();
+        assert!((d.background_energy_j(2.0) - 0.16).abs() < 1e-12);
+    }
+}

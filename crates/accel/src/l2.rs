@@ -1,0 +1,100 @@
+//! The L2 processor (§4.3): pack-parallel processing of the Level-2
+//! `{+1, −1}` corrections.
+//!
+//! Each cycle one pack leaves the pack buffer; the dispatcher routes every
+//! unit to an adder-tree channel (weight row or partial sum, negated when
+//! the value is −1), the reconfigurable adder tree sums the per-row
+//! segments, and the crossbar writes the partial sums back bank-conflict
+//! free (the packer guaranteed that). Throughput is therefore one pack per
+//! cycle, fully pipelined, and utilization equals mean pack occupancy.
+
+use crate::packer::{Pack, PackUnit};
+
+/// Timing model of the L2 processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Model {
+    /// Adder-tree input channels = pack capacity (8).
+    pub channels: usize,
+}
+
+impl L2Model {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be nonzero");
+        L2Model { channels }
+    }
+
+    /// Cycles to drain `packs` packs for one `n`-tile: one per cycle.
+    pub fn cycles(&self, packs: u64) -> u64 {
+        packs
+    }
+
+    /// Weight-row accumulations performed by a pack stream (energy events;
+    /// each unit is one `n`-wide SIMD addition).
+    pub fn accumulations(&self, packs: &[Pack]) -> u64 {
+        packs.iter().map(|p| p.units.len() as u64).sum()
+    }
+
+    /// Adder-tree utilization for a pack stream: occupied channels over
+    /// total channel-cycles.
+    pub fn utilization(&self, packs: &[Pack]) -> f64 {
+        if packs.is_empty() {
+            return 0.0;
+        }
+        let occupied: u64 = packs.iter().map(|p| p.units.len() as u64).sum();
+        occupied as f64 / (packs.len() as u64 * self.channels as u64) as f64
+    }
+
+    /// Partial-sum buffer reads a pack stream performs (one per psum unit).
+    pub fn psum_reads(&self, packs: &[Pack]) -> u64 {
+        packs
+            .iter()
+            .flat_map(|p| &p.units)
+            .filter(|u| matches!(u, PackUnit::PartialSum { .. }))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packer::{pack_rows, PackerConfig};
+
+    fn make_packs(rows: usize, nnz_per_row: usize) -> Vec<Pack> {
+        let entries: Vec<(u8, bool)> = (0..nnz_per_row).map(|i| (i as u8, false)).collect();
+        let data: Vec<(u32, &[(u8, bool)])> =
+            (0..rows).map(|r| (r as u32, entries.as_slice())).collect();
+        pack_rows(data.into_iter(), &PackerConfig::default()).packs
+    }
+
+    #[test]
+    fn one_pack_per_cycle() {
+        let m = L2Model::new(8);
+        assert_eq!(m.cycles(17), 17);
+    }
+
+    #[test]
+    fn accumulations_count_all_units() {
+        let packs = make_packs(4, 2); // 4 rows × (2 nz + 1 psum) = 12 units
+        let m = L2Model::new(8);
+        assert_eq!(m.accumulations(&packs), 12);
+        assert_eq!(m.psum_reads(&packs), 4);
+    }
+
+    #[test]
+    fn utilization_is_high_for_dense_rows() {
+        let packs = make_packs(8, 7); // each row fills a pack exactly
+        let m = L2Model::new(8);
+        assert!((m.utilization(&packs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_empty_stream_is_zero() {
+        let m = L2Model::new(8);
+        assert_eq!(m.utilization(&[]), 0.0);
+    }
+}

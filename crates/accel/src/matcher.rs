@@ -1,0 +1,82 @@
+//! The Phi pattern matcher (§4.2.1): a 1-D systolic array of `q` matcher
+//! units that assigns each incoming activation row-tile its best pattern and
+//! emits the candidate Level-2 sparse row.
+//!
+//! Functionally the matcher computes exactly what
+//! [`phi_core::decompose`] computes (that equivalence is tested); here we
+//! model its *timing*: one row-tile enters per cycle, results emerge after
+//! the `q`-deep pipeline fills, and every transit performs `q` XOR+popcount
+//! comparisons (the energy events the §6.1 analysis charges).
+
+/// Timing/energy model of the systolic pattern matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherModel {
+    /// Pipeline depth = number of matcher units per lane = patterns per
+    /// partition.
+    pub pipeline_depth: usize,
+    /// Parallel lanes (row-tiles entering per cycle).
+    pub lanes: usize,
+}
+
+impl MatcherModel {
+    /// Creates a matcher model with `q` units per lane and `lanes` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(q: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one matcher lane");
+        MatcherModel { pipeline_depth: q, lanes }
+    }
+
+    /// Cycles to match `rows × parts` row-tiles: `lanes` per cycle plus the
+    /// pipeline fill.
+    pub fn cycles(&self, rows: usize, parts: usize) -> u64 {
+        if rows == 0 || parts == 0 {
+            return 0;
+        }
+        let tiles = (rows as u64) * (parts as u64);
+        tiles.div_ceil(self.lanes as u64) + self.pipeline_depth as u64
+    }
+
+    /// Pattern comparisons performed (energy events): every tile visits
+    /// every unit.
+    pub fn comparisons(&self, rows: usize, parts: usize) -> u64 {
+        (rows as u64) * (parts as u64) * self.pipeline_depth as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_one_tile_per_cycle_per_lane() {
+        let m = MatcherModel::new(128, 1);
+        assert_eq!(m.cycles(1000, 4), 4128);
+        // Doubling tiles roughly doubles cycles (pipeline fill amortizes).
+        assert!(m.cycles(2000, 4) > 2 * m.cycles(1000, 4) - 200);
+    }
+
+    #[test]
+    fn lanes_divide_cycles() {
+        let single = MatcherModel::new(128, 1);
+        let quad = MatcherModel::new(128, 4);
+        assert_eq!(quad.cycles(1000, 4), 1000 + 128);
+        assert!(quad.cycles(1000, 4) < single.cycles(1000, 4));
+    }
+
+    #[test]
+    fn empty_input_takes_no_cycles() {
+        let m = MatcherModel::new(128, 4);
+        assert_eq!(m.cycles(0, 4), 0);
+        assert_eq!(m.cycles(4, 0), 0);
+    }
+
+    #[test]
+    fn comparisons_scale_with_depth() {
+        let shallow = MatcherModel::new(8, 2);
+        let deep = MatcherModel::new(128, 2);
+        assert_eq!(deep.comparisons(10, 2), 16 * shallow.comparisons(10, 2));
+    }
+}

@@ -1,0 +1,110 @@
+//! The Spiking Neuron Array: a bank of LIF lanes converting accumulated
+//! output tiles into next-layer spikes.
+//!
+//! Functionally this is [`snn_core::LifLayer`] (shared with the training
+//! substrate so the hardware and the algorithm cannot disagree on neuron
+//! semantics); here we add the timing model — `n` lanes consume one
+//! output-tile row per cycle — and a helper that converts a full output
+//! matrix into spikes, which the end-to-end pipeline tests use.
+
+use snn_core::{LifConfig, LifLayer, Matrix, SpikeMatrix};
+
+/// Timing model of the neuron array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeuronArrayModel {
+    /// Parallel LIF lanes (= tile width `n`, 32 in Table 1).
+    pub lanes: usize,
+}
+
+impl NeuronArrayModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "lanes must be nonzero");
+        NeuronArrayModel { lanes }
+    }
+
+    /// Cycles to convert an `rows × n_cols` output region: one row of
+    /// `lanes` values per cycle.
+    pub fn cycles(&self, rows: usize, n_cols: usize) -> u64 {
+        (rows as u64) * (n_cols.div_ceil(self.lanes)) as u64
+    }
+}
+
+/// Applies LIF dynamics column-wise to a membrane-current matrix whose rows
+/// are successive timesteps of the same neuron population, producing the
+/// next layer's spike matrix.
+///
+/// `currents` rows are grouped as `timesteps` blocks of the same population
+/// (row `t * population + i` is population row `i` at timestep `t` when
+/// `layout_time_major` is true; otherwise rows are independent neurons with
+/// a single step each).
+pub fn lif_convert(currents: &Matrix, config: LifConfig, timesteps: usize) -> SpikeMatrix {
+    let rows = currents.rows();
+    let cols = currents.cols();
+    if timesteps <= 1 || rows % timesteps != 0 {
+        // Stateless conversion: every row is an independent single step.
+        let mut out = SpikeMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut lif = LifLayer::new(cols, config);
+            let spikes = lif.step(currents.row(r));
+            for (c, &s) in spikes.iter().enumerate() {
+                if s {
+                    out.set(r, c, true);
+                }
+            }
+        }
+        return out;
+    }
+    let population = rows / timesteps;
+    let mut out = SpikeMatrix::zeros(rows, cols);
+    for i in 0..population {
+        let mut lif = LifLayer::new(cols, config);
+        for t in 0..timesteps {
+            let r = t * population + i;
+            let spikes = lif.step(currents.row(r));
+            for (c, &s) in spikes.iter().enumerate() {
+                if s {
+                    out.set(r, c, true);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_cover_wide_tiles() {
+        let m = NeuronArrayModel::new(32);
+        assert_eq!(m.cycles(256, 32), 256);
+        assert_eq!(m.cycles(256, 64), 512);
+        assert_eq!(m.cycles(10, 33), 20);
+    }
+
+    #[test]
+    fn lif_convert_thresholds_currents() {
+        let currents = Matrix::from_rows(&[vec![1.5, 0.2], vec![0.4, 1.0]]).unwrap();
+        let spikes = lif_convert(&currents, LifConfig::default(), 1);
+        assert!(spikes.get(0, 0));
+        assert!(!spikes.get(0, 1));
+        assert!(!spikes.get(1, 0));
+        assert!(spikes.get(1, 1));
+    }
+
+    #[test]
+    fn lif_convert_carries_membrane_across_timesteps() {
+        // Population of 1 neuron column over 2 timesteps: 0.6 then 0.6
+        // crosses threshold only at t=1.
+        let currents = Matrix::from_rows(&[vec![0.6], vec![0.6]]).unwrap();
+        let spikes = lif_convert(&currents, LifConfig::default(), 2);
+        assert!(!spikes.get(0, 0));
+        assert!(spikes.get(1, 0));
+    }
+}

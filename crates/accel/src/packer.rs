@@ -1,0 +1,291 @@
+//! The Level-2 compressor and packer (§4.2.2, Fig. 4b/c).
+//!
+//! The compressor drops all-zero Level-2 rows and extracts column indices;
+//! the packer consolidates the surviving rows into fixed 8-unit *packs*.
+//! Each packed row consumes `nnz + 1` units — its correction elements plus
+//! one partial-sum unit — and may only join a window whose resident rows use
+//! different partial-sum banks (`row mod banks`), which is what guarantees
+//! conflict-free psum access in the L2 processor.
+//!
+//! This module builds real packs (the L2 processor model consumes their
+//! count and occupancy), maintaining the paper's multi-window scheduling:
+//! a row goes to the first window with space and no bank conflict; if none
+//! qualifies, the fullest window is flushed.
+
+/// One unit inside a pack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackUnit {
+    /// A Level-2 correction: accumulate (or subtract) one weight row.
+    Nonzero {
+        /// Row id within the m-tile.
+        row: u32,
+        /// Column index within the partition (0..k).
+        col: u8,
+        /// Whether the value is −1.
+        negative: bool,
+    },
+    /// A partial-sum unit: accumulate the row's running partial sum.
+    PartialSum {
+        /// Row id within the m-tile.
+        row: u32,
+    },
+}
+
+impl PackUnit {
+    /// The row this unit belongs to.
+    pub fn row(&self) -> u32 {
+        match *self {
+            PackUnit::Nonzero { row, .. } | PackUnit::PartialSum { row } => row,
+        }
+    }
+}
+
+/// A fixed-capacity pack of units, plus scheduling metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pack {
+    /// Units in dispatch order (grouped by row).
+    pub units: Vec<PackUnit>,
+    /// Distinct rows packed (each row contributes a contiguous unit run).
+    pub rows: u32,
+}
+
+impl Pack {
+    /// Occupied units.
+    pub fn occupancy(&self) -> usize {
+        self.units.len()
+    }
+}
+
+/// Packer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackerConfig {
+    /// Units per pack (8 in the paper).
+    pub pack_units: usize,
+    /// Concurrent open windows (incomplete packs).
+    pub windows: usize,
+    /// Partial-sum banks; two rows with equal `row mod banks` conflict.
+    pub psum_banks: usize,
+}
+
+impl Default for PackerConfig {
+    fn default() -> Self {
+        PackerConfig { pack_units: 8, windows: 4, psum_banks: 8 }
+    }
+}
+
+/// Result of packing one (m-tile, partition) stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackerOutput {
+    /// The completed packs.
+    pub packs: Vec<Pack>,
+    /// Rows that had to be split across packs because `nnz + 1` exceeded a
+    /// pack (the paper's sparsity makes this "not exist"; we handle and
+    /// count it for robustness).
+    pub oversize_rows: u64,
+    /// Window flushes forced by conflicts or lack of space.
+    pub forced_flushes: u64,
+}
+
+impl PackerOutput {
+    /// Mean pack occupancy in [0, 1] — the utilization Fig. 5's design is
+    /// built to maximize.
+    pub fn mean_occupancy(&self, pack_units: usize) -> f64 {
+        if self.packs.is_empty() {
+            return 0.0;
+        }
+        let occupied: usize = self.packs.iter().map(Pack::occupancy).sum();
+        occupied as f64 / (self.packs.len() * pack_units) as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Window {
+    units: Vec<PackUnit>,
+    rows: u32,
+    banks_used: u64, // bitmask over psum banks
+}
+
+/// Packs a stream of `(row, level-2 corrections)` for one partition.
+///
+/// `rows` yields `(row_id, &[(col_in_partition, negative)])`; all-zero rows
+/// must already be filtered out (the compressor's job —
+/// [`pack_rows`] debug-asserts it).
+pub fn pack_rows<'a>(
+    rows: impl Iterator<Item = (u32, &'a [(u8, bool)])>,
+    config: &PackerConfig,
+) -> PackerOutput {
+    let mut windows: Vec<Window> = (0..config.windows).map(|_| Window::default()).collect();
+    let mut out = PackerOutput { packs: Vec::new(), oversize_rows: 0, forced_flushes: 0 };
+
+    for (row, entries) in rows {
+        debug_assert!(!entries.is_empty(), "compressor must filter empty rows");
+        let mut remaining = entries;
+        // Oversize rows are split into pack-sized chunks; every chunk needs
+        // its own partial-sum unit to chain the accumulation.
+        let chunk_capacity = config.pack_units - 1;
+        if remaining.len() > chunk_capacity {
+            out.oversize_rows += 1;
+        }
+        while !remaining.is_empty() {
+            let take = remaining.len().min(chunk_capacity);
+            let (chunk, rest) = remaining.split_at(take);
+            remaining = rest;
+            place_chunk(row, chunk, config, &mut windows, &mut out);
+        }
+    }
+    // Flush everything left.
+    for w in &mut windows {
+        if !w.units.is_empty() {
+            out.packs.push(Pack { units: std::mem::take(&mut w.units), rows: w.rows });
+        }
+    }
+    out
+}
+
+fn place_chunk(
+    row: u32,
+    chunk: &[(u8, bool)],
+    config: &PackerConfig,
+    windows: &mut [Window],
+    out: &mut PackerOutput,
+) {
+    let needed = chunk.len() + 1;
+    let bank = (row as usize % config.psum_banks) as u64;
+    loop {
+        // Step 5 of Fig. 4: find a window with space and no bank conflict.
+        let slot = windows.iter().position(|w| {
+            w.units.len() + needed <= config.pack_units && w.banks_used & (1 << bank) == 0
+        });
+        match slot {
+            Some(i) => {
+                let w = &mut windows[i];
+                w.units.push(PackUnit::PartialSum { row });
+                for &(col, negative) in chunk {
+                    w.units.push(PackUnit::Nonzero { row, col, negative });
+                }
+                w.rows += 1;
+                w.banks_used |= 1 << bank;
+                return;
+            }
+            None => {
+                // Flush the fullest window and retry.
+                let fullest = windows
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, w)| w.units.len())
+                    .map(|(i, _)| i)
+                    .expect("at least one window");
+                let w = &mut windows[fullest];
+                out.packs.push(Pack { units: std::mem::take(&mut w.units), rows: w.rows });
+                w.rows = 0;
+                w.banks_used = 0;
+                out.forced_flushes += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<(u8, bool)> {
+        (0..n).map(|i| (i as u8, i % 2 == 1)).collect()
+    }
+
+    #[test]
+    fn single_row_forms_single_pack() {
+        let e = entries(3);
+        let rows = vec![(0u32, e.as_slice())];
+        let out = pack_rows(rows.into_iter(), &PackerConfig::default());
+        assert_eq!(out.packs.len(), 1);
+        assert_eq!(out.packs[0].occupancy(), 4); // 3 nonzeros + 1 psum
+        assert_eq!(out.packs[0].rows, 1);
+        assert_eq!(out.oversize_rows, 0);
+    }
+
+    #[test]
+    fn rows_share_packs_up_to_capacity() {
+        // Three rows of 2 entries each: 3 × (2+1) = 9 units > 8, so two
+        // packs.
+        let e = entries(2);
+        let rows: Vec<(u32, &[(u8, bool)])> =
+            (0..3).map(|r| (r as u32, e.as_slice())).collect();
+        let out = pack_rows(rows.into_iter(), &PackerConfig { windows: 1, ..Default::default() });
+        assert_eq!(out.packs.len(), 2);
+        let total_units: usize = out.packs.iter().map(Pack::occupancy).sum();
+        assert_eq!(total_units, 9);
+    }
+
+    #[test]
+    fn bank_conflicts_keep_rows_apart() {
+        // Rows 0 and 8 share psum bank 0 (mod 8): they must not share a
+        // pack even though capacity allows it.
+        let e = entries(1);
+        let rows: Vec<(u32, &[(u8, bool)])> = vec![(0, e.as_slice()), (8, e.as_slice())];
+        let out = pack_rows(rows.into_iter(), &PackerConfig { windows: 1, ..Default::default() });
+        assert_eq!(out.packs.len(), 2, "conflicting rows must split packs");
+        for pack in &out.packs {
+            let mut banks = std::collections::HashSet::new();
+            for u in &pack.units {
+                if let PackUnit::PartialSum { row } = u {
+                    assert!(banks.insert(row % 8), "bank conflict inside a pack");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_windows_absorb_conflicts_without_flush() {
+        // With ≥2 windows, the bank-conflicting row lands in window 1
+        // instead of forcing a flush.
+        let e = entries(1);
+        let rows: Vec<(u32, &[(u8, bool)])> =
+            vec![(0, e.as_slice()), (8, e.as_slice()), (1, e.as_slice())];
+        let out = pack_rows(rows.clone().into_iter(), &PackerConfig::default());
+        assert_eq!(out.forced_flushes, 0);
+        let single = pack_rows(
+            rows.into_iter(),
+            &PackerConfig { windows: 1, ..Default::default() },
+        );
+        assert!(single.forced_flushes > 0);
+    }
+
+    #[test]
+    fn oversize_row_is_split_and_counted() {
+        let e = entries(10); // 10 + 1 units > 8
+        let rows = vec![(0u32, e.as_slice())];
+        let out = pack_rows(rows.into_iter(), &PackerConfig::default());
+        assert_eq!(out.oversize_rows, 1);
+        let nonzeros: usize = out
+            .packs
+            .iter()
+            .flat_map(|p| &p.units)
+            .filter(|u| matches!(u, PackUnit::Nonzero { .. }))
+            .count();
+        assert_eq!(nonzeros, 10, "all corrections must survive splitting");
+        // Two chunks => two partial-sum units to chain them.
+        let psums: usize = out
+            .packs
+            .iter()
+            .flat_map(|p| &p.units)
+            .filter(|u| matches!(u, PackUnit::PartialSum { .. }))
+            .count();
+        assert_eq!(psums, 2);
+    }
+
+    #[test]
+    fn occupancy_reflects_packing_quality() {
+        let e = entries(7); // 7 + 1 = exactly one full pack
+        let rows = vec![(0u32, e.as_slice())];
+        let out = pack_rows(rows.into_iter(), &PackerConfig::default());
+        assert!((out.mean_occupancy(8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_produces_no_packs() {
+        let out = pack_rows(std::iter::empty(), &PackerConfig::default());
+        assert!(out.packs.is_empty());
+        assert_eq!(out.mean_occupancy(8), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Layer-level orchestration of the Phi architecture.
+//!
+//! The timing model follows §4.1's overlap structure:
+//!
+//! * L1 and L2 processors run concurrently and synchronize per output tile:
+//!   a tile costs `max(L1, L2)` cycles;
+//! * preprocessing of a layer overlaps the previous layer's compute
+//!   (K-first ordering emits spikes early), so a layer's wall clock is
+//!   bounded below by its own matcher throughput but preprocessing is
+//!   otherwise free;
+//! * DRAM transfers are double-buffered against compute: the layer takes
+//!   `max(compute, preprocessing, DRAM, LIF)` cycles.
+
+use crate::config::PhiConfig;
+use crate::energy::{BusyCycles, EnergyModel};
+use crate::l1::L1Model;
+use crate::l2::L2Model;
+use crate::matcher::MatcherModel;
+use crate::neuron::NeuronArrayModel;
+use crate::packer::{pack_rows, PackerConfig};
+use crate::report::{CycleBreakdown, LayerReport, ModelReport};
+use crate::tiling::TileSchedule;
+use crate::traffic::layer_traffic;
+use phi_core::{decompose, Decomposition, LayerPatterns};
+use snn_core::{GemmShape, SpikeMatrix};
+
+/// The Phi accelerator simulator.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct PhiSimulator {
+    config: PhiConfig,
+    energy: EnergyModel,
+}
+
+impl PhiSimulator {
+    /// Creates a simulator with the default energy model.
+    pub fn new(config: PhiConfig) -> Self {
+        PhiSimulator { config, energy: EnergyModel::default() }
+    }
+
+    /// Overrides the energy model.
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PhiConfig {
+        &self.config
+    }
+
+    /// The active energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Simulates one layer.
+    ///
+    /// `activations` holds the (possibly row-subsampled) spike rows of the
+    /// layer across timesteps; `shape.n` is the output width; `row_scale`
+    /// extrapolates subsampled rows to the full layer (1.0 = exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` does not cover the activation width or
+    /// `row_scale` is not positive.
+    pub fn run_layer(
+        &self,
+        activations: &SpikeMatrix,
+        patterns: &LayerPatterns,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> LayerReport {
+        assert!(row_scale > 0.0, "row_scale must be positive");
+        let decomp = decompose(activations, patterns);
+        self.run_decomposed(activations, &decomp, shape, row_scale, "layer")
+    }
+
+    /// Simulates one layer with a pre-computed decomposition (used when the
+    /// caller also needs the decomposition, e.g. for reporting).
+    pub fn run_decomposed(
+        &self,
+        activations: &SpikeMatrix,
+        decomp: &Decomposition,
+        shape: GemmShape,
+        row_scale: f64,
+        name: &str,
+    ) -> LayerReport {
+        let rows = activations.rows();
+        let k = decomp.k();
+        let parts = decomp.num_partitions();
+        let schedule = TileSchedule::new(
+            rows,
+            activations.cols(),
+            shape.n,
+            self.config.tile_m,
+            k,
+            self.config.tile_n,
+        );
+        let n_tiles = schedule.n_tiles() as f64;
+
+        let l1_model = L1Model::new(self.config.l1_window, self.config.channels);
+        let l2_model = L2Model::new(self.config.channels);
+        let packer_config = PackerConfig {
+            pack_units: self.config.pack_units,
+            windows: self.config.packer_windows,
+            psum_banks: self.config.psum_banks,
+        };
+
+        let mut l1_cycles = 0.0f64;
+        let mut l2_cycles = 0.0f64;
+        let mut compute_cycles = 0.0f64;
+        let mut total_packs = 0u64;
+        let mut occupied_units = 0u64;
+        let mut oversize_rows = 0u64;
+
+        for mt in 0..schedule.m_tiles() {
+            let (lo, hi) = schedule.m_range(mt);
+            let l1_mt = l1_model.tile_cycles(decomp, lo, hi) as f64;
+            // Pack each partition's surviving Level-2 rows.
+            let mut packs_mt = 0u64;
+            for part in 0..parts {
+                let mut rows_entries: Vec<(u32, Vec<(u8, bool)>)> = Vec::new();
+                for r in lo..hi {
+                    let entries: Vec<(u8, bool)> = decomp
+                        .l2_tile(r, part)
+                        .map(|e| (((e.col as usize) - part * k) as u8, e.value < 0))
+                        .collect();
+                    if !entries.is_empty() {
+                        rows_entries.push(((r - lo) as u32, entries));
+                    }
+                }
+                let output = pack_rows(
+                    rows_entries.iter().map(|(r, e)| (*r, e.as_slice())),
+                    &packer_config,
+                );
+                packs_mt += output.packs.len() as u64;
+                occupied_units +=
+                    output.packs.iter().map(|p| p.units.len() as u64).sum::<u64>();
+                oversize_rows += output.oversize_rows;
+            }
+            let l2_mt = l2_model.cycles(packs_mt) as f64;
+            total_packs += packs_mt;
+            l1_cycles += l1_mt * n_tiles;
+            l2_cycles += l2_mt * n_tiles;
+            // Per-output-tile synchronization (§4.1): the tile completes
+            // when the slower processor finishes.
+            compute_cycles += l1_mt.max(l2_mt) * n_tiles;
+        }
+
+        let matcher = MatcherModel::new(
+            self.config.patterns_per_partition,
+            self.config.matcher_lanes,
+        );
+        let preproc_cycles = matcher.cycles(rows, parts) as f64;
+        let lif = NeuronArrayModel::new(self.config.tile_n);
+        let lif_cycles = lif.cycles(rows, shape.n) as f64;
+
+        let traffic =
+            layer_traffic(decomp, shape.n, total_packs, occupied_units, &self.config, row_scale);
+        let dram_cycles = self
+            .energy
+            .dram
+            .transfer_cycles(traffic.total_bytes(&self.config), self.config.frequency_hz);
+
+        let breakdown = CycleBreakdown {
+            preprocessor: preproc_cycles * row_scale,
+            l1: l1_cycles * row_scale,
+            l2: l2_cycles * row_scale,
+            compute: compute_cycles * row_scale,
+            lif: lif_cycles * row_scale,
+            dram: dram_cycles,
+        };
+        let cycles = breakdown
+            .compute
+            .max(breakdown.preprocessor)
+            .max(breakdown.lif)
+            .max(breakdown.dram);
+
+        let busy = BusyCycles {
+            preprocessor: breakdown.preprocessor,
+            l1: breakdown.l1,
+            l2: breakdown.l2,
+            lif: breakdown.lif,
+            elapsed: cycles,
+        };
+        let energy = self.energy.energy(&busy, traffic.total_bytes(&self.config), &self.config);
+
+        let pack_occupancy = if total_packs == 0 {
+            0.0
+        } else {
+            occupied_units as f64 / (total_packs * self.config.pack_units as u64) as f64
+        };
+
+        LayerReport {
+            name: name.to_owned(),
+            cycles,
+            breakdown,
+            traffic,
+            energy,
+            bit_ops: activations.nnz() as f64 * row_scale * shape.n as f64,
+            stats: decomp.stats(),
+            pack_occupancy,
+            oversize_rows,
+        }
+    }
+
+    /// Aggregates layer reports into a model report.
+    pub fn aggregate(layers: Vec<LayerReport>) -> ModelReport {
+        ModelReport::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_core::{CalibrationConfig, Calibrator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(density: f64, clustered: bool) -> LayerReport {
+        let mut rng = StdRng::seed_from_u64(123);
+        let acts = if clustered {
+            // Highly repetitive rows: Phi should fly.
+            let proto = 0x5A5Au64;
+            SpikeMatrix::from_fn(512, 64, |_, c| (proto >> (c % 16)) & 1 == 1)
+        } else {
+            SpikeMatrix::random(512, 64, density, &mut rng)
+        };
+        let patterns = Calibrator::new(CalibrationConfig { q: 64, ..Default::default() })
+            .calibrate(&acts, &mut rng);
+        let sim = PhiSimulator::new(PhiConfig::default());
+        sim.run_layer(&acts, &patterns, GemmShape::new(512, 64, 128), 1.0)
+    }
+
+    #[test]
+    fn report_has_positive_cycles_and_energy() {
+        let r = run(0.15, false);
+        assert!(r.cycles > 0.0);
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.bit_ops > 0.0);
+        assert_eq!(r.oversize_rows, 0);
+    }
+
+    #[test]
+    fn cycles_bound_every_component() {
+        let r = run(0.15, false);
+        assert!(r.cycles >= r.breakdown.compute);
+        assert!(r.cycles >= r.breakdown.dram);
+        assert!(r.cycles >= r.breakdown.preprocessor);
+    }
+
+    #[test]
+    fn denser_activations_cost_more_compute() {
+        let sparse = run(0.05, false);
+        let dense = run(0.4, false);
+        assert!(
+            dense.breakdown.compute > sparse.breakdown.compute,
+            "dense {} vs sparse {}",
+            dense.breakdown.compute,
+            sparse.breakdown.compute
+        );
+    }
+
+    #[test]
+    fn clustered_data_reduces_l2_work() {
+        let clustered = run(0.3, true);
+        let random = run(0.3, false);
+        // Perfectly repetitive rows all match patterns exactly: essentially
+        // no L2 packs, so L2 cycles collapse.
+        assert!(clustered.breakdown.l2 < random.breakdown.l2 / 2.0);
+    }
+
+    #[test]
+    fn row_scale_multiplies_compute() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let acts = SpikeMatrix::random(128, 32, 0.2, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q: 16, ..Default::default() })
+            .calibrate(&acts, &mut rng);
+        let sim = PhiSimulator::new(PhiConfig::default());
+        let r1 = sim.run_layer(&acts, &patterns, GemmShape::new(128, 32, 32), 1.0);
+        let r2 = sim.run_layer(&acts, &patterns, GemmShape::new(128, 32, 32), 3.0);
+        assert!((r2.breakdown.compute - 3.0 * r1.breakdown.compute).abs() < 1e-6);
+        assert!((r2.bit_ops - 3.0 * r1.bit_ops).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_scale must be positive")]
+    fn zero_row_scale_is_rejected() {
+        let acts = SpikeMatrix::zeros(4, 16);
+        let patterns = Calibrator::new(CalibrationConfig { q: 4, ..Default::default() })
+            .calibrate(&acts, &mut StdRng::seed_from_u64(0));
+        PhiSimulator::new(PhiConfig::default()).run_layer(
+            &acts,
+            &patterns,
+            GemmShape::new(4, 16, 16),
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! The tiling schedule (§4.1): `(M, N, K)` tiled at `(m, n, k)` with
+//! K-first traversal.
+//!
+//! K-first ordering reduces partial sums early, which is what lets the
+//! output tile flow straight into the neuron array and the preprocessor of
+//! the next layer — the three-way overlap the simulator's timing model
+//! assumes.
+
+/// The tile grid of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSchedule {
+    /// Activation rows (M, after stacking timesteps).
+    pub rows: usize,
+    /// Reduction dimension (K).
+    pub k_cols: usize,
+    /// Output columns (N).
+    pub n_cols: usize,
+    /// Row-tile size `m`.
+    pub tile_m: usize,
+    /// Partition width `k`.
+    pub tile_k: usize,
+    /// Column-tile size `n`.
+    pub tile_n: usize,
+}
+
+impl TileSchedule {
+    /// Creates the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile size is zero.
+    pub fn new(
+        rows: usize,
+        k_cols: usize,
+        n_cols: usize,
+        tile_m: usize,
+        tile_k: usize,
+        tile_n: usize,
+    ) -> Self {
+        assert!(tile_m > 0 && tile_k > 0 && tile_n > 0, "tile sizes must be nonzero");
+        TileSchedule { rows, k_cols, n_cols, tile_m, tile_k, tile_n }
+    }
+
+    /// Number of row tiles.
+    pub fn m_tiles(&self) -> usize {
+        self.rows.div_ceil(self.tile_m)
+    }
+
+    /// Number of K partitions.
+    pub fn k_parts(&self) -> usize {
+        self.k_cols.div_ceil(self.tile_k)
+    }
+
+    /// Number of column tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_cols.div_ceil(self.tile_n)
+    }
+
+    /// Total output tiles (`m_tiles × n_tiles`).
+    pub fn output_tiles(&self) -> usize {
+        self.m_tiles() * self.n_tiles()
+    }
+
+    /// Row range of row-tile `mt`, clamped to the matrix.
+    pub fn m_range(&self, mt: usize) -> (usize, usize) {
+        let lo = mt * self.tile_m;
+        (lo, (lo + self.tile_m).min(self.rows))
+    }
+
+    /// Iterates `(m_tile, n_tile, k_part)` in the K-first execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let (m, n, k) = (self.m_tiles(), self.n_tiles(), self.k_parts());
+        (0..m).flat_map(move |mi| {
+            (0..n).flat_map(move |ni| (0..k).map(move |ki| (mi, ni, ki)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_counts_round_up() {
+        let t = TileSchedule::new(300, 50, 70, 256, 16, 32);
+        assert_eq!(t.m_tiles(), 2);
+        assert_eq!(t.k_parts(), 4);
+        assert_eq!(t.n_tiles(), 3);
+        assert_eq!(t.output_tiles(), 6);
+    }
+
+    #[test]
+    fn m_range_clamps_last_tile() {
+        let t = TileSchedule::new(300, 50, 70, 256, 16, 32);
+        assert_eq!(t.m_range(0), (0, 256));
+        assert_eq!(t.m_range(1), (256, 300));
+    }
+
+    #[test]
+    fn iteration_is_k_innermost() {
+        let t = TileSchedule::new(10, 32, 32, 256, 16, 32);
+        let order: Vec<_> = t.iter().collect();
+        assert_eq!(order, vec![(0, 0, 0), (0, 0, 1)]);
+        let t = TileSchedule::new(10, 32, 64, 256, 16, 32);
+        let order: Vec<_> = t.iter().collect();
+        // K varies fastest, then N, then M.
+        assert_eq!(order, vec![(0, 0, 0), (0, 0, 1), (0, 1, 0), (0, 1, 1)]);
+    }
+
+    #[test]
+    fn covers_every_tile_exactly_once() {
+        let t = TileSchedule::new(500, 100, 100, 256, 16, 32);
+        let count = t.iter().count();
+        assert_eq!(count, t.m_tiles() * t.n_tiles() * t.k_parts());
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-layer DRAM traffic accounting — the quantities behind Fig. 12 and
+//! the memory side of Figs. 7c/7d.
+//!
+//! Conventions (bytes, per layer, full scale):
+//!
+//! * **Activation, dense** — the raw spike bitmap (`rows × cols / 8`), what
+//!   a dense accelerator like Spiking Eyeriss streams.
+//! * **Activation, Phi w/o compact structure** — a Level-2 presence bitmap
+//!   plus per-correction sign/position metadata plus the pattern-index
+//!   matrix.
+//! * **Activation, Phi compact** — one byte per occupied pack unit (6-bit
+//!   index + label + sign) plus per-pack metadata plus the pattern-index
+//!   matrix (one byte per tile, `⌈log₂(q+1)⌉ ≤ 8` bits); empty row-tiles
+//!   cost nothing.
+//! * **Weights, dense** — `K × N` at 8-bit, ideal reuse (the Fig. 12b
+//!   normalization base).
+//! * **PWPs w/o prefetch** — all `q` PWPs of every partition, once per
+//!   layer: `parts × q × N` bytes, i.e. `q/k ×` dense weights (the paper's
+//!   9× for `q=128, k=16` counting weights too).
+//! * **PWPs with prefetch** — only the PWPs a tile actually uses; if the
+//!   PWP buffer can hold the layer's union working set, each used pattern
+//!   is fetched once per layer, otherwise once per `m`-tile.
+
+use crate::config::PhiConfig;
+use phi_core::Decomposition;
+use std::collections::HashSet;
+
+/// Byte counts for one layer (already scaled to full layer size).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficReport {
+    /// Dense activation bitmap bytes.
+    pub act_dense: f64,
+    /// Phi activation bytes without the compact pack structure.
+    pub act_uncompressed: f64,
+    /// Phi activation bytes with the compact pack structure.
+    pub act_compressed: f64,
+    /// Dense weight bytes (ideal reuse).
+    pub weight_dense: f64,
+    /// PWP bytes without prefetching (all patterns once).
+    pub pwp_no_prefetch: f64,
+    /// PWP bytes with prefetching (used patterns only).
+    pub pwp_prefetch: f64,
+    /// Output spike bitmap bytes.
+    pub act_out: f64,
+}
+
+impl TrafficReport {
+    /// Actual DRAM bytes for a configuration (compress/prefetch switches).
+    pub fn total_bytes(&self, config: &PhiConfig) -> f64 {
+        let act = if config.compress { self.act_compressed } else { self.act_uncompressed };
+        let pwp = if config.prefetch { self.pwp_prefetch } else { self.pwp_no_prefetch };
+        act + self.weight_dense + pwp + self.act_out
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &TrafficReport) {
+        self.act_dense += other.act_dense;
+        self.act_uncompressed += other.act_uncompressed;
+        self.act_compressed += other.act_compressed;
+        self.weight_dense += other.weight_dense;
+        self.pwp_no_prefetch += other.pwp_no_prefetch;
+        self.pwp_prefetch += other.pwp_prefetch;
+        self.act_out += other.act_out;
+    }
+}
+
+/// Computes the traffic report for one decomposed layer.
+///
+/// `n` is the output width, `packs`/`occupied_units` come from the packer
+/// (packs built and units actually filled, for the sampled rows), and
+/// `row_scale` is the sampled-to-full-layer row factor.
+pub fn layer_traffic(
+    decomp: &Decomposition,
+    n: usize,
+    packs: u64,
+    occupied_units: u64,
+    config: &PhiConfig,
+    row_scale: f64,
+) -> TrafficReport {
+    let rows = decomp.rows() as f64;
+    let cols = decomp.cols() as f64;
+    let parts = decomp.num_partitions();
+    let act_dense = rows * cols / 8.0;
+    // Pattern-index matrix: one byte per (row, partition) tile.
+    let index_bytes = rows * parts as f64;
+    // Without the compact structure: the Level-2 presence bitmap plus one
+    // byte of sign/position metadata per correction, plus the index matrix.
+    let act_uncompressed = rows * cols / 8.0 + decomp.l2_nnz() as f64 + index_bytes;
+    // Compact: one byte per occupied pack unit + 2 bytes of metadata per
+    // pack (row ids / unit counts) + the index matrix; empty tiles cost
+    // nothing.
+    let act_compressed = occupied_units as f64 + 2.0 * packs as f64 + index_bytes;
+
+    let weight_dense = cols * n as f64 * config.weight_bytes as f64;
+    // Without prefetching the full pre-allocated pattern store streams in:
+    // q PWPs per partition (the paper's 9x = q/k + 1 for q = 128, k = 16).
+    let pwp_no_prefetch = (parts * config.patterns_per_partition) as f64
+        * n as f64
+        * config.pwp_bytes as f64;
+
+    // Prefetch: count used patterns per m-tile per partition; dedupe across
+    // tiles when the buffer can hold the union working set.
+    let m_tiles = decomp.rows().div_ceil(config.tile_m);
+    let mut per_tile_used = 0u64;
+    let mut union_used: Vec<HashSet<u16>> = vec![HashSet::new(); parts];
+    for mt in 0..m_tiles {
+        let row_lo = mt * config.tile_m;
+        let row_hi = (row_lo + config.tile_m).min(decomp.rows());
+        for part in 0..parts {
+            let mut tile_set = HashSet::new();
+            for r in row_lo..row_hi {
+                if let Some(idx) = decomp.l1_index(r, part) {
+                    tile_set.insert(idx);
+                    union_used[part].insert(idx);
+                }
+            }
+            per_tile_used += tile_set.len() as u64;
+        }
+    }
+    let union_count: u64 = union_used.iter().map(|s| s.len() as u64).sum();
+    let union_bytes = union_count as f64 * n as f64 * config.pwp_bytes as f64;
+    let pwp_prefetch = if union_bytes <= config.pwp_buffer_bytes as f64 {
+        union_bytes
+    } else {
+        per_tile_used as f64 * n as f64 * config.pwp_bytes as f64
+    };
+
+    let act_out = rows * n as f64 / 8.0;
+
+    TrafficReport {
+        act_dense: act_dense * row_scale,
+        act_uncompressed: act_uncompressed * row_scale,
+        act_compressed: act_compressed * row_scale,
+        weight_dense,
+        // PWP traffic does not scale with rows (patterns are per layer);
+        // under per-tile reloads it scales with the number of m-tiles,
+        // which the row subsampling reduces — compensate with row_scale on
+        // the per-tile branch only.
+        pwp_no_prefetch,
+        pwp_prefetch: if union_bytes <= config.pwp_buffer_bytes as f64 {
+            pwp_prefetch
+        } else {
+            pwp_prefetch * row_scale
+        },
+        act_out: act_out * row_scale,
+    }
+    .clamp_pwp()
+}
+
+impl TrafficReport {
+    /// Prefetch can never cost more than loading everything once per tile
+    /// set; clamp pathological subsample extrapolations.
+    fn clamp_pwp(mut self) -> Self {
+        if self.pwp_prefetch > self.pwp_no_prefetch {
+            self.pwp_prefetch = self.pwp_no_prefetch;
+        }
+        self
+    }
+
+    /// The paper's §5.2 "PWP utilization" statistic: prefetched fraction of
+    /// all PWP bytes.
+    pub fn pwp_utilization(&self) -> f64 {
+        if self.pwp_no_prefetch == 0.0 {
+            0.0
+        } else {
+            self.pwp_prefetch / self.pwp_no_prefetch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_core::{decompose, CalibrationConfig, Calibrator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_core::SpikeMatrix;
+
+    fn sample_decomp(rows: usize, cols: usize, density: f64, q: usize) -> Decomposition {
+        let mut rng = StdRng::seed_from_u64(77);
+        let acts = SpikeMatrix::random(rows, cols, density, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q, ..Default::default() })
+            .calibrate(&acts, &mut rng);
+        decompose(&acts, &patterns)
+    }
+
+    #[test]
+    fn compressed_activations_beat_uncompressed() {
+        let d = sample_decomp(256, 128, 0.1, 32);
+        let t = layer_traffic(&d, 64, 100, 600, &PhiConfig::default(), 1.0);
+        assert!(t.act_compressed < t.act_uncompressed);
+    }
+
+    #[test]
+    fn prefetch_never_exceeds_full_load() {
+        let d = sample_decomp(512, 256, 0.15, 128);
+        let t = layer_traffic(&d, 64, 200, 1200, &PhiConfig::default(), 4.0);
+        assert!(t.pwp_prefetch <= t.pwp_no_prefetch + 1e-9);
+        assert!(t.pwp_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn pwp_ratio_matches_q_over_k() {
+        // With q patterns of width k, the no-prefetch PWP traffic is q/k ×
+        // dense weights when every partition holds the full q (the paper's
+        // 8× for q=128, k=16, on top of 1× raw weights = 9×).
+        let d = sample_decomp(2048, 256, 0.2, 128);
+        let t = layer_traffic(&d, 32, 100, 700, &PhiConfig::default(), 1.0);
+        let full_sets = (0..d.num_partitions())
+            .all(|p| d.patterns().set(p).len() == 128);
+        if full_sets {
+            let ratio = t.pwp_no_prefetch / t.weight_dense;
+            assert!((ratio - 8.0).abs() < 0.01, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn total_bytes_respects_switches() {
+        let d = sample_decomp(128, 64, 0.1, 16);
+        let t = layer_traffic(&d, 32, 50, 300, &PhiConfig::default(), 1.0);
+        let base = PhiConfig::default();
+        let no_comp = PhiConfig { compress: false, ..base.clone() };
+        let no_pref = PhiConfig { prefetch: false, ..base.clone() };
+        assert!(t.total_bytes(&no_comp) >= t.total_bytes(&base));
+        assert!(t.total_bytes(&no_pref) >= t.total_bytes(&base));
+    }
+
+    #[test]
+    fn row_scale_scales_row_traffic_only() {
+        let d = sample_decomp(128, 64, 0.1, 16);
+        let t1 = layer_traffic(&d, 32, 50, 300, &PhiConfig::default(), 1.0);
+        let t2 = layer_traffic(&d, 32, 50, 300, &PhiConfig::default(), 2.0);
+        assert!((t2.act_dense - 2.0 * t1.act_dense).abs() < 1e-9);
+        assert!((t2.weight_dense - t1.weight_dense).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Analysis tooling for the Phi reproduction.
+//!
+//! * [`tsne`] — an exact t-SNE implementation (perplexity-calibrated
+//!   Gaussian affinities, Student-t low-dimensional kernel, momentum
+//!   gradient descent with early exaggeration), used to regenerate the
+//!   paper's Figs. 1 and 9 embeddings;
+//! * [`metrics`] — cluster-quality measures (silhouette, Davies–Bouldin,
+//!   neighborhood compactness) that turn the paper's *visual* claims
+//!   ("SNN activations form distinct clusters") into numbers;
+//! * [`report`] — plain-text table and CSV emission for every experiment
+//!   binary.
+//!
+//! # Example
+//!
+//! ```
+//! use phi_analysis::tsne::{Tsne, TsneConfig};
+//! use rand::SeedableRng;
+//!
+//! // Two well-separated blobs in 8-D.
+//! let mut points = Vec::new();
+//! for i in 0..40 {
+//!     let base = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!     points.push((0..8).map(|d| base + ((i * 7 + d) % 3) as f32 * 0.1).collect());
+//! }
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let config = TsneConfig { iterations: 150, perplexity: 10.0, ..Default::default() };
+//! let embedding = Tsne::new(config).embed(&points, &mut rng);
+//! assert_eq!(embedding.len(), 40);
+//! ```
+
+pub mod metrics;
+pub mod scatter;
+pub mod report;
+pub mod tsne;
+
+pub use metrics::{davies_bouldin, neighborhood_compactness, silhouette};
+pub use scatter::scatter;
+pub use report::Table;
+pub use tsne::{Tsne, TsneConfig};

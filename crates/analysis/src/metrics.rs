@@ -1,0 +1,225 @@
+//! Cluster-quality metrics.
+//!
+//! The paper's Figs. 1 and 9 argue visually that SNN activations cluster
+//! and that PAFT makes the clusters "fewer but denser". These metrics make
+//! those claims measurable: silhouette (higher = better separated),
+//! Davies–Bouldin (lower = denser/better separated), and a label-free
+//! neighborhood compactness score.
+
+/// Euclidean distance between two points of equal dimensionality.
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Mean silhouette coefficient over all points.
+///
+/// Returns `None` when fewer than two clusters are present or a cluster is
+/// a singleton-only configuration that makes the score undefined.
+///
+/// # Panics
+///
+/// Panics if `points` and `labels` lengths differ.
+pub fn silhouette(points: &[Vec<f64>], labels: &[usize]) -> Option<f64> {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    let n = points.len();
+    let clusters: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    if clusters.len() < 2 || n < 3 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // silhouette of a singleton is defined as 0; skip
+        }
+        let mut a = 0.0;
+        let mut b = f64::INFINITY;
+        for &c in &clusters {
+            let members: Vec<usize> =
+                (0..n).filter(|&j| labels[j] == c && j != i).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mean: f64 =
+                members.iter().map(|&j| dist(&points[i], &points[j])).sum::<f64>()
+                    / members.len() as f64;
+            if c == own {
+                a = mean;
+            } else {
+                b = b.min(mean);
+            }
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        counted += 1;
+    }
+    if counted == 0 {
+        None
+    } else {
+        Some(total / counted as f64)
+    }
+}
+
+/// Davies–Bouldin index: mean over clusters of the worst
+/// `(σᵢ + σⱼ) / d(cᵢ, cⱼ)` ratio. Lower is better.
+///
+/// Returns `None` when fewer than two non-empty clusters are present.
+///
+/// # Panics
+///
+/// Panics if `points` and `labels` lengths differ.
+pub fn davies_bouldin(points: &[Vec<f64>], labels: &[usize]) -> Option<f64> {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    let clusters: Vec<usize> = {
+        let s: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+        s.into_iter().collect()
+    };
+    if clusters.len() < 2 || points.is_empty() {
+        return None;
+    }
+    let dim = points[0].len();
+    let mut centroids = Vec::new();
+    let mut scatters = Vec::new();
+    for &c in &clusters {
+        let members: Vec<&Vec<f64>> = points
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| l == c)
+            .map(|(p, _)| p)
+            .collect();
+        let mut centroid = vec![0.0; dim];
+        for m in &members {
+            for (cd, &md) in centroid.iter_mut().zip(m.iter()) {
+                *cd += md;
+            }
+        }
+        for cd in &mut centroid {
+            *cd /= members.len() as f64;
+        }
+        let scatter: f64 =
+            members.iter().map(|m| dist(m, &centroid)).sum::<f64>() / members.len() as f64;
+        centroids.push(centroid);
+        scatters.push(scatter);
+    }
+    let k = clusters.len();
+    let mut total = 0.0;
+    for i in 0..k {
+        let mut worst = 0.0f64;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let d = dist(&centroids[i], &centroids[j]);
+            if d > 0.0 {
+                worst = worst.max((scatters[i] + scatters[j]) / d);
+            }
+        }
+        total += worst;
+    }
+    Some(total / k as f64)
+}
+
+/// Label-free clusteredness: the ratio of the mean distance to the
+/// `k`-nearest neighbor over the mean pairwise distance. Clustered data has
+/// close neighbors relative to the global scale, so *lower is more
+/// clustered*; i.i.d. data approaches 1 from below.
+///
+/// Returns `None` if there are fewer than `k + 2` points.
+pub fn neighborhood_compactness(points: &[Vec<f64>], k: usize) -> Option<f64> {
+    let n = points.len();
+    if n < k + 2 || k == 0 {
+        return None;
+    }
+    let mut knn_total = 0.0;
+    let mut all_total = 0.0;
+    let mut all_count = 0usize;
+    for i in 0..n {
+        let mut dists: Vec<f64> =
+            (0..n).filter(|&j| j != i).map(|j| dist(&points[i], &points[j])).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        knn_total += dists[k - 1];
+        all_total += dists.iter().sum::<f64>();
+        all_count += dists.len();
+    }
+    let mean_knn = knn_total / n as f64;
+    let mean_all = all_total / all_count as f64;
+    if mean_all == 0.0 {
+        Some(0.0)
+    } else {
+        Some(mean_knn / mean_all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_blobs(sep: f64, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for b in 0..2 {
+            for _ in 0..n {
+                points.push(vec![
+                    b as f64 * sep + rng.gen::<f64>(),
+                    b as f64 * sep + rng.gen::<f64>(),
+                ]);
+                labels.push(b);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (p, l) = two_blobs(10.0, 20);
+        let s = silhouette(&p, &l).unwrap();
+        assert!(s > 0.8, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_overlapping_blobs() {
+        let (p, l) = two_blobs(0.1, 20);
+        let s = silhouette(&p, &l).unwrap();
+        assert!(s < 0.3, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_undefined_for_single_cluster() {
+        let (p, _) = two_blobs(1.0, 10);
+        let labels = vec![0usize; p.len()];
+        assert_eq!(silhouette(&p, &labels), None);
+    }
+
+    #[test]
+    fn davies_bouldin_orders_separation() {
+        let (p1, l1) = two_blobs(10.0, 20);
+        let (p2, l2) = two_blobs(1.0, 20);
+        let tight = davies_bouldin(&p1, &l1).unwrap();
+        let loose = davies_bouldin(&p2, &l2).unwrap();
+        assert!(tight < loose, "tight {tight} < loose {loose}");
+    }
+
+    #[test]
+    fn compactness_discriminates_clustered_from_uniform() {
+        let (clustered, _) = two_blobs(20.0, 30);
+        let mut rng = StdRng::seed_from_u64(12);
+        let uniform: Vec<Vec<f64>> =
+            (0..60).map(|_| vec![rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0]).collect();
+        let c = neighborhood_compactness(&clustered, 5).unwrap();
+        let u = neighborhood_compactness(&uniform, 5).unwrap();
+        assert!(c < u, "clustered {c} should be more compact than uniform {u}");
+    }
+
+    #[test]
+    fn compactness_requires_enough_points() {
+        let points = vec![vec![0.0], vec![1.0]];
+        assert_eq!(neighborhood_compactness(&points, 5), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain-text table and CSV emission.
+//!
+//! Every experiment binary prints its table/figure through this type, so
+//! the regenerated outputs line up with the paper's rows and can also be
+//! diffed as CSV.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use phi_analysis::Table;
+///
+/// let mut t = Table::new("Demo", &["model", "speedup"]);
+/// t.row(&["VGG16", "3.45"]);
+/// let text = t.to_string();
+/// assert!(text.contains("VGG16"));
+/// assert!(text.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation or writing.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        writeln!(f, "{}", escape_csv_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", escape_csv_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+fn escape_csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "bbbb"]);
+        t.row(&["xxxx", "y"]);
+        let text = t.to_string();
+        assert!(text.contains("== T =="));
+        assert!(text.contains("xxxx"));
+        // Header of column 0 is right-aligned to the widest cell.
+        assert!(text.lines().nth(1).unwrap().starts_with("   a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count must match headers")]
+    fn rejects_wrong_cell_count() {
+        Table::new("T", &["a"]).row(&["1", "2"]);
+    }
+
+    #[test]
+    fn csv_roundtrip_escapes_commas() {
+        let dir = std::env::temp_dir().join("phi_table_test.csv");
+        let mut t = Table::new("T", &["name", "value"]);
+        t.row(&["a,b", "1"]);
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&dir).unwrap();
+        assert!(content.contains("\"a,b\""));
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn len_counts_rows() {
+        let mut t = Table::new("T", &["a"]);
+        assert!(t.is_empty());
+        t.row(&["1"]).row(&["2"]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Terminal scatter plots for 2-D embeddings.
+//!
+//! The paper's Figs. 1 and 9 are t-SNE scatter plots; this renderer puts a
+//! usable version of them straight in the terminal (one glyph per group) so
+//! the `fig9` binary can show cluster structure without any plotting
+//! dependency. CSV output remains available for external tools.
+
+/// Renders labelled 2-D points into a `width × height` character grid.
+///
+/// Each group is drawn with its glyph (`groups[label]`); collisions show
+/// the later group. Returns the rendered multi-line string, including a
+/// simple frame.
+///
+/// # Panics
+///
+/// Panics if `points` and `labels` lengths differ, a label indexes past
+/// `glyphs`, or the grid is degenerate (`width/height < 2`).
+pub fn scatter(
+    points: &[[f64; 2]],
+    labels: &[usize],
+    glyphs: &[char],
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
+    for &l in labels {
+        assert!(l < glyphs.len(), "label {l} has no glyph");
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    if !points.is_empty() {
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p[0]);
+            max_x = max_x.max(p[0]);
+            min_y = min_y.min(p[1]);
+            max_y = max_y.max(p[1]);
+        }
+        let span_x = (max_x - min_x).max(1e-12);
+        let span_y = (max_y - min_y).max(1e-12);
+        for (p, &label) in points.iter().zip(labels) {
+            let x = ((p[0] - min_x) / span_x * (width - 1) as f64).round() as usize;
+            // Flip y so larger values render higher.
+            let y = ((max_y - p[1]) / span_y * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = glyphs[label];
+        }
+    }
+
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.extend(std::iter::repeat('-').take(width));
+    out.push_str("+\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.extend(std::iter::repeat('-').take(width));
+    out.push('+');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_extremes() {
+        let points = vec![[0.0, 0.0], [10.0, 10.0]];
+        let labels = vec![0, 1];
+        let s = scatter(&points, &labels, &['a', 'b'], 10, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // b is top-right, a bottom-left.
+        assert!(lines[1].ends_with("b|"));
+        assert!(lines[5].starts_with("|a"));
+    }
+
+    #[test]
+    fn empty_input_renders_empty_frame() {
+        let s = scatter(&[], &[], &['x'], 4, 3);
+        assert!(s.starts_with("+----+"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn degenerate_spread_does_not_panic() {
+        // All points identical: span clamps avoid division by zero.
+        let points = vec![[1.0, 1.0]; 5];
+        let labels = vec![0; 5];
+        let s = scatter(&points, &labels, &['*'], 6, 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "label 1 has no glyph")]
+    fn rejects_unknown_labels() {
+        scatter(&[[0.0, 0.0]], &[1], &['x'], 4, 4);
+    }
+
+    #[test]
+    fn separated_groups_render_apart() {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            points.push([i as f64 * 0.01, 0.0]);
+            labels.push(0);
+            points.push([100.0 + i as f64 * 0.01, 50.0]);
+            labels.push(1);
+        }
+        let s = scatter(&points, &labels, &['o', 'x'], 40, 10);
+        // Group o occupies lower-left, x upper-right; no interleaving on
+        // the top row.
+        let top = s.lines().nth(1).unwrap();
+        assert!(top.contains('x'));
+        assert!(!top.contains('o'));
+    }
+}

@@ -1,0 +1,308 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) — the dimensionality
+//! reduction the paper uses to reveal pattern structure in SNN activations
+//! (Figs. 1 and 9).
+//!
+//! This is the O(n²) reference algorithm: per-point perplexity calibration
+//! by binary search over the Gaussian bandwidth, symmetrized affinities,
+//! Student-t similarities in the embedding, gradient descent with momentum
+//! and early exaggeration. Adequate for the ≤ a few thousand activation
+//! rows the figures use.
+
+use rand::Rng;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbor count).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Momentum (switches from 0.5 to this value after the early phase).
+    pub final_momentum: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 150.0,
+            exaggeration: 12.0,
+            final_momentum: 0.8,
+        }
+    }
+}
+
+/// The t-SNE embedder.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Creates an embedder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if perplexity or iterations are not positive.
+    pub fn new(config: TsneConfig) -> Self {
+        assert!(config.perplexity > 0.0, "perplexity must be positive");
+        assert!(config.iterations > 0, "need at least one iteration");
+        Tsne { config }
+    }
+
+    /// Embeds `points` (rows of equal dimensionality) into 2-D.
+    ///
+    /// Returns one `[x, y]` per input row. Deterministic given the RNG
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent dimensionality.
+    pub fn embed<R: Rng + ?Sized>(&self, points: &[Vec<f32>], rng: &mut R) -> Vec<[f64; 2]> {
+        let n = points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![[0.0, 0.0]];
+        }
+        let dim = points[0].len();
+        for p in points {
+            assert_eq!(p.len(), dim, "inconsistent point dimensionality");
+        }
+
+        let d2 = pairwise_sq_dists(points);
+        let p = joint_probabilities(&d2, self.config.perplexity.min((n - 1) as f64 / 3.0));
+
+        // Initialize with small Gaussian noise.
+        let mut y: Vec<[f64; 2]> = (0..n)
+            .map(|_| [rng.gen::<f64>() * 1e-4 - 5e-5, rng.gen::<f64>() * 1e-4 - 5e-5])
+            .collect();
+        let mut velocity = vec![[0.0f64; 2]; n];
+        let mut gains = vec![[1.0f64; 2]; n];
+
+        let early_iters = self.config.iterations / 4;
+        let mut q_num = vec![0.0f64; n * n];
+
+        for iter in 0..self.config.iterations {
+            let exaggeration = if iter < early_iters { self.config.exaggeration } else { 1.0 };
+            let momentum = if iter < early_iters { 0.5 } else { self.config.final_momentum };
+
+            // Student-t numerators and normalizer.
+            let mut q_sum = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let dx = y[i][0] - y[j][0];
+                    let dy = y[i][1] - y[j][1];
+                    let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                    q_num[i * n + j] = num;
+                    q_num[j * n + i] = num;
+                    q_sum += 2.0 * num;
+                }
+            }
+            let q_sum = q_sum.max(1e-12);
+
+            for i in 0..n {
+                let mut grad = [0.0f64; 2];
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let num = q_num[i * n + j];
+                    let q = (num / q_sum).max(1e-12);
+                    let mult = (exaggeration * p[i * n + j] - q) * num;
+                    grad[0] += mult * (y[i][0] - y[j][0]);
+                    grad[1] += mult * (y[i][1] - y[j][1]);
+                }
+                for d in 0..2 {
+                    let g = 4.0 * grad[d];
+                    // Adaptive per-dimension gains (Jacobs' delta-bar-delta).
+                    gains[i][d] = if g.signum() != velocity[i][d].signum() {
+                        (gains[i][d] + 0.2).min(10.0)
+                    } else {
+                        (gains[i][d] * 0.8).max(0.01)
+                    };
+                    velocity[i][d] =
+                        momentum * velocity[i][d] - self.config.learning_rate * gains[i][d] * g;
+                }
+            }
+            for i in 0..n {
+                y[i][0] += velocity[i][0];
+                y[i][1] += velocity[i][1];
+            }
+            // Center the embedding to remove drift.
+            let (mx, my) = y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+            let (mx, my) = (mx / n as f64, my / n as f64);
+            for p in &mut y {
+                p[0] -= mx;
+                p[1] -= my;
+            }
+        }
+        y
+    }
+}
+
+fn pairwise_sq_dists(points: &[Vec<f32>]) -> Vec<f64> {
+    let n = points.len();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(&a, &b)| {
+                    let diff = (a - b) as f64;
+                    diff * diff
+                })
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    d2
+}
+
+/// Per-row bandwidth calibration to the target perplexity, then
+/// symmetrization: `P = (P|i + P|j) / 2n`.
+fn joint_probabilities(d2: &[f64], perplexity: f64) -> Vec<f64> {
+    let n = (d2.len() as f64).sqrt() as usize;
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut beta, mut beta_lo, mut beta_hi) = (1.0f64, 0.0f64, f64::INFINITY);
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                probs[j] = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += probs[j];
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0;
+            for (j, pj) in probs.iter_mut().enumerate() {
+                *pj /= sum;
+                if j != i && *pj > 1e-12 {
+                    entropy -= *pj * pj.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_infinite() { beta * 2.0 } else { (beta + beta_hi) / 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        for j in 0..n {
+            p[i * n + j] = probs[j];
+        }
+    }
+
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(per_blob: usize, dims: usize, separation: f32) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for blob in 0..2 {
+            for _ in 0..per_blob {
+                let base = blob as f32 * separation;
+                points.push((0..dims).map(|_| base + rng.gen::<f32>() * 0.5).collect());
+                labels.push(blob);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (points, labels) = blobs(30, 10, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = TsneConfig { iterations: 250, perplexity: 15.0, ..Default::default() };
+        let y = Tsne::new(config).embed(&points, &mut rng);
+        // Mean within-blob distance must be far below between-blob distance.
+        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut within = 0.0;
+        let mut between = 0.0;
+        let mut wn = 0;
+        let mut bn = 0;
+        for i in 0..y.len() {
+            for j in (i + 1)..y.len() {
+                if labels[i] == labels[j] {
+                    within += dist(y[i], y[j]);
+                    wn += 1;
+                } else {
+                    between += dist(y[i], y[j]);
+                    bn += 1;
+                }
+            }
+        }
+        let within = within / wn as f64;
+        let between = between / bn as f64;
+        assert!(
+            between > 2.0 * within,
+            "between {between:.3} should dwarf within {within:.3}"
+        );
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let (points, _) = blobs(5, 4, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = Tsne::new(TsneConfig { iterations: 10, ..Default::default() })
+            .embed(&points, &mut rng);
+        assert_eq!(y.len(), 10);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tsne::new(TsneConfig { iterations: 5, ..Default::default() });
+        assert!(t.embed(&[], &mut rng).is_empty());
+        assert_eq!(t.embed(&[vec![1.0, 2.0]], &mut rng), vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let (points, _) = blobs(20, 6, 4.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let y = Tsne::new(TsneConfig { iterations: 50, ..Default::default() })
+            .embed(&points, &mut rng);
+        let mx: f64 = y.iter().map(|p| p[0]).sum::<f64>() / y.len() as f64;
+        let my: f64 = y.iter().map(|p| p[1]).sum::<f64>() / y.len() as f64;
+        assert!(mx.abs() < 1e-6 && my.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent point dimensionality")]
+    fn ragged_points_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        Tsne::new(TsneConfig::default())
+            .embed(&[vec![1.0], vec![1.0, 2.0]], &mut rng);
+    }
+}

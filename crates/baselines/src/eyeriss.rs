@@ -1,0 +1,118 @@
+//! Spiking Eyeriss: the dense baseline (Eyeriss [Chen et al.] adapted to
+//! spiking accumulation by SpinalFlow's authors, used as the 1.00×
+//! normalization point in Table 2 and Fig. 8).
+//!
+//! It processes every `M·K·N` position regardless of sparsity: spatially
+//! unrolled over a 12×14 PE array with row-stationary reuse. We charge one
+//! accumulation slot per dense position at the measured array utilization.
+
+use crate::report::BaselineLayerReport;
+use crate::{dense_traffic_bytes, Accelerator};
+use phi_accel::DramModel;
+use snn_core::{GemmShape, SpikeMatrix};
+
+/// Dense spiking Eyeriss model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikingEyeriss {
+    /// Processing elements (12 × 14 = 168).
+    pub pes: usize,
+    /// Sustained array utilization (row-stationary convs run near full).
+    pub utilization: f64,
+    /// Core power in watts (dense arrays burn switching power on every
+    /// position; calibrated to Table 2's 5.16 GOP/J at VGG density).
+    pub core_watts: f64,
+    /// Clock frequency (500 MHz for all Table 2 rows).
+    pub frequency_hz: f64,
+    /// DRAM model shared with the Phi simulator.
+    pub dram: DramModel,
+}
+
+impl Default for SpikingEyeriss {
+    fn default() -> Self {
+        SpikingEyeriss {
+            pes: 168,
+            utilization: 0.95,
+            core_watts: 1.45,
+            frequency_hz: 500e6,
+            dram: DramModel::default(),
+        }
+    }
+}
+
+impl Accelerator for SpikingEyeriss {
+    fn name(&self) -> &'static str {
+        "Eyeriss"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        1.068
+    }
+
+    fn run_layer(
+        &self,
+        acts: &SpikeMatrix,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> BaselineLayerReport {
+        let dense_positions =
+            acts.rows() as f64 * row_scale * shape.k as f64 * shape.n as f64;
+        let cycles = dense_positions / (self.pes as f64 * self.utilization);
+        let dram_bytes = dense_traffic_bytes(acts, shape, row_scale);
+        let core_energy_j = self.core_watts * cycles / self.frequency_hz;
+        let dram_energy_j = self.dram.access_energy_j(dram_bytes)
+            + self.dram.background_energy_j(cycles / self.frequency_hz);
+        BaselineLayerReport {
+            cycles,
+            energy_j: core_energy_j + dram_energy_j,
+            core_energy_j,
+            dram_energy_j,
+            bit_ops: acts.nnz() as f64 * row_scale * shape.n as f64,
+            dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycles_are_density_independent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sparse = SpikeMatrix::random(128, 64, 0.05, &mut rng);
+        let dense = SpikeMatrix::random(128, 64, 0.5, &mut rng);
+        let shape = GemmShape::new(128, 64, 32);
+        let e = SpikingEyeriss::default();
+        let r_sparse = e.run_layer(&sparse, shape, 1.0);
+        let r_dense = e.run_layer(&dense, shape, 1.0);
+        assert!((r_sparse.cycles - r_dense.cycles).abs() < 1e-9);
+        // But effective ops (and thus GOP/s) scale with density.
+        assert!(r_dense.bit_ops > r_sparse.bit_ops);
+    }
+
+    #[test]
+    fn throughput_matches_table2_at_vgg_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let acts = SpikeMatrix::random(1024, 512, 0.106, &mut rng);
+        let shape = GemmShape::new(1024, 512, 128);
+        let e = SpikingEyeriss::default();
+        let r = e.run_layer(&acts, shape, 1.0);
+        let gops = r.bit_ops / (r.cycles / e.frequency_hz) / 1e9;
+        // Table 2: 9.10 GOP/s.
+        assert!((gops - 9.1).abs() < 2.0, "got {gops}");
+    }
+
+    #[test]
+    fn row_scale_scales_cycles_and_ops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let acts = SpikeMatrix::random(64, 64, 0.2, &mut rng);
+        let shape = GemmShape::new(64, 64, 64);
+        let e = SpikingEyeriss::default();
+        let r1 = e.run_layer(&acts, shape, 1.0);
+        let r2 = e.run_layer(&acts, shape, 2.0);
+        assert!((r2.cycles - 2.0 * r1.cycles).abs() < 1e-9);
+        assert!((r2.bit_ops - 2.0 * r1.bit_ops).abs() < 1e-9);
+    }
+}

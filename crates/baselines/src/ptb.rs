@@ -1,0 +1,150 @@
+//! PTB — Parallel Time Batching (Lee et al., HPCA 2022): a systolic-array
+//! accelerator that packs multiple timesteps into a time window and
+//! processes windows in parallel.
+//!
+//! The paper's critique (§5.3.1): PTB "does not fully utilize bit sparsity,
+//! and there are still zero elements in each time window" — a
+//! (neuron, window) pair is processed if *any* of its timesteps spiked, so
+//! the effective density is the window occupancy, not the bit density. We
+//! compute the occupancy from the actual spike data by OR-folding rows of
+//! the same window.
+
+use crate::report::BaselineLayerReport;
+use crate::{dense_traffic_bytes, Accelerator};
+use phi_accel::DramModel;
+use snn_core::{GemmShape, SpikeMatrix};
+
+/// PTB model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ptb {
+    /// Systolic array MACs (16 × 16).
+    pub pes: usize,
+    /// Timesteps folded into one window.
+    pub window: usize,
+    /// Systolic utilization (fill/drain, mapping losses).
+    pub utilization: f64,
+    /// Core power in watts (calibrated to Table 2's 10.65 GOP/J).
+    pub core_watts: f64,
+    /// Clock frequency.
+    pub frequency_hz: f64,
+    /// DRAM model.
+    pub dram: DramModel,
+}
+
+impl Default for Ptb {
+    fn default() -> Self {
+        Ptb {
+            pes: 256,
+            window: 4,
+            utilization: 0.55,
+            core_watts: 0.85,
+            frequency_hz: 500e6,
+            dram: DramModel::default(),
+        }
+    }
+}
+
+impl Ptb {
+    /// Fraction of (row-position, column) pairs whose window has at least
+    /// one spike. Activation rows are organized timestep-major (row
+    /// `t·M + i`), so a window folds rows `{t₀·M+i, …}`; when the matrix is
+    /// a plain sample we fold consecutive row groups, which has the same
+    /// statistics.
+    fn window_occupancy(&self, acts: &SpikeMatrix) -> f64 {
+        let rows = acts.rows();
+        if rows == 0 || acts.cols() == 0 {
+            return 0.0;
+        }
+        let mut occupied = 0u64;
+        let mut total = 0u64;
+        let mut r = 0;
+        while r < rows {
+            let hi = (r + self.window).min(rows);
+            for c in 0..acts.cols() {
+                total += 1;
+                if (r..hi).any(|i| acts.get(i, c)) {
+                    occupied += 1;
+                }
+            }
+            r = hi;
+        }
+        occupied as f64 / total as f64
+    }
+}
+
+impl Accelerator for Ptb {
+    fn name(&self) -> &'static str {
+        "PTB"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        // PTB's paper does not report 28 nm area (Table 2 shows "-").
+        f64::NAN
+    }
+
+    fn run_layer(
+        &self,
+        acts: &SpikeMatrix,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> BaselineLayerReport {
+        let occupancy = self.window_occupancy(acts);
+        // An occupied window is processed for *all* of its timesteps (the
+        // zero timesteps inside an active window are not skipped), so the
+        // effective work is `rows × K × N` scaled by the window occupancy.
+        let positions =
+            acts.rows() as f64 * row_scale * shape.k as f64 * occupancy * shape.n as f64;
+        let cycles = positions / (self.pes as f64 * self.utilization);
+        let dram_bytes = dense_traffic_bytes(acts, shape, row_scale);
+        let core_energy_j = self.core_watts * cycles / self.frequency_hz;
+        let dram_energy_j = self.dram.access_energy_j(dram_bytes)
+            + self.dram.background_energy_j(cycles / self.frequency_hz);
+        BaselineLayerReport {
+            cycles,
+            energy_j: core_energy_j + dram_energy_j,
+            core_energy_j,
+            dram_energy_j,
+            bit_ops: acts.nnz() as f64 * row_scale * shape.n as f64,
+            dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn occupancy_exceeds_density_for_random_spikes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let acts = SpikeMatrix::random(256, 128, 0.1, &mut rng);
+        let p = Ptb::default();
+        let occ = p.window_occupancy(&acts);
+        // P(window occupied) = 1 - (1 - d)^4 ≈ 0.344 at d = 0.1.
+        assert!((occ - 0.344).abs() < 0.03, "occupancy {occ}");
+    }
+
+    #[test]
+    fn correlated_windows_help_ptb() {
+        // Spikes concentrated in the same window positions: occupancy ≈
+        // density instead of 1-(1-d)^w.
+        let correlated = SpikeMatrix::from_fn(256, 128, |r, c| c < 13 && r % 4 < 4);
+        let p = Ptb::default();
+        let occ = p.window_occupancy(&correlated);
+        assert!((occ - 13.0 / 128.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ptb_beats_dense_but_trails_full_skipping() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let acts = SpikeMatrix::random(1024, 512, 0.106, &mut rng);
+        let shape = GemmShape::new(1024, 512, 128);
+        let p = Ptb::default();
+        let r = p.run_layer(&acts, shape, 1.0);
+        let gops = r.bit_ops / (r.cycles / p.frequency_hz) / 1e9;
+        // Table 2: 18.12 GOP/s, between Eyeriss (9.1) and SATO (36.0).
+        assert!(gops > 10.0 && gops < 30.0, "got {gops}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Baseline result types, mirroring `phi-accel`'s reports without the
+//! Phi-specific fields.
+
+use std::fmt;
+
+/// One layer's result on a baseline accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineLayerReport {
+    /// Wall-clock cycles (full layer).
+    pub cycles: f64,
+    /// Total energy in joules (core + DRAM).
+    pub energy_j: f64,
+    /// Core-only energy in joules.
+    pub core_energy_j: f64,
+    /// DRAM energy in joules.
+    pub dram_energy_j: f64,
+    /// Paper-metric operations (accumulations of '1' bits × N).
+    pub bit_ops: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+}
+
+/// Aggregated baseline results over a model.
+#[derive(Debug, Clone)]
+pub struct BaselineModelReport {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Per-layer results.
+    pub layers: Vec<BaselineLayerReport>,
+}
+
+impl BaselineModelReport {
+    /// Builds a report.
+    pub fn from_layers(name: &'static str, layers: Vec<BaselineLayerReport>) -> Self {
+        BaselineModelReport { name, layers }
+    }
+
+    /// Total cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total operations.
+    pub fn total_ops(&self) -> f64 {
+        self.layers.iter().map(|l| l.bit_ops).sum()
+    }
+
+    /// Total energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_j).sum()
+    }
+
+    /// Runtime in seconds at `frequency_hz`.
+    pub fn runtime_s(&self, frequency_hz: f64) -> f64 {
+        self.total_cycles() / frequency_hz
+    }
+
+    /// Throughput in GOP/s.
+    pub fn throughput_gops(&self, frequency_hz: f64) -> f64 {
+        let t = self.runtime_s(frequency_hz);
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_ops() / t / 1e9
+        }
+    }
+
+    /// Energy efficiency in GOP/J.
+    pub fn gops_per_joule(&self) -> f64 {
+        let e = self.total_energy_j();
+        if e == 0.0 {
+            0.0
+        } else {
+            self.total_ops() / e / 1e9
+        }
+    }
+}
+
+impl fmt::Display for BaselineModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3e} cycles, {:.3} mJ",
+            self.name,
+            self.total_cycles(),
+            self.total_energy_j() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> BaselineLayerReport {
+        BaselineLayerReport {
+            cycles: 1000.0,
+            energy_j: 2e-6,
+            core_energy_j: 1.5e-6,
+            dram_energy_j: 0.5e-6,
+            bit_ops: 1e6,
+            dram_bytes: 100.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_metrics() {
+        let r = BaselineModelReport::from_layers("test", vec![layer(), layer()]);
+        assert_eq!(r.total_cycles(), 2000.0);
+        assert_eq!(r.total_ops(), 2e6);
+        // 2000 cycles @ 500 MHz = 4 µs; 2e6 ops → 500 GOP/s.
+        assert!((r.throughput_gops(500e6) - 500.0).abs() < 1e-9);
+        assert!((r.gops_per_joule() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = BaselineModelReport::from_layers("x", vec![]);
+        assert_eq!(r.throughput_gops(1e9), 0.0);
+        assert_eq!(r.gops_per_joule(), 0.0);
+    }
+}

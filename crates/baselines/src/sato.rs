@@ -1,0 +1,146 @@
+//! SATO (Liu et al., DAC 2022): temporal-oriented dataflow — input spikes
+//! are integrated in parallel per timestep across a bank of accumulation
+//! lanes with a binary adder-search tree producing output spikes.
+//!
+//! Its weakness (noted in §5.3.1) is load imbalance: parallel lanes each
+//! process one activation row's nonzeros, so a lane group advances at the
+//! pace of its *densest* row. We compute that imbalance from the actual
+//! activation rows rather than assuming a constant.
+
+use crate::report::BaselineLayerReport;
+use crate::{dense_traffic_bytes, Accelerator};
+use phi_accel::DramModel;
+use snn_core::{GemmShape, SpikeMatrix};
+
+/// SATO model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sato {
+    /// Parallel accumulation lanes.
+    pub lanes: usize,
+    /// Rows processed concurrently per lane group (imbalance domain).
+    pub group: usize,
+    /// Fixed pipeline utilization on top of imbalance.
+    pub utilization: f64,
+    /// Core power in watts (calibrated to Table 2's 53.22 GOP/J).
+    pub core_watts: f64,
+    /// Clock frequency.
+    pub frequency_hz: f64,
+    /// DRAM model.
+    pub dram: DramModel,
+}
+
+impl Default for Sato {
+    fn default() -> Self {
+        Sato {
+            lanes: 128,
+            group: 64,
+            utilization: 0.72,
+            core_watts: 0.55,
+            frequency_hz: 500e6,
+            dram: DramModel::default(),
+        }
+    }
+}
+
+impl Sato {
+    /// Effective processed spike count after lane imbalance: row groups of
+    /// `group` rows advance at `max(nnz)` of the group.
+    fn imbalanced_nnz(&self, acts: &SpikeMatrix) -> f64 {
+        let mut total = 0f64;
+        let rows = acts.rows();
+        let mut r = 0;
+        while r < rows {
+            let hi = (r + self.group).min(rows);
+            let max_nnz = (r..hi).map(|i| acts.row_nnz(i)).max().unwrap_or(0);
+            total += (max_nnz * (hi - r)) as f64;
+            r = hi;
+        }
+        total
+    }
+}
+
+impl Accelerator for Sato {
+    fn name(&self) -> &'static str {
+        "SATO"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        1.13
+    }
+
+    fn run_layer(
+        &self,
+        acts: &SpikeMatrix,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> BaselineLayerReport {
+        let effective = self.imbalanced_nnz(acts) * row_scale;
+        let n_passes = shape.n.div_ceil(self.lanes) as f64;
+        let cycles = effective * n_passes / self.utilization;
+        let dram_bytes = dense_traffic_bytes(acts, shape, row_scale);
+        let core_energy_j = self.core_watts * cycles / self.frequency_hz;
+        let dram_energy_j = self.dram.access_energy_j(dram_bytes)
+            + self.dram.background_energy_j(cycles / self.frequency_hz);
+        BaselineLayerReport {
+            cycles,
+            energy_j: core_energy_j + dram_energy_j,
+            core_energy_j,
+            dram_energy_j,
+            bit_ops: acts.nnz() as f64 * row_scale * shape.n as f64,
+            dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn imbalance_penalizes_skewed_rows() {
+        // Uniform rows: every row has the same nnz — no imbalance penalty.
+        let uniform = SpikeMatrix::from_fn(32, 64, |_, c| c < 8);
+        // Skewed: one dense row per group dominates.
+        let skewed = SpikeMatrix::from_fn(32, 64, |r, c| {
+            if r % 16 == 0 {
+                c < 32
+            } else {
+                c < 8
+            }
+        });
+        let s = Sato::default();
+        let u = s.imbalanced_nnz(&uniform);
+        assert_eq!(u, 32.0 * 8.0);
+        let k = s.imbalanced_nnz(&skewed);
+        assert_eq!(k, 32.0 * 32.0, "group advances at the densest row's pace");
+        // Actual nnz of skewed is much less than its effective count.
+        assert!((skewed.nnz() as f64) < k);
+    }
+
+    #[test]
+    fn sato_is_slower_than_perfect_skip_but_faster_than_dense() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let acts = SpikeMatrix::random(512, 256, 0.1, &mut rng);
+        let shape = GemmShape::new(512, 256, 128);
+        let s = Sato::default();
+        let r = s.run_layer(&acts, shape, 1.0);
+        let perfect_cycles = acts.nnz() as f64 / s.utilization;
+        let dense_cycles = (acts.rows() * acts.cols()) as f64;
+        assert!(r.cycles > perfect_cycles);
+        assert!(r.cycles < dense_cycles);
+    }
+
+    #[test]
+    fn throughput_lands_near_table2() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let acts = SpikeMatrix::random(1024, 512, 0.106, &mut rng);
+        let shape = GemmShape::new(1024, 512, 128);
+        let s = Sato::default();
+        let r = s.run_layer(&acts, shape, 1.0);
+        let gops = r.bit_ops / (r.cycles / s.frequency_hz) / 1e9;
+        // Table 2: 36.01 GOP/s.
+        assert!((gops - 36.0).abs() < 10.0, "got {gops}");
+    }
+}

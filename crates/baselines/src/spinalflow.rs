@@ -1,0 +1,117 @@
+//! SpinalFlow (Narayanan et al., ISCA 2020): sorts input spikes
+//! chronologically and processes only the nonzero ones, sequentially, on a
+//! 128-PE array — each spike broadcasts to the PEs, which accumulate 128
+//! output neurons' potentials per cycle.
+//!
+//! Its headline assumption is that each neuron fires at most once across
+//! all timesteps (temporal coding); on rate-coded models it still skips
+//! zeros but its compression of the spike stream degrades, which the paper
+//! notes costs it generality (§5.3.1). We model the first-order behaviour:
+//! cycles proportional to nonzero spikes × output tiles.
+
+use crate::report::BaselineLayerReport;
+use crate::{dense_traffic_bytes, Accelerator};
+use phi_accel::DramModel;
+use snn_core::{GemmShape, SpikeMatrix};
+
+/// SpinalFlow model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpinalFlow {
+    /// Processing elements (one output neuron each).
+    pub pes: usize,
+    /// Pipeline utilization (sorting/merge overhead).
+    pub utilization: f64,
+    /// Core power in watts (calibrated to Table 2's 95.77 GOP/J).
+    pub core_watts: f64,
+    /// Clock frequency.
+    pub frequency_hz: f64,
+    /// DRAM model.
+    pub dram: DramModel,
+}
+
+impl Default for SpinalFlow {
+    fn default() -> Self {
+        SpinalFlow {
+            pes: 128,
+            utilization: 0.9,
+            core_watts: 0.50,
+            frequency_hz: 500e6,
+            dram: DramModel::default(),
+        }
+    }
+}
+
+impl Accelerator for SpinalFlow {
+    fn name(&self) -> &'static str {
+        "SpinalFlow"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        2.09
+    }
+
+    fn run_layer(
+        &self,
+        acts: &SpikeMatrix,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> BaselineLayerReport {
+        let nnz = acts.nnz() as f64 * row_scale;
+        let n_passes = shape.n.div_ceil(self.pes) as f64;
+        // One spike per cycle per output pass, degraded by sort overhead.
+        let cycles = nnz * n_passes / self.utilization;
+        let dram_bytes = dense_traffic_bytes(acts, shape, row_scale);
+        let core_energy_j = self.core_watts * cycles / self.frequency_hz;
+        let dram_energy_j = self.dram.access_energy_j(dram_bytes)
+            + self.dram.background_energy_j(cycles / self.frequency_hz);
+        BaselineLayerReport {
+            cycles,
+            energy_j: core_energy_j + dram_energy_j,
+            core_energy_j,
+            dram_energy_j,
+            bit_ops: nnz * shape.n as f64,
+            dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycles_scale_with_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sparse = SpikeMatrix::random(256, 128, 0.05, &mut rng);
+        let dense = SpikeMatrix::random(256, 128, 0.4, &mut rng);
+        let shape = GemmShape::new(256, 128, 128);
+        let s = SpinalFlow::default();
+        let ratio =
+            s.run_layer(&dense, shape, 1.0).cycles / s.run_layer(&sparse, shape, 1.0).cycles;
+        assert!(ratio > 5.0, "ratio {ratio} should track the 8× density gap");
+    }
+
+    #[test]
+    fn wide_outputs_need_multiple_passes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let acts = SpikeMatrix::random(64, 64, 0.2, &mut rng);
+        let s = SpinalFlow::default();
+        let narrow = s.run_layer(&acts, GemmShape::new(64, 64, 128), 1.0);
+        let wide = s.run_layer(&acts, GemmShape::new(64, 64, 256), 1.0);
+        assert!((wide.cycles - 2.0 * narrow.cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_ceiling_is_pe_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let acts = SpikeMatrix::random(512, 256, 0.1, &mut rng);
+        let shape = GemmShape::new(512, 256, 128);
+        let s = SpinalFlow::default();
+        let r = s.run_layer(&acts, shape, 1.0);
+        let gops = r.bit_ops / (r.cycles / s.frequency_hz) / 1e9;
+        // Ceiling: 128 PEs × 0.9 × 0.5 GHz = 57.6 GOP/s (Table 2: 57.23).
+        assert!((gops - 57.6).abs() < 1.0, "got {gops}");
+    }
+}

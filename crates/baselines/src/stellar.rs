@@ -1,0 +1,118 @@
+//! Stellar (Mao et al., HPCA 2024): algorithm/hardware co-design built on
+//! Few-Spikes (FS) neurons, which re-encode activations into fewer spikes,
+//! plus a spatiotemporal dataflow that skips the remaining zeros — the
+//! strongest baseline in Table 2 (the paper compares against its published
+//! numbers).
+//!
+//! We model the FS conversion as a data-dependent spike-reduction factor
+//! (FS coding needs ≈ log₂(T) spike slots where rate coding needs T) and a
+//! small skip-efficient PE array.
+
+use crate::report::BaselineLayerReport;
+use crate::{dense_traffic_bytes, Accelerator};
+use phi_accel::DramModel;
+use snn_core::{GemmShape, SpikeMatrix};
+
+/// Stellar model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stellar {
+    /// Processing elements.
+    pub pes: usize,
+    /// Spike compression of the FS-neuron re-encoding (fraction of rate
+    /// spikes remaining).
+    pub fs_factor: f64,
+    /// Dataflow utilization.
+    pub utilization: f64,
+    /// Core power in watts (calibrated to Table 2's 61.71 GOP/J).
+    pub core_watts: f64,
+    /// Clock frequency.
+    pub frequency_hz: f64,
+    /// DRAM model.
+    pub dram: DramModel,
+}
+
+impl Default for Stellar {
+    fn default() -> Self {
+        Stellar {
+            pes: 64,
+            fs_factor: 0.5,
+            utilization: 0.9,
+            core_watts: 0.80,
+            frequency_hz: 500e6,
+            dram: DramModel::default(),
+        }
+    }
+}
+
+impl Accelerator for Stellar {
+    fn name(&self) -> &'static str {
+        "Stellar"
+    }
+
+    fn area_mm2(&self) -> f64 {
+        0.768
+    }
+
+    fn run_layer(
+        &self,
+        acts: &SpikeMatrix,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> BaselineLayerReport {
+        let nnz = acts.nnz() as f64 * row_scale;
+        let fs_spikes = nnz * self.fs_factor;
+        let n_passes = shape.n.div_ceil(self.pes) as f64;
+        let cycles = fs_spikes * n_passes / self.utilization;
+        let dram_bytes = dense_traffic_bytes(acts, shape, row_scale);
+        let core_energy_j = self.core_watts * cycles / self.frequency_hz;
+        let dram_energy_j = self.dram.access_energy_j(dram_bytes)
+            + self.dram.background_energy_j(cycles / self.frequency_hz);
+        BaselineLayerReport {
+            cycles,
+            energy_j: core_energy_j + dram_energy_j,
+            core_energy_j,
+            dram_energy_j,
+            bit_ops: nnz * shape.n as f64,
+            dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinalflow::SpinalFlow;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stellar_area_is_smallest_of_published() {
+        assert!(Stellar::default().area_mm2() < 1.0);
+    }
+
+    #[test]
+    fn fs_reduction_beats_plain_bit_sparsity_per_pe() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let acts = SpikeMatrix::random(512, 256, 0.15, &mut rng);
+        let shape = GemmShape::new(512, 256, 64);
+        let stellar = Stellar::default().run_layer(&acts, shape, 1.0);
+        let spinal = SpinalFlow::default().run_layer(&acts, shape, 1.0);
+        // Per-PE work: Stellar halves the spikes; with 64 vs 128 PEs its
+        // absolute cycles land close to SpinalFlow's on narrow outputs.
+        let stellar_work = stellar.cycles * Stellar::default().pes as f64;
+        let spinal_work = spinal.cycles * SpinalFlow::default().pes as f64;
+        assert!(stellar_work < spinal_work);
+    }
+
+    #[test]
+    fn throughput_lands_near_table2() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let acts = SpikeMatrix::random(1024, 512, 0.106, &mut rng);
+        let shape = GemmShape::new(1024, 512, 128);
+        let s = Stellar::default();
+        let r = s.run_layer(&acts, shape, 1.0);
+        let gops = r.bit_ops / (r.cycles / s.frequency_hz) / 1e9;
+        // Table 2: 58.11 GOP/s (ceiling 64 × 0.9 / 0.5 × 0.5 GHz = 57.6).
+        assert!((gops - 57.6).abs() < 2.0, "got {gops}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the calibration stage (§3.2): Hamming k-means,
+//! full per-layer calibration, and the matcher-side best-match query.
+//!
+//! These cover the offline cost side of Table 4 / Fig. 7c — how pattern
+//! count and partition width scale calibration time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_core::{hamming_kmeans, CalibrationConfig, Calibrator, KmeansConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_workloads::{activation_profile, generate_clustered, DatasetId, ModelId};
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming_kmeans");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let points: Vec<u64> = (0..4096).map(|_| rng.gen::<u64>() & 0xFFFF).collect();
+    for q in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(2);
+                hamming_kmeans(
+                    black_box(&points),
+                    16,
+                    KmeansConfig { clusters: q, max_iters: 12 },
+                    &mut r,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibrate_layer");
+    group.sample_size(10);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar100);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (acts, _) = generate_clustered(1024, 576, &profile, 16, &mut rng);
+    for k in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(4);
+                Calibrator::new(CalibrationConfig {
+                    k,
+                    q: 128,
+                    max_iters: 8,
+                    ..Default::default()
+                })
+                .calibrate(black_box(&acts), &mut r)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_match(c: &mut Criterion) {
+    // The matcher's inner loop: one tile against q patterns.
+    let mut rng = StdRng::seed_from_u64(5);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar100);
+    let (acts, _) = generate_clustered(512, 256, &profile, 16, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig::default()).calibrate(&acts, &mut rng);
+    let tiles: Vec<u64> = (0..512).map(|r| acts.partition_tile(r, 3, 16)).collect();
+    c.bench_function("pattern_best_match_512_tiles", |b| {
+        b.iter(|| {
+            let set = patterns.set(3);
+            tiles.iter().map(|&t| set.best_match(black_box(t))).count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_layer_calibration, bench_best_match);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the Phi decomposition and the functional GEMM
+//! paths — the online side of Table 4: dense spike GEMM (bit sparsity)
+//! versus the decomposed PWP + L2 evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_core::{decompose, phi_matmul, CalibrationConfig, Calibrator, PwpTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_core::{Matrix, SpikeMatrix};
+use snn_workloads::{activation_profile, generate_clustered, DatasetId, ModelId};
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_1024x512");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar100);
+    let (calib, cluster) = generate_clustered(1024, 512, &profile, 16, &mut rng);
+    let acts = cluster.sample(1024, &mut rng);
+    for q in [32usize, 128] {
+        let patterns = Calibrator::new(CalibrationConfig {
+            q,
+            max_iters: 8,
+            ..Default::default()
+        })
+        .calibrate(&calib, &mut rng);
+        group.bench_with_input(BenchmarkId::new("q", q), &q, |b, _| {
+            b.iter(|| decompose(black_box(&acts), black_box(&patterns)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_paths(c: &mut Criterion) {
+    // The Table 4 story in wall-clock form: the same product computed
+    // densely (bit sparsity) vs through the decomposition (Phi).
+    let mut group = c.benchmark_group("functional_gemm_512x256x64");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar10);
+    let (calib, cluster) = generate_clustered(1024, 256, &profile, 16, &mut rng);
+    let acts = cluster.sample(512, &mut rng);
+    let weights = Matrix::random(256, 64, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig { max_iters: 8, ..Default::default() })
+        .calibrate(&calib, &mut rng);
+    let decomp = decompose(&acts, &patterns);
+    let pwp = PwpTable::new(&patterns, &weights).expect("pwp");
+
+    group.bench_function("bit_sparsity_gemm", |b| {
+        b.iter(|| acts.spike_matmul(black_box(&weights)).expect("gemm"))
+    });
+    group.bench_function("phi_gemm", |b| {
+        b.iter(|| phi_matmul(black_box(&decomp), &pwp, &weights).expect("gemm"))
+    });
+    group.bench_function("pwp_precompute", |b| {
+        b.iter(|| PwpTable::new(black_box(&patterns), &weights).expect("pwp"))
+    });
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let acts = SpikeMatrix::random(1024, 512, 0.1, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig {
+        q: 64,
+        max_iters: 8,
+        ..Default::default()
+    })
+    .calibrate(&acts, &mut rng);
+    let decomp = decompose(&acts, &patterns);
+    c.bench_function("reconstruct_1024x512", |b| {
+        b.iter(|| black_box(&decomp).reconstruct())
+    });
+}
+
+criterion_group!(benches, bench_decompose, bench_gemm_paths, bench_reconstruct);
+criterion_main!(benches);

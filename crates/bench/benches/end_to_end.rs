@@ -1,0 +1,103 @@
+//! End-to-end criterion benchmarks: one group per paper artifact, running
+//! the exact pipeline its experiment binary uses at reduced scale.
+//!
+//! * `table2_pipeline` — Phi + the five baselines on VGG16/CIFAR100;
+//! * `table4_stats` — calibrate/decompose statistics;
+//! * `fig8_models` — per-model Phi simulation across representative pairs;
+//! * `fig12_traffic` — traffic accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_snn::pipeline::{
+    run_baseline_workload, run_phi_workload, workload_stats, PipelineConfig,
+};
+use phi_core::CalibrationConfig;
+use snn_baselines::{SpikingEyeriss, Stellar};
+use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_config() -> PipelineConfig {
+    PipelineConfig {
+        calibration: CalibrationConfig { q: 64, max_iters: 6, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn small(model: ModelId, dataset: DatasetId) -> snn_workloads::Workload {
+    WorkloadConfig::new(model, dataset)
+        .with_max_rows(128)
+        .with_calibration_rows(128)
+        .generate()
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_pipeline");
+    group.sample_size(10);
+    let workload = small(ModelId::Vgg16, DatasetId::Cifar100);
+    group.bench_function("phi", |b| {
+        let config = bench_config();
+        b.iter(|| run_phi_workload(black_box(&workload), &config))
+    });
+    group.bench_function("eyeriss", |b| {
+        b.iter(|| run_baseline_workload(&SpikingEyeriss::default(), black_box(&workload)))
+    });
+    group.bench_function("stellar", |b| {
+        b.iter(|| run_baseline_workload(&Stellar::default(), black_box(&workload)))
+    });
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_stats");
+    group.sample_size(10);
+    for (model, dataset) in [
+        (ModelId::Vgg16, DatasetId::Cifar10),
+        (ModelId::SpikingBert, DatasetId::Sst2),
+    ] {
+        let workload = small(model, dataset);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model}-{dataset}")),
+            &workload,
+            |b, w| {
+                let config = bench_config();
+                b.iter(|| workload_stats(black_box(w), &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_models");
+    group.sample_size(10);
+    for (model, dataset) in [
+        (ModelId::ResNet18, DatasetId::Cifar10),
+        (ModelId::Spikformer, DatasetId::Cifar100),
+        (ModelId::Sdt, DatasetId::Cifar10Dvs),
+    ] {
+        let workload = small(model, dataset);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model}-{dataset}")),
+            &workload,
+            |b, w| {
+                let config = bench_config();
+                b.iter(|| run_phi_workload(black_box(w), &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let workload = small(ModelId::ResNet18, DatasetId::Cifar100);
+    let config = bench_config();
+    let report = run_phi_workload(&workload, &config);
+    c.bench_function("fig12_traffic_accounting", |b| {
+        b.iter(|| {
+            let t = black_box(&report).total_traffic();
+            (t.act_compressed, t.pwp_prefetch)
+        })
+    });
+}
+
+criterion_group!(benches, bench_table2, bench_table4, bench_fig8, bench_fig12);
+criterion_main!(benches);

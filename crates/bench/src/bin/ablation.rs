@@ -1,0 +1,149 @@
+//! Ablations of Phi's design choices (the ones DESIGN.md calls out):
+//!
+//! * pattern selection: Hamming k-means (Alg. 1) vs greedy-by-frequency;
+//! * packer windows: 4 vs 1 (forced flushes, pack occupancy);
+//! * psum banks: 8 vs 2 (conflict-driven fragmentation);
+//! * matcher lanes: 4 vs 1 (preprocessing hiding);
+//! * prefetch / compression: on vs off (traffic and cycles);
+//! * §6.2 extension: Phi on 4-bit bit-sliced DNN activations.
+//!
+//! Run: `cargo run --release -p phi-bench --bin ablation`
+
+use phi_analysis::Table;
+use phi_bench::{fmt, pct, ratio, results_dir, ExperimentScale};
+use phi_snn::pipeline::{run_phi_workload, PipelineConfig};
+use phi_accel::PhiConfig;
+use phi_core::kmeans::total_distance;
+use phi_core::{greedy_frequent_patterns, hamming_kmeans, BitSlicedMatrix, BitSlicedPhi,
+    CalibrationConfig, KmeansConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_core::Matrix;
+use snn_workloads::{activation_profile, generate_clustered, DatasetId, ModelId};
+
+fn main() {
+    pattern_selection_ablation();
+    architecture_ablation();
+    bitslice_extension();
+}
+
+/// k-means vs greedy-by-frequency at several pattern budgets.
+fn pattern_selection_ablation() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar100);
+    let (acts, _) = generate_clustered(4096, 16, &profile, 16, &mut rng);
+    let tiles: Vec<u64> = (0..acts.rows())
+        .map(|r| acts.tile(r, 0, 16))
+        .filter(|&t| t != 0 && t & (t - 1) != 0)
+        .collect();
+
+    let mut table = Table::new(
+        "Ablation: pattern selection objective (total Hamming distance; lower is better)",
+        &["q", "k-means (Alg. 1)", "greedy by frequency", "k-means advantage"],
+    );
+    for q in [4usize, 16, 64, 128] {
+        let centers = hamming_kmeans(
+            &tiles,
+            16,
+            KmeansConfig { clusters: q, max_iters: 25 },
+            &mut rng,
+        );
+        let km = total_distance(&tiles, &centers);
+        let greedy_centers = greedy_frequent_patterns(&tiles, 16, q);
+        let gr = total_distance(&tiles, &greedy_centers);
+        table.row_owned(vec![
+            q.to_string(),
+            km.to_string(),
+            gr.to_string(),
+            ratio(gr as f64 / km.max(1) as f64),
+        ]);
+    }
+    println!("{table}");
+    table.write_csv(results_dir().join("ablation_selection.csv")).expect("csv");
+}
+
+/// Hardware design-choice sweep on the VGG16 workload.
+fn architecture_ablation() {
+    let scale = ExperimentScale::from_env();
+    let workload = scale.workload(ModelId::Vgg16, DatasetId::Cifar100);
+    let base = scale.pipeline();
+    let freq = base.accelerator.frequency_hz;
+
+    let variants: Vec<(&str, PhiConfig)> = vec![
+        ("baseline (Table 1)", PhiConfig::default()),
+        ("packer windows = 1", PhiConfig { packer_windows: 1, ..Default::default() }),
+        ("psum banks = 2", PhiConfig { psum_banks: 2, ..Default::default() }),
+        ("matcher lanes = 1", PhiConfig { matcher_lanes: 1, ..Default::default() }),
+        ("no PWP prefetch", PhiConfig { prefetch: false, ..Default::default() }),
+        ("no compression", PhiConfig { compress: false, ..Default::default() }),
+    ];
+
+    let mut table = Table::new(
+        "Ablation: architecture variants (VGG16/CIFAR100)",
+        &["variant", "GOP/s", "GOP/J", "vs baseline speed"],
+    );
+    let mut baseline_gops = None;
+    for (name, accel) in variants {
+        let pipeline = PipelineConfig { accelerator: accel, ..base.clone() };
+        let report = run_phi_workload(&workload, &pipeline);
+        let gops = report.throughput_gops(freq);
+        let base_gops = *baseline_gops.get_or_insert(gops);
+        table.row_owned(vec![
+            name.to_owned(),
+            fmt(gops, 1),
+            fmt(report.gops_per_joule(), 1),
+            ratio(gops / base_gops),
+        ]);
+    }
+    println!("{table}");
+    table.write_csv(results_dir().join("ablation_architecture.csv")).expect("csv");
+}
+
+/// §6.2: Phi applied to 4-bit bit-sliced DNN activations.
+fn bitslice_extension() {
+    let mut rng = StdRng::seed_from_u64(17);
+    // Magnitude-skewed "post-ReLU" activations quantized to 4 bits.
+    let float_acts = Matrix::from_fn(512, 256, |_, _| {
+        let v: f32 = rng.gen();
+        (v * v * v).min(1.0)
+    });
+    let acts = BitSlicedMatrix::quantize(&float_acts, 4).expect("quantize");
+    let calib_acts = {
+        let floats = Matrix::from_fn(512, 256, |_, _| {
+            let v: f32 = rng.gen();
+            (v * v * v).min(1.0)
+        });
+        BitSlicedMatrix::quantize(&floats, 4).expect("quantize")
+    };
+    let phi = BitSlicedPhi::new(
+        &acts,
+        &calib_acts,
+        CalibrationConfig { q: 64, max_iters: 10, ..Default::default() },
+        &mut rng,
+    );
+    let stats = phi.stats();
+
+    let mut table = Table::new(
+        "Extension (6.2): Phi on 4-bit bit-sliced DNN activations",
+        &["quantity", "value"],
+    );
+    table.row_owned(vec!["mean plane bit density".into(), pct(acts.mean_plane_density())]);
+    table.row_owned(vec!["Phi L2 density".into(), pct(stats.element_density())]);
+    table.row_owned(vec![
+        "theoretical speedup over bit-level sparsity".into(),
+        ratio(stats.speedup_over_bit()),
+    ]);
+    table.row_owned(vec![
+        "theoretical speedup over dense".into(),
+        ratio(stats.speedup_over_dense()),
+    ]);
+    // Exactness of the extension's GEMM.
+    let weights = Matrix::random(256, 32, &mut rng);
+    let via_phi = phi.matmul(&weights).expect("phi gemm");
+    let dense = acts.dense_matmul(&weights).expect("dense gemm");
+    let diff = via_phi.max_abs_diff(&dense).expect("shape");
+    table.row_owned(vec!["|phi - dense|_max".into(), format!("{diff:.2e}")]);
+    println!("{table}");
+    table.write_csv(results_dir().join("ablation_bitslice.csv")).expect("csv");
+    println!("paper 6.2: bit-sliced binary planes are Phi's input domain; patterns emerge there too");
+}

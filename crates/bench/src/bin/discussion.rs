@@ -1,0 +1,77 @@
+//! §6.1 — benefit and cost of Phi preprocessing: the energy saved by the
+//! accumulations that pattern matching eliminates, versus the energy the
+//! matcher itself burns (the paper reports a 75.5× ratio averaged over its
+//! models).
+//!
+//! Run: `cargo run --release -p phi-bench --bin discussion`
+
+use phi_analysis::Table;
+use phi_bench::{fmt, results_dir, ExperimentScale};
+use phi_snn::pipeline::{calibrate_layer, PipelineConfig};
+use phi_accel::{EnergyModel, PhiConfig};
+use phi_core::decompose;
+use snn_workloads::{DatasetId, ModelId};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let config = PhiConfig::default();
+    let energy = EnergyModel::default();
+    let e_acc = energy.energy_per_accumulation_j(&config);
+    let e_cmp = energy.energy_per_comparison_j(&config);
+
+    let pairs: [(ModelId, DatasetId); 6] = [
+        (ModelId::Vgg16, DatasetId::Cifar100),
+        (ModelId::ResNet18, DatasetId::Cifar100),
+        (ModelId::Spikformer, DatasetId::Cifar100),
+        (ModelId::Sdt, DatasetId::Cifar100),
+        (ModelId::SpikeBert, DatasetId::Sst2),
+        (ModelId::SpikingBert, DatasetId::Sst2),
+    ];
+
+    let mut table = Table::new(
+        "Discussion 6.1: preprocessing cost vs accumulation savings",
+        &["Model", "saved energy (mJ)", "preproc energy (mJ)", "ratio"],
+    );
+    let pipeline: PipelineConfig = scale.pipeline();
+    let mut geo = 0.0f64;
+    for (model, dataset) in pairs {
+        let workload = scale.workload(model, dataset);
+        let mut saved_j = 0.0f64;
+        let mut preproc_j = 0.0f64;
+        for (i, layer) in workload.layers.iter().enumerate() {
+            let patterns =
+                calibrate_layer(layer, &pipeline.calibration, pipeline.seed + i as u64);
+            let d = decompose(&layer.activations, &patterns);
+            let s = d.stats();
+            let n = layer.spec.shape.n as f64;
+            // Accumulations skipped: bit-sparsity work minus Phi work
+            // (L2 corrections + one PWP accumulation per assigned tile),
+            // each n-wide.
+            let phi_accums = (s.l2_pos + s.l2_neg + s.assigned_tiles) as f64;
+            let saved_ops = (s.bit_nnz as f64 - phi_accums).max(0.0) * n * layer.row_scale;
+            saved_j += saved_ops * e_acc;
+            // Matcher comparisons: every row-tile against q patterns.
+            let comparisons = s.tiles() as f64
+                * config.patterns_per_partition as f64
+                * layer.row_scale;
+            preproc_j += comparisons * e_cmp;
+        }
+        let ratio = saved_j / preproc_j;
+        geo += ratio.ln();
+        table.row_owned(vec![
+            model.to_string(),
+            fmt(saved_j * 1e3, 4),
+            fmt(preproc_j * 1e3, 4),
+            fmt(ratio, 1),
+        ]);
+    }
+    table.row_owned(vec![
+        "Geomean".into(),
+        "".into(),
+        "".into(),
+        fmt((geo / pairs.len() as f64).exp(), 1),
+    ]);
+    println!("{table}");
+    table.write_csv(results_dir().join("discussion.csv")).expect("write discussion.csv");
+    println!("paper reference: savings are 75.5x the preprocessing cost on average");
+}

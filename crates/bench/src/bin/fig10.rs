@@ -1,0 +1,48 @@
+//! Figure 10: Level-2 element density with and without PAFT across the
+//! vision models (Spikformer, SDT, VGG16, ResNet18 on their datasets).
+//!
+//! Run: `cargo run --release -p phi-bench --bin fig10`
+
+use phi_analysis::Table;
+use phi_bench::{pct, results_dir, ExperimentScale};
+use phi_snn::pipeline::workload_stats;
+use snn_workloads::{DatasetId, ModelId};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let base = scale.pipeline();
+    let paft = scale.pipeline().with_paft(0.6);
+
+    let pairs: [(ModelId, DatasetId); 10] = [
+        (ModelId::Spikformer, DatasetId::Cifar10),
+        (ModelId::Spikformer, DatasetId::Cifar10Dvs),
+        (ModelId::Spikformer, DatasetId::Cifar100),
+        (ModelId::Sdt, DatasetId::Cifar10),
+        (ModelId::Sdt, DatasetId::Cifar10Dvs),
+        (ModelId::Sdt, DatasetId::Cifar100),
+        (ModelId::Vgg16, DatasetId::Cifar10),
+        (ModelId::Vgg16, DatasetId::Cifar100),
+        (ModelId::ResNet18, DatasetId::Cifar10),
+        (ModelId::ResNet18, DatasetId::Cifar100),
+    ];
+
+    let mut table = Table::new(
+        "Fig 10: element density with and without PAFT",
+        &["Model", "Dataset", "without PAFT", "with PAFT", "reduction"],
+    );
+    for (model, dataset) in pairs {
+        let workload = scale.workload(model, dataset);
+        let without = workload_stats(&workload, &base).element_density();
+        let with = workload_stats(&workload, &paft).element_density();
+        table.row_owned(vec![
+            model.to_string(),
+            dataset.to_string(),
+            pct(without),
+            pct(with),
+            format!("{:.1}%", 100.0 * (1.0 - with / without)),
+        ]);
+    }
+    println!("{table}");
+    table.write_csv(results_dir().join("fig10.csv")).expect("write fig10.csv");
+    println!("paper shape: densities of 1.5-4.5% drop by roughly a quarter with PAFT");
+}

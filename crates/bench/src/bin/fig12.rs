@@ -1,0 +1,86 @@
+//! Figure 12: memory traffic reduction.
+//!
+//! * (a) activation traffic — dense (Spiking Eyeriss) vs Phi without the
+//!   compact pack structure vs Phi with it, normalized to dense;
+//! * (b) weight traffic — dense weights vs Phi without the PWP prefetcher
+//!   vs with it, normalized to dense weights.
+//!
+//! Run: `cargo run --release -p phi-bench --bin fig12`
+
+use phi_analysis::Table;
+use phi_bench::{fmt, results_dir, ExperimentScale};
+use phi_snn::pipeline::run_phi_workload;
+use snn_workloads::{DatasetId, ModelId};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let pipeline = scale.pipeline();
+
+    let pairs: [(ModelId, DatasetId); 6] = [
+        (ModelId::Vgg16, DatasetId::Cifar100),
+        (ModelId::ResNet18, DatasetId::Cifar100),
+        (ModelId::Spikformer, DatasetId::Cifar100),
+        (ModelId::Sdt, DatasetId::Cifar100),
+        (ModelId::SpikeBert, DatasetId::Sst2),
+        (ModelId::SpikingBert, DatasetId::Sst2),
+    ];
+
+    let mut act_table = Table::new(
+        "Fig 12a: activation traffic (normalized to dense)",
+        &["Model", "dense", "Phi w/o compress", "Phi w compress"],
+    );
+    let mut weight_table = Table::new(
+        "Fig 12b: weight traffic (normalized to dense weights)",
+        &["Model", "dense", "Phi w/o prefetch", "Phi w prefetch", "PWP utilization"],
+    );
+
+    let mut geo = [0.0f64; 4];
+    for (model, dataset) in pairs {
+        let workload = scale.workload(model, dataset);
+        let report = run_phi_workload(&workload, &pipeline);
+        let t = report.total_traffic();
+
+        let act_no = t.act_uncompressed / t.act_dense;
+        let act_yes = t.act_compressed / t.act_dense;
+        act_table.row_owned(vec![
+            model.to_string(),
+            "1.00".into(),
+            fmt(act_no, 2),
+            fmt(act_yes, 2),
+        ]);
+
+        let w_no = (t.weight_dense + t.pwp_no_prefetch) / t.weight_dense;
+        let w_yes = (t.weight_dense + t.pwp_prefetch) / t.weight_dense;
+        weight_table.row_owned(vec![
+            model.to_string(),
+            "1.00".into(),
+            fmt(w_no, 2),
+            fmt(w_yes, 2),
+            fmt(t.pwp_utilization(), 3),
+        ]);
+        geo[0] += act_no.ln();
+        geo[1] += act_yes.ln();
+        geo[2] += w_no.ln();
+        geo[3] += w_yes.ln();
+    }
+    let n = pairs.len() as f64;
+    act_table.row_owned(vec![
+        "Geomean".into(),
+        "1.00".into(),
+        fmt((geo[0] / n).exp(), 2),
+        fmt((geo[1] / n).exp(), 2),
+    ]);
+    weight_table.row_owned(vec![
+        "Geomean".into(),
+        "1.00".into(),
+        fmt((geo[2] / n).exp(), 2),
+        fmt((geo[3] / n).exp(), 2),
+        "".into(),
+    ]);
+
+    println!("{act_table}");
+    println!("{weight_table}");
+    act_table.write_csv(results_dir().join("fig12a.csv")).expect("write fig12a.csv");
+    weight_table.write_csv(results_dir().join("fig12b.csv")).expect("write fig12b.csv");
+    println!("paper shape: compression roughly halves activation traffic; prefetching cuts PWP traffic from ~9x to ~3x dense weights");
+}

@@ -1,0 +1,81 @@
+//! Figure 8: speedup (normalized to Spiking Eyeriss) and energy
+//! (normalized to Phi w/o PAFT) across all twelve model/dataset pairs, for
+//! every baseline plus Phi with and without PAFT.
+//!
+//! Run: `cargo run --release -p phi-bench --bin fig8`
+
+use phi_analysis::Table;
+use phi_bench::{baselines, fmt, results_dir, ExperimentScale};
+use phi_snn::pipeline::{run_baseline_workload, run_phi_workload};
+use snn_workloads::FIG8_PAIRS;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let pipeline = scale.pipeline();
+    let paft_pipeline = scale.pipeline().with_paft(0.6);
+    let freq = pipeline.accelerator.frequency_hz;
+
+    let mut speedup = Table::new(
+        "Fig 8 (top): speedup normalized to Spiking Eyeriss",
+        &["Model", "Dataset", "Eyeriss", "PTB", "SATO", "SpinalFlow", "Stellar", "Phi w/o FT", "Phi w FT"],
+    );
+    let mut energy = Table::new(
+        "Fig 8 (bottom): energy normalized to Phi w/o PAFT",
+        &["Model", "Dataset", "Eyeriss", "PTB", "SATO", "SpinalFlow", "Stellar", "Phi w/o FT", "Phi w FT"],
+    );
+
+    // Geomean accumulators: one per accelerator column.
+    let mut speed_geo = vec![0.0f64; 7];
+    let mut energy_geo = vec![0.0f64; 7];
+    let mut pairs_done = 0usize;
+
+    for (model, dataset) in FIG8_PAIRS {
+        let workload = scale.workload(model, dataset);
+
+        let mut runtimes = Vec::new();
+        let mut energies = Vec::new();
+        for baseline in baselines() {
+            let r = run_baseline_workload(baseline.as_ref(), &workload);
+            runtimes.push(r.runtime_s(freq));
+            energies.push(r.total_energy_j());
+        }
+        let phi = run_phi_workload(&workload, &pipeline);
+        let phi_ft = run_phi_workload(&workload, &paft_pipeline);
+        runtimes.push(phi.runtime_s(freq));
+        runtimes.push(phi_ft.runtime_s(freq));
+        energies.push(phi.total_energy().total_j());
+        energies.push(phi_ft.total_energy().total_j());
+
+        let eyeriss_rt = runtimes[0];
+        let phi_energy = energies[5];
+        let speed_row: Vec<f64> = runtimes.iter().map(|rt| eyeriss_rt / rt).collect();
+        let energy_row: Vec<f64> = energies.iter().map(|e| e / phi_energy).collect();
+
+        for (i, (&s, &e)) in speed_row.iter().zip(&energy_row).enumerate() {
+            speed_geo[i] += s.ln();
+            energy_geo[i] += e.ln();
+        }
+        pairs_done += 1;
+
+        let mut s_cells = vec![model.to_string(), dataset.to_string()];
+        s_cells.extend(speed_row.iter().map(|v| fmt(*v, 2)));
+        speedup.row_owned(s_cells);
+        let mut e_cells = vec![model.to_string(), dataset.to_string()];
+        e_cells.extend(energy_row.iter().map(|v| fmt(*v, 2)));
+        energy.row_owned(e_cells);
+    }
+
+    let mut s_cells = vec!["Geomean".to_owned(), "".to_owned()];
+    s_cells.extend(speed_geo.iter().map(|v| fmt((v / pairs_done as f64).exp(), 2)));
+    speedup.row_owned(s_cells);
+    let mut e_cells = vec!["Geomean".to_owned(), "".to_owned()];
+    e_cells.extend(energy_geo.iter().map(|v| fmt((v / pairs_done as f64).exp(), 2)));
+    energy.row_owned(e_cells);
+
+    println!("{speedup}");
+    println!("{energy}");
+    speedup.write_csv(results_dir().join("fig8_speedup.csv")).expect("write fig8_speedup.csv");
+    energy.write_csv(results_dir().join("fig8_energy.csv")).expect("write fig8_energy.csv");
+    println!("paper geomeans (speedup over Eyeriss): PTB 2.2x, SATO 4.1x, SpinalFlow 4.3x, Stellar 7.8x, Phi w/o FT 22.6x, Phi w FT 28.4x");
+    println!("paper claims: Phi = 3.45x Stellar speedup, 4.93x Stellar energy efficiency, PAFT adds 1.26x speedup / 1.1x energy");
+}

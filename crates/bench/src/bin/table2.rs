@@ -1,0 +1,78 @@
+//! Table 2: comparison of Phi with baselines on VGG-16 / CIFAR-100 —
+//! throughput (GOP/s), energy efficiency (GOP/J), and area efficiency
+//! (GOP/s/mm²), each with its factor over Spiking Eyeriss.
+//!
+//! Run: `cargo run --release -p phi-bench --bin table2`
+
+use phi_analysis::Table;
+use phi_bench::{baselines, fmt, ratio, results_dir, ExperimentScale};
+use phi_snn::pipeline::{run_baseline_workload, run_phi_workload};
+use phi_accel::EnergyModel;
+use snn_workloads::{DatasetId, ModelId};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let workload = scale.workload(ModelId::Vgg16, DatasetId::Cifar100);
+    let pipeline = scale.pipeline();
+    let freq = pipeline.accelerator.frequency_hz;
+
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for baseline in baselines() {
+        let report = run_baseline_workload(baseline.as_ref(), &workload);
+        let gops = report.throughput_gops(freq);
+        let gopj = report.gops_per_joule();
+        let area = baseline.area_mm2();
+        let area_eff = if area.is_nan() { f64::NAN } else { gops / area };
+        rows.push((baseline.name().to_owned(), gops, gopj, area_eff));
+    }
+
+    let phi_report = run_phi_workload(&workload, &pipeline);
+    let phi_area = EnergyModel::default().area(&pipeline.accelerator).total();
+    let phi_gops = phi_report.throughput_gops(freq);
+    rows.push((
+        "Phi".to_owned(),
+        phi_gops,
+        phi_report.gops_per_joule(),
+        phi_gops / phi_area,
+    ));
+
+    let (e_gops, e_gopj, e_area) = (rows[0].1, rows[0].2, rows[0].3);
+    let mut table = Table::new(
+        "Table 2: Phi vs baselines (VGG16 / CIFAR100, 500 MHz, 28 nm)",
+        &[
+            "Accelerator",
+            "Area (mm2)",
+            "GOP/s",
+            "vs Eyeriss",
+            "GOP/J",
+            "vs Eyeriss",
+            "GOP/s/mm2",
+            "vs Eyeriss",
+        ],
+    );
+    let areas = [1.068, f64::NAN, 1.13, 2.09, 0.768, phi_area];
+    for ((name, gops, gopj, area_eff), area) in rows.iter().zip(areas) {
+        let fmt_nan = |v: f64, d: usize| {
+            if v.is_nan() {
+                "-".to_owned()
+            } else {
+                fmt(v, d)
+            }
+        };
+        table.row_owned(vec![
+            name.clone(),
+            fmt_nan(area, 3),
+            fmt(*gops, 2),
+            ratio(gops / e_gops),
+            fmt(*gopj, 2),
+            ratio(gopj / e_gopj),
+            fmt_nan(*area_eff, 2),
+            if area_eff.is_nan() { "-".to_owned() } else { ratio(area_eff / e_area) },
+        ]);
+    }
+    println!("{table}");
+    let csv = results_dir().join("table2.csv");
+    table.write_csv(&csv).expect("write table2.csv");
+    println!("paper reference: Phi = 242.80 GOP/s (26.70x), 285.81 GOP/J (55.41x), 366.70 GOP/s/mm2 (43.06x)");
+    println!("csv: {}", csv.display());
+}

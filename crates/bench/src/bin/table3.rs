@@ -1,0 +1,41 @@
+//! Table 3: Phi area and power breakdown (28 nm synthesis constants the
+//! energy model is anchored to, plus the buffer scaling the model applies
+//! at non-default capacities).
+//!
+//! Run: `cargo run --release -p phi-bench --bin table3`
+
+use phi_accel::{EnergyModel, PhiConfig};
+use phi_analysis::Table;
+use phi_bench::{fmt, results_dir};
+
+fn main() {
+    let config = PhiConfig::default();
+    let model = EnergyModel::default();
+    let area = model.area(&config);
+
+    let mut table = Table::new(
+        "Table 3: Phi area and power breakdown (28 nm, 500 MHz)",
+        &["Component", "Area (mm2)", "Power (mW)"],
+    );
+    table.row_owned(vec!["Preprocessor".into(), fmt(area.preprocessor, 3), fmt(model.preprocessor_mw, 1)]);
+    table.row_owned(vec!["L1 Processor".into(), fmt(area.l1, 3), fmt(model.l1_mw, 1)]);
+    table.row_owned(vec!["L2 Processor".into(), fmt(area.l2, 3), fmt(model.l2_mw, 1)]);
+    table.row_owned(vec!["LIF Neuron".into(), fmt(area.lif, 3), fmt(model.lif_mw, 1)]);
+    table.row_owned(vec![
+        "Buffer".into(),
+        fmt(area.buffer, 3),
+        fmt(model.buffer_power_mw(config.total_buffer_bytes()), 1),
+    ]);
+    let total_power = model.preprocessor_mw
+        + model.l1_mw
+        + model.l2_mw
+        + model.lif_mw
+        + model.buffer_power_mw(config.total_buffer_bytes());
+    table.row_owned(vec!["Total".into(), fmt(area.total(), 3), fmt(total_power, 1)]);
+    println!("{table}");
+
+    let csv = results_dir().join("table3.csv");
+    table.write_csv(&csv).expect("write table3.csv");
+    println!("paper reference: total 0.662 mm2 / 346.6 mW");
+    println!("csv: {}", csv.display());
+}

@@ -1,0 +1,85 @@
+//! Table 4: Phi sparsity breakdown — bit / L1 / L2(+1) / L2(−1) densities
+//! and theoretical speedups over bit sparsity and dense, for the ten
+//! model/dataset pairs of the paper plus random matrices at 5/10/20/50%
+//! density (§5.6 generalizability analysis).
+//!
+//! Run: `cargo run --release -p phi-bench --bin table4`
+
+use phi_analysis::Table;
+use phi_bench::{pct, ratio, results_dir, ExperimentScale};
+use phi_snn::pipeline::workload_stats;
+use phi_core::{decompose, CalibrationConfig, Calibrator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_core::SpikeMatrix;
+use snn_workloads::{DatasetId, ModelId};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let pipeline = scale.pipeline();
+
+    let pairs: [(ModelId, DatasetId); 10] = [
+        (ModelId::Vgg16, DatasetId::Cifar10),
+        (ModelId::Vgg16, DatasetId::Cifar100),
+        (ModelId::ResNet18, DatasetId::Cifar10),
+        (ModelId::ResNet18, DatasetId::Cifar100),
+        (ModelId::SpikingBert, DatasetId::Sst2),
+        (ModelId::SpikingBert, DatasetId::Mnli),
+        (ModelId::Spikformer, DatasetId::Cifar10Dvs),
+        (ModelId::Spikformer, DatasetId::Cifar100),
+        (ModelId::Sdt, DatasetId::Cifar10Dvs),
+        (ModelId::Sdt, DatasetId::Cifar100),
+    ];
+
+    let mut table = Table::new(
+        "Table 4: Phi sparsity breakdown (k=16, q=128)",
+        &["Model", "Dataset", "Bit", "L1", "L2:+1", "L2:-1", "Sp/Bit", "Sp/Dense"],
+    );
+
+    for (model, dataset) in pairs {
+        let workload = scale.workload(model, dataset);
+        let stats = workload_stats(&workload, &pipeline);
+        table.row_owned(vec![
+            model.to_string(),
+            dataset.to_string(),
+            pct(stats.bit_density()),
+            pct(stats.l1_density()),
+            pct(stats.l2_pos_density()),
+            pct(stats.l2_neg_density()),
+            ratio(stats.speedup_over_bit()),
+            ratio(stats.speedup_over_dense()),
+        ]);
+    }
+
+    // Random matrices (§5.6): patterns still emerge from pure noise.
+    let mut rng = StdRng::seed_from_u64(404);
+    for density in [0.05, 0.10, 0.20, 0.50] {
+        let acts = SpikeMatrix::random(scale.max_rows.max(512), 512, density, &mut rng);
+        let calib = SpikeMatrix::random(scale.calibration_rows.max(512), 512, density, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig {
+            max_iters: scale.kmeans_iters,
+            ..Default::default()
+        })
+        .calibrate(&calib, &mut rng);
+        let stats = decompose(&acts, &patterns).stats();
+        table.row_owned(vec![
+            "Random".into(),
+            pct(density),
+            pct(stats.bit_density()),
+            pct(stats.l1_density()),
+            pct(stats.l2_pos_density()),
+            pct(stats.l2_neg_density()),
+            ratio(stats.speedup_over_bit()),
+            ratio(stats.speedup_over_dense()),
+        ]);
+    }
+
+    println!("{table}");
+    let csv = results_dir().join("table4.csv");
+    table.write_csv(&csv).expect("write table4.csv");
+    println!("paper reference rows (bit/L1/+1/-1, Sp/B, Sp/D):");
+    println!("  VGG16 CIFAR10     8.7/7.5/1.4/0.1   5.8x  66.5x");
+    println!("  SpikingBERT SST-2 20.3/18.0/3.2/0.8  5.0x  24.8x");
+    println!("  Random 10%        10.0/6.6/3.4/0.0   2.9x  29.6x");
+    println!("csv: {}", csv.display());
+}

@@ -1,0 +1,140 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (`table2`, `table3`, `table4`, `fig7`, `fig8`, `fig9`, `fig10`,
+//! `fig11`, `fig12`, `discussion`); this library holds the common
+//! experiment-scale configuration, the baseline roster, and output-path
+//! handling. Results are printed as aligned tables and also written as CSV
+//! under `results/`.
+
+use phi_snn::pipeline::PipelineConfig;
+use phi_core::CalibrationConfig;
+use snn_baselines::{Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar};
+use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
+use std::path::PathBuf;
+
+/// Experiment-scale knobs: large enough for stable statistics, small
+/// enough that the full suite finishes in minutes.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Per-layer activation row cap.
+    pub max_rows: usize,
+    /// Per-layer calibration rows.
+    pub calibration_rows: usize,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale { max_rows: 1024, calibration_rows: 512, kmeans_iters: 12 }
+    }
+}
+
+impl ExperimentScale {
+    /// A smaller scale for smoke tests.
+    pub fn smoke() -> Self {
+        ExperimentScale { max_rows: 128, calibration_rows: 128, kmeans_iters: 6 }
+    }
+
+    /// Honors the `PHI_SMOKE` environment variable so CI can run every
+    /// binary quickly.
+    pub fn from_env() -> Self {
+        if std::env::var_os("PHI_SMOKE").is_some() {
+            ExperimentScale::smoke()
+        } else {
+            ExperimentScale::default()
+        }
+    }
+
+    /// Generates a workload for a model/dataset pair at this scale.
+    pub fn workload(&self, model: ModelId, dataset: DatasetId) -> Workload {
+        WorkloadConfig::new(model, dataset)
+            .with_max_rows(self.max_rows)
+            .with_calibration_rows(self.calibration_rows)
+            .generate()
+    }
+
+    /// The pipeline configuration matching this scale (paper defaults:
+    /// `k = 16`, `q = 128`).
+    pub fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            calibration: CalibrationConfig {
+                max_iters: self.kmeans_iters,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The baseline roster in Table 2 / Fig. 8 order.
+pub fn baselines() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(SpikingEyeriss::default()),
+        Box::new(Ptb::default()),
+        Box::new(Sato::default()),
+        Box::new(SpinalFlow::default()),
+        Box::new(Stellar::default()),
+    ]
+}
+
+/// Output directory for CSVs (`results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", 100.0 * value)
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(value: f64) -> String {
+    if value.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{value:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_smaller() {
+        let s = ExperimentScale::smoke();
+        let d = ExperimentScale::default();
+        assert!(s.max_rows < d.max_rows);
+        assert!(s.calibration_rows <= d.calibration_rows);
+    }
+
+    #[test]
+    fn baseline_roster_matches_table2() {
+        let names: Vec<&str> = baselines().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["Eyeriss", "PTB", "SATO", "SpinalFlow", "Stellar"]);
+    }
+
+    #[test]
+    fn formatters_behave() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.0305), "3.0%"); // banker's-free f64 rounding of 3.05
+        assert_eq!(ratio(3.454), "3.45x");
+        assert_eq!(ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn workload_generation_at_smoke_scale() {
+        let w = ExperimentScale::smoke().workload(ModelId::Vgg16, DatasetId::Cifar10);
+        assert!(!w.layers.is_empty());
+        assert!(w.layers.iter().all(|l| l.activations.rows() <= 128));
+    }
+}

@@ -1,0 +1,318 @@
+//! Phi beyond SNNs: bit-sliced quantized DNN activations (§6.2).
+//!
+//! The paper closes by observing that bit-slicing decomposes a multi-bit
+//! integer activation matrix into a stack of binary matrices — exactly the
+//! input domain of Phi — and names extending Phi to bit-sliced DNNs as a
+//! direction (citing BBS and the Transitive Array). This module implements
+//! that extension: slice, calibrate and decompose each plane independently,
+//! and evaluate the GEMM as the power-of-two-weighted sum of per-plane Phi
+//! GEMMs. The result is bit-exact against the integer GEMM.
+
+use crate::calibrate::{CalibrationConfig, Calibrator, LayerPatterns};
+use crate::decompose::{decompose, Decomposition};
+use crate::pwp::{phi_matmul, PwpTable};
+use crate::stats::SparsityStats;
+use rand::Rng;
+use snn_core::{Error, Matrix, Result, SpikeMatrix};
+
+/// An unsigned integer activation matrix stored as bit planes
+/// (plane `b` holds bit `b` of every element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSlicedMatrix {
+    planes: Vec<SpikeMatrix>,
+    rows: usize,
+    cols: usize,
+}
+
+impl BitSlicedMatrix {
+    /// Slices a matrix of unsigned integers (given as `u32` values) into
+    /// `bits` binary planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `bits` is 0 or exceeds 32, or
+    /// if any value needs more than `bits` bits.
+    pub fn from_values(values: &[Vec<u32>], bits: usize) -> Result<Self> {
+        if bits == 0 || bits > 32 {
+            return Err(Error::InvalidParameter {
+                name: "bits",
+                reason: format!("must be within 1..=32, got {bits}"),
+            });
+        }
+        let rows = values.len();
+        let cols = values.first().map_or(0, Vec::len);
+        for (i, row) in values.iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::RaggedRows { first: cols, row: i, len: row.len() });
+            }
+            if let Some(&v) = row.iter().find(|&&v| bits < 32 && v >> bits != 0) {
+                return Err(Error::InvalidParameter {
+                    name: "values",
+                    reason: format!("value {v} does not fit in {bits} bits"),
+                });
+            }
+        }
+        let planes = (0..bits)
+            .map(|b| SpikeMatrix::from_fn(rows, cols, |r, c| (values[r][c] >> b) & 1 == 1))
+            .collect();
+        Ok(BitSlicedMatrix { planes, rows, cols })
+    }
+
+    /// Quantizes a real-valued matrix in `[0, 1]` to `bits` bits and slices
+    /// it (the standard uniform activation quantizer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-range `bits`.
+    pub fn quantize(m: &Matrix, bits: usize) -> Result<Self> {
+        let levels = (1u32 << bits) - 1;
+        let values: Vec<Vec<u32>> = (0..m.rows())
+            .map(|r| {
+                m.row(r)
+                    .iter()
+                    .map(|&v| (v.clamp(0.0, 1.0) * levels as f32).round() as u32)
+                    .collect()
+            })
+            .collect();
+        BitSlicedMatrix::from_values(&values, bits)
+    }
+
+    /// Number of planes (bit width).
+    pub fn bits(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Rows of the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the underlying matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The binary planes, least-significant first.
+    pub fn planes(&self) -> &[SpikeMatrix] {
+        &self.planes
+    }
+
+    /// Reconstructs the integer values.
+    pub fn to_values(&self) -> Vec<Vec<u32>> {
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| {
+                        self.planes
+                            .iter()
+                            .enumerate()
+                            .map(|(b, p)| u32::from(p.get(r, c)) << b)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The integer GEMM `out = Σ_b 2^b · plane_b · W` computed densely —
+    /// the reference the Phi path is checked against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the per-plane GEMM.
+    pub fn dense_matmul(&self, weights: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, weights.cols());
+        for (b, plane) in self.planes.iter().enumerate() {
+            let partial = plane.spike_matmul(weights)?;
+            out.add_scaled(&partial, (1u32 << b) as f32);
+        }
+        Ok(out)
+    }
+
+    /// Mean bit density across planes (bit-level sparsity of the sliced
+    /// representation).
+    pub fn mean_plane_density(&self) -> f64 {
+        if self.planes.is_empty() {
+            return 0.0;
+        }
+        self.planes.iter().map(SpikeMatrix::bit_density).sum::<f64>() / self.planes.len() as f64
+    }
+}
+
+/// A Phi decomposition of every plane of a bit-sliced matrix.
+#[derive(Debug, Clone)]
+pub struct BitSlicedPhi {
+    patterns: Vec<LayerPatterns>,
+    decompositions: Vec<Decomposition>,
+}
+
+impl BitSlicedPhi {
+    /// Calibrates per-plane patterns on `calibration` and decomposes
+    /// `activations` plane by plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices disagree on bit width or columns.
+    pub fn new<R: Rng + ?Sized>(
+        activations: &BitSlicedMatrix,
+        calibration: &BitSlicedMatrix,
+        config: CalibrationConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(activations.bits(), calibration.bits(), "bit width mismatch");
+        assert_eq!(activations.cols(), calibration.cols(), "column mismatch");
+        let calibrator = Calibrator::new(config);
+        let mut patterns = Vec::with_capacity(activations.bits());
+        let mut decompositions = Vec::with_capacity(activations.bits());
+        for (plane, calib_plane) in activations.planes().iter().zip(calibration.planes()) {
+            let p = calibrator.calibrate(calib_plane, rng);
+            decompositions.push(decompose(plane, &p));
+            patterns.push(p);
+        }
+        BitSlicedPhi { patterns, decompositions }
+    }
+
+    /// Per-plane decompositions, least-significant first.
+    pub fn decompositions(&self) -> &[Decomposition] {
+        &self.decompositions
+    }
+
+    /// Merged sparsity statistics across planes.
+    pub fn stats(&self) -> SparsityStats {
+        let per: Vec<SparsityStats> = self.decompositions.iter().map(Decomposition::stats).collect();
+        SparsityStats::merge_all(per.iter())
+    }
+
+    /// The integer GEMM evaluated through Phi: per-plane PWP lookups and
+    /// `{±1}` corrections, weighted by `2^b`. Bit-exact against
+    /// [`BitSlicedMatrix::dense_matmul`] (see tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn matmul(&self, weights: &Matrix) -> Result<Matrix> {
+        let rows = self.decompositions.first().map_or(0, Decomposition::rows);
+        let mut out = Matrix::zeros(rows, weights.cols());
+        for (b, (d, p)) in self.decompositions.iter().zip(&self.patterns).enumerate() {
+            let pwp = PwpTable::new(p, weights)?;
+            let partial = phi_matmul(d, &pwp, weights)?;
+            out.add_scaled(&partial, (1u32 << b) as f32);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_values(rows: usize, cols: usize, bits: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Low-magnitude-skewed values, like post-ReLU quantized activations.
+        (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| {
+                        let v: f64 = rng.gen::<f64>();
+                        ((v * v) * ((1u32 << bits) - 1) as f64) as u32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slicing_roundtrips() {
+        let values = sample_values(8, 12, 4, 1);
+        let sliced = BitSlicedMatrix::from_values(&values, 4).unwrap();
+        assert_eq!(sliced.bits(), 4);
+        assert_eq!(sliced.to_values(), values);
+    }
+
+    #[test]
+    fn rejects_values_that_do_not_fit() {
+        let values = vec![vec![16u32]];
+        assert!(BitSlicedMatrix::from_values(&values, 4).is_err());
+        assert!(BitSlicedMatrix::from_values(&values, 5).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_bits() {
+        assert!(BitSlicedMatrix::from_values(&[vec![0u32]], 0).is_err());
+    }
+
+    #[test]
+    fn quantize_hits_extremes() {
+        let m = Matrix::from_rows(&[vec![0.0, 1.0, 0.5]]).unwrap();
+        let sliced = BitSlicedMatrix::quantize(&m, 4).unwrap();
+        let values = sliced.to_values();
+        assert_eq!(values[0][0], 0);
+        assert_eq!(values[0][1], 15);
+        assert_eq!(values[0][2], 8); // 0.5 × 15 rounds to 8
+    }
+
+    #[test]
+    fn dense_matmul_matches_integer_reference() {
+        let values = sample_values(6, 10, 4, 2);
+        let sliced = BitSlicedMatrix::from_values(&values, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = Matrix::random(10, 5, &mut rng);
+        let out = sliced.dense_matmul(&weights).unwrap();
+        // Direct integer reference.
+        for r in 0..6 {
+            for n in 0..5 {
+                let expected: f32 =
+                    (0..10).map(|k| values[r][k] as f32 * weights[(k, n)]).sum();
+                assert!((out[(r, n)] - expected).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn phi_matmul_matches_dense_on_sliced_planes() {
+        let values = sample_values(48, 32, 4, 4);
+        let calib_values = sample_values(64, 32, 4, 5);
+        let acts = BitSlicedMatrix::from_values(&values, 4).unwrap();
+        let calib = BitSlicedMatrix::from_values(&calib_values, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let phi = BitSlicedPhi::new(
+            &acts,
+            &calib,
+            CalibrationConfig { q: 16, max_iters: 8, ..Default::default() },
+            &mut rng,
+        );
+        let weights = Matrix::random(32, 8, &mut rng);
+        let via_phi = phi.matmul(&weights).unwrap();
+        let dense = acts.dense_matmul(&weights).unwrap();
+        let diff = via_phi.max_abs_diff(&dense).unwrap();
+        assert!(diff < 1e-2, "diff {diff}");
+    }
+
+    #[test]
+    fn low_planes_are_denser_than_high_planes() {
+        // With magnitude-skewed values, high bit planes fire rarely —
+        // exactly the bit-level sparsity BBS-style accelerators exploit.
+        let values = sample_values(128, 64, 6, 7);
+        let sliced = BitSlicedMatrix::from_values(&values, 6).unwrap();
+        let low = sliced.planes()[0].bit_density();
+        let high = sliced.planes()[5].bit_density();
+        assert!(high < low, "high plane {high} should be sparser than low {low}");
+    }
+
+    #[test]
+    fn stats_merge_covers_all_planes() {
+        let values = sample_values(32, 32, 3, 8);
+        let acts = BitSlicedMatrix::from_values(&values, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let phi = BitSlicedPhi::new(
+            &acts,
+            &acts.clone(),
+            CalibrationConfig { q: 8, max_iters: 5, ..Default::default() },
+            &mut rng,
+        );
+        let stats = phi.stats();
+        assert_eq!(stats.elements(), 3 * 32 * 32);
+    }
+}

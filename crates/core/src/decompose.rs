@@ -1,0 +1,463 @@
+//! The Phi sparsity decomposition (§3.1): split a binary activation matrix
+//! into the Level-1 pattern-index matrix and the Level-2 `{+1, −1}`
+//! correction matrix.
+//!
+//! For every row and every width-`k` partition, the *pattern matcher* rule
+//! is applied:
+//!
+//! * find the calibrated pattern with minimum Hamming distance to the tile;
+//! * if that distance beats the tile's own popcount (the "no pattern"
+//!   baseline), assign the pattern and emit one `+1`/`−1` correction per
+//!   mismatching bit (`+1` where activation has a 1 the pattern lacks, `−1`
+//!   where the pattern has a 1 the activation lacks);
+//! * otherwise assign no pattern and emit the tile's raw 1s as `+1`s.
+//!
+//! The decomposition is lossless by construction: summing the assigned
+//! pattern row and the corrections reproduces the activation tile exactly.
+
+use crate::calibrate::LayerPatterns;
+use crate::stats::SparsityStats;
+use snn_core::SpikeMatrix;
+
+/// One signed Level-2 correction element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct L2Entry {
+    /// Global column index in the activation matrix.
+    pub col: u32,
+    /// `+1` or `−1`.
+    pub value: i8,
+}
+
+/// The pattern decision for one `(row, partition)` tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileAssignment {
+    /// Index into the partition's [`crate::PatternSet`], or `None` when the
+    /// tile keeps its raw bit sparsity.
+    pub pattern: Option<u16>,
+    /// Number of Level-2 corrections this tile produced.
+    pub l2_nnz: u32,
+}
+
+/// A complete Phi decomposition of one activation matrix.
+///
+/// Holds the Level-1 index matrix (`rows × partitions`), the Level-2 sparse
+/// rows, and a copy of the pattern sets so the decomposition is
+/// self-contained (reconstruction and functional GEMM need the pattern
+/// bits).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    rows: usize,
+    cols: usize,
+    patterns: LayerPatterns,
+    /// Row-major `rows × parts` pattern indices.
+    l1: Vec<Option<u16>>,
+    /// Per-row Level-2 corrections, sorted by column.
+    l2: Vec<Vec<L2Entry>>,
+    /// Total popcount of all assigned patterns (Table 4's "L1 density"
+    /// numerator).
+    l1_ones: u64,
+    l2_pos: u64,
+    l2_neg: u64,
+    bit_nnz: u64,
+}
+
+/// Decomposes `activations` against calibrated `patterns`.
+///
+/// # Panics
+///
+/// Panics if the pattern partition count does not match the activation
+/// width (`ceil(cols / k)`).
+///
+/// # Example
+///
+/// ```
+/// use phi_core::{decompose, LayerPatterns, Pattern, PatternSet};
+/// use snn_core::SpikeMatrix;
+///
+/// // One partition of width 4 with a single pattern 0110.
+/// let patterns = LayerPatterns::new(4, vec![PatternSet::new(4, vec![Pattern::new(0b0110, 4)])]);
+/// let mut acts = SpikeMatrix::zeros(1, 4);
+/// acts.set_tile(0, 0, 4, 0b0111); // differs from the pattern in bit 0
+/// let phi = decompose(&acts, &patterns);
+/// assert_eq!(phi.assignment(0, 0).pattern, Some(0));
+/// assert_eq!(phi.l2_row(0), &[phi_core::L2Entry { col: 0, value: 1 }]);
+/// assert!(phi.verify_lossless(&acts));
+/// ```
+pub fn decompose(activations: &SpikeMatrix, patterns: &LayerPatterns) -> Decomposition {
+    let k = patterns.k();
+    let parts = activations.num_partitions(k);
+    assert_eq!(
+        parts,
+        patterns.num_partitions(),
+        "pattern partition count must match activation width"
+    );
+
+    let rows = activations.rows();
+    let mut l1 = Vec::with_capacity(rows * parts);
+    let mut l2: Vec<Vec<L2Entry>> = Vec::with_capacity(rows);
+    let mut l1_ones = 0u64;
+    let mut l2_pos = 0u64;
+    let mut l2_neg = 0u64;
+
+    for r in 0..rows {
+        let mut row_entries = Vec::new();
+        for part in 0..parts {
+            let tile = activations.partition_tile(r, part, k);
+            // The final partition may be narrower than k; pattern bits in
+            // the padded region are inert (their weights do not exist) and
+            // must not generate corrections.
+            let width = k.min(activations.cols() - part * k);
+            let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let baseline = tile.count_ones();
+            let set = patterns.set(part);
+            let choice = match set.best_match(tile) {
+                // Strictly better than bit sparsity: assign the pattern.
+                Some((idx, dist)) if dist < baseline => Some((idx, dist)),
+                _ => None,
+            };
+            match choice {
+                Some((idx, _)) => {
+                    let p = set.pattern(idx);
+                    l1.push(Some(idx as u16));
+                    let p_bits = p.bits() & width_mask;
+                    l1_ones += u64::from(p_bits.count_ones());
+                    let diff = p_bits ^ tile;
+                    let mut bits = diff;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let col = (part * k + b) as u32;
+                        let value = if (tile >> b) & 1 == 1 {
+                            l2_pos += 1;
+                            1
+                        } else {
+                            l2_neg += 1;
+                            -1
+                        };
+                        row_entries.push(L2Entry { col, value });
+                    }
+                }
+                None => {
+                    l1.push(None);
+                    let mut bits = tile;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        l2_pos += 1;
+                        row_entries.push(L2Entry { col: (part * k + b) as u32, value: 1 });
+                    }
+                }
+            }
+        }
+        row_entries.sort_unstable_by_key(|e| e.col);
+        l2.push(row_entries);
+    }
+
+    Decomposition {
+        rows,
+        cols: activations.cols(),
+        patterns: patterns.clone(),
+        l1,
+        l2,
+        l1_ones,
+        l2_pos,
+        l2_neg,
+        bit_nnz: activations.nnz() as u64,
+    }
+}
+
+impl Decomposition {
+    /// Activation row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Activation column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Partition width `k`.
+    pub fn k(&self) -> usize {
+        self.patterns.k()
+    }
+
+    /// Number of K-partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.patterns.num_partitions()
+    }
+
+    /// The pattern sets the decomposition was built against.
+    pub fn patterns(&self) -> &LayerPatterns {
+        &self.patterns
+    }
+
+    /// Level-1 pattern index for `(row, part)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn l1_index(&self, row: usize, part: usize) -> Option<u16> {
+        assert!(row < self.rows && part < self.num_partitions(), "index out of bounds");
+        self.l1[row * self.num_partitions() + part]
+    }
+
+    /// Full assignment record for `(row, part)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn assignment(&self, row: usize, part: usize) -> TileAssignment {
+        let pattern = self.l1_index(row, part);
+        TileAssignment { pattern, l2_nnz: self.l2_tile_nnz(row, part) }
+    }
+
+    /// Level-2 corrections of `row`, sorted by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn l2_row(&self, row: usize) -> &[L2Entry] {
+        &self.l2[row]
+    }
+
+    /// Number of Level-2 corrections in the `(row, part)` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn l2_tile_nnz(&self, row: usize, part: usize) -> u32 {
+        let k = self.k() as u32;
+        let lo = (part as u32) * k;
+        let hi = lo + k;
+        self.l2[row].iter().filter(|e| e.col >= lo && e.col < hi).count() as u32
+    }
+
+    /// Level-2 corrections of the `(row, part)` tile, sorted by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn l2_tile(&self, row: usize, part: usize) -> impl Iterator<Item = L2Entry> + '_ {
+        let k = self.k() as u32;
+        let lo = (part as u32) * k;
+        let hi = lo + k;
+        self.l2[row].iter().copied().filter(move |e| e.col >= lo && e.col < hi)
+    }
+
+    /// Total Level-2 nonzeros.
+    pub fn l2_nnz(&self) -> u64 {
+        self.l2_pos + self.l2_neg
+    }
+
+    /// Number of tiles with an assigned pattern.
+    pub fn assigned_tiles(&self) -> u64 {
+        self.l1.iter().filter(|a| a.is_some()).count() as u64
+    }
+
+    /// Sparsity statistics (Table 4 / Fig. 7 quantities).
+    pub fn stats(&self) -> SparsityStats {
+        SparsityStats {
+            rows: self.rows,
+            cols: self.cols,
+            k: self.k(),
+            partitions: self.num_partitions(),
+            bit_nnz: self.bit_nnz,
+            assigned_tiles: self.assigned_tiles(),
+            l1_ones: self.l1_ones,
+            l2_pos: self.l2_pos,
+            l2_neg: self.l2_neg,
+        }
+    }
+
+    /// Rebuilds the dense activation matrix from `L1 + L2`.
+    pub fn reconstruct(&self) -> SpikeMatrix {
+        let mut out = SpikeMatrix::zeros(self.rows, self.cols);
+        let k = self.k();
+        for r in 0..self.rows {
+            for part in 0..self.num_partitions() {
+                if let Some(idx) = self.l1_index(r, part) {
+                    let p = self.patterns.set(part).pattern(idx as usize);
+                    for b in p.ones() {
+                        let col = part * k + b;
+                        if col < self.cols {
+                            out.set(r, col, true);
+                        }
+                    }
+                }
+            }
+            for e in &self.l2[r] {
+                let col = e.col as usize;
+                match e.value {
+                    1 => {
+                        debug_assert!(!out.get(r, col), "+1 correction on an already-set bit");
+                        out.set(r, col, true);
+                    }
+                    -1 => {
+                        debug_assert!(out.get(r, col), "-1 correction on a clear bit");
+                        out.set(r, col, false);
+                    }
+                    v => unreachable!("invalid L2 value {v}"),
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `L1 + L2` reconstructs `original` exactly.
+    pub fn verify_lossless(&self, original: &SpikeMatrix) -> bool {
+        self.reconstruct() == *original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{CalibrationConfig, Calibrator};
+    use crate::pattern::{Pattern, PatternSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn single_part(patterns: &[u64], k: usize) -> LayerPatterns {
+        LayerPatterns::new(
+            k,
+            vec![PatternSet::new(k, patterns.iter().map(|&b| Pattern::new(b, k)).collect())],
+        )
+    }
+
+    /// Builds the paper's Fig. 2(b) example: 4 rows of width 4, patterns
+    /// {0110, 1101, 1110} (1-indexed 1..3 in the figure).
+    fn paper_example() -> (SpikeMatrix, LayerPatterns) {
+        let mut acts = SpikeMatrix::zeros(4, 4);
+        // Fig. 2 rows (bit 0 = leftmost in the figure; we store bit 0 = LSB,
+        // so mirror the strings).
+        // row0 = 0110 -> matches pattern 0110 exactly.
+        acts.set_tile(0, 0, 4, 0b0110);
+        // row1 = 1100 -> pattern 1101 with one -1 correction.
+        acts.set_tile(1, 0, 4, 0b1100);
+        // row2 = 1110 -> pattern 0110 with one +1 correction (or 1110 exact
+        // if that pattern exists; figure assigns 1110... we include it).
+        acts.set_tile(2, 0, 4, 0b1110);
+        // row3 = one-hot 0100: keeps bit sparsity.
+        acts.set_tile(3, 0, 4, 0b0100);
+        (acts, single_part(&[0b0110, 0b1101, 0b1110], 4))
+    }
+
+    #[test]
+    fn exact_match_has_empty_l2() {
+        let (acts, patterns) = paper_example();
+        let d = decompose(&acts, &patterns);
+        assert_eq!(d.l1_index(0, 0), Some(0));
+        assert!(d.l2_row(0).is_empty());
+    }
+
+    #[test]
+    fn zero_to_one_mismatch_gets_minus_one() {
+        let (acts, patterns) = paper_example();
+        let d = decompose(&acts, &patterns);
+        assert_eq!(d.l1_index(1, 0), Some(1)); // pattern 1101
+        assert_eq!(d.l2_row(1), &[L2Entry { col: 0, value: -1 }]);
+    }
+
+    #[test]
+    fn one_hot_row_keeps_bit_sparsity() {
+        let (acts, patterns) = paper_example();
+        let d = decompose(&acts, &patterns);
+        assert_eq!(d.l1_index(3, 0), None);
+        assert_eq!(d.l2_row(3), &[L2Entry { col: 2, value: 1 }]);
+    }
+
+    #[test]
+    fn paper_example_is_lossless() {
+        let (acts, patterns) = paper_example();
+        let d = decompose(&acts, &patterns);
+        assert!(d.verify_lossless(&acts));
+    }
+
+    #[test]
+    fn one_to_zero_mismatch_gets_plus_one() {
+        let patterns = single_part(&[0b0110], 4);
+        let mut acts = SpikeMatrix::zeros(1, 4);
+        acts.set_tile(0, 0, 4, 0b1110);
+        let d = decompose(&acts, &patterns);
+        assert_eq!(d.l1_index(0, 0), Some(0));
+        assert_eq!(d.l2_row(0), &[L2Entry { col: 3, value: 1 }]);
+        assert!(d.verify_lossless(&acts));
+    }
+
+    #[test]
+    fn tie_goes_to_baseline() {
+        // Tile 0b0011 (popcount 2) vs pattern 0b0110 (distance 2): tie, so
+        // keep bit sparsity — saves the PWP accumulation.
+        let patterns = single_part(&[0b0110], 4);
+        let mut acts = SpikeMatrix::zeros(1, 4);
+        acts.set_tile(0, 0, 4, 0b0011);
+        let d = decompose(&acts, &patterns);
+        assert_eq!(d.l1_index(0, 0), None);
+        assert_eq!(d.l2_nnz(), 2);
+    }
+
+    #[test]
+    fn empty_pattern_set_degrades_to_bit_sparsity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let acts = SpikeMatrix::random(16, 16, 0.3, &mut rng);
+        let patterns = LayerPatterns::new(16, vec![PatternSet::empty(16)]);
+        let d = decompose(&acts, &patterns);
+        assert_eq!(d.l2_nnz(), acts.nnz() as u64);
+        assert_eq!(d.assigned_tiles(), 0);
+        assert!(d.verify_lossless(&acts));
+    }
+
+    #[test]
+    fn multi_partition_decomposition_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let acts = SpikeMatrix::random(60, 50, 0.2, &mut rng);
+        let cal = Calibrator::new(CalibrationConfig { q: 16, ..Default::default() });
+        let patterns = cal.calibrate(&acts, &mut rng);
+        let d = decompose(&acts, &patterns);
+        assert!(d.verify_lossless(&acts));
+        assert_eq!(d.num_partitions(), 4); // ceil(50/16)
+    }
+
+    #[test]
+    fn l2_density_never_exceeds_bit_density() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for density in [0.05, 0.15, 0.4] {
+            let acts = SpikeMatrix::random(64, 64, density, &mut rng);
+            let cal = Calibrator::new(CalibrationConfig { q: 32, ..Default::default() });
+            let patterns = cal.calibrate(&acts, &mut rng);
+            let d = decompose(&acts, &patterns);
+            assert!(
+                d.l2_nnz() <= acts.nnz() as u64,
+                "L2 nnz {} exceeds bit nnz {}",
+                d.l2_nnz(),
+                acts.nnz()
+            );
+        }
+    }
+
+    #[test]
+    fn l2_tile_nnz_partitions_row_totals() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let acts = SpikeMatrix::random(20, 48, 0.25, &mut rng);
+        let cal = Calibrator::new(CalibrationConfig { q: 8, ..Default::default() });
+        let patterns = cal.calibrate(&acts, &mut rng);
+        let d = decompose(&acts, &patterns);
+        for r in 0..acts.rows() {
+            let total: u32 = (0..d.num_partitions()).map(|p| d.l2_tile_nnz(r, p)).sum();
+            assert_eq!(total as usize, d.l2_row(r).len());
+        }
+    }
+
+    #[test]
+    fn stats_ones_balance_reconstruction() {
+        // bit_nnz == l1_ones + l2_pos - l2_neg must hold exactly.
+        let mut rng = StdRng::seed_from_u64(9);
+        let acts = SpikeMatrix::random(50, 32, 0.3, &mut rng);
+        let cal = Calibrator::new(CalibrationConfig { q: 16, ..Default::default() });
+        let patterns = cal.calibrate(&acts, &mut rng);
+        let d = decompose(&acts, &patterns);
+        let s = d.stats();
+        assert_eq!(s.bit_nnz, s.l1_ones + s.l2_pos - s.l2_neg);
+    }
+}

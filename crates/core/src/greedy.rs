@@ -1,0 +1,126 @@
+//! Greedy frequency-based pattern selection — the ablation baseline for
+//! Algorithm 1.
+//!
+//! The obvious alternative to clustering is to pick the `q` most frequent
+//! row tiles as patterns. That covers exact repeats but wastes slots on
+//! near-duplicate tiles (a prototype and its 1-bit-off noise variants all
+//! rank high), while k-means merges them into one centroid and spends the
+//! freed slots elsewhere. DESIGN.md calls this design choice out; the
+//! `architecture` bench and the tests here quantify it.
+
+use crate::kmeans::total_distance;
+use crate::pattern::{Pattern, PatternSet};
+use std::collections::HashMap;
+
+/// Selects the `q` most frequent tiles of `points` as patterns, skipping
+/// all-zero and one-hot tiles (same filter as Algorithm 1).
+///
+/// Ties break toward the smaller tile value so the result is deterministic.
+pub fn greedy_frequent_patterns(points: &[u64], width: usize, q: usize) -> Vec<u64> {
+    assert!(width >= 1 && width <= 64, "width must be within 1..=64");
+    let mut freq: HashMap<u64, u32> = HashMap::new();
+    for &p in points {
+        if p == 0 || p & (p - 1) == 0 {
+            continue;
+        }
+        *freq.entry(p).or_insert(0) += 1;
+    }
+    let mut by_freq: Vec<(u64, u32)> = freq.into_iter().collect();
+    by_freq.sort_unstable_by_key(|&(tile, count)| (std::cmp::Reverse(count), tile));
+    by_freq.into_iter().take(q).map(|(tile, _)| tile).collect()
+}
+
+/// Builds a [`PatternSet`] from greedy selection.
+pub fn greedy_pattern_set(points: &[u64], width: usize, q: usize) -> PatternSet {
+    let centers = greedy_frequent_patterns(points, width, q);
+    PatternSet::new(width, centers.into_iter().map(|c| Pattern::new(c, width)).collect())
+}
+
+/// The clustering objective (total Hamming distance to nearest pattern) for
+/// a greedy selection — comparable to
+/// [`crate::kmeans::total_distance`] on k-means centers.
+pub fn greedy_objective(points: &[u64], width: usize, q: usize) -> u64 {
+    let centers = greedy_frequent_patterns(points, width, q);
+    total_distance(points, &centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{hamming_kmeans, KmeansConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn picks_most_frequent_tiles() {
+        let mut points = vec![0b0110u64; 10];
+        points.extend(vec![0b1100u64; 5]);
+        points.extend(vec![0b0011u64; 1]);
+        let picked = greedy_frequent_patterns(&points, 4, 2);
+        assert_eq!(picked, vec![0b0110, 0b1100]);
+    }
+
+    #[test]
+    fn filters_degenerate_tiles() {
+        let points = vec![0u64, 0, 0b0100, 0b0100, 0b0110];
+        let picked = greedy_frequent_patterns(&points, 4, 4);
+        assert_eq!(picked, vec![0b0110], "zero and one-hot tiles are not patterns");
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let points = vec![0b0110u64, 0b1100, 0b0110, 0b1100];
+        let a = greedy_frequent_patterns(&points, 4, 1);
+        let b = greedy_frequent_patterns(&points, 4, 1);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0b0110]); // smaller value wins the tie
+    }
+
+    /// The ablation claim: under slot pressure (q smaller than the number
+    /// of distinct noisy variants), k-means beats greedy because greedy
+    /// burns slots on near-duplicates.
+    #[test]
+    fn kmeans_beats_greedy_under_slot_pressure() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let prototypes = [0xF0F0u64, 0x0F0F, 0x3C3C, 0xC3C3];
+        let mut points = Vec::new();
+        for _ in 0..2000 {
+            let proto = prototypes[rng.gen_range(0..prototypes.len())];
+            // One or two noise flips per tile: many distinct variants.
+            let flips = rng.gen_range(1..=2);
+            let mut tile = proto;
+            for _ in 0..flips {
+                tile ^= 1 << rng.gen_range(0..16);
+            }
+            points.push(tile);
+        }
+        let q = 4;
+        let greedy = greedy_objective(&points, 16, q);
+        let centers = hamming_kmeans(
+            &points,
+            16,
+            KmeansConfig { clusters: q, max_iters: 25 },
+            &mut rng,
+        );
+        let kmeans = total_distance(&points, &centers);
+        assert!(
+            kmeans < greedy,
+            "k-means objective {kmeans} should beat greedy {greedy} at q={q}"
+        );
+    }
+
+    #[test]
+    fn greedy_is_perfect_when_slots_suffice() {
+        // With enough slots for every distinct tile, greedy covers exactly.
+        let points = vec![0b0110u64, 0b0110, 0b1001, 0b1001, 0b1111];
+        assert_eq!(greedy_objective(&points, 4, 8), 0);
+    }
+
+    #[test]
+    fn pattern_set_wraps_selection() {
+        let points = vec![0b0110u64; 4];
+        let set = greedy_pattern_set(&points, 4, 2);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.pattern(0).bits(), 0b0110);
+    }
+}

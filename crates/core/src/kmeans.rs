@@ -1,0 +1,242 @@
+//! Hamming-distance k-means over binary vectors — the paper's Algorithm 1.
+//!
+//! The clustering runs on row-tiles (width-`k` slices of activation rows)
+//! represented as `u64` words. Centroids are kept binary by rounding the
+//! per-bit mean at every update, so the final centers are directly usable as
+//! patterns. Hamming distance between a center and a member equals the
+//! number of Level-2 correction elements that assignment would create, so
+//! minimizing within-cluster distance maximizes Level-2 sparsity by
+//! construction (§3.2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`hamming_kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansConfig {
+    /// Number of clusters `q` (= number of patterns per partition).
+    pub clusters: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig { clusters: 128, max_iters: 25 }
+    }
+}
+
+/// Runs binary k-means with Hamming distance on `points` of bit-width
+/// `width`, returning at most `config.clusters` binary centers.
+///
+/// Points must already be filtered (Algorithm 1 removes all-zero and one-hot
+/// rows before clustering — [`crate::calibrate`] does that); this function
+/// clusters whatever it is given.
+///
+/// Fewer than `clusters` centers are returned when the input has fewer than
+/// `clusters` distinct values. Returned centers are deduplicated and never
+/// all-zero (an all-zero center would collide with the hardware's "no
+/// pattern" index).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 64.
+pub fn hamming_kmeans<R: Rng + ?Sized>(
+    points: &[u64],
+    width: usize,
+    config: KmeansConfig,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(width >= 1 && width <= 64, "width must be within 1..=64");
+    if points.is_empty() || config.clusters == 0 {
+        return Vec::new();
+    }
+
+    // Deduplicate the seed pool so initialization spreads across distinct
+    // values; keep multiplicity in `points` for the updates.
+    let mut distinct: Vec<u64> = points.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    let q = config.clusters.min(distinct.len());
+    let mut centers: Vec<u64> = distinct.choose_multiple(rng, q).copied().collect();
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..config.max_iters {
+        // Assign each point to the nearest center.
+        let mut changed = false;
+        for (i, &p) in points.iter().enumerate() {
+            let best = nearest_center(&centers, p);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update: per-bit majority vote, rounded to binary.
+        let mut counts = vec![[0u32; 64]; centers.len()];
+        let mut sizes = vec![0u32; centers.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let c = assignment[i];
+            sizes[c] += 1;
+            let mut bits = p;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                counts[c][b] += 1;
+                bits &= bits - 1;
+            }
+        }
+        let reseed = farthest_point(points, &centers, &assignment);
+        for (c, center) in centers.iter_mut().enumerate() {
+            if sizes[c] == 0 {
+                // Empty cluster: re-seed with the point farthest from its
+                // assigned center.
+                *center = reseed;
+                changed = true;
+                continue;
+            }
+            let mut new_center = 0u64;
+            for (b, &count) in counts[c].iter().enumerate().take(width) {
+                // Mean ≥ 0.5 rounds to 1 (Algorithm 1 line 6).
+                if 2 * count >= sizes[c] {
+                    new_center |= 1 << b;
+                }
+            }
+            if new_center != *center {
+                *center = new_center;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Post-process: dedup and drop degenerate centers.
+    centers.sort_unstable();
+    centers.dedup();
+    centers.retain(|&c| c != 0);
+    centers
+}
+
+fn nearest_center(centers: &[u64], point: u64) -> usize {
+    let mut best = 0usize;
+    let mut best_d = u32::MAX;
+    for (i, &c) in centers.iter().enumerate() {
+        let d = (c ^ point).count_ones();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn farthest_point(points: &[u64], centers: &[u64], assignment: &[usize]) -> u64 {
+    points
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &p)| (centers[assignment[i]] ^ p).count_ones())
+        .map(|(_, &p)| p)
+        .unwrap_or(0)
+}
+
+/// Sum of Hamming distances from each point to its nearest center — the
+/// clustering objective, equal to the total number of Level-2 corrections
+/// the resulting pattern set would produce on the calibration data.
+pub fn total_distance(points: &[u64], centers: &[u64]) -> u64 {
+    if centers.is_empty() {
+        return points.iter().map(|&p| p.count_ones() as u64).sum();
+    }
+    points
+        .iter()
+        .map(|&p| {
+            centers.iter().map(|&c| (c ^ p).count_ones()).min().unwrap_or(p.count_ones()) as u64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn empty_input_yields_no_centers() {
+        assert!(hamming_kmeans(&[], 16, KmeansConfig::default(), &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        // Two tight clusters around distinct prototypes.
+        let proto_a = 0b1111_0000_0000_0000u64;
+        let proto_b = 0b0000_0000_0000_1111u64;
+        let mut points = Vec::new();
+        let mut r = rng();
+        for _ in 0..200 {
+            let noise = 1u64 << r.gen_range(0..16);
+            points.push(proto_a ^ if r.gen_bool(0.1) { noise } else { 0 });
+            points.push(proto_b ^ if r.gen_bool(0.1) { noise } else { 0 });
+        }
+        let centers =
+            hamming_kmeans(&points, 16, KmeansConfig { clusters: 2, max_iters: 30 }, &mut r);
+        assert!(centers.contains(&proto_a), "centers {centers:?} missing prototype A");
+        assert!(centers.contains(&proto_b), "centers {centers:?} missing prototype B");
+    }
+
+    #[test]
+    fn centers_stay_within_width() {
+        let mut r = rng();
+        let points: Vec<u64> = (0..500).map(|_| r.gen::<u64>() & 0xFF).collect();
+        let centers =
+            hamming_kmeans(&points, 8, KmeansConfig { clusters: 16, max_iters: 10 }, &mut r);
+        for c in centers {
+            assert_eq!(c >> 8, 0, "center {c:#b} exceeds width");
+        }
+    }
+
+    #[test]
+    fn centers_are_deduplicated_and_nonzero() {
+        let points = vec![0b11u64; 100];
+        let centers =
+            hamming_kmeans(&points, 4, KmeansConfig { clusters: 8, max_iters: 5 }, &mut rng());
+        assert_eq!(centers, vec![0b11]);
+    }
+
+    #[test]
+    fn more_clusters_never_hurt_objective() {
+        let mut r = rng();
+        let points: Vec<u64> = (0..400).map(|_| r.gen::<u64>() & 0xFFFF).collect();
+        let few = hamming_kmeans(&points, 16, KmeansConfig { clusters: 4, max_iters: 15 }, &mut r);
+        let many =
+            hamming_kmeans(&points, 16, KmeansConfig { clusters: 64, max_iters: 15 }, &mut r);
+        assert!(total_distance(&points, &many) <= total_distance(&points, &few));
+    }
+
+    #[test]
+    fn objective_of_perfect_centers_is_zero() {
+        let points = vec![0b101u64, 0b101, 0b010, 0b010];
+        assert_eq!(total_distance(&points, &[0b101, 0b010]), 0);
+    }
+
+    #[test]
+    fn total_distance_with_no_centers_is_popcount() {
+        let points = vec![0b111u64, 0b1];
+        assert_eq!(total_distance(&points, &[]), 4);
+    }
+
+    #[test]
+    fn handles_more_clusters_than_points() {
+        let points = vec![0b01u64, 0b10];
+        let centers =
+            hamming_kmeans(&points, 2, KmeansConfig { clusters: 10, max_iters: 5 }, &mut rng());
+        assert!(centers.len() <= 2);
+        assert!(!centers.is_empty());
+    }
+}

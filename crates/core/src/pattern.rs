@@ -1,0 +1,274 @@
+//! Binary activation patterns.
+//!
+//! A *pattern* is a pre-defined combination of 0s and 1s of width `k ≤ 64`
+//! (the paper uses `k = 16`). Patterns live in one machine word, so the two
+//! quantities the whole framework is built on — Hamming distance to an
+//! activation row-tile, and the set of mismatching bit positions — are a
+//! `popcount(xor)` and the xor word itself.
+
+use std::fmt;
+
+/// A binary pattern of width `len ≤ 64`, stored in the low bits of a `u64`.
+///
+/// # Example
+///
+/// ```
+/// use phi_core::Pattern;
+///
+/// let p = Pattern::new(0b0110, 4);
+/// assert_eq!(p.hamming(0b1110), 1);
+/// assert_eq!(p.popcount(), 2);
+/// assert!(!p.is_one_hot());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    bits: u64,
+    len: u8,
+}
+
+impl Pattern {
+    /// Creates a pattern from its bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or exceeds 64, or if `bits` has bits set at or
+    /// above `len`.
+    pub fn new(bits: u64, len: usize) -> Self {
+        assert!(len >= 1 && len <= 64, "pattern length must be within 1..=64");
+        if len < 64 {
+            assert_eq!(bits >> len, 0, "bits set beyond pattern length");
+        }
+        Pattern { bits, len: len as u8 }
+    }
+
+    /// The all-zero pattern of width `len` (used as the "no pattern" row).
+    pub fn zero(len: usize) -> Self {
+        Pattern::new(0, len)
+    }
+
+    /// Raw bits, low-aligned.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Pattern width in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the pattern has zero width (never constructible; provided for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of ones.
+    #[inline]
+    pub fn popcount(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Hamming distance to a raw tile word of the same width.
+    #[inline]
+    pub fn hamming(&self, tile: u64) -> u32 {
+        (self.bits ^ tile).count_ones()
+    }
+
+    /// Whether this is the all-zero pattern.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether exactly one bit is set. One-hot patterns are filtered during
+    /// calibration: their PWP is just a weight row, so they add no value
+    /// (§3.2).
+    #[inline]
+    pub fn is_one_hot(&self) -> bool {
+        self.bits != 0 && self.bits & (self.bits - 1) == 0
+    }
+
+    /// Bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Iterates over the positions of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({:0width$b})", self.bits, width = self.len())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.len())
+    }
+}
+
+impl fmt::Binary for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+/// The calibrated pattern set for one K-partition of one layer.
+///
+/// Pattern index 0 is reserved by the hardware for "no pattern assigned"
+/// (§3.1), so stored patterns are addressed 1-based by
+/// [`PatternSet::get`]-style lookups in the decomposition; this type stores
+/// only the real patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    width: usize,
+    patterns: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// Creates a set from patterns of uniform width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if patterns disagree on width.
+    pub fn new(width: usize, patterns: Vec<Pattern>) -> Self {
+        for p in &patterns {
+            assert_eq!(p.len(), width, "pattern width mismatch");
+        }
+        PatternSet { width, patterns }
+    }
+
+    /// An empty set (every row falls back to bit sparsity).
+    pub fn empty(width: usize) -> Self {
+        PatternSet { width, patterns: Vec::new() }
+    }
+
+    /// Pattern width `k`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stored patterns `q`.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The stored patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Pattern at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn pattern(&self, idx: usize) -> Pattern {
+        self.patterns[idx]
+    }
+
+    /// Finds the pattern minimizing Hamming distance to `tile`, returning
+    /// `(index, distance)`, or `None` if the set is empty. Ties resolve to
+    /// the lowest index (deterministic, matching the hardware matcher's
+    /// minimum-selection tree).
+    pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.hamming(tile)))
+            .min_by_key(|&(i, d)| (d, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        let p = Pattern::new(0b1011, 4);
+        assert_eq!(p.hamming(0b1110), 2);
+        assert_eq!(p.hamming(0b1011), 0);
+        assert_eq!(p.hamming(0b0100), 4);
+    }
+
+    #[test]
+    fn one_hot_detection() {
+        assert!(Pattern::new(0b0100, 4).is_one_hot());
+        assert!(!Pattern::new(0b0110, 4).is_one_hot());
+        assert!(!Pattern::new(0, 4).is_one_hot());
+        assert!(Pattern::zero(4).is_zero());
+    }
+
+    #[test]
+    fn ones_iterates_set_bits() {
+        let p = Pattern::new(0b1010_0001, 8);
+        assert_eq!(p.ones().collect::<Vec<_>>(), vec![0, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits set beyond pattern length")]
+    fn new_rejects_overflow_bits() {
+        Pattern::new(0b10000, 4);
+    }
+
+    #[test]
+    fn full_width_pattern_is_allowed() {
+        let p = Pattern::new(u64::MAX, 64);
+        assert_eq!(p.popcount(), 64);
+        assert_eq!(p.hamming(0), 64);
+    }
+
+    #[test]
+    fn best_match_prefers_min_distance_then_min_index() {
+        let set = PatternSet::new(
+            4,
+            vec![Pattern::new(0b1100, 4), Pattern::new(0b0011, 4), Pattern::new(0b1100, 4)],
+        );
+        // 0b1101 is distance 1 from pattern 0 and pattern 2; index 0 wins.
+        assert_eq!(set.best_match(0b1101), Some((0, 1)));
+        assert_eq!(set.best_match(0b0011), Some((1, 0)));
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        assert_eq!(PatternSet::empty(16).best_match(0b1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width mismatch")]
+    fn set_rejects_mixed_widths() {
+        PatternSet::new(4, vec![Pattern::new(0b1, 4), Pattern::new(0b1, 5)]);
+    }
+
+    #[test]
+    fn display_pads_to_width() {
+        assert_eq!(Pattern::new(0b0101, 6).to_string(), "000101");
+    }
+}

@@ -1,0 +1,248 @@
+//! Pattern–Weight Products (PWPs) and the functional Phi GEMM.
+//!
+//! Offline, every pattern is multiplied with its partition's weight tile:
+//! `PWP[part][p] = Σ_{j ∈ pattern p} W[part·k + j, :]` — an `N`-wide vector.
+//! Online, an assigned tile contributes its PWP row with a single
+//! accumulation; Level-2 corrections add or subtract individual weight rows.
+//! [`phi_matmul`] is the bit-exact functional model the property tests pin
+//! against the dense spike GEMM.
+
+use crate::calibrate::LayerPatterns;
+use crate::decompose::Decomposition;
+use snn_core::{Error, Matrix, Result};
+
+/// Precomputed pattern–weight products for one layer.
+#[derive(Debug, Clone)]
+pub struct PwpTable {
+    k: usize,
+    n: usize,
+    /// One `q_part × n` matrix per partition.
+    tables: Vec<Matrix>,
+}
+
+impl PwpTable {
+    /// Computes PWPs for `patterns` against `weights` (`K × N`).
+    ///
+    /// The final partition may extend past `K`; out-of-range pattern bits
+    /// contribute nothing (the activation padding is zero there too).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `weights.rows()` does not cover the
+    /// partitions (`weights.rows() > partitions · k` or `≤ (partitions−1)·k`).
+    pub fn new(patterns: &LayerPatterns, weights: &Matrix) -> Result<Self> {
+        let k = patterns.k();
+        let parts = patterns.num_partitions();
+        let covered = weights.rows().div_ceil(k);
+        if covered != parts {
+            return Err(Error::DimensionMismatch {
+                op: "pwp partitions",
+                expected: parts,
+                actual: covered,
+            });
+        }
+        let n = weights.cols();
+        let mut tables = Vec::with_capacity(parts);
+        for part in 0..parts {
+            let set = patterns.set(part);
+            let mut table = Matrix::zeros(set.len(), n);
+            for (pi, pattern) in set.patterns().iter().enumerate() {
+                for bit in pattern.ones() {
+                    let row = part * k + bit;
+                    if row >= weights.rows() {
+                        continue;
+                    }
+                    let w = weights.row(row);
+                    let acc = table.row_mut(pi);
+                    for (a, &wv) in acc.iter_mut().zip(w) {
+                        *a += wv;
+                    }
+                }
+            }
+            tables.push(table);
+        }
+        Ok(PwpTable { k, n, tables })
+    }
+
+    /// Partition width.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The PWP row for pattern `idx` of partition `part`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, part: usize, idx: usize) -> &[f32] {
+        self.tables[part].row(idx)
+    }
+
+    /// Total stored PWP entries (`Σ q_part × n`) — the memory-footprint
+    /// number the prefetcher analysis (§4.4) is about.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(|t| t.rows() * t.cols()).sum()
+    }
+}
+
+/// Computes the layer output from a Phi decomposition: Level-1 PWP
+/// accumulations plus Level-2 signed weight-row accumulations.
+///
+/// Bit-exact against [`snn_core::SpikeMatrix::spike_matmul`] on the original
+/// activation (both are pure `f32` additions applied in deterministic
+/// order; see the property tests).
+///
+/// # Errors
+///
+/// Returns a dimension error if `weights` does not match the decomposition
+/// (`weights.rows()` must cover the activation columns) or the PWP table
+/// shape disagrees.
+pub fn phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> Result<Matrix> {
+    if weights.rows() != decomp.cols() {
+        return Err(Error::DimensionMismatch {
+            op: "phi_matmul weights",
+            expected: decomp.cols(),
+            actual: weights.rows(),
+        });
+    }
+    if pwp.n() != weights.cols() || pwp.num_partitions() != decomp.num_partitions() {
+        return Err(Error::DimensionMismatch {
+            op: "phi_matmul pwp",
+            expected: decomp.num_partitions(),
+            actual: pwp.num_partitions(),
+        });
+    }
+    let n = weights.cols();
+    let mut out = Matrix::zeros(decomp.rows(), n);
+    for r in 0..decomp.rows() {
+        // Level 1: one accumulation per assigned tile.
+        for part in 0..decomp.num_partitions() {
+            if let Some(idx) = decomp.l1_index(r, part) {
+                let pwp_row = pwp.row(part, idx as usize);
+                let acc = out.row_mut(r);
+                for (a, &v) in acc.iter_mut().zip(pwp_row) {
+                    *a += v;
+                }
+            }
+        }
+        // Level 2: signed weight-row corrections.
+        for e in decomp.l2_row(r) {
+            let w = weights.row(e.col as usize);
+            let acc = out.row_mut(r);
+            if e.value == 1 {
+                for (a, &wv) in acc.iter_mut().zip(w) {
+                    *a += wv;
+                }
+            } else {
+                for (a, &wv) in acc.iter_mut().zip(w) {
+                    *a -= wv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{CalibrationConfig, Calibrator};
+    use crate::decompose::decompose;
+    use crate::pattern::{Pattern, PatternSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_core::SpikeMatrix;
+
+    #[test]
+    fn pwp_row_is_sum_of_weight_rows() {
+        let patterns = LayerPatterns::new(
+            4,
+            vec![PatternSet::new(4, vec![Pattern::new(0b0101, 4)])],
+        );
+        let weights = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let pwp = PwpTable::new(&patterns, &weights).unwrap();
+        // Pattern 0101 selects weight rows 0 and 2.
+        let expected: Vec<f32> = (0..3).map(|c| weights[(0, c)] + weights[(2, c)]).collect();
+        assert_eq!(pwp.row(0, 0), expected.as_slice());
+    }
+
+    #[test]
+    fn pwp_handles_padded_last_partition() {
+        // K = 6 with k = 4: partition 1 covers rows 4..6 plus 2 padding rows.
+        let patterns = LayerPatterns::new(
+            4,
+            vec![
+                PatternSet::new(4, vec![Pattern::new(0b1111, 4)]),
+                PatternSet::new(4, vec![Pattern::new(0b1111, 4)]),
+            ],
+        );
+        let weights = Matrix::from_fn(6, 2, |r, _| r as f32);
+        let pwp = PwpTable::new(&patterns, &weights).unwrap();
+        // Partition 1's all-ones pattern only sums rows 4 and 5.
+        assert_eq!(pwp.row(1, 0), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn pwp_rejects_wrong_weight_height() {
+        let patterns = LayerPatterns::new(
+            4,
+            vec![PatternSet::new(4, vec![Pattern::new(0b1, 4)])],
+        );
+        let weights = Matrix::zeros(9, 2); // needs 3 partitions, patterns have 1
+        assert!(PwpTable::new(&patterns, &weights).is_err());
+    }
+
+    #[test]
+    fn phi_matmul_matches_dense_spike_gemm() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for density in [0.05, 0.2, 0.5] {
+            let acts = SpikeMatrix::random(40, 50, density, &mut rng);
+            let weights = Matrix::random(50, 12, &mut rng);
+            let cal = Calibrator::new(CalibrationConfig { q: 16, ..Default::default() });
+            let patterns = cal.calibrate(&acts, &mut rng);
+            let d = decompose(&acts, &patterns);
+            let pwp = PwpTable::new(&patterns, &weights).unwrap();
+            let phi = phi_matmul(&d, &pwp, &weights).unwrap();
+            let dense = acts.spike_matmul(&weights).unwrap();
+            let diff = phi.max_abs_diff(&dense).unwrap();
+            assert!(diff < 1e-4, "density {density}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn phi_matmul_validates_dimensions() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let acts = SpikeMatrix::random(4, 16, 0.2, &mut rng);
+        let cal = Calibrator::new(CalibrationConfig { q: 4, ..Default::default() });
+        let patterns = cal.calibrate(&acts, &mut rng);
+        let d = decompose(&acts, &patterns);
+        let weights = Matrix::zeros(16, 4);
+        let pwp = PwpTable::new(&patterns, &weights).unwrap();
+        let wrong = Matrix::zeros(20, 4);
+        assert!(phi_matmul(&d, &pwp, &wrong).is_err());
+    }
+
+    #[test]
+    fn total_entries_counts_all_partitions() {
+        let patterns = LayerPatterns::new(
+            4,
+            vec![
+                PatternSet::new(4, vec![Pattern::new(0b1, 4), Pattern::new(0b11, 4)]),
+                PatternSet::new(4, vec![Pattern::new(0b111, 4)]),
+            ],
+        );
+        let weights = Matrix::zeros(8, 5);
+        let pwp = PwpTable::new(&patterns, &weights).unwrap();
+        assert_eq!(pwp.total_entries(), (2 + 1) * 5);
+    }
+}

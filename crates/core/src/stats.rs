@@ -1,0 +1,254 @@
+//! Sparsity statistics — the quantities the paper reports in Table 4,
+//! Figure 7a, and the §5.2 prose.
+//!
+//! Density conventions (validated against every row of the paper's Table 4):
+//!
+//! * **bit density** — ones in the activation / total elements;
+//! * **L1 density** — ones contributed by assigned patterns / total
+//!   elements (`bit = L1 + L2⁺ − L2⁻` holds exactly);
+//! * **element (L2) density** — Level-2 corrections / total elements;
+//! * **vector density** — pattern accumulations / total elements: each
+//!   assigned tile costs one PWP accumulation where dense costs `k`, so
+//!   `vector = assigned_tiles / (rows·cols)`;
+//! * **theoretical speedup over bit sparsity** — `bit / element` (Level-1
+//!   work is amortized offline);
+//! * **theoretical speedup over dense** — `1 / element`.
+
+use std::fmt;
+
+/// Raw counters of one Phi decomposition, from which every reported density
+/// is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparsityStats {
+    /// Activation rows.
+    pub rows: usize,
+    /// Activation columns.
+    pub cols: usize,
+    /// Partition width.
+    pub k: usize,
+    /// Number of K-partitions.
+    pub partitions: usize,
+    /// Ones in the original activation.
+    pub bit_nnz: u64,
+    /// Tiles with an assigned pattern.
+    pub assigned_tiles: u64,
+    /// Total popcount of assigned patterns.
+    pub l1_ones: u64,
+    /// Level-2 `+1` corrections.
+    pub l2_pos: u64,
+    /// Level-2 `−1` corrections.
+    pub l2_neg: u64,
+}
+
+impl SparsityStats {
+    /// Total activation elements.
+    pub fn elements(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Total row-tiles (`rows × partitions`).
+    pub fn tiles(&self) -> u64 {
+        self.rows as u64 * self.partitions as u64
+    }
+
+    /// Ones density of the original activation.
+    pub fn bit_density(&self) -> f64 {
+        self.ratio(self.bit_nnz)
+    }
+
+    /// Table 4's "L1 density": ones contributed by patterns / elements.
+    pub fn l1_density(&self) -> f64 {
+        self.ratio(self.l1_ones)
+    }
+
+    /// Table 4's "L2:+1 density".
+    pub fn l2_pos_density(&self) -> f64 {
+        self.ratio(self.l2_pos)
+    }
+
+    /// Table 4's "L2:−1 density".
+    pub fn l2_neg_density(&self) -> f64 {
+        self.ratio(self.l2_neg)
+    }
+
+    /// Total Level-2 (element) density — the paper's headline ~3% number.
+    pub fn element_density(&self) -> f64 {
+        self.ratio(self.l2_pos + self.l2_neg)
+    }
+
+    /// Figure 7a's "vector density": PWP accumulations per element slot.
+    pub fn vector_density(&self) -> f64 {
+        self.ratio(self.assigned_tiles)
+    }
+
+    /// Figure 7a's "total density": the per-element compute the Phi
+    /// processors actually perform (L1 retrieval + L2 corrections).
+    pub fn total_density(&self) -> f64 {
+        self.vector_density() + self.element_density()
+    }
+
+    /// Fraction of tiles with an assigned pattern (the paper reports the
+    /// complement as "49.34% sparsity" of the pattern index matrix, §4.4).
+    pub fn pattern_index_density(&self) -> f64 {
+        if self.tiles() == 0 {
+            0.0
+        } else {
+            self.assigned_tiles as f64 / self.tiles() as f64
+        }
+    }
+
+    /// Theoretical speedup over bit sparsity: `bit / L2` (Table 4 "Theo.
+    /// Sp. Over B."). Returns infinity when L2 is empty.
+    pub fn speedup_over_bit(&self) -> f64 {
+        let l2 = self.l2_pos + self.l2_neg;
+        if l2 == 0 {
+            f64::INFINITY
+        } else {
+            self.bit_nnz as f64 / l2 as f64
+        }
+    }
+
+    /// Theoretical speedup over dense: `1 / element density` (Table 4
+    /// "Theo. Sp. Over D."). Returns infinity when L2 is empty.
+    pub fn speedup_over_dense(&self) -> f64 {
+        let d = self.element_density();
+        if d == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / d
+        }
+    }
+
+    /// Merges counters from another decomposition (e.g. accumulating a
+    /// whole model's layers into one summary row, as Table 4 does).
+    ///
+    /// The merged `rows/cols` view is kept consistent by accumulating
+    /// element counts: `rows` becomes the total row count and `cols` the
+    /// weighted-average width.
+    pub fn merge(&self, other: &SparsityStats) -> SparsityStats {
+        let elements = self.elements() + other.elements();
+        let rows = self.rows + other.rows;
+        let cols = if rows == 0 { 0 } else { (elements / rows as u64) as usize };
+        SparsityStats {
+            rows,
+            cols,
+            k: self.k,
+            partitions: self.partitions.max(other.partitions),
+            bit_nnz: self.bit_nnz + other.bit_nnz,
+            assigned_tiles: self.assigned_tiles + other.assigned_tiles,
+            l1_ones: self.l1_ones + other.l1_ones,
+            l2_pos: self.l2_pos + other.l2_pos,
+            l2_neg: self.l2_neg + other.l2_neg,
+        }
+    }
+
+    /// Sums a sequence of stats into one (identity: all-zero counters).
+    pub fn merge_all<'a>(stats: impl IntoIterator<Item = &'a SparsityStats>) -> SparsityStats {
+        let mut iter = stats.into_iter();
+        let first = match iter.next() {
+            Some(s) => *s,
+            None => SparsityStats {
+                rows: 0,
+                cols: 0,
+                k: 0,
+                partitions: 0,
+                bit_nnz: 0,
+                assigned_tiles: 0,
+                l1_ones: 0,
+                l2_pos: 0,
+                l2_neg: 0,
+            },
+        };
+        iter.fold(first, |acc, s| acc.merge(s))
+    }
+
+    fn ratio(&self, count: u64) -> f64 {
+        let e = self.elements();
+        if e == 0 {
+            0.0
+        } else {
+            count as f64 / e as f64
+        }
+    }
+}
+
+impl fmt::Display for SparsityStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bit {:.2}% | L1 {:.2}% | L2 +{:.2}%/-{:.2}% | x{:.1} over bit | x{:.1} over dense",
+            100.0 * self.bit_density(),
+            100.0 * self.l1_density(),
+            100.0 * self.l2_pos_density(),
+            100.0 * self.l2_neg_density(),
+            self.speedup_over_bit(),
+            self.speedup_over_dense(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparsityStats {
+        SparsityStats {
+            rows: 100,
+            cols: 100,
+            k: 16,
+            partitions: 7,
+            bit_nnz: 870,
+            assigned_tiles: 350,
+            l1_ones: 750,
+            l2_pos: 140,
+            l2_neg: 20,
+        }
+    }
+
+    #[test]
+    fn densities_follow_table4_conventions() {
+        let s = sample();
+        assert!((s.bit_density() - 0.087).abs() < 1e-12);
+        assert!((s.l1_density() - 0.075).abs() < 1e-12);
+        assert!((s.element_density() - 0.016).abs() < 1e-12);
+        // bit = L1 + L2+ - L2- (the VGG16/CIFAR10 row of Table 4 obeys this).
+        assert_eq!(s.bit_nnz, s.l1_ones + s.l2_pos - s.l2_neg);
+    }
+
+    #[test]
+    fn speedups_match_table4_formulas() {
+        let s = sample();
+        assert!((s.speedup_over_bit() - 870.0 / 160.0).abs() < 1e-9);
+        assert!((s.speedup_over_dense() - 10_000.0 / 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_l2_reports_infinite_speedup() {
+        let s = SparsityStats { l2_pos: 0, l2_neg: 0, ..sample() };
+        assert!(s.speedup_over_bit().is_infinite());
+        assert!(s.speedup_over_dense().is_infinite());
+    }
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let s = sample();
+        let m = s.merge(&s);
+        assert_eq!(m.bit_nnz, 2 * s.bit_nnz);
+        assert_eq!(m.elements(), 2 * s.elements());
+        assert!((m.bit_density() - s.bit_density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_all_of_empty_is_zero() {
+        let z = SparsityStats::merge_all(std::iter::empty());
+        assert_eq!(z.elements(), 0);
+        assert_eq!(z.bit_density(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let text = sample().to_string();
+        assert!(text.contains("8.70%"));
+        assert!(text.contains("over bit"));
+    }
+}

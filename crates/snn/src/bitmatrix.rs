@@ -1,0 +1,481 @@
+//! Bit-packed binary spike matrices.
+//!
+//! SNN activations are 0/1, so we store them one bit per element, 64 per
+//! word. Phi's pattern machinery operates on *row tiles* — `k ≤ 64`
+//! consecutive bits of one row — which [`SpikeMatrix::tile`] extracts as a
+//! single `u64`, making Hamming distance a `popcount(xor)`.
+
+use crate::error::{Error, Result};
+use crate::tensor::Matrix;
+use rand::Rng;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A dense binary matrix stored bit-packed, row-major.
+///
+/// Rows are padded to whole 64-bit words; padding bits are guaranteed to be
+/// zero, which keeps `row_nnz` and tile extraction branch-free.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::SpikeMatrix;
+///
+/// let m = SpikeMatrix::from_fn(2, 8, |r, c| (r + c) % 2 == 0);
+/// assert!(m.get(0, 0));
+/// assert!(!m.get(0, 1));
+/// assert_eq!(m.nnz(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SpikeMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl SpikeMatrix {
+    /// Creates an all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        SpikeMatrix { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    /// Builds a matrix by evaluating `f` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = SpikeMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices of booleans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::RaggedRows`] if the rows do not all have the same
+    /// length.
+    pub fn from_rows(rows: &[Vec<bool>]) -> Result<Self> {
+        let cols = rows.first().map_or(0, Vec::len);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::RaggedRows { first: cols, row: i, len: row.len() });
+            }
+        }
+        Ok(SpikeMatrix::from_fn(rows.len(), cols, |r, c| rows[r][c]))
+    }
+
+    /// Samples a matrix where every bit is one with probability `density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not within `0.0..=1.0`.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, density: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be within [0, 1]");
+        SpikeMatrix::from_fn(rows, cols, |_, _| rng.gen_bool(density))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        let word = self.bits[row * self.words_per_row + col / WORD_BITS];
+        (word >> (col % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        let word = &mut self.bits[row * self.words_per_row + col / WORD_BITS];
+        let mask = 1u64 << (col % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Extracts `len` bits of `row` starting at column `start`, packed into
+    /// the low bits of a `u64` (column `start` becomes bit 0).
+    ///
+    /// Columns past the end of the matrix read as zero, mirroring how the
+    /// accelerator pads the final K-partition of a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or `len > 64`.
+    #[inline]
+    pub fn tile(&self, row: usize, start: usize, len: usize) -> u64 {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert!(len <= WORD_BITS, "tile length {len} exceeds 64");
+        if len == 0 || start >= self.cols {
+            return 0;
+        }
+        let base = row * self.words_per_row;
+        let word_idx = start / WORD_BITS;
+        let bit_idx = start % WORD_BITS;
+        let lo = self.bits[base + word_idx] >> bit_idx;
+        let value = if bit_idx + len > WORD_BITS && word_idx + 1 < self.words_per_row {
+            lo | (self.bits[base + word_idx + 1] << (WORD_BITS - bit_idx))
+        } else {
+            lo
+        };
+        if len == WORD_BITS {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        }
+    }
+
+    /// Writes `len` bits into `row` starting at column `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, `len > 64`, or `value` has bits
+    /// set above `len`.
+    pub fn set_tile(&mut self, row: usize, start: usize, len: usize, value: u64) {
+        assert!(len <= WORD_BITS, "tile length {len} exceeds 64");
+        if len < WORD_BITS {
+            assert_eq!(value >> len, 0, "value has bits beyond the tile length");
+        }
+        assert!(start + len <= self.cols, "tile [{start}, {}) out of bounds", start + len);
+        for i in 0..len {
+            self.set(row, start + i, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of set bits in `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let base = row * self.words_per_row;
+        self.bits[base..base + self.words_per_row].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total number of set bits.
+    pub fn nnz(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits that are one (the paper's *bit density*).
+    ///
+    /// Returns zero for an empty matrix.
+    pub fn bit_density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Iterates over the column indices of set bits in `row`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_ones(&self, row: usize) -> RowOnes<'_> {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let base = row * self.words_per_row;
+        RowOnes {
+            words: &self.bits[base..base + self.words_per_row],
+            word_idx: 0,
+            current: self.bits.get(base).copied().unwrap_or(0),
+        }
+    }
+
+    /// Converts to a dense `f32` matrix of zeros and ones.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| if self.get(r, c) { 1.0 } else { 0.0 })
+    }
+
+    /// Converts one row to a `Vec<f32>` of zeros and ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_to_f32(&self, row: usize) -> Vec<f32> {
+        (0..self.cols).map(|c| if self.get(row, c) { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Builds a spike matrix by thresholding a dense matrix at `threshold`.
+    pub fn from_matrix_threshold(m: &Matrix, threshold: f32) -> Self {
+        SpikeMatrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] > threshold)
+    }
+
+    /// Multiplies this binary matrix by a dense weight matrix:
+    /// `out[m][n] = Σ_k self[m][k] * weights[k][n]`.
+    ///
+    /// This is the reference spike GEMM (accumulation-only, no multiplies)
+    /// that functional verification compares the Phi decomposition against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `weights.rows() != self.cols()`.
+    pub fn spike_matmul(&self, weights: &Matrix) -> Result<Matrix> {
+        if weights.rows() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "spike_matmul",
+                expected: self.cols,
+                actual: weights.rows(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, weights.cols());
+        for r in 0..self.rows {
+            for k in self.row_ones(r) {
+                let w = weights.row(k);
+                let o = out.row_mut(r);
+                for (o_n, w_n) in o.iter_mut().zip(w) {
+                    *o_n += *w_n;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Splits the column range into `ceil(cols / k)` partitions of width `k`
+    /// and returns the tile of `row` in partition `part`.
+    ///
+    /// The final partition is zero-padded, as in the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 64` or the indices are out of bounds.
+    #[inline]
+    pub fn partition_tile(&self, row: usize, part: usize, k: usize) -> u64 {
+        assert!(k > 0 && k <= WORD_BITS, "partition width must be within 1..=64");
+        assert!(part < self.num_partitions(k), "partition {part} out of bounds");
+        self.tile(row, part * k, k.min(self.cols - part * k))
+    }
+
+    /// Number of width-`k` partitions along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn num_partitions(&self, k: usize) -> usize {
+        assert!(k > 0, "partition width must be nonzero");
+        self.cols.div_ceil(k)
+    }
+}
+
+impl fmt::Debug for SpikeMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpikeMatrix({}x{}, nnz={}", self.rows, self.cols, self.nnz())?;
+        if self.rows <= 8 && self.cols <= 64 {
+            writeln!(f, ")")?;
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    write!(f, "{}", u8::from(self.get(r, c)))?;
+                }
+                writeln!(f)?;
+            }
+            Ok(())
+        } else {
+            write!(f, ")")
+        }
+    }
+}
+
+/// Iterator over set-bit column indices of one row.
+///
+/// Produced by [`SpikeMatrix::row_ones`].
+#[derive(Debug, Clone)]
+pub struct RowOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for RowOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_has_no_bits() {
+        let m = SpikeMatrix::zeros(3, 100);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 100);
+        assert_eq!(m.bit_density(), 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = SpikeMatrix::zeros(2, 70);
+        m.set(1, 69, true);
+        m.set(0, 0, true);
+        assert!(m.get(1, 69));
+        assert!(m.get(0, 0));
+        assert!(!m.get(0, 69));
+        m.set(1, 69, false);
+        assert!(!m.get(1, 69));
+    }
+
+    #[test]
+    fn tile_within_single_word() {
+        let mut m = SpikeMatrix::zeros(1, 64);
+        m.set(0, 4, true);
+        m.set(0, 7, true);
+        assert_eq!(m.tile(0, 4, 4), 0b1001);
+        assert_eq!(m.tile(0, 0, 8), 0b1001_0000);
+    }
+
+    #[test]
+    fn tile_across_word_boundary() {
+        let mut m = SpikeMatrix::zeros(1, 128);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(0, 70, true);
+        // Local positions: 63-60=3, 64-60=4, 70-60=10.
+        assert_eq!(m.tile(0, 60, 16), (1 << 3) | (1 << 4) | (1 << 10));
+    }
+
+    #[test]
+    fn tile_full_width_64() {
+        let mut m = SpikeMatrix::zeros(1, 128);
+        m.set(0, 0, true);
+        m.set(0, 63, true);
+        assert_eq!(m.tile(0, 0, 64), (1u64 << 63) | 1);
+    }
+
+    #[test]
+    fn tile_past_end_reads_zero() {
+        let mut m = SpikeMatrix::zeros(1, 20);
+        m.set(0, 19, true);
+        assert_eq!(m.tile(0, 16, 4), 0b1000);
+        assert_eq!(m.tile(0, 32, 8), 0);
+    }
+
+    #[test]
+    fn set_tile_roundtrip() {
+        let mut m = SpikeMatrix::zeros(2, 48);
+        m.set_tile(1, 16, 16, 0xBEEF);
+        assert_eq!(m.tile(1, 16, 16), 0xBEEF);
+        assert_eq!(m.tile(1, 0, 16), 0);
+        assert_eq!(m.tile(1, 32, 16), 0);
+    }
+
+    #[test]
+    fn row_nnz_counts_row_only() {
+        let mut m = SpikeMatrix::zeros(2, 130);
+        m.set(0, 0, true);
+        m.set(0, 129, true);
+        m.set(1, 64, true);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn row_ones_yields_ascending_indices() {
+        let mut m = SpikeMatrix::zeros(1, 200);
+        for &c in &[0, 63, 64, 127, 199] {
+            m.set(0, c, true);
+        }
+        let ones: Vec<usize> = m.row_ones(0).collect();
+        assert_eq!(ones, vec![0, 63, 64, 127, 199]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows = vec![vec![true, false], vec![true]];
+        let err = SpikeMatrix::from_rows(&rows).unwrap_err();
+        assert!(matches!(err, Error::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_rows_accepts_empty() {
+        let m = SpikeMatrix::from_rows(&[]).unwrap();
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn random_density_is_approximate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = SpikeMatrix::random(100, 100, 0.2, &mut rng);
+        let d = m.bit_density();
+        assert!((d - 0.2).abs() < 0.02, "density {d} too far from 0.2");
+    }
+
+    #[test]
+    fn spike_matmul_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = SpikeMatrix::random(5, 12, 0.4, &mut rng);
+        let w = Matrix::random(12, 7, &mut rng);
+        let sparse = a.spike_matmul(&w).unwrap();
+        let dense = a.to_matrix().matmul(&w).unwrap();
+        assert!(sparse.approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spike_matmul_rejects_bad_dims() {
+        let a = SpikeMatrix::zeros(2, 3);
+        let w = Matrix::zeros(4, 5);
+        assert!(matches!(
+            a.spike_matmul(&w),
+            Err(Error::DimensionMismatch { expected: 3, actual: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn partition_tile_pads_last_partition() {
+        let mut m = SpikeMatrix::zeros(1, 20);
+        m.set(0, 18, true);
+        assert_eq!(m.num_partitions(16), 2);
+        assert_eq!(m.partition_tile(0, 1, 16), 0b100);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let m = SpikeMatrix::zeros(1, 4);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Spike encoders: converting analog feature vectors into spike trains.
+//!
+//! SNN inputs are binary per timestep. The standard scheme (used by the
+//! paper's CNN/transformer models for static datasets) is *rate coding*: an
+//! intensity `p ∈ [0, 1]` produces a spike in each timestep with probability
+//! `p` (Bernoulli) or deterministically through an input LIF neuron.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// Bernoulli rate coding: spike with probability equal to the (clamped)
+/// intensity, independently per timestep.
+///
+/// Returns one `batch × features` 0/1 matrix per timestep.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::Matrix;
+/// use snn_core::encode::rate_encode;
+/// use rand::SeedableRng;
+///
+/// let x = Matrix::from_rows(&[vec![0.0, 1.0]])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let train = rate_encode(&x, 4, &mut rng);
+/// assert_eq!(train.len(), 4);
+/// // Intensity 0 never spikes, intensity 1 always does.
+/// assert!(train.iter().all(|t| t[(0, 0)] == 0.0 && t[(0, 1)] == 1.0));
+/// # Ok::<(), snn_core::Error>(())
+/// ```
+pub fn rate_encode<R: Rng + ?Sized>(
+    intensities: &Matrix,
+    timesteps: usize,
+    rng: &mut R,
+) -> Vec<Matrix> {
+    (0..timesteps)
+        .map(|_| {
+            Matrix::from_fn(intensities.rows(), intensities.cols(), |r, c| {
+                let p = intensities[(r, c)].clamp(0.0, 1.0) as f64;
+                if rng.gen_bool(p) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect()
+}
+
+/// Deterministic input-LIF coding: each feature drives a LIF neuron with a
+/// constant current equal to its intensity; the emitted spike train is the
+/// encoding. This is reproducible (no RNG) and used for evaluation runs.
+pub fn lif_encode(intensities: &Matrix, timesteps: usize) -> Vec<Matrix> {
+    let rows = intensities.rows();
+    let cols = intensities.cols();
+    let mut potentials = vec![0.0f32; rows * cols];
+    (0..timesteps)
+        .map(|_| {
+            Matrix::from_fn(rows, cols, |r, c| {
+                let v = &mut potentials[r * cols + c];
+                *v += intensities[(r, c)].clamp(0.0, 1.0);
+                if *v >= 1.0 {
+                    *v -= 1.0;
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_encode_matches_intensity_on_average() {
+        let x = Matrix::from_fn(1, 1000, |_, c| (c % 10) as f32 / 10.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let train = rate_encode(&x, 64, &mut rng);
+        for c in (0..1000).step_by(97) {
+            let p = x[(0, c)];
+            let rate: f32 =
+                train.iter().map(|t| t[(0, c)]).sum::<f32>() / train.len() as f32;
+            assert!((rate - p).abs() < 0.2, "rate {rate} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn lif_encode_rate_equals_intensity() {
+        let x = Matrix::from_rows(&[vec![0.25, 0.5, 1.0]]).unwrap();
+        let train = lif_encode(&x, 100);
+        let rates: Vec<f32> = (0..3)
+            .map(|c| train.iter().map(|t| t[(0, c)]).sum::<f32>() / 100.0)
+            .collect();
+        assert!((rates[0] - 0.25).abs() < 0.02);
+        assert!((rates[1] - 0.5).abs() < 0.02);
+        assert!((rates[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lif_encode_is_deterministic() {
+        let x = Matrix::from_rows(&[vec![0.3, 0.7]]).unwrap();
+        let a = lif_encode(&x, 8);
+        let b = lif_encode(&x, 8);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert!(ta.approx_eq(tb, 0.0));
+        }
+    }
+
+    #[test]
+    fn outputs_are_binary() {
+        let x = Matrix::from_fn(3, 5, |r, c| (r as f32 + c as f32) / 8.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in rate_encode(&x, 6, &mut rng) {
+            for &v in t.as_slice() {
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+        for t in lif_encode(&x, 6) {
+            for &v in t.as_slice() {
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error handling shared across the SNN substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the SNN substrate.
+///
+/// Dimension errors are reported with enough context to locate the offending
+/// operand without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two operands disagreed on a dimension.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A matrix constructor was handed ragged row data.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the first row with a different length.
+        row: usize,
+        /// Length of that row.
+        len: usize,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, expected, actual } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, got {actual}")
+            }
+            Error::RaggedRows { first, row, len } => {
+                write!(f, "ragged rows: row 0 has length {first} but row {row} has length {len}")
+            }
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let err = Error::DimensionMismatch { op: "matmul", expected: 4, actual: 5 };
+        let text = err.to_string();
+        assert!(text.starts_with("dimension mismatch"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

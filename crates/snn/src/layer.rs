@@ -1,0 +1,197 @@
+//! GEMM-shaped layer descriptors.
+//!
+//! Both Phi and every baseline accelerator consume SNN layers as matrix
+//! multiplications: activations `M×K` (binary) times weights `K×N`.
+//! Convolutions are lowered via im2col — `M = H_out·W_out`,
+//! `K = C_in·k_h·k_w`, `N = C_out` — which is exactly the view the paper's
+//! tiling strategy (§4.1) operates on. The model zoo in `snn-workloads`
+//! builds lists of [`LayerSpec`]s for each evaluated network.
+
+use std::fmt;
+
+/// The `(M, K, N)` dimensions of one layer's matrix multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Output spatial positions (rows of the activation matrix).
+    pub m: usize,
+    /// Reduction dimension (columns of the activation matrix).
+    pub k: usize,
+    /// Output channels / features.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        GemmShape { m, k, n }
+    }
+
+    /// Total multiply-accumulate positions (`M·K·N`) — the *dense* operation
+    /// count a non-sparse accelerator must perform.
+    pub fn dense_ops(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Number of width-`k` partitions along the reduction dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn num_partitions(&self, k: usize) -> usize {
+        assert!(k > 0, "partition width must be nonzero");
+        self.k.div_ceil(k)
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// What kind of network operation a layer implements.
+///
+/// The accelerator treats all of them as GEMMs; the kind is retained for
+/// reporting and because activation statistics differ by kind (e.g.
+/// attention layers are denser than convolutional ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// im2col'd 2-D convolution.
+    Conv,
+    /// Fully connected layer.
+    Linear,
+    /// Attention projection (Q/K/V/output) in a spiking transformer.
+    Attention,
+    /// Transformer MLP block layer.
+    Mlp,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LayerKind::Conv => "conv",
+            LayerKind::Linear => "linear",
+            LayerKind::Attention => "attention",
+            LayerKind::Mlp => "mlp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One layer of an SNN model as the accelerator sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerSpec {
+    /// Layer name for reports, e.g. `"conv3_2"`.
+    pub name: String,
+    /// Operation kind.
+    pub kind: LayerKind,
+    /// GEMM dimensions after lowering.
+    pub shape: GemmShape,
+    /// Number of SNN timesteps this layer executes.
+    pub timesteps: usize,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    pub fn new(name: impl Into<String>, kind: LayerKind, shape: GemmShape, timesteps: usize) -> Self {
+        LayerSpec { name: name.into(), kind, shape, timesteps }
+    }
+
+    /// Dense operations across all timesteps.
+    pub fn dense_ops(&self) -> u64 {
+        self.shape.dense_ops() * self.timesteps as u64
+    }
+}
+
+impl fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {} T={}", self.name, self.kind, self.shape, self.timesteps)
+    }
+}
+
+/// Lowers a 2-D convolution to its im2col GEMM shape.
+///
+/// `input` is `(height, width, channels_in)`; the kernel is
+/// `kernel × kernel`, applied with `stride` and symmetric `padding`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the kernel does not fit the padded input.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::conv2d_gemm;
+///
+/// // First VGG16 block on 32x32 RGB input: 3x3x3 -> 64 channels.
+/// let shape = conv2d_gemm((32, 32, 3), 64, 3, 1, 1);
+/// assert_eq!((shape.m, shape.k, shape.n), (1024, 27, 64));
+/// ```
+pub fn conv2d_gemm(
+    input: (usize, usize, usize),
+    channels_out: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> GemmShape {
+    assert!(stride > 0, "stride must be nonzero");
+    let (h, w, c_in) = input;
+    let padded_h = h + 2 * padding;
+    let padded_w = w + 2 * padding;
+    assert!(padded_h >= kernel && padded_w >= kernel, "kernel larger than padded input");
+    let out_h = (padded_h - kernel) / stride + 1;
+    let out_w = (padded_w - kernel) / stride + 1;
+    GemmShape { m: out_h * out_w, k: c_in * kernel * kernel, n: channels_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_gemm_known_shapes() {
+        // VGG conv1_1 on CIFAR: 32x32x3, 64 filters of 3x3, stride 1, pad 1.
+        let s = conv2d_gemm((32, 32, 3), 64, 3, 1, 1);
+        assert_eq!(s, GemmShape::new(1024, 27, 64));
+        // Downsampling conv: stride 2 halves each spatial dim.
+        let s = conv2d_gemm((16, 16, 128), 256, 3, 2, 1);
+        assert_eq!(s, GemmShape::new(64, 1152, 256));
+    }
+
+    #[test]
+    fn conv_gemm_no_padding() {
+        let s = conv2d_gemm((5, 5, 1), 4, 3, 1, 0);
+        assert_eq!(s, GemmShape::new(9, 9, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be nonzero")]
+    fn conv_gemm_rejects_zero_stride() {
+        conv2d_gemm((4, 4, 1), 1, 3, 0, 1);
+    }
+
+    #[test]
+    fn dense_ops_counts_all_positions() {
+        let s = GemmShape::new(10, 20, 30);
+        assert_eq!(s.dense_ops(), 6000);
+        let layer = LayerSpec::new("l", LayerKind::Linear, s, 4);
+        assert_eq!(layer.dense_ops(), 24_000);
+    }
+
+    #[test]
+    fn partitions_round_up() {
+        let s = GemmShape::new(1, 27, 1);
+        assert_eq!(s.num_partitions(16), 2);
+        assert_eq!(s.num_partitions(27), 1);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let layer = LayerSpec::new("conv1", LayerKind::Conv, GemmShape::new(1, 2, 3), 4);
+        let text = layer.to_string();
+        assert!(text.contains("conv1"));
+        assert!(text.contains("1x2x3"));
+        assert!(text.contains("T=4"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Leaky-Integrate-and-Fire neuron dynamics.
+//!
+//! The paper adopts the LIF model (§2.1): a neuron integrates its input
+//! current into a membrane potential each timestep, leaks a fraction of it,
+//! and emits a binary spike when the potential crosses the threshold. Both
+//! the trainable network ([`crate::network`]) and the accelerator's Spiking
+//! Neuron Array (`phi-accel`) reuse this module so the functional model and
+//! the hardware model cannot drift apart.
+
+/// How the membrane potential is reset after a spike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetMode {
+    /// Subtract the threshold (`v -= θ`), retaining the residual — the
+    /// common choice in deep-SNN training and the one the paper's models use.
+    #[default]
+    Subtract,
+    /// Hard reset to zero.
+    Zero,
+}
+
+/// LIF neuron parameters.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::{LifConfig, LifNeuron};
+///
+/// let mut n = LifNeuron::new(LifConfig::default());
+/// // Sub-threshold input never spikes; constant drive eventually does.
+/// assert!(!n.step(0.4));
+/// assert!(n.step(0.8)); // 0.4 * leak + 0.8 crosses θ = 1.0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifConfig {
+    /// Firing threshold θ.
+    pub v_threshold: f32,
+    /// Multiplicative leak applied to the carried-over potential
+    /// (`1.0` = pure integrate-and-fire, `0.0` = memoryless).
+    pub leak: f32,
+    /// Post-spike reset behaviour.
+    pub reset: ResetMode,
+}
+
+impl Default for LifConfig {
+    fn default() -> Self {
+        LifConfig { v_threshold: 1.0, leak: 1.0, reset: ResetMode::Subtract }
+    }
+}
+
+/// A single LIF neuron with persistent membrane state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifNeuron {
+    config: LifConfig,
+    v: f32,
+}
+
+impl LifNeuron {
+    /// Creates a neuron at resting potential.
+    pub fn new(config: LifConfig) -> Self {
+        LifNeuron { config, v: 0.0 }
+    }
+
+    /// Current membrane potential.
+    pub fn potential(&self) -> f32 {
+        self.v
+    }
+
+    /// The neuron's configuration.
+    pub fn config(&self) -> LifConfig {
+        self.config
+    }
+
+    /// Advances one timestep with input current `input`; returns whether the
+    /// neuron spiked.
+    pub fn step(&mut self, input: f32) -> bool {
+        let u = self.config.leak * self.v + input;
+        let spike = u >= self.config.v_threshold;
+        self.v = match (spike, self.config.reset) {
+            (true, ResetMode::Subtract) => u - self.config.v_threshold,
+            (true, ResetMode::Zero) => 0.0,
+            (false, _) => u,
+        };
+        spike
+    }
+
+    /// Resets the membrane to resting potential.
+    pub fn reset(&mut self) {
+        self.v = 0.0;
+    }
+}
+
+/// A bank of identically configured LIF neurons, stepped in lockstep.
+///
+/// This mirrors the accelerator's Spiking Neuron Array: one neuron per output
+/// column, consuming an output-tile row of partial sums per step.
+#[derive(Debug, Clone)]
+pub struct LifLayer {
+    config: LifConfig,
+    v: Vec<f32>,
+}
+
+impl LifLayer {
+    /// Creates `width` neurons at resting potential.
+    pub fn new(width: usize, config: LifConfig) -> Self {
+        LifLayer { config, v: vec![0.0; width] }
+    }
+
+    /// Number of neurons.
+    pub fn width(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Membrane potentials, one per neuron.
+    pub fn potentials(&self) -> &[f32] {
+        &self.v
+    }
+
+    /// Advances one timestep, writing spikes into `spikes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `spikes` length differs from [`Self::width`].
+    pub fn step_into(&mut self, inputs: &[f32], spikes: &mut [bool]) {
+        assert_eq!(inputs.len(), self.v.len(), "input width mismatch");
+        assert_eq!(spikes.len(), self.v.len(), "spike buffer width mismatch");
+        for ((v, &input), spike) in self.v.iter_mut().zip(inputs).zip(spikes.iter_mut()) {
+            let u = self.config.leak * *v + input;
+            let fired = u >= self.config.v_threshold;
+            *v = match (fired, self.config.reset) {
+                (true, ResetMode::Subtract) => u - self.config.v_threshold,
+                (true, ResetMode::Zero) => 0.0,
+                (false, _) => u,
+            };
+            *spike = fired;
+        }
+    }
+
+    /// Advances one timestep and returns the spike vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` length differs from [`Self::width`].
+    pub fn step(&mut self, inputs: &[f32]) -> Vec<bool> {
+        let mut spikes = vec![false; self.v.len()];
+        self.step_into(inputs, &mut spikes);
+        spikes
+    }
+
+    /// Resets every neuron to resting potential.
+    pub fn reset(&mut self) {
+        self.v.fill(0.0);
+    }
+}
+
+/// Surrogate derivative of the Heaviside spike function, used by
+/// backpropagation-through-time.
+///
+/// We use the arctan surrogate popularised by Spikformer-style training:
+/// `g'(x) = α / (2 (1 + (π α x / 2)²))` where `x = u − θ`.
+pub fn surrogate_grad(u_minus_theta: f32, alpha: f32) -> f32 {
+    let t = std::f32::consts::FRAC_PI_2 * alpha * u_minus_theta;
+    alpha / (2.0 * (1.0 + t * t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_and_fires() {
+        let mut n = LifNeuron::new(LifConfig::default());
+        assert!(!n.step(0.5));
+        assert!(!n.step(0.4));
+        assert!(n.step(0.2)); // 0.5 + 0.4 + 0.2 = 1.1 >= 1.0
+    }
+
+    #[test]
+    fn subtract_reset_keeps_residual() {
+        let mut n = LifNeuron::new(LifConfig::default());
+        assert!(n.step(1.3));
+        assert!((n.potential() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_reset_clears_potential() {
+        let mut n =
+            LifNeuron::new(LifConfig { reset: ResetMode::Zero, ..LifConfig::default() });
+        assert!(n.step(2.5));
+        assert_eq!(n.potential(), 0.0);
+    }
+
+    #[test]
+    fn leak_decays_potential() {
+        let mut n = LifNeuron::new(LifConfig { leak: 0.5, ..LifConfig::default() });
+        n.step(0.8);
+        // Next step carries 0.4, so 0.4 + 0.5 = 0.9 < 1.0: no spike.
+        assert!(!n.step(0.5));
+        // 0.45 + 0.6 = 1.05: spike.
+        assert!(n.step(0.6));
+    }
+
+    #[test]
+    fn reset_returns_to_rest() {
+        let mut n = LifNeuron::new(LifConfig::default());
+        n.step(0.9);
+        n.reset();
+        assert_eq!(n.potential(), 0.0);
+    }
+
+    #[test]
+    fn layer_matches_scalar_neurons() {
+        let config = LifConfig { leak: 0.9, ..LifConfig::default() };
+        let mut layer = LifLayer::new(3, config);
+        let mut scalars: Vec<LifNeuron> = (0..3).map(|_| LifNeuron::new(config)).collect();
+        let inputs = [[0.5, 1.2, 0.0], [0.7, 0.1, 0.3], [0.2, 0.9, 0.9]];
+        for step in &inputs {
+            let layer_spikes = layer.step(step);
+            for (i, neuron) in scalars.iter_mut().enumerate() {
+                assert_eq!(layer_spikes[i], neuron.step(step[i]));
+                assert!((layer.potentials()[i] - neuron.potential()).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn layer_rejects_wrong_width() {
+        let mut layer = LifLayer::new(2, LifConfig::default());
+        layer.step(&[1.0]);
+    }
+
+    #[test]
+    fn surrogate_peaks_at_threshold() {
+        let at_threshold = surrogate_grad(0.0, 2.0);
+        let away = surrogate_grad(1.0, 2.0);
+        assert!(at_threshold > away);
+        assert!(away > 0.0);
+    }
+
+    #[test]
+    fn fire_rate_tracks_input_magnitude() {
+        // A neuron driven at constant current i with θ=1 fires at rate ≈ i.
+        for &drive in &[0.25f32, 0.5, 0.75] {
+            let mut n = LifNeuron::new(LifConfig::default());
+            let steps = 1000;
+            let fired = (0..steps).filter(|_| n.step(drive)).count();
+            let rate = fired as f32 / steps as f32;
+            assert!((rate - drive).abs() < 0.01, "rate {rate} vs drive {drive}");
+        }
+    }
+}

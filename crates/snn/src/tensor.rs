@@ -1,0 +1,357 @@
+//! Minimal dense `f32` matrix.
+//!
+//! The reproduction only needs a small set of operations — GEMM for
+//! functional verification, element-wise arithmetic for training — so we
+//! implement them directly instead of pulling in a linear-algebra crate.
+
+use crate::error::{Error, Result};
+use rand::Rng;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f32` matrix.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// assert!(a.matmul(&b)?.approx_eq(&a, 1e-6));
+/// # Ok::<(), snn_core::Error>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Builds a matrix by evaluating `f` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::RaggedRows`] if rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
+        let cols = rows.first().map_or(0, Vec::len);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::RaggedRows { first: cols, row: i, len: row.len() });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a matrix that owns `data` laid out row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::DimensionMismatch {
+                op: "from_vec",
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Samples a matrix with entries uniform in `[-0.5, 0.5)`.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-0.5..0.5))
+    }
+
+    /// Samples a matrix with Kaiming-style scaling for `fan_in` inputs.
+    pub fn kaiming<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / rows as f32).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat view of the underlying storage, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the underlying storage, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                op: "matmul",
+                expected: self.cols,
+                actual: rhs.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.data[c * self.cols + r])
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(Error::DimensionMismatch {
+                op,
+                expected: self.rows * self.cols,
+                actual: rhs.rows * rhs.cols,
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// In-place `self += scale * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (training-internal hot path).
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(self.rows, rhs.rows, "add_scaled row mismatch");
+        assert_eq!(self.cols, rhs.cols, "add_scaled col mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * s).collect(),
+        }
+    }
+
+    /// Maximum absolute difference against `rhs`, or `None` on shape
+    /// mismatch.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> Option<f32> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0f32, f32::max),
+        )
+    }
+
+    /// Whether all entries differ from `rhs` by at most `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f32) -> bool {
+        self.max_abs_diff(rhs).is_some_and(|d| d <= tol)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{}, norm={:.4})", self.rows, self.cols, self.norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random(4, 4, &mut rng);
+        let product = a.matmul(&Matrix::identity(4)).unwrap();
+        assert!(product.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::random(3, 5, &mut rng);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random(3, 3, &mut rng);
+        let b = Matrix::random(3, 3, &mut rng);
+        let roundtrip = a.add(&b).unwrap().sub(&b).unwrap();
+        assert!(roundtrip.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn add_scaled_matches_add() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::random(2, 2, &mut rng);
+        let b = Matrix::random(2, 2, &mut rng);
+        let mut c = a.clone();
+        c.add_scaled(&b, 2.0);
+        let expected = a.add(&b.scale(2.0)).unwrap();
+        assert!(c.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        assert_eq!(Matrix::zeros(2, 2).max_abs_diff(&Matrix::zeros(2, 3)), None);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Matrix::zeros(1, 1)).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-model/dataset activation statistics, taken from the paper's Table 4.
+//!
+//! The generator is calibrated so that sampled activations land on these bit
+//! densities; the cluster parameters (prototype count, noise, outlier
+//! fraction) were tuned once so that running the *actual* Phi calibration
+//! and decomposition on generated data reproduces Table 4's L1/L2 density
+//! split (see `EXPERIMENTS.md` for measured-vs-paper numbers).
+
+use crate::models::{DatasetId, ModelId};
+use snn_core::LayerKind;
+
+/// Statistical profile of one model/dataset pair's activations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationProfile {
+    /// Target ones density (Table 4 "Bit Density").
+    pub bit_density: f64,
+    /// Dominant row prototypes per 16-wide partition.
+    pub clusters_per_partition: usize,
+    /// Per-bit XOR noise between a row-tile and its prototype.
+    pub noise: f64,
+    /// Fraction of row-tiles drawn i.i.d. (unclustered outliers).
+    pub outlier_fraction: f64,
+    /// Probability that a prototype is active in a given partition. Real
+    /// activations concentrate: a tile is either near-empty or carries
+    /// several bits (which is what lets 128 patterns cover most ones);
+    /// within an active partition the prototype density is
+    /// `bit_density / partition_active`.
+    pub partition_active: f64,
+}
+
+/// Returns the profile for `model` on `dataset`.
+///
+/// Bit densities are the paper's Table 4 values; SpikeBERT (absent from
+/// Table 4) uses SpikingBERT-like language-model densities, consistent with
+/// its Fig. 8 behaviour.
+pub fn activation_profile(model: ModelId, dataset: DatasetId) -> ActivationProfile {
+    let bit_density = match (model, dataset) {
+        (ModelId::Vgg16, DatasetId::Cifar10) => 0.087,
+        (ModelId::Vgg16, DatasetId::Cifar100) => 0.106,
+        (ModelId::ResNet18, DatasetId::Cifar10) => 0.074,
+        (ModelId::ResNet18, DatasetId::Cifar100) => 0.070,
+        (ModelId::Spikformer, DatasetId::Cifar10Dvs) => 0.119,
+        (ModelId::Spikformer, _) => 0.142,
+        (ModelId::Sdt, DatasetId::Cifar10Dvs) => 0.112,
+        (ModelId::Sdt, _) => 0.152,
+        (ModelId::SpikeBert, _) => 0.180,
+        (ModelId::SpikingBert, DatasetId::Mnli) => 0.210,
+        (ModelId::SpikingBert, _) => 0.203,
+        // CNNs on unusual datasets: fall back to their CIFAR100 profile.
+        (ModelId::Vgg16, _) => 0.106,
+        (ModelId::ResNet18, _) => 0.070,
+    };
+    // Cluster structure: CNNs cluster tightly (Fig. 1c); language models are
+    // denser and noisier (their Table 4 speedups over bit are lower per
+    // density point).
+    let (clusters_per_partition, noise, outlier_fraction, partition_active) = match model {
+        ModelId::Vgg16 | ModelId::ResNet18 => (10, 0.009, 0.06, 0.25),
+        ModelId::Spikformer | ModelId::Sdt => (14, 0.018, 0.09, 0.40),
+        ModelId::SpikeBert | ModelId::SpikingBert => (20, 0.030, 0.11, 0.55),
+    };
+    ActivationProfile {
+        bit_density,
+        clusters_per_partition,
+        noise,
+        outlier_fraction,
+        partition_active,
+    }
+}
+
+/// Scales a profile's density for a specific layer kind: attention
+/// activations run denser than conv activations in the published traces,
+/// while MLP expansion layers run sparser.
+pub fn kind_density_factor(kind: LayerKind) -> f64 {
+    match kind {
+        LayerKind::Linear => 0.9,
+        LayerKind::Attention => 1.1,
+        LayerKind::Mlp => 0.85,
+        // Conv and any future kinds use the profile density unchanged.
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_densities_are_reproduced() {
+        assert_eq!(activation_profile(ModelId::Vgg16, DatasetId::Cifar10).bit_density, 0.087);
+        assert_eq!(activation_profile(ModelId::SpikingBert, DatasetId::Mnli).bit_density, 0.210);
+        assert_eq!(
+            activation_profile(ModelId::Spikformer, DatasetId::Cifar10Dvs).bit_density,
+            0.119
+        );
+    }
+
+    #[test]
+    fn every_pair_has_a_sane_profile() {
+        for model in ModelId::ALL {
+            for dataset in [
+                DatasetId::Cifar10,
+                DatasetId::Cifar100,
+                DatasetId::Cifar10Dvs,
+                DatasetId::Sst2,
+                DatasetId::Sst5,
+                DatasetId::Mnli,
+            ] {
+                let p = activation_profile(model, dataset);
+                assert!(p.bit_density > 0.0 && p.bit_density < 0.5);
+                assert!(p.noise < p.bit_density, "{model}/{dataset}");
+                assert!(p.outlier_fraction < 0.5);
+                assert!(p.clusters_per_partition >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_factors_order_attention_above_conv() {
+        assert!(kind_density_factor(LayerKind::Attention) > kind_density_factor(LayerKind::Conv));
+        assert!(kind_density_factor(LayerKind::Mlp) < kind_density_factor(LayerKind::Conv));
+    }
+}

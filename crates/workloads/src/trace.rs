@@ -1,0 +1,243 @@
+//! Activation-trace import/export.
+//!
+//! The generator substitutes for the paper's PyTorch activation dumps, but
+//! a downstream user with real traces should be able to feed them in. This
+//! module defines a minimal text format — one line per activation row,
+//! `0`/`1` characters per bit — plus a sparse CSV (`row,col` per set bit),
+//! with round-trip guarantees. Both formats are self-describing enough to
+//! produce from a two-line numpy snippet.
+
+use snn_core::{Error, Result, SpikeMatrix};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes a spike matrix as dense `0`/`1` text, one row per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_dense_text(m: &SpikeMatrix, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut line = String::with_capacity(m.cols() + 1);
+    for r in 0..m.rows() {
+        line.clear();
+        for c in 0..m.cols() {
+            line.push(if m.get(r, c) { '1' } else { '0' });
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a spike matrix from dense `0`/`1` text.
+///
+/// # Errors
+///
+/// Returns [`Error::RaggedRows`] for inconsistent line lengths,
+/// [`Error::InvalidParameter`] for characters other than `0`/`1`, and wraps
+/// I/O failures in [`Error::InvalidParameter`].
+pub fn read_dense_text(path: impl AsRef<Path>) -> Result<SpikeMatrix> {
+    let file = File::open(&path).map_err(|e| Error::InvalidParameter {
+        name: "path",
+        reason: format!("cannot open trace: {e}"),
+    })?;
+    parse_dense_text(BufReader::new(file))
+}
+
+/// Parses the dense text format from any reader (exposed for testing and
+/// in-memory use; pass `&mut reader` to keep ownership).
+///
+/// # Errors
+///
+/// Same conditions as [`read_dense_text`].
+pub fn parse_dense_text<R: Read>(reader: R) -> Result<SpikeMatrix> {
+    let mut rows: Vec<Vec<bool>> = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter {
+            name: "trace",
+            reason: format!("read error at line {i}: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let row: Vec<bool> = trimmed
+            .chars()
+            .map(|ch| match ch {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(Error::InvalidParameter {
+                    name: "trace",
+                    reason: format!("invalid character {other:?} at line {i}"),
+                }),
+            })
+            .collect::<Result<_>>()?;
+        rows.push(row);
+    }
+    SpikeMatrix::from_rows(&rows)
+}
+
+/// Writes a spike matrix as sparse CSV: a `rows,cols` header line followed
+/// by one `row,col` line per set bit.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_sparse_csv(m: &SpikeMatrix, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{},{}", m.rows(), m.cols())?;
+    for r in 0..m.rows() {
+        for c in m.row_ones(r) {
+            writeln!(w, "{r},{c}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a spike matrix from the sparse CSV format.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for malformed headers/entries or
+/// out-of-bounds coordinates.
+pub fn read_sparse_csv(path: impl AsRef<Path>) -> Result<SpikeMatrix> {
+    let file = File::open(&path).map_err(|e| Error::InvalidParameter {
+        name: "path",
+        reason: format!("cannot open trace: {e}"),
+    })?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::InvalidParameter {
+            name: "trace",
+            reason: "empty sparse trace".to_owned(),
+        })?
+        .map_err(|e| Error::InvalidParameter {
+            name: "trace",
+            reason: format!("read error: {e}"),
+        })?;
+    let (rows, cols) = parse_pair(&header, 0)?;
+    let mut m = SpikeMatrix::zeros(rows, cols);
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter {
+            name: "trace",
+            reason: format!("read error at entry {i}: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (r, c) = parse_pair(&line, i + 1)?;
+        if r >= rows || c >= cols {
+            return Err(Error::InvalidParameter {
+                name: "trace",
+                reason: format!("entry ({r}, {c}) outside {rows}x{cols}"),
+            });
+        }
+        m.set(r, c, true);
+    }
+    Ok(m)
+}
+
+fn parse_pair(line: &str, lineno: usize) -> Result<(usize, usize)> {
+    let mut parts = line.trim().split(',');
+    let parse = |s: Option<&str>| -> Result<usize> {
+        s.and_then(|v| v.trim().parse().ok()).ok_or_else(|| Error::InvalidParameter {
+            name: "trace",
+            reason: format!("malformed pair at line {lineno}: {line:?}"),
+        })
+    };
+    let a = parse(parts.next())?;
+    let b = parse(parts.next())?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("phi_trace_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn dense_text_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = SpikeMatrix::random(20, 33, 0.25, &mut rng);
+        let path = temp("dense");
+        write_dense_text(&m, &path).unwrap();
+        let back = read_dense_text(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sparse_csv_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = SpikeMatrix::random(15, 64, 0.1, &mut rng);
+        let path = temp("sparse");
+        write_sparse_csv(&m, &path).unwrap();
+        let back = read_sparse_csv(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_bad_characters() {
+        let err = parse_dense_text("01x0".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_ragged_lines() {
+        let err = parse_dense_text("010\n01".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::RaggedRows { .. }));
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let m = parse_dense_text("01\n\n10\n".as_bytes()).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert!(m.get(0, 1));
+        assert!(m.get(1, 0));
+    }
+
+    #[test]
+    fn sparse_rejects_out_of_bounds() {
+        let path = temp("oob");
+        std::fs::write(&path, "2,2\n5,0\n").unwrap();
+        assert!(read_sparse_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn imported_trace_feeds_the_pipeline() {
+        // The point of the module: a trace round-trips into decomposition.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = SpikeMatrix::random(32, 32, 0.2, &mut rng);
+        let path = temp("pipeline");
+        write_dense_text(&m, &path).unwrap();
+        let imported = read_dense_text(&path).unwrap();
+        let patterns = phi_core_shim::calibrate(&imported, &mut rng);
+        assert!(phi_core_shim::lossless(&imported, &patterns));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Tiny indirection so this crate's tests do not depend on phi-core
+    /// (which depends on us only in dev); mimics calibrate+decompose with
+    /// the exact-match-only subset of the rules.
+    mod phi_core_shim {
+        use rand::Rng;
+        use snn_core::SpikeMatrix;
+
+        pub fn calibrate<R: Rng + ?Sized>(m: &SpikeMatrix, _rng: &mut R) -> Vec<u64> {
+            (0..m.rows()).map(|r| m.tile(r, 0, 16)).collect()
+        }
+
+        pub fn lossless(m: &SpikeMatrix, patterns: &[u64]) -> bool {
+            (0..m.rows()).all(|r| patterns.contains(&m.tile(r, 0, 16)))
+        }
+    }
+}

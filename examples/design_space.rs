@@ -1,0 +1,57 @@
+//! Mini design-space exploration (the Fig. 7 sweeps at example scale):
+//! how partition width `k` and pattern count `q` trade compute against
+//! memory, and why the paper lands on `k = 16, q = 128`.
+//!
+//! Run: `cargo run --release --example design_space`
+
+use phi_snn::phi_analysis::Table;
+use phi_snn::phi_core::{decompose, CalibrationConfig, Calibrator};
+use phi_snn::snn_workloads::{activation_profile, generate_clustered, DatasetId, ModelId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar100);
+    // One wide representative layer, calibration + runtime splits.
+    let (calibration, cluster) = generate_clustered(2048, 512, &profile, 16, &mut rng);
+    let runtime = cluster.sample(1024, &mut rng);
+
+    let mut k_table = Table::new(
+        "k sweep (q = 128): Fig 7a/7b at example scale",
+        &["k", "element", "vector", "total", "norm. cycles vs bit"],
+    );
+    for k in [4usize, 8, 16, 32, 64] {
+        let config = CalibrationConfig { k, q: 128, max_iters: 12, ..Default::default() };
+        let patterns = Calibrator::new(config).calibrate(&calibration, &mut rng);
+        let stats = decompose(&runtime, &patterns).stats();
+        k_table.row_owned(vec![
+            k.to_string(),
+            format!("{:.3}%", 100.0 * stats.element_density()),
+            format!("{:.3}%", 100.0 * stats.vector_density()),
+            format!("{:.3}%", 100.0 * stats.total_density()),
+            format!("{:.3}", stats.total_density() / stats.bit_density()),
+        ]);
+    }
+    println!("{k_table}");
+
+    let mut q_table = Table::new(
+        "q sweep (k = 16): Fig 7c at example scale",
+        &["q", "element", "norm. cycles vs bit", "PWP entries / weight entries"],
+    );
+    for q in [8usize, 32, 128, 512] {
+        let config = CalibrationConfig { q, max_iters: 12, ..Default::default() };
+        let patterns = Calibrator::new(config).calibrate(&calibration, &mut rng);
+        let stats = decompose(&runtime, &patterns).stats();
+        let pwp_ratio = patterns.total_patterns() as f64 / 512.0; // per output column
+        q_table.row_owned(vec![
+            q.to_string(),
+            format!("{:.3}%", 100.0 * stats.element_density()),
+            format!("{:.3}", stats.total_density() / stats.bit_density()),
+            format!("{:.2}", pwp_ratio),
+        ]);
+    }
+    println!("{q_table}");
+    println!("takeaway: k = 16 minimizes total compute and balances L1 vs L2; pattern");
+    println!("counts beyond 128 buy little compute but inflate PWP memory (Fig 7c).");
+}

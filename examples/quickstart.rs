@@ -1,0 +1,62 @@
+//! Quickstart: calibrate patterns on one activation matrix, decompose it
+//! into Phi's two sparsity levels, and verify the decomposition is exact.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use phi_snn::phi_core::{decompose, phi_matmul, CalibrationConfig, Calibrator, PwpTable};
+use phi_snn::snn_core::{Matrix, SpikeMatrix};
+use phi_snn::snn_workloads::{activation_profile, generate_clustered, DatasetId, ModelId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Sample a clustered spike activation matrix the way a VGG16 layer
+    //    on CIFAR-10 distributes (Table 4: 8.7% bit density).
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar10);
+    let (calibration, cluster) = generate_clustered(1024, 256, &profile, 16, &mut rng);
+    let activations = cluster.sample(512, &mut rng);
+    println!("activation matrix: {}x{}, bit density {:.2}%",
+        activations.rows(), activations.cols(), 100.0 * activations.bit_density());
+
+    // 2. Calibrate patterns offline on the calibration split (Alg. 1).
+    let config = CalibrationConfig::default(); // k = 16, q = 128
+    let patterns = Calibrator::new(config).calibrate(&calibration, &mut rng);
+    println!("calibrated {} patterns across {} partitions",
+        patterns.total_patterns(), patterns.num_partitions());
+
+    // 3. Decompose the runtime activations into Level 1 + Level 2.
+    let phi = decompose(&activations, &patterns);
+    let stats = phi.stats();
+    println!("{stats}");
+    assert!(phi.verify_lossless(&activations), "L1 + L2 must reconstruct exactly");
+    println!("losslessness verified: L1 + L2 == activations");
+
+    // 4. Functional GEMM: pre-computed PWPs + sparse corrections equal the
+    //    dense spike GEMM bit-for-bit.
+    let weights = Matrix::random(256, 64, &mut rng);
+    let pwp = PwpTable::new(&patterns, &weights)?;
+    let phi_out = phi_matmul(&phi, &pwp, &weights)?;
+    let dense_out = activations.spike_matmul(&weights)?;
+    let diff = phi_out.max_abs_diff(&dense_out).expect("same shape");
+    println!("|phi_gemm - dense_gemm|_max = {diff:.2e}");
+    assert!(diff < 1e-3);
+
+    // 5. The paper's headline: Level-2 work is a fraction of bit-sparse work.
+    println!(
+        "theoretical speedup: {:.1}x over bit sparsity, {:.1}x over dense",
+        stats.speedup_over_bit(),
+        stats.speedup_over_dense()
+    );
+
+    // Random matrices have weaker structure, so the gain shrinks (§5.6).
+    let random = SpikeMatrix::random(512, 256, profile.bit_density, &mut rng);
+    let random_patterns = Calibrator::new(config).calibrate(&random, &mut rng);
+    let random_stats = decompose(&random, &random_patterns).stats();
+    println!(
+        "same density, random bits: {:.1}x over bit sparsity",
+        random_stats.speedup_over_bit()
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! End-to-end accelerator comparison on VGG16 / CIFAR-100: runs the Phi
+//! cycle simulator and all five baselines over the same generated
+//! workload, layer by layer, and prints the Table 2 style summary.
+//!
+//! Run: `cargo run --release --example vgg16_accelerator`
+
+use phi_snn::phi_analysis::Table;
+use phi_snn::pipeline::{run_baseline_workload, run_phi_workload, PipelineConfig};
+use phi_snn::snn_baselines::{
+    Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar,
+};
+use phi_snn::snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+
+fn main() {
+    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar100)
+        .with_max_rows(512)
+        .with_calibration_rows(256)
+        .generate();
+    let pipeline = PipelineConfig::default();
+    let freq = pipeline.accelerator.frequency_hz;
+
+    println!(
+        "VGG16/CIFAR100: {} layers, {:.2e} bit-ops, {:.2e} dense ops\n",
+        workload.layers.len(),
+        workload.total_bit_ops(),
+        workload.total_dense_ops()
+    );
+
+    let baselines: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(SpikingEyeriss::default()),
+        Box::new(Ptb::default()),
+        Box::new(Sato::default()),
+        Box::new(SpinalFlow::default()),
+        Box::new(Stellar::default()),
+    ];
+
+    let mut table = Table::new(
+        "VGG16/CIFAR100 accelerator comparison",
+        &["Accelerator", "runtime (ms)", "GOP/s", "GOP/J", "energy (mJ)"],
+    );
+    let mut eyeriss_runtime = None;
+    for baseline in &baselines {
+        let report = run_baseline_workload(baseline.as_ref(), &workload);
+        let runtime = report.runtime_s(freq);
+        eyeriss_runtime.get_or_insert(runtime);
+        table.row_owned(vec![
+            baseline.name().to_owned(),
+            format!("{:.3}", runtime * 1e3),
+            format!("{:.1}", report.throughput_gops(freq)),
+            format!("{:.1}", report.gops_per_joule()),
+            format!("{:.3}", report.total_energy_j() * 1e3),
+        ]);
+    }
+
+    let phi = run_phi_workload(&workload, &pipeline);
+    table.row_owned(vec![
+        "Phi".to_owned(),
+        format!("{:.3}", phi.runtime_s(freq) * 1e3),
+        format!("{:.1}", phi.throughput_gops(freq)),
+        format!("{:.1}", phi.gops_per_joule()),
+        format!("{:.3}", phi.total_energy().total_mj()),
+    ]);
+    println!("{table}");
+
+    if let Some(base) = eyeriss_runtime {
+        println!("Phi speedup over Spiking Eyeriss: {:.1}x", base / phi.runtime_s(freq));
+    }
+
+    // Per-layer drill-down for the three busiest layers.
+    let mut layers: Vec<_> = phi.layers.iter().collect();
+    layers.sort_by(|a, b| b.cycles.partial_cmp(&a.cycles).expect("finite"));
+    println!("\nbusiest layers:");
+    for layer in layers.iter().take(3) {
+        println!(
+            "  {:<10} cycles {:>12.0}  (compute {:>12.0}, dram {:>12.0})  L2 density {:.2}%  pack occupancy {:.0}%",
+            layer.name,
+            layer.cycles,
+            layer.breakdown.compute,
+            layer.breakdown.dram,
+            100.0 * layer.stats.element_density(),
+            100.0 * layer.pack_occupancy,
+        );
+    }
+}

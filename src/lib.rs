@@ -1,0 +1,209 @@
+//! # phi-snn — reproduction of *Phi: Leveraging Pattern-based Hierarchical
+//! Sparsity for High-Efficiency Spiking Neural Networks* (ISCA 2025)
+//!
+//! This facade crate re-exports the whole workspace and provides the
+//! [`pipeline`] module — the calibrate → (optionally PAFT-align) →
+//! decompose → simulate flow that every example and experiment binary
+//! drives.
+//!
+//! Crate map:
+//!
+//! * [`phi_core`] — the paper's contribution: patterns, Hamming k-means
+//!   calibration, the lossless L1/L2 decomposition, PWPs, PAFT;
+//! * [`snn_core`] — SNN substrate: bit-packed spike matrices, LIF neurons,
+//!   surrogate-gradient training;
+//! * [`snn_workloads`] — model zoo + calibrated activation generators;
+//! * [`phi_accel`] — the cycle-level Phi architecture simulator;
+//! * [`snn_baselines`] — Eyeriss/SpinalFlow/SATO/PTB/Stellar models;
+//! * [`phi_analysis`] — t-SNE, cluster metrics, table output.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use phi_snn::pipeline::{run_phi_workload, PipelineConfig};
+//! use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+//!
+//! let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10)
+//!     .with_max_rows(128)
+//!     .generate();
+//! let report = run_phi_workload(&workload, &PipelineConfig::fast());
+//! assert!(report.total_cycles() > 0.0);
+//! ```
+
+pub use phi_accel;
+pub use phi_analysis;
+pub use phi_core;
+pub use snn_baselines;
+pub use snn_core;
+pub use snn_workloads;
+
+pub mod pipeline {
+    //! The end-to-end Phi flow shared by examples, tests, and experiment
+    //! binaries.
+
+    use phi_accel::{LayerReport, ModelReport, PhiConfig, PhiSimulator};
+    use phi_core::{
+        decompose, AlignmentModel, CalibrationConfig, Calibrator, LayerPatterns, SparsityStats,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_baselines::{Accelerator, BaselineModelReport};
+    use snn_workloads::{LayerWorkload, Workload};
+
+    /// Configuration of the full pipeline.
+    #[derive(Debug, Clone)]
+    pub struct PipelineConfig {
+        /// Calibration settings (pattern width `k`, count `q`, …).
+        pub calibration: CalibrationConfig,
+        /// Architecture settings.
+        pub accelerator: PhiConfig,
+        /// Optional PAFT alignment strength in `[0, 1]` (`None` = no PAFT,
+        /// the paper's "Phi w/o FT").
+        pub paft: Option<f64>,
+        /// RNG seed for calibration and alignment.
+        pub seed: u64,
+    }
+
+    impl Default for PipelineConfig {
+        fn default() -> Self {
+            PipelineConfig {
+                calibration: CalibrationConfig::default(),
+                accelerator: PhiConfig::default(),
+                paft: None,
+                seed: 7,
+            }
+        }
+    }
+
+    impl PipelineConfig {
+        /// A reduced-q configuration for fast tests and doc examples.
+        pub fn fast() -> Self {
+            PipelineConfig {
+                calibration: CalibrationConfig { q: 16, max_rows: 512, ..Default::default() },
+                ..Default::default()
+            }
+        }
+
+        /// Enables PAFT with the given alignment strength.
+        pub fn with_paft(mut self, strength: f64) -> Self {
+            self.paft = Some(strength);
+            self
+        }
+    }
+
+    /// Calibrates patterns for one layer from its calibration dump.
+    pub fn calibrate_layer(
+        layer: &LayerWorkload,
+        config: &CalibrationConfig,
+        seed: u64,
+    ) -> LayerPatterns {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Calibrator::new(*config).calibrate(&layer.calibration, &mut rng)
+    }
+
+    /// Runs the Phi simulator over a generated workload: per layer,
+    /// calibrate on the calibration split, optionally PAFT-align the
+    /// runtime activations, then simulate.
+    pub fn run_phi_workload(workload: &Workload, config: &PipelineConfig) -> ModelReport {
+        let sim = PhiSimulator::new(config.accelerator.clone());
+        let mut layers: Vec<LayerReport> = Vec::with_capacity(workload.layers.len());
+        for (i, layer) in workload.layers.iter().enumerate() {
+            let seed = config.seed.wrapping_add(i as u64);
+            let patterns = calibrate_layer(layer, &config.calibration, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
+            let acts = match config.paft {
+                Some(strength) => {
+                    AlignmentModel::new(strength).align(&layer.activations, &patterns, &mut rng)
+                }
+                None => layer.activations.clone(),
+            };
+            let decomp = decompose(&acts, &patterns);
+            let mut report = sim.run_decomposed(
+                &acts,
+                &decomp,
+                layer.spec.shape,
+                layer.row_scale,
+                &layer.spec.name,
+            );
+            report.name = layer.spec.name.clone();
+            layers.push(report);
+        }
+        PhiSimulator::aggregate(layers)
+    }
+
+    /// Runs a baseline accelerator over the same workload. Accepts trait
+    /// objects so callers can iterate over the Table 2 roster.
+    pub fn run_baseline_workload(
+        accelerator: &(impl Accelerator + ?Sized),
+        workload: &Workload,
+    ) -> BaselineModelReport {
+        let reports = workload
+            .layers
+            .iter()
+            .map(|l| accelerator.run_layer(&l.activations, l.spec.shape, l.row_scale))
+            .collect();
+        BaselineModelReport::from_layers(accelerator.name(), reports)
+    }
+
+    /// Calibrates and decomposes every layer, returning the merged sparsity
+    /// statistics (one Table 4 row).
+    pub fn workload_stats(workload: &Workload, config: &PipelineConfig) -> SparsityStats {
+        let mut all = Vec::with_capacity(workload.layers.len());
+        for (i, layer) in workload.layers.iter().enumerate() {
+            let seed = config.seed.wrapping_add(i as u64);
+            let patterns = calibrate_layer(layer, &config.calibration, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
+            let acts = match config.paft {
+                Some(strength) => {
+                    AlignmentModel::new(strength).align(&layer.activations, &patterns, &mut rng)
+                }
+                None => layer.activations.clone(),
+            };
+            all.push(decompose(&acts, &patterns).stats());
+        }
+        SparsityStats::merge_all(all.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pipeline::*;
+    use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+
+    fn tiny_workload() -> snn_workloads::Workload {
+        WorkloadConfig::new(ModelId::ResNet18, DatasetId::Cifar10)
+            .with_max_rows(64)
+            .with_calibration_rows(128)
+            .generate()
+    }
+
+    #[test]
+    fn phi_pipeline_produces_report() {
+        let w = tiny_workload();
+        let r = run_phi_workload(&w, &PipelineConfig::fast());
+        assert_eq!(r.layers.len(), w.layers.len());
+        assert!(r.total_cycles() > 0.0);
+        assert!(r.gops_per_joule() > 0.0);
+    }
+
+    #[test]
+    fn paft_reduces_element_density() {
+        let w = tiny_workload();
+        let base = workload_stats(&w, &PipelineConfig::fast());
+        let paft = workload_stats(&w, &PipelineConfig::fast().with_paft(0.6));
+        assert!(
+            paft.element_density() < base.element_density(),
+            "PAFT {:.4} should be below base {:.4}",
+            paft.element_density(),
+            base.element_density()
+        );
+    }
+
+    #[test]
+    fn baseline_pipeline_produces_report() {
+        let w = tiny_workload();
+        let r = run_baseline_workload(&snn_baselines::SpikingEyeriss::default(), &w);
+        assert_eq!(r.layers.len(), w.layers.len());
+        assert!(r.total_cycles() > 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: workload generation → calibration → PAFT →
+//! simulation → reporting, plus the real-training PAFT path.
+
+use phi_snn::phi_core::{decompose, CalibrationConfig, Calibrator, PaftRegularizer};
+use phi_snn::pipeline::{run_phi_workload, workload_stats, PipelineConfig};
+use phi_snn::snn_core::dataset::{prototype_dataset, split, PrototypeConfig};
+use phi_snn::snn_core::network::SnnNetwork;
+use phi_snn::snn_core::train::{evaluate, record_activations, train, SgdConfig};
+use phi_snn::snn_core::{LifConfig, SpikeMatrix};
+use phi_snn::snn_workloads::{DatasetId, ModelId, WorkloadConfig, FIG8_PAIRS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        calibration: CalibrationConfig { q: 32, max_iters: 6, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_fig8_pair_runs_end_to_end() {
+    for (model, dataset) in FIG8_PAIRS {
+        let workload = WorkloadConfig::new(model, dataset)
+            .with_max_rows(48)
+            .with_calibration_rows(64)
+            .generate();
+        let report = run_phi_workload(&workload, &fast_pipeline());
+        assert_eq!(report.layers.len(), workload.layers.len(), "{model}/{dataset}");
+        assert!(report.total_cycles() > 0.0, "{model}/{dataset}");
+        assert!(report.total_energy().total_j() > 0.0, "{model}/{dataset}");
+        assert!(report.total_stats().element_density() > 0.0, "{model}/{dataset}");
+    }
+}
+
+#[test]
+fn workload_stats_reproduce_table4_shape() {
+    // At reduced scale, the qualitative Table 4 shape must hold: clustered
+    // SNN activations give large speedups over bit sparsity, with L1
+    // density close to bit density.
+    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10)
+        .with_max_rows(256)
+        .with_calibration_rows(256)
+        .generate();
+    let stats = workload_stats(&workload, &fast_pipeline());
+    assert!(
+        stats.speedup_over_bit() > 2.0,
+        "VGG16 should gain at least 2x over bit sparsity, got {:.2}",
+        stats.speedup_over_bit()
+    );
+    assert!(
+        stats.l1_density() > 0.5 * stats.bit_density(),
+        "patterns should carry most of the ones (L1 {:.3} vs bit {:.3})",
+        stats.l1_density(),
+        stats.bit_density()
+    );
+    assert!(stats.l2_pos_density() >= stats.l2_neg_density(), "+1 corrections dominate");
+}
+
+#[test]
+fn clustered_beats_random_at_equal_density() {
+    // §5.6: patterns exist even in random data but clustered SNN data gains
+    // more.
+    let mut rng = StdRng::seed_from_u64(5);
+    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar100)
+        .with_max_rows(256)
+        .generate();
+    let clustered = workload_stats(&workload, &fast_pipeline());
+    let density = clustered.bit_density();
+    let random = SpikeMatrix::random(512, 512, density, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig { q: 32, max_iters: 6, ..Default::default() })
+        .calibrate(&random, &mut rng);
+    let random_stats = decompose(&random, &patterns).stats();
+    assert!(
+        clustered.speedup_over_bit() > random_stats.speedup_over_bit(),
+        "clustered {:.2}x must beat random {:.2}x",
+        clustered.speedup_over_bit(),
+        random_stats.speedup_over_bit()
+    );
+}
+
+#[test]
+fn real_snn_paft_reduces_density_without_collapse() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let data = prototype_dataset(
+        PrototypeConfig { features: 32, classes: 3, samples: 240, ..Default::default() },
+        &mut rng,
+    );
+    let (train_set, test_set) = split(&data, 0.25);
+    let mut net = SnnNetwork::new(32, &[48], 3, 4, LifConfig::default(), &mut rng);
+    let sgd = SgdConfig { lr: 0.05, momentum: 0.9, batch_size: 16 };
+    train(&mut net, &train_set, &sgd, 10, None, &mut rng).expect("base training");
+    let acc_before = evaluate(&net, &test_set).expect("eval");
+
+    let measure = |net: &SnnNetwork| -> f64 {
+        let acts = record_activations(net, &test_set).expect("record");
+        let spikes = SpikeMatrix::from_matrix_threshold(&acts[0], 0.5);
+        let mut cal_rng = StdRng::seed_from_u64(1);
+        let patterns =
+            Calibrator::new(CalibrationConfig { q: 16, max_iters: 8, ..Default::default() })
+                .calibrate(&spikes, &mut cal_rng);
+        decompose(&spikes, &patterns).stats().element_density()
+    };
+    let density_before = measure(&net);
+
+    let acts = record_activations(&net, &train_set).expect("record");
+    let spikes = SpikeMatrix::from_matrix_threshold(&acts[0], 0.5);
+    let patterns =
+        Calibrator::new(CalibrationConfig { q: 16, max_iters: 8, ..Default::default() })
+            .calibrate(&spikes, &mut rng);
+    let reg = PaftRegularizer::new(vec![patterns], vec![3], 3e-4);
+    let fine = SgdConfig { lr: 0.01, momentum: 0.9, batch_size: 16 };
+    train(&mut net, &train_set, &fine, 4, Some(&reg), &mut rng).expect("paft");
+
+    let density_after = measure(&net);
+    let acc_after = evaluate(&net, &test_set).expect("eval");
+
+    assert!(
+        density_after <= density_before * 1.05,
+        "PAFT must not inflate density: {density_before:.4} -> {density_after:.4}"
+    );
+    assert!(
+        acc_after >= acc_before - 0.15,
+        "PAFT must not collapse accuracy: {acc_before:.3} -> {acc_after:.3}"
+    );
+}
+
+#[test]
+fn reports_aggregate_consistently() {
+    let workload = WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100)
+        .with_max_rows(64)
+        .generate();
+    let report = run_phi_workload(&workload, &fast_pipeline());
+    let sum: f64 = report.layers.iter().map(|l| l.cycles).sum();
+    assert!((report.total_cycles() - sum).abs() < 1e-6);
+    let ops: f64 = report.layers.iter().map(|l| l.bit_ops).sum();
+    assert!((report.total_ops() - ops).abs() < 1e-6);
+    // Throughput and efficiency derive from the same totals.
+    let freq = 500e6;
+    let gops = report.throughput_gops(freq);
+    assert!((gops - ops / (sum / freq) / 1e9).abs() / gops < 1e-9);
+}

@@ -1,0 +1,125 @@
+//! Cross-crate property tests: the Phi decomposition must be lossless and
+//! functionally exact for *arbitrary* activations, pattern sets, and
+//! shapes — not just the distributions the generator produces.
+
+use phi_snn::phi_core::{
+    decompose, phi_matmul, CalibrationConfig, Calibrator, LayerPatterns, Pattern, PatternSet,
+    PwpTable,
+};
+use phi_snn::snn_core::{Matrix, SpikeMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random spike matrix with rows/cols/density drawn broadly.
+fn spike_matrix() -> impl Strategy<Value = SpikeMatrix> {
+    (1usize..40, 1usize..70, 0.0f64..0.9, any::<u64>()).prop_map(|(rows, cols, density, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        SpikeMatrix::from_fn(rows, cols, |_, _| rng.gen_bool(density))
+    })
+}
+
+/// Strategy: arbitrary (possibly adversarial) pattern sets for a width.
+fn patterns_for(cols: usize, k: usize, seed: u64) -> LayerPatterns {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let parts = cols.div_ceil(k);
+    let sets = (0..parts)
+        .map(|_| {
+            let q = rng.gen_range(0..12);
+            let mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+            PatternSet::new(
+                k,
+                (0..q).map(|_| Pattern::new(rng.gen::<u64>() & mask, k)).collect(),
+            )
+        })
+        .collect();
+    LayerPatterns::new(k, sets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// L1 + L2 must equal the original for any matrix and pattern set.
+    #[test]
+    fn decomposition_is_always_lossless(
+        acts in spike_matrix(),
+        k in prop::sample::select(vec![4usize, 8, 16, 32]),
+        seed in any::<u64>(),
+    ) {
+        let patterns = patterns_for(acts.cols(), k, seed);
+        let d = decompose(&acts, &patterns);
+        prop_assert!(d.verify_lossless(&acts));
+    }
+
+    /// L2 nonzeros never exceed the raw bit count (the assignment rule only
+    /// accepts strictly better patterns).
+    #[test]
+    fn l2_never_denser_than_bits(
+        acts in spike_matrix(),
+        seed in any::<u64>(),
+    ) {
+        let patterns = patterns_for(acts.cols(), 16, seed);
+        let d = decompose(&acts, &patterns);
+        prop_assert!(d.l2_nnz() <= acts.nnz() as u64);
+    }
+
+    /// The counter identity bit = L1 − L2⁻ + L2⁺ holds exactly.
+    #[test]
+    fn ones_balance_identity(
+        acts in spike_matrix(),
+        seed in any::<u64>(),
+    ) {
+        let patterns = patterns_for(acts.cols(), 8, seed);
+        let s = decompose(&acts, &patterns).stats();
+        prop_assert_eq!(s.bit_nnz + s.l2_neg, s.l1_ones + s.l2_pos);
+    }
+
+    /// The functional Phi GEMM equals the dense spike GEMM.
+    #[test]
+    fn phi_gemm_matches_dense(
+        acts in spike_matrix(),
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let patterns = patterns_for(acts.cols(), 16, seed);
+        let weights = Matrix::random(acts.cols(), n, &mut rng);
+        let d = decompose(&acts, &patterns);
+        let pwp = PwpTable::new(&patterns, &weights).expect("pwp shapes");
+        let phi = phi_matmul(&d, &pwp, &weights).expect("phi gemm");
+        let dense = acts.spike_matmul(&weights).expect("dense gemm");
+        let diff = phi.max_abs_diff(&dense).expect("same shape");
+        prop_assert!(diff < 1e-3, "diff {}", diff);
+    }
+
+    /// Calibrated (rather than adversarial) patterns also stay lossless and
+    /// never increase L2 beyond bit sparsity.
+    #[test]
+    fn calibrated_decomposition_is_lossless(
+        acts in spike_matrix(),
+        q in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let config = CalibrationConfig { q, max_iters: 8, ..Default::default() };
+        let patterns = Calibrator::new(config).calibrate(&acts, &mut rng);
+        let d = decompose(&acts, &patterns);
+        prop_assert!(d.verify_lossless(&acts));
+        prop_assert!(d.l2_nnz() <= acts.nnz() as u64);
+    }
+
+    /// Reconstruction is identical regardless of partition width.
+    #[test]
+    fn losslessness_is_width_independent(
+        acts in spike_matrix(),
+        seed in any::<u64>(),
+    ) {
+        for k in [4usize, 16, 64] {
+            let patterns = patterns_for(acts.cols(), k, seed.wrapping_add(k as u64));
+            let d = decompose(&acts, &patterns);
+            prop_assert!(d.verify_lossless(&acts), "width {}", k);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-crate consistency of the cycle simulators: Phi and the baselines
+//! must respond to activation statistics the way the paper's evaluation
+//! depends on.
+
+use phi_snn::phi_accel::{PhiConfig, PhiSimulator};
+use phi_snn::phi_core::{CalibrationConfig, Calibrator};
+use phi_snn::pipeline::{run_baseline_workload, run_phi_workload, PipelineConfig};
+use phi_snn::snn_baselines::{Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar};
+use phi_snn::snn_core::{GemmShape, SpikeMatrix};
+use phi_snn::snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_workload(model: ModelId, dataset: DatasetId) -> phi_snn::snn_workloads::Workload {
+    WorkloadConfig::new(model, dataset)
+        .with_max_rows(96)
+        .with_calibration_rows(128)
+        .generate()
+}
+
+fn fast_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        calibration: CalibrationConfig { q: 32, max_iters: 6, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn phi_outperforms_every_baseline_on_clustered_workloads() {
+    let workload = small_workload(ModelId::Vgg16, DatasetId::Cifar10);
+    let pipeline = fast_pipeline();
+    let freq = pipeline.accelerator.frequency_hz;
+    let phi = run_phi_workload(&workload, &pipeline);
+    let phi_runtime = phi.runtime_s(freq);
+    let baselines: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(SpikingEyeriss::default()),
+        Box::new(Ptb::default()),
+        Box::new(Sato::default()),
+        Box::new(SpinalFlow::default()),
+        Box::new(Stellar::default()),
+    ];
+    for baseline in baselines {
+        let report = run_baseline_workload(baseline.as_ref(), &workload);
+        assert!(
+            phi_runtime < report.runtime_s(freq),
+            "Phi ({phi_runtime:.3e}s) should beat {} ({:.3e}s)",
+            baseline.name(),
+            report.runtime_s(freq)
+        );
+    }
+}
+
+#[test]
+fn phi_energy_efficiency_beats_baselines() {
+    let workload = small_workload(ModelId::Vgg16, DatasetId::Cifar100);
+    let pipeline = fast_pipeline();
+    let phi = run_phi_workload(&workload, &pipeline);
+    let phi_eff = phi.gops_per_joule();
+    for baseline in [
+        &SpikingEyeriss::default() as &dyn Accelerator,
+        &Stellar::default(),
+    ] {
+        let report = run_baseline_workload(baseline, &workload);
+        assert!(
+            phi_eff > report.gops_per_joule(),
+            "Phi ({phi_eff:.1} GOP/J) should beat {} ({:.1} GOP/J)",
+            baseline.name(),
+            report.gops_per_joule()
+        );
+    }
+}
+
+#[test]
+fn phi_compute_cycles_grow_with_density() {
+    let sim = PhiSimulator::new(PhiConfig::default());
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut previous = 0.0f64;
+    for density in [0.05, 0.15, 0.3, 0.5] {
+        let acts = SpikeMatrix::random(256, 128, density, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q: 32, max_iters: 6, ..Default::default() })
+            .calibrate(&acts, &mut rng);
+        let report = sim.run_layer(&acts, &patterns, GemmShape::new(256, 128, 64), 1.0);
+        assert!(
+            report.breakdown.compute >= previous,
+            "compute cycles must be monotone in density ({density})"
+        );
+        previous = report.breakdown.compute;
+    }
+}
+
+#[test]
+fn paft_speeds_up_phi() {
+    let workload = small_workload(ModelId::Spikformer, DatasetId::Cifar100);
+    let base = run_phi_workload(&workload, &fast_pipeline());
+    let paft = run_phi_workload(&workload, &fast_pipeline().with_paft(0.7));
+    assert!(
+        paft.total_cycles() <= base.total_cycles(),
+        "PAFT ({:.3e}) should not be slower than base ({:.3e})",
+        paft.total_cycles(),
+        base.total_cycles()
+    );
+}
+
+#[test]
+fn compression_and_prefetch_reduce_traffic() {
+    let workload = small_workload(ModelId::ResNet18, DatasetId::Cifar100);
+    let report = run_phi_workload(&workload, &fast_pipeline());
+    let t = report.total_traffic();
+    assert!(t.act_compressed < t.act_uncompressed, "compact packs must shrink traffic");
+    assert!(t.pwp_prefetch <= t.pwp_no_prefetch, "prefetch must not add traffic");
+    assert!(t.pwp_no_prefetch > 0.0, "PWPs must move some bytes");
+    // With the paper's full q = 128 > k = 16, the complete PWP set dwarfs
+    // the raw weights (the 9x of Fig. 12b); at this test's q = 32 it is
+    // merely comparable, so only the ordering is asserted here — the 9x
+    // ratio is pinned in `phi_accel::traffic` unit tests.
+}
+
+#[test]
+fn disabling_compress_increases_total_bytes() {
+    let workload = small_workload(ModelId::ResNet18, DatasetId::Cifar10);
+    let base = fast_pipeline();
+    let mut no_compress = fast_pipeline();
+    no_compress.accelerator.compress = false;
+    let t_base = run_phi_workload(&workload, &base).total_traffic();
+    let bytes_base = t_base.total_bytes(&base.accelerator);
+    let t_off = run_phi_workload(&workload, &no_compress).total_traffic();
+    let bytes_off = t_off.total_bytes(&no_compress.accelerator);
+    assert!(bytes_off > bytes_base);
+}
+
+#[test]
+fn baseline_roster_reports_consistent_ops() {
+    // All accelerators must agree on the OP count — it is a property of the
+    // workload, not the machine.
+    let workload = small_workload(ModelId::Sdt, DatasetId::Cifar100);
+    let reference = run_baseline_workload(&SpikingEyeriss::default(), &workload).total_ops();
+    for baseline in [
+        &Ptb::default() as &dyn Accelerator,
+        &Sato::default(),
+        &SpinalFlow::default(),
+        &Stellar::default(),
+    ] {
+        let ops = run_baseline_workload(baseline, &workload).total_ops();
+        assert!(
+            (ops - reference).abs() / reference < 1e-9,
+            "{} disagrees on ops",
+            baseline.name()
+        );
+    }
+    let phi = run_phi_workload(&workload, &fast_pipeline());
+    assert!((phi.total_ops() - reference).abs() / reference < 1e-9, "Phi disagrees on ops");
+}
+
+#[test]
+fn wider_outputs_scale_cycles() {
+    let sim = PhiSimulator::new(PhiConfig::default());
+    let mut rng = StdRng::seed_from_u64(77);
+    let acts = SpikeMatrix::random(256, 64, 0.2, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig { q: 16, max_iters: 6, ..Default::default() })
+        .calibrate(&acts, &mut rng);
+    let narrow = sim.run_layer(&acts, &patterns, GemmShape::new(256, 64, 32), 1.0);
+    let wide = sim.run_layer(&acts, &patterns, GemmShape::new(256, 64, 128), 1.0);
+    assert!(
+        (wide.breakdown.compute - 4.0 * narrow.breakdown.compute).abs()
+            / wide.breakdown.compute
+            < 1e-9,
+        "4x output width must mean 4x compute tiles"
+    );
+}
