@@ -109,10 +109,10 @@ pub fn execute_layer(
 
     for part in 0..decomp.num_partitions() {
         // --- L1 path: PWP retrieval + accumulate. ---
-        for row in 0..rows {
+        for (row, psum) in l1_psum.iter_mut().enumerate().take(rows) {
             if let Some(idx) = decomp.l1_index(row, part) {
                 let pwp_row = pwp.row(part, idx as usize);
-                for (acc, &v) in l1_psum[row].iter_mut().zip(pwp_row) {
+                for (acc, &v) in psum.iter_mut().zip(pwp_row) {
                     *acc += v;
                 }
             }
@@ -169,11 +169,7 @@ fn execute_pack(
     for unit in &pack.units {
         if let PackUnit::PartialSum { row } = unit {
             let bank = *row as usize % packer.psum_banks;
-            debug_assert_eq!(
-                banks_seen & (1 << bank),
-                0,
-                "psum bank {bank} hit twice in one pack"
-            );
+            debug_assert_eq!(banks_seen & (1 << bank), 0, "psum bank {bank} hit twice in one pack");
             banks_seen |= 1 << bank;
         }
     }
@@ -186,11 +182,7 @@ fn execute_pack(
         .map(|unit| match *unit {
             PackUnit::Nonzero { row, col, negative } => {
                 let w = weights.row(part * k + col as usize);
-                let value = if negative {
-                    w.iter().map(|&v| -v).collect()
-                } else {
-                    w.to_vec()
-                };
+                let value = if negative { w.iter().map(|&v| -v).collect() } else { w.to_vec() };
                 (row, value)
             }
             // Partial-sum unit: read the row's running psum and clear it —
@@ -225,17 +217,13 @@ mod tests {
     fn check_equivalence(rows: usize, cols: usize, density: f64, q: usize, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
         let acts = SpikeMatrix::random(rows, cols, density, &mut rng);
-        let patterns = Calibrator::new(CalibrationConfig {
-            q,
-            max_iters: 8,
-            ..Default::default()
-        })
-        .calibrate(&acts, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q, max_iters: 8, ..Default::default() })
+            .calibrate(&acts, &mut rng);
         let decomp = decompose(&acts, &patterns);
         let weights = Matrix::random(cols, 24, &mut rng);
         let pwp = PwpTable::new(&patterns, &weights).expect("pwp");
-        let hw = execute_layer(&decomp, &pwp, &weights, &PackerConfig::default())
-            .expect("datapath");
+        let hw =
+            execute_layer(&decomp, &pwp, &weights, &PackerConfig::default()).expect("datapath");
         let reference = acts.spike_matmul(&weights).expect("dense");
         let diff = hw.max_abs_diff(&reference).expect("same shape");
         assert!(diff < 1e-3, "datapath diverged by {diff} (seed {seed})");
@@ -258,15 +246,12 @@ mod tests {
         // Empty pattern sets: the whole GEMM flows through the L2 path.
         let mut rng = StdRng::seed_from_u64(3);
         let acts = SpikeMatrix::random(32, 32, 0.3, &mut rng);
-        let patterns = phi_core::LayerPatterns::new(
-            16,
-            vec![phi_core::PatternSet::empty(16); 2],
-        );
+        let patterns = phi_core::LayerPatterns::new(16, vec![phi_core::PatternSet::empty(16); 2]);
         let decomp = decompose(&acts, &patterns);
         let weights = Matrix::random(32, 8, &mut rng);
         let pwp = PwpTable::new(&patterns, &weights).expect("pwp");
-        let hw = execute_layer(&decomp, &pwp, &weights, &PackerConfig::default())
-            .expect("datapath");
+        let hw =
+            execute_layer(&decomp, &pwp, &weights, &PackerConfig::default()).expect("datapath");
         let reference = acts.spike_matmul(&weights).expect("dense");
         assert!(hw.max_abs_diff(&reference).expect("shape") < 1e-3);
     }
@@ -274,11 +259,7 @@ mod tests {
     #[test]
     fn adder_tree_groups_contiguous_rows() {
         let tree = ReconfigurableAdderTree::new(8);
-        let operands = vec![
-            (0u32, vec![1.0, 2.0]),
-            (0, vec![10.0, 20.0]),
-            (3, vec![5.0, 5.0]),
-        ];
+        let operands = vec![(0u32, vec![1.0, 2.0]), (0, vec![10.0, 20.0]), (3, vec![5.0, 5.0])];
         let reduced = tree.reduce(&operands);
         assert_eq!(reduced.len(), 2);
         assert_eq!(reduced[0], (0, vec![11.0, 22.0]));
@@ -299,12 +280,9 @@ mod tests {
         // change.
         let mut rng = StdRng::seed_from_u64(4);
         let acts = SpikeMatrix::random(40, 32, 0.25, &mut rng);
-        let patterns = Calibrator::new(CalibrationConfig {
-            q: 8,
-            max_iters: 6,
-            ..Default::default()
-        })
-        .calibrate(&acts, &mut rng);
+        let patterns =
+            Calibrator::new(CalibrationConfig { q: 8, max_iters: 6, ..Default::default() })
+                .calibrate(&acts, &mut rng);
         let decomp = decompose(&acts, &patterns);
         let weights = Matrix::random(32, 8, &mut rng);
         let pwp = PwpTable::new(&patterns, &weights).expect("pwp");

@@ -149,13 +149,7 @@ impl EnergyModel {
     /// with capacity from Table 3's 0.452 mm² at 240 KB).
     pub fn area(&self, config: &PhiConfig) -> AreaBreakdown {
         let s = config.total_buffer_bytes() as f64 / BASELINE_BUFFER_BYTES;
-        AreaBreakdown {
-            preprocessor: 0.099,
-            l1: 0.074,
-            l2: 0.027,
-            lif: 0.011,
-            buffer: 0.452 * s,
-        }
+        AreaBreakdown { preprocessor: 0.099, l1: 0.074, l2: 0.027, lif: 0.011, buffer: 0.452 * s }
     }
 
     /// Energy for one simulated region.
@@ -180,8 +174,7 @@ impl EnergyModel {
         // the full elapsed window.
         let buffer_j = buffer_mw * 1e-3 * busy.elapsed * t;
         let seconds = busy.elapsed * t;
-        let dram_j =
-            self.dram.access_energy_j(dram_bytes) + self.dram.background_energy_j(seconds);
+        let dram_j = self.dram.access_energy_j(dram_bytes) + self.dram.background_energy_j(seconds);
         EnergyBreakdown { core_j, buffer_j, dram_j }
     }
 
@@ -198,8 +191,7 @@ impl EnergyModel {
         // Each matcher lane holds q units, each doing one k-bit XOR +
         // popcount per cycle; Table 3's preprocessor power covers all lanes
         // plus the compressor/packer (we attribute 60% to matching).
-        let comparisons_per_cycle =
-            (config.patterns_per_partition * config.matcher_lanes) as f64;
+        let comparisons_per_cycle = (config.patterns_per_partition * config.matcher_lanes) as f64;
         0.6 * self.preprocessor_mw * 1e-3 / (comparisons_per_cycle * config.frequency_hz)
     }
 }
@@ -234,8 +226,10 @@ mod tests {
     fn energy_grows_with_busy_cycles() {
         let m = EnergyModel::default();
         let config = PhiConfig::default();
-        let light = BusyCycles { preprocessor: 10.0, l1: 10.0, l2: 10.0, lif: 10.0, elapsed: 100.0 };
-        let heavy = BusyCycles { preprocessor: 90.0, l1: 90.0, l2: 90.0, lif: 90.0, elapsed: 100.0 };
+        let light =
+            BusyCycles { preprocessor: 10.0, l1: 10.0, l2: 10.0, lif: 10.0, elapsed: 100.0 };
+        let heavy =
+            BusyCycles { preprocessor: 90.0, l1: 90.0, l2: 90.0, lif: 90.0, elapsed: 100.0 };
         let e_light = m.energy(&light, 0.0, &config);
         let e_heavy = m.energy(&heavy, 0.0, &config);
         assert!(e_heavy.core_j > e_light.core_j);

@@ -54,9 +54,8 @@ impl L1Model {
     pub fn accumulations(&self, decomp: &Decomposition, row_lo: usize, row_hi: usize) -> u64 {
         (row_lo..row_hi.min(decomp.rows()))
             .map(|r| {
-                (0..decomp.num_partitions())
-                    .filter(|&p| decomp.l1_index(r, p).is_some())
-                    .count() as u64
+                (0..decomp.num_partitions()).filter(|&p| decomp.l1_index(r, p).is_some()).count()
+                    as u64
             })
             .sum()
     }
@@ -73,12 +72,9 @@ mod tests {
     fn fully_assigned(rows: usize, parts: usize) -> Decomposition {
         let k = 4;
         let pattern = 0b0110u64;
-        let sets =
-            vec![PatternSet::new(k, vec![Pattern::new(pattern, k)]); parts];
+        let sets = vec![PatternSet::new(k, vec![Pattern::new(pattern, k)]); parts];
         let patterns = LayerPatterns::new(k, sets);
-        let acts = SpikeMatrix::from_fn(rows, parts * k, |_, c| {
-            (pattern >> (c % k)) & 1 == 1
-        });
+        let acts = SpikeMatrix::from_fn(rows, parts * k, |_, c| (pattern >> (c % k)) & 1 == 1);
         decompose(&acts, &patterns)
     }
 

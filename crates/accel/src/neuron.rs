@@ -45,7 +45,7 @@ impl NeuronArrayModel {
 pub fn lif_convert(currents: &Matrix, config: LifConfig, timesteps: usize) -> SpikeMatrix {
     let rows = currents.rows();
     let cols = currents.cols();
-    if timesteps <= 1 || rows % timesteps != 0 {
+    if timesteps <= 1 || !rows.is_multiple_of(timesteps) {
         // Stateless conversion: every row is an independent single step.
         let mut out = SpikeMatrix::zeros(rows, cols);
         for r in 0..rows {

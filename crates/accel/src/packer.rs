@@ -209,8 +209,7 @@ mod tests {
         // Three rows of 2 entries each: 3 × (2+1) = 9 units > 8, so two
         // packs.
         let e = entries(2);
-        let rows: Vec<(u32, &[(u8, bool)])> =
-            (0..3).map(|r| (r as u32, e.as_slice())).collect();
+        let rows: Vec<(u32, &[(u8, bool)])> = (0..3).map(|r| (r as u32, e.as_slice())).collect();
         let out = pack_rows(rows.into_iter(), &PackerConfig { windows: 1, ..Default::default() });
         assert_eq!(out.packs.len(), 2);
         let total_units: usize = out.packs.iter().map(Pack::occupancy).sum();
@@ -244,10 +243,8 @@ mod tests {
             vec![(0, e.as_slice()), (8, e.as_slice()), (1, e.as_slice())];
         let out = pack_rows(rows.clone().into_iter(), &PackerConfig::default());
         assert_eq!(out.forced_flushes, 0);
-        let single = pack_rows(
-            rows.into_iter(),
-            &PackerConfig { windows: 1, ..Default::default() },
-        );
+        let single =
+            pack_rows(rows.into_iter(), &PackerConfig { windows: 1, ..Default::default() });
         assert!(single.forced_flushes > 0);
     }
 

@@ -131,13 +131,10 @@ impl PhiSimulator {
                         rows_entries.push(((r - lo) as u32, entries));
                     }
                 }
-                let output = pack_rows(
-                    rows_entries.iter().map(|(r, e)| (*r, e.as_slice())),
-                    &packer_config,
-                );
+                let output =
+                    pack_rows(rows_entries.iter().map(|(r, e)| (*r, e.as_slice())), &packer_config);
                 packs_mt += output.packs.len() as u64;
-                occupied_units +=
-                    output.packs.iter().map(|p| p.units.len() as u64).sum::<u64>();
+                occupied_units += output.packs.iter().map(|p| p.units.len() as u64).sum::<u64>();
                 oversize_rows += output.oversize_rows;
             }
             let l2_mt = l2_model.cycles(packs_mt) as f64;
@@ -149,10 +146,8 @@ impl PhiSimulator {
             compute_cycles += l1_mt.max(l2_mt) * n_tiles;
         }
 
-        let matcher = MatcherModel::new(
-            self.config.patterns_per_partition,
-            self.config.matcher_lanes,
-        );
+        let matcher =
+            MatcherModel::new(self.config.patterns_per_partition, self.config.matcher_lanes);
         let preproc_cycles = matcher.cycles(rows, parts) as f64;
         let lif = NeuronArrayModel::new(self.config.tile_n);
         let lif_cycles = lif.cycles(rows, shape.n) as f64;
@@ -172,11 +167,8 @@ impl PhiSimulator {
             lif: lif_cycles * row_scale,
             dram: dram_cycles,
         };
-        let cycles = breakdown
-            .compute
-            .max(breakdown.preprocessor)
-            .max(breakdown.lif)
-            .max(breakdown.dram);
+        let cycles =
+            breakdown.compute.max(breakdown.preprocessor).max(breakdown.lif).max(breakdown.dram);
 
         let busy = BusyCycles {
             preprocessor: breakdown.preprocessor,

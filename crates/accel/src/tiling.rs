@@ -70,9 +70,7 @@ impl TileSchedule {
     /// Iterates `(m_tile, n_tile, k_part)` in the K-first execution order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let (m, n, k) = (self.m_tiles(), self.n_tiles(), self.k_parts());
-        (0..m).flat_map(move |mi| {
-            (0..n).flat_map(move |ni| (0..k).map(move |ki| (mi, ni, ki)))
-        })
+        (0..m).flat_map(move |mi| (0..n).flat_map(move |ni| (0..k).map(move |ki| (mi, ni, ki))))
     }
 }
 

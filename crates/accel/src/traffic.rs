@@ -94,9 +94,8 @@ pub fn layer_traffic(
     let weight_dense = cols * n as f64 * config.weight_bytes as f64;
     // Without prefetching the full pre-allocated pattern store streams in:
     // q PWPs per partition (the paper's 9x = q/k + 1 for q = 128, k = 16).
-    let pwp_no_prefetch = (parts * config.patterns_per_partition) as f64
-        * n as f64
-        * config.pwp_bytes as f64;
+    let pwp_no_prefetch =
+        (parts * config.patterns_per_partition) as f64 * n as f64 * config.pwp_bytes as f64;
 
     // Prefetch: count used patterns per m-tile per partition; dedupe across
     // tiles when the buffer can hold the union working set.
@@ -106,12 +105,12 @@ pub fn layer_traffic(
     for mt in 0..m_tiles {
         let row_lo = mt * config.tile_m;
         let row_hi = (row_lo + config.tile_m).min(decomp.rows());
-        for part in 0..parts {
+        for (part, union) in union_used.iter_mut().enumerate().take(parts) {
             let mut tile_set = HashSet::new();
             for r in row_lo..row_hi {
                 if let Some(idx) = decomp.l1_index(r, part) {
                     tile_set.insert(idx);
-                    union_used[part].insert(idx);
+                    union.insert(idx);
                 }
             }
             per_tile_used += tile_set.len() as u64;
@@ -206,8 +205,7 @@ mod tests {
         // 8× for q=128, k=16, on top of 1× raw weights = 9×).
         let d = sample_decomp(2048, 256, 0.2, 128);
         let t = layer_traffic(&d, 32, 100, 700, &PhiConfig::default(), 1.0);
-        let full_sets = (0..d.num_partitions())
-            .all(|p| d.patterns().set(p).len() == 128);
+        let full_sets = (0..d.num_partitions()).all(|p| d.patterns().set(p).len() == 128);
         if full_sets {
             let ratio = t.pwp_no_prefetch / t.weight_dense;
             assert!((ratio - 8.0).abs() < 0.01, "ratio {ratio}");

@@ -29,11 +29,11 @@
 //! ```
 
 pub mod metrics;
-pub mod scatter;
 pub mod report;
+pub mod scatter;
 pub mod tsne;
 
 pub use metrics::{davies_bouldin, neighborhood_compactness, silhouette};
-pub use scatter::scatter;
 pub use report::Table;
+pub use scatter::scatter;
 pub use tsne::{Tsne, TsneConfig};

@@ -37,14 +37,12 @@ pub fn silhouette(points: &[Vec<f64>], labels: &[usize]) -> Option<f64> {
         let mut a = 0.0;
         let mut b = f64::INFINITY;
         for &c in &clusters {
-            let members: Vec<usize> =
-                (0..n).filter(|&j| labels[j] == c && j != i).collect();
+            let members: Vec<usize> = (0..n).filter(|&j| labels[j] == c && j != i).collect();
             if members.is_empty() {
                 continue;
             }
-            let mean: f64 =
-                members.iter().map(|&j| dist(&points[i], &points[j])).sum::<f64>()
-                    / members.len() as f64;
+            let mean: f64 = members.iter().map(|&j| dist(&points[i], &points[j])).sum::<f64>()
+                / members.len() as f64;
             if c == own {
                 a = mean;
             } else {
@@ -85,12 +83,8 @@ pub fn davies_bouldin(points: &[Vec<f64>], labels: &[usize]) -> Option<f64> {
     let mut centroids = Vec::new();
     let mut scatters = Vec::new();
     for &c in &clusters {
-        let members: Vec<&Vec<f64>> = points
-            .iter()
-            .zip(labels)
-            .filter(|(_, &l)| l == c)
-            .map(|(p, _)| p)
-            .collect();
+        let members: Vec<&Vec<f64>> =
+            points.iter().zip(labels).filter(|(_, &l)| l == c).map(|(p, _)| p).collect();
         let mut centroid = vec![0.0; dim];
         for m in &members {
             for (cd, &md) in centroid.iter_mut().zip(m.iter()) {

@@ -110,11 +110,7 @@ impl fmt::Display for Table {
         }
         writeln!(f, "== {} ==", self.title)?;
         let fmt_row = |row: &[String]| -> String {
-            row.iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
         let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);

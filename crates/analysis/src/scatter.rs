@@ -50,7 +50,7 @@ pub fn scatter(
 
     let mut out = String::with_capacity((width + 3) * (height + 2));
     out.push('+');
-    out.extend(std::iter::repeat('-').take(width));
+    out.extend(std::iter::repeat_n('-', width));
     out.push_str("+\n");
     for row in grid {
         out.push('|');
@@ -58,7 +58,7 @@ pub fn scatter(
         out.push_str("|\n");
     }
     out.push('+');
-    out.extend(std::iter::repeat('-').take(width));
+    out.extend(std::iter::repeat_n('-', width));
     out.push('+');
     out
 }

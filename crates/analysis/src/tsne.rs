@@ -246,7 +246,8 @@ mod tests {
         let config = TsneConfig { iterations: 250, perplexity: 15.0, ..Default::default() };
         let y = Tsne::new(config).embed(&points, &mut rng);
         // Mean within-blob distance must be far below between-blob distance.
-        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
         let mut within = 0.0;
         let mut between = 0.0;
         let mut wn = 0;
@@ -264,18 +265,15 @@ mod tests {
         }
         let within = within / wn as f64;
         let between = between / bn as f64;
-        assert!(
-            between > 2.0 * within,
-            "between {between:.3} should dwarf within {within:.3}"
-        );
+        assert!(between > 2.0 * within, "between {between:.3} should dwarf within {within:.3}");
     }
 
     #[test]
     fn output_length_matches_input() {
         let (points, _) = blobs(5, 4, 1.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let y = Tsne::new(TsneConfig { iterations: 10, ..Default::default() })
-            .embed(&points, &mut rng);
+        let y =
+            Tsne::new(TsneConfig { iterations: 10, ..Default::default() }).embed(&points, &mut rng);
         assert_eq!(y.len(), 10);
     }
 
@@ -291,8 +289,8 @@ mod tests {
     fn embedding_is_centered() {
         let (points, _) = blobs(20, 6, 4.0);
         let mut rng = StdRng::seed_from_u64(4);
-        let y = Tsne::new(TsneConfig { iterations: 50, ..Default::default() })
-            .embed(&points, &mut rng);
+        let y =
+            Tsne::new(TsneConfig { iterations: 50, ..Default::default() }).embed(&points, &mut rng);
         let mx: f64 = y.iter().map(|p| p[0]).sum::<f64>() / y.len() as f64;
         let my: f64 = y.iter().map(|p| p[1]).sum::<f64>() / y.len() as f64;
         assert!(mx.abs() < 1e-6 && my.abs() < 1e-6);
@@ -302,7 +300,6 @@ mod tests {
     #[should_panic(expected = "inconsistent point dimensionality")]
     fn ragged_points_are_rejected() {
         let mut rng = StdRng::seed_from_u64(5);
-        Tsne::new(TsneConfig::default())
-            .embed(&[vec![1.0], vec![1.0, 2.0]], &mut rng);
+        Tsne::new(TsneConfig::default()).embed(&[vec![1.0], vec![1.0, 2.0]], &mut rng);
     }
 }

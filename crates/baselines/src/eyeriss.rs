@@ -54,8 +54,7 @@ impl Accelerator for SpikingEyeriss {
         shape: GemmShape,
         row_scale: f64,
     ) -> BaselineLayerReport {
-        let dense_positions =
-            acts.rows() as f64 * row_scale * shape.k as f64 * shape.n as f64;
+        let dense_positions = acts.rows() as f64 * row_scale * shape.k as f64 * shape.n as f64;
         let cycles = dense_positions / (self.pes as f64 * self.utilization);
         let dram_bytes = dense_traffic_bytes(acts, shape, row_scale);
         let core_energy_j = self.core_watts * cycles / self.frequency_hz;

@@ -61,8 +61,12 @@ pub trait Accelerator {
 
     /// Simulates one layer. `row_scale` extrapolates subsampled activation
     /// rows to the full layer.
-    fn run_layer(&self, acts: &SpikeMatrix, shape: GemmShape, row_scale: f64)
-        -> BaselineLayerReport;
+    fn run_layer(
+        &self,
+        acts: &SpikeMatrix,
+        shape: GemmShape,
+        row_scale: f64,
+    ) -> BaselineLayerReport;
 
     /// Simulates a sequence of layers and aggregates.
     fn run_layers<'a>(
@@ -72,8 +76,7 @@ pub trait Accelerator {
     where
         Self: Sized,
     {
-        let reports =
-            layers.into_iter().map(|(a, s, rs)| self.run_layer(a, s, rs)).collect();
+        let reports = layers.into_iter().map(|(a, s, rs)| self.run_layer(a, s, rs)).collect();
         BaselineModelReport::from_layers(self.name(), reports)
     }
 }
@@ -101,9 +104,7 @@ mod tests {
         let acts = SpikeMatrix::random(1024, 512, 0.106, &mut rng);
         let shape = GemmShape::new(1024, 512, 256);
         let freq = 500e6;
-        let gops = |r: BaselineLayerReport| -> f64 {
-            r.bit_ops / (r.cycles / freq) / 1e9
-        };
+        let gops = |r: BaselineLayerReport| -> f64 { r.bit_ops / (r.cycles / freq) / 1e9 };
         let eyeriss = gops(SpikingEyeriss::default().run_layer(&acts, shape, 1.0));
         let ptb = gops(Ptb::default().run_layer(&acts, shape, 1.0));
         let sato = gops(Sato::default().run_layer(&acts, shape, 1.0));

@@ -103,13 +103,7 @@ mod tests {
         // Uniform rows: every row has the same nnz — no imbalance penalty.
         let uniform = SpikeMatrix::from_fn(32, 64, |_, c| c < 8);
         // Skewed: one dense row per group dominates.
-        let skewed = SpikeMatrix::from_fn(32, 64, |r, c| {
-            if r % 16 == 0 {
-                c < 32
-            } else {
-                c < 8
-            }
-        });
+        let skewed = SpikeMatrix::from_fn(32, 64, |r, c| if r % 16 == 0 { c < 32 } else { c < 8 });
         let s = Sato::default();
         let u = s.imbalanced_nnz(&uniform);
         assert_eq!(u, 32.0 * 8.0);

@@ -32,10 +32,8 @@ fn bench_packer(c: &mut Criterion) {
     // Extract one partition's L2 rows as the packer input stream.
     let entries: Vec<(u32, Vec<(u8, bool)>)> = (0..decomp.rows())
         .filter_map(|r| {
-            let e: Vec<(u8, bool)> = decomp
-                .l2_tile(r, 0)
-                .map(|x| ((x.col % 16) as u8, x.value < 0))
-                .collect();
+            let e: Vec<(u8, bool)> =
+                decomp.l2_tile(r, 0).map(|x| ((x.col % 16) as u8, x.value < 0)).collect();
             if e.is_empty() {
                 None
             } else {
@@ -49,10 +47,7 @@ fn bench_packer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(windows), &windows, |b, &w| {
             let config = PackerConfig { windows: w, ..Default::default() };
             b.iter(|| {
-                pack_rows(
-                    black_box(entries.iter().map(|(r, e)| (*r, e.as_slice()))),
-                    &config,
-                )
+                pack_rows(black_box(entries.iter().map(|(r, e)| (*r, e.as_slice()))), &config)
             })
         });
     }

@@ -18,12 +18,8 @@ fn bench_decompose(c: &mut Criterion) {
     let (calib, cluster) = generate_clustered(1024, 512, &profile, 16, &mut rng);
     let acts = cluster.sample(1024, &mut rng);
     for q in [32usize, 128] {
-        let patterns = Calibrator::new(CalibrationConfig {
-            q,
-            max_iters: 8,
-            ..Default::default()
-        })
-        .calibrate(&calib, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q, max_iters: 8, ..Default::default() })
+            .calibrate(&calib, &mut rng);
         group.bench_with_input(BenchmarkId::new("q", q), &q, |b, _| {
             b.iter(|| decompose(black_box(&acts), black_box(&patterns)))
         });
@@ -61,16 +57,10 @@ fn bench_gemm_paths(c: &mut Criterion) {
 fn bench_reconstruct(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let acts = SpikeMatrix::random(1024, 512, 0.1, &mut rng);
-    let patterns = Calibrator::new(CalibrationConfig {
-        q: 64,
-        max_iters: 8,
-        ..Default::default()
-    })
-    .calibrate(&acts, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig { q: 64, max_iters: 8, ..Default::default() })
+        .calibrate(&acts, &mut rng);
     let decomp = decompose(&acts, &patterns);
-    c.bench_function("reconstruct_1024x512", |b| {
-        b.iter(|| black_box(&decomp).reconstruct())
-    });
+    c.bench_function("reconstruct_1024x512", |b| b.iter(|| black_box(&decomp).reconstruct()));
 }
 
 criterion_group!(benches, bench_decompose, bench_gemm_paths, bench_reconstruct);

@@ -7,10 +7,8 @@
 //! * `fig12_traffic` — traffic accounting.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use phi_snn::pipeline::{
-    run_baseline_workload, run_phi_workload, workload_stats, PipelineConfig,
-};
 use phi_core::CalibrationConfig;
+use phi_snn::pipeline::{run_baseline_workload, run_phi_workload, workload_stats, PipelineConfig};
 use snn_baselines::{SpikingEyeriss, Stellar};
 use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
 use std::hint::black_box;
@@ -23,10 +21,7 @@ fn bench_config() -> PipelineConfig {
 }
 
 fn small(model: ModelId, dataset: DatasetId) -> snn_workloads::Workload {
-    WorkloadConfig::new(model, dataset)
-        .with_max_rows(128)
-        .with_calibration_rows(128)
-        .generate()
+    WorkloadConfig::new(model, dataset).with_max_rows(128).with_calibration_rows(128).generate()
 }
 
 fn bench_table2(c: &mut Criterion) {
@@ -49,10 +44,9 @@ fn bench_table2(c: &mut Criterion) {
 fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_stats");
     group.sample_size(10);
-    for (model, dataset) in [
-        (ModelId::Vgg16, DatasetId::Cifar10),
-        (ModelId::SpikingBert, DatasetId::Sst2),
-    ] {
+    for (model, dataset) in
+        [(ModelId::Vgg16, DatasetId::Cifar10), (ModelId::SpikingBert, DatasetId::Sst2)]
+    {
         let workload = small(model, dataset);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{model}-{dataset}")),

@@ -9,13 +9,15 @@
 //!
 //! Run: `cargo run --release -p phi-bench --bin ablation`
 
+use phi_accel::PhiConfig;
 use phi_analysis::Table;
 use phi_bench::{fmt, pct, ratio, results_dir, ExperimentScale};
-use phi_snn::pipeline::{run_phi_workload, PipelineConfig};
-use phi_accel::PhiConfig;
 use phi_core::kmeans::total_distance;
-use phi_core::{greedy_frequent_patterns, hamming_kmeans, BitSlicedMatrix, BitSlicedPhi,
-    CalibrationConfig, KmeansConfig};
+use phi_core::{
+    greedy_frequent_patterns, hamming_kmeans, BitSlicedMatrix, BitSlicedPhi, CalibrationConfig,
+    KmeansConfig,
+};
+use phi_snn::pipeline::{run_phi_workload, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snn_core::Matrix;
@@ -42,12 +44,8 @@ fn pattern_selection_ablation() {
         &["q", "k-means (Alg. 1)", "greedy by frequency", "k-means advantage"],
     );
     for q in [4usize, 16, 64, 128] {
-        let centers = hamming_kmeans(
-            &tiles,
-            16,
-            KmeansConfig { clusters: q, max_iters: 25 },
-            &mut rng,
-        );
+        let centers =
+            hamming_kmeans(&tiles, 16, KmeansConfig { clusters: q, max_iters: 25 }, &mut rng);
         let km = total_distance(&tiles, &centers);
         let greedy_centers = greedy_frequent_patterns(&tiles, 16, q);
         let gr = total_distance(&tiles, &greedy_centers);
@@ -145,5 +143,7 @@ fn bitslice_extension() {
     table.row_owned(vec!["|phi - dense|_max".into(), format!("{diff:.2e}")]);
     println!("{table}");
     table.write_csv(results_dir().join("ablation_bitslice.csv")).expect("csv");
-    println!("paper 6.2: bit-sliced binary planes are Phi's input domain; patterns emerge there too");
+    println!(
+        "paper 6.2: bit-sliced binary planes are Phi's input domain; patterns emerge there too"
+    );
 }

@@ -1,0 +1,228 @@
+//! Measures the calibrate→decompose hot path and writes the numbers to
+//! `BENCH_pipeline.json` at the repository root, so the speedup of the
+//! weight-compressed parallel engine is tracked across PRs.
+//!
+//! Measured on the VGG-16 / CIFAR-10 workload at two pattern budgets:
+//!
+//! * `q = 128` (`CalibrationConfig::default()`) — the paper's headline
+//!   configuration. Every partition of this workload holds fewer than 128
+//!   distinct tiles, so the weighted engines resolve it through the
+//!   distinct ≤ q fast path.
+//! * `q = 32` — forces distinct > q in most partitions, so the weighted
+//!   Lloyd *iteration* path is exercised and the clustering objective is
+//!   nonzero (a real regression guard, not 0 == 0).
+//!
+//! Per configuration: full-workload calibration per engine (reference /
+//! weighted / parallel, median wall-clock), plus byte-identity and
+//! objective checks; and once overall, the full-workload decomposition
+//! under the parallel row sweep.
+//!
+//! Run with `cargo run --release -p phi_bench --bin bench_pipeline`
+//! (`PHI_BENCH_RUNS` overrides the repetition count; default 5).
+
+use phi_core::{decompose, total_distance, CalibrationConfig, CalibrationEngine, Calibrator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn calibrate_workload(
+    workload: &Workload,
+    q: usize,
+    engine: CalibrationEngine,
+) -> Vec<phi_core::LayerPatterns> {
+    let config = CalibrationConfig { q, engine, ..CalibrationConfig::default() };
+    let calibrator = Calibrator::new(config);
+    workload
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            let mut rng = StdRng::seed_from_u64(7u64.wrapping_add(i as u64));
+            calibrator.calibrate(&layer.calibration, &mut rng)
+        })
+        .collect()
+}
+
+fn time_runs(runs: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    median(
+        (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect(),
+    )
+}
+
+/// The summed clustering objective over every layer × partition, computed
+/// on the calibration tiles: the quantity the engines must not regress.
+fn workload_objective(workload: &Workload, patterns: &[phi_core::LayerPatterns]) -> u64 {
+    let k = CalibrationConfig::default().k;
+    workload
+        .layers
+        .iter()
+        .zip(patterns)
+        .map(|(layer, lp)| {
+            (0..lp.num_partitions())
+                .map(|part| {
+                    let tiles: Vec<u64> = (0..layer.calibration.rows())
+                        .map(|r| layer.calibration.partition_tile(r, part, k))
+                        .filter(|&t| t != 0 && t & (t - 1) != 0)
+                        .collect();
+                    let centers: Vec<u64> =
+                        lp.set(part).patterns().iter().map(|p| p.bits()).collect();
+                    total_distance(&tiles, &centers)
+                })
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+struct ConfigResult {
+    q: usize,
+    reference: Duration,
+    weighted: Duration,
+    parallel: Duration,
+    byte_identical: bool,
+    objective_reference: u64,
+    objective_parallel: u64,
+}
+
+impl ConfigResult {
+    fn speedup_weighted(&self) -> f64 {
+        self.reference.as_secs_f64() / self.weighted.as_secs_f64()
+    }
+
+    fn speedup_parallel(&self) -> f64 {
+        self.reference.as_secs_f64() / self.parallel.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{
+    "q": {q},
+    "calibration_ms": {{
+      "reference_unweighted": {ref_ms:.3},
+      "weighted": {wgt_ms:.3},
+      "parallel": {par_ms:.3}
+    }},
+    "speedup_vs_reference": {{ "weighted": {sw:.3}, "parallel": {sp:.3} }},
+    "engines_byte_identical": {byte_identical},
+    "objective": {{ "reference": {obj_ref}, "parallel": {obj_par} }}
+  }}"#,
+            q = self.q,
+            ref_ms = self.reference.as_secs_f64() * 1e3,
+            wgt_ms = self.weighted.as_secs_f64() * 1e3,
+            par_ms = self.parallel.as_secs_f64() * 1e3,
+            sw = self.speedup_weighted(),
+            sp = self.speedup_parallel(),
+            byte_identical = self.byte_identical,
+            obj_ref = self.objective_reference,
+            obj_par = self.objective_parallel,
+        )
+    }
+}
+
+fn measure_config(workload: &Workload, q: usize, runs: usize) -> ConfigResult {
+    println!("timing calibration engines at q = {q} ({runs} runs each)...");
+    let reference = time_runs(runs, || {
+        std::hint::black_box(calibrate_workload(workload, q, CalibrationEngine::Reference));
+    });
+    let weighted = time_runs(runs, || {
+        std::hint::black_box(calibrate_workload(workload, q, CalibrationEngine::Weighted));
+    });
+    let parallel = time_runs(runs, || {
+        std::hint::black_box(calibrate_workload(workload, q, CalibrationEngine::Parallel));
+    });
+
+    // Correctness checks alongside the timings: single-threaded weighted is
+    // byte-identical to the reference; parallel must not regress the
+    // clustering objective (it is byte-identical too, so it cannot).
+    let p_ref = calibrate_workload(workload, q, CalibrationEngine::Reference);
+    let p_wgt = calibrate_workload(workload, q, CalibrationEngine::Weighted);
+    let p_par = calibrate_workload(workload, q, CalibrationEngine::Parallel);
+    let result = ConfigResult {
+        q,
+        reference,
+        weighted,
+        parallel,
+        byte_identical: p_ref == p_wgt && p_wgt == p_par,
+        objective_reference: workload_objective(workload, &p_ref),
+        objective_parallel: workload_objective(workload, &p_par),
+    };
+    println!("  reference: {:?}", result.reference);
+    println!("  weighted:  {:?}  ({:.2}x)", result.weighted, result.speedup_weighted());
+    println!("  parallel:  {:?}  ({:.2}x)", result.parallel, result.speedup_parallel());
+    println!(
+        "  byte-identical: {}, objective: reference {} / parallel {}",
+        result.byte_identical, result.objective_reference, result.objective_parallel
+    );
+    result
+}
+
+fn main() {
+    let runs: usize =
+        std::env::var("PHI_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    println!("generating VGG-16 / CIFAR-10 workload...");
+    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();
+    let layers = workload.layers.len();
+    let calibration_rows: usize = workload.layers.iter().map(|l| l.calibration.rows()).sum();
+
+    let headline = measure_config(&workload, 128, runs);
+    let iterated = measure_config(&workload, 32, runs);
+
+    println!("timing decomposition (parallel row sweep)...");
+    let p_par = calibrate_workload(&workload, 128, CalibrationEngine::Parallel);
+    let decompose_time = time_runs(runs, || {
+        for (layer, lp) in workload.layers.iter().zip(&p_par) {
+            std::hint::black_box(decompose(&layer.activations, lp));
+        }
+    });
+    println!("decomposition: {decompose_time:?}");
+
+    let json = format!(
+        r#"{{
+  "workload": "vgg16-cifar10",
+  "config": {{ "k": 16, "layers": {layers}, "calibration_rows": {calibration_rows} }},
+  "runs": {runs},
+  "threads": {threads},
+  "headline_q128": {headline},
+  "iterated_q32": {iterated},
+  "decompose_ms": {dec_ms:.3}
+}}
+"#,
+        threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        headline = headline.json(),
+        iterated = iterated.json(),
+        dec_ms = decompose_time.as_secs_f64() * 1e3,
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+
+    for result in [&headline, &iterated] {
+        assert!(
+            result.byte_identical,
+            "engines must produce byte-identical pattern sets (q = {})",
+            result.q
+        );
+        assert_eq!(
+            result.objective_parallel, result.objective_reference,
+            "parallel engine must not change the clustering objective (q = {})",
+            result.q
+        );
+    }
+    // The q = 32 budget is chosen so most partitions exceed it in distinct
+    // tiles: a zero objective would mean the iterated Lloyd path was never
+    // exercised and the objective check above was vacuous.
+    assert!(iterated.objective_reference > 0, "q = 32 run must exercise the iterated path");
+}

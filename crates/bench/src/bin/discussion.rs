@@ -5,11 +5,11 @@
 //!
 //! Run: `cargo run --release -p phi-bench --bin discussion`
 
+use phi_accel::{EnergyModel, PhiConfig};
 use phi_analysis::Table;
 use phi_bench::{fmt, results_dir, ExperimentScale};
-use phi_snn::pipeline::{calibrate_layer, PipelineConfig};
-use phi_accel::{EnergyModel, PhiConfig};
 use phi_core::decompose;
+use phi_snn::pipeline::{calibrate_layer, PipelineConfig};
 use snn_workloads::{DatasetId, ModelId};
 
 fn main() {
@@ -39,8 +39,7 @@ fn main() {
         let mut saved_j = 0.0f64;
         let mut preproc_j = 0.0f64;
         for (i, layer) in workload.layers.iter().enumerate() {
-            let patterns =
-                calibrate_layer(layer, &pipeline.calibration, pipeline.seed + i as u64);
+            let patterns = calibrate_layer(layer, &pipeline.calibration, pipeline.seed + i as u64);
             let d = decompose(&layer.activations, &patterns);
             let s = d.stats();
             let n = layer.spec.shape.n as f64;
@@ -51,9 +50,8 @@ fn main() {
             let saved_ops = (s.bit_nnz as f64 - phi_accums).max(0.0) * n * layer.row_scale;
             saved_j += saved_ops * e_acc;
             // Matcher comparisons: every row-tile against q patterns.
-            let comparisons = s.tiles() as f64
-                * config.patterns_per_partition as f64
-                * layer.row_scale;
+            let comparisons =
+                s.tiles() as f64 * config.patterns_per_partition as f64 * layer.row_scale;
             preproc_j += comparisons * e_cmp;
         }
         let ratio = saved_j / preproc_j;

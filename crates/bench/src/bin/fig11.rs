@@ -56,9 +56,8 @@ fn train_dnn(
                 let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
                 let sum: f32 = exps.iter().sum();
                 for c in 0..row.len() {
-                    dlogits[(r, c)] = (exps[c] / sum
-                        - if c == labels[r] { 1.0 } else { 0.0 })
-                        / idx.len() as f32;
+                    dlogits[(r, c)] =
+                        (exps[c] / sum - if c == labels[r] { 1.0 } else { 0.0 }) / idx.len() as f32;
                 }
             }
             let dw2 = h.transpose().matmul(&dlogits).expect("shapes fixed");
@@ -129,8 +128,7 @@ fn main() {
     let dnn_acc = train_dnn(&train_set, &test_set, hidden, epochs, &mut rng);
 
     // Bit-sparsity SNN.
-    let mut net =
-        SnnNetwork::new(48, &[hidden], 6, 4, LifConfig::default(), &mut rng);
+    let mut net = SnnNetwork::new(48, &[hidden], 6, 4, LifConfig::default(), &mut rng);
     let sgd = SgdConfig { lr: 0.05, momentum: 0.9, batch_size: 16 };
     train(&mut net, &train_set, &sgd, epochs, None, &mut rng).expect("train SNN");
     let snn_acc = evaluate(&net, &test_set).expect("evaluate SNN");
@@ -141,8 +139,7 @@ fn main() {
     let acts = record_activations(&net, &test_set).expect("record activations");
     let spikes = SpikeMatrix::from_matrix_threshold(&acts[0], 0.5);
     let config = CalibrationConfig { q: 32, ..Default::default() };
-    let patterns =
-        Calibrator::new(config).calibrate(&spikes, &mut StdRng::seed_from_u64(3));
+    let patterns = Calibrator::new(config).calibrate(&spikes, &mut StdRng::seed_from_u64(3));
     let decomp = decompose(&spikes, &patterns);
     assert!(decomp.verify_lossless(&spikes), "Phi decomposition must be lossless");
     let weights = &net.layers()[1].weights;
@@ -160,8 +157,7 @@ fn main() {
     let mut paft_net = net.clone();
     let reg = PaftRegularizer::new(vec![patterns.clone()], vec![6], 2e-4);
     let paft_sgd = SgdConfig { lr: 0.01, momentum: 0.9, batch_size: 16 };
-    train(&mut paft_net, &train_set, &paft_sgd, 5, Some(&reg), &mut rng)
-        .expect("PAFT fine-tune");
+    train(&mut paft_net, &train_set, &paft_sgd, 5, Some(&reg), &mut rng).expect("PAFT fine-tune");
     let paft_acc = evaluate(&paft_net, &test_set).expect("evaluate PAFT");
     let density_after = element_density(&paft_net, &test_set, 1);
 

@@ -10,11 +10,11 @@
 //! Run: `cargo run --release -p phi-bench --bin fig7 [a|b|c|d]`
 //! (no argument runs all four).
 
+use phi_accel::{EnergyModel, PhiConfig, PhiSimulator};
 use phi_analysis::Table;
 use phi_bench::{fmt, results_dir, ExperimentScale};
-use phi_snn::pipeline::{run_phi_workload, PipelineConfig};
-use phi_accel::{EnergyModel, PhiConfig, PhiSimulator};
 use phi_core::{decompose, CalibrationConfig, Calibrator, SparsityStats};
+use phi_snn::pipeline::{run_phi_workload, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_workloads::{DatasetId, ModelId, Workload};
@@ -87,12 +87,7 @@ fn fig7b(scale: &ExperimentScale, workload: &Workload) {
         let bit = s.bit_density();
         let phi = s.total_density() / bit;
         let optimal = s.element_density() / bit;
-        table.row_owned(vec![
-            k.to_string(),
-            "1.000".to_owned(),
-            fmt(phi, 3),
-            fmt(optimal, 3),
-        ]);
+        table.row_owned(vec![k.to_string(), "1.000".to_owned(), fmt(phi, 3), fmt(optimal, 3)]);
     }
     println!("{table}");
     table.write_csv(results_dir().join("fig7b.csv")).expect("write fig7b.csv");
@@ -147,10 +142,7 @@ fn fig7d(scale: &ExperimentScale, workload: &Workload) {
     for kb in [120usize, 160, 240, 400, 720] {
         let accel = PhiConfig::default().with_total_buffer_bytes(kb << 10);
         let pipeline = PipelineConfig {
-            calibration: CalibrationConfig {
-                max_iters: scale.kmeans_iters,
-                ..Default::default()
-            },
+            calibration: CalibrationConfig { max_iters: scale.kmeans_iters, ..Default::default() },
             accelerator: accel.clone(),
             ..Default::default()
         };

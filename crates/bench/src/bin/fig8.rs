@@ -17,16 +17,36 @@ fn main() {
 
     let mut speedup = Table::new(
         "Fig 8 (top): speedup normalized to Spiking Eyeriss",
-        &["Model", "Dataset", "Eyeriss", "PTB", "SATO", "SpinalFlow", "Stellar", "Phi w/o FT", "Phi w FT"],
+        &[
+            "Model",
+            "Dataset",
+            "Eyeriss",
+            "PTB",
+            "SATO",
+            "SpinalFlow",
+            "Stellar",
+            "Phi w/o FT",
+            "Phi w FT",
+        ],
     );
     let mut energy = Table::new(
         "Fig 8 (bottom): energy normalized to Phi w/o PAFT",
-        &["Model", "Dataset", "Eyeriss", "PTB", "SATO", "SpinalFlow", "Stellar", "Phi w/o FT", "Phi w FT"],
+        &[
+            "Model",
+            "Dataset",
+            "Eyeriss",
+            "PTB",
+            "SATO",
+            "SpinalFlow",
+            "Stellar",
+            "Phi w/o FT",
+            "Phi w FT",
+        ],
     );
 
     // Geomean accumulators: one per accelerator column.
-    let mut speed_geo = vec![0.0f64; 7];
-    let mut energy_geo = vec![0.0f64; 7];
+    let mut speed_geo = [0.0f64; 7];
+    let mut energy_geo = [0.0f64; 7];
     let mut pairs_done = 0usize;
 
     for (model, dataset) in FIG8_PAIRS {

@@ -92,10 +92,8 @@ fn main() {
 
     // --- Terminal rendering (the paper's scatter panels) -----------------
     println!("Fig 9a: train (.) vs test (o) activations share cluster structure");
-    let joint_labels: Vec<usize> = (0..train_emb.len())
-        .map(|_| 0)
-        .chain((0..test_emb.len()).map(|_| 1))
-        .collect();
+    let joint_labels: Vec<usize> =
+        (0..train_emb.len()).map(|_| 0).chain((0..test_emb.len()).map(|_| 1)).collect();
     println!("{}\n", scatter(&embedding, &joint_labels, &['.', 'o'], 68, 20));
     println!("Fig 1a (noise) vs Fig 1c (SNN): structure emerges only for spikes");
     let noise_labels = vec![0usize; emb_noise.len()];

@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release -p phi-bench --bin table2`
 
+use phi_accel::EnergyModel;
 use phi_analysis::Table;
 use phi_bench::{baselines, fmt, ratio, results_dir, ExperimentScale};
 use phi_snn::pipeline::{run_baseline_workload, run_phi_workload};
-use phi_accel::EnergyModel;
 use snn_workloads::{DatasetId, ModelId};
 
 fn main() {
@@ -29,12 +29,7 @@ fn main() {
     let phi_report = run_phi_workload(&workload, &pipeline);
     let phi_area = EnergyModel::default().area(&pipeline.accelerator).total();
     let phi_gops = phi_report.throughput_gops(freq);
-    rows.push((
-        "Phi".to_owned(),
-        phi_gops,
-        phi_report.gops_per_joule(),
-        phi_gops / phi_area,
-    ));
+    rows.push(("Phi".to_owned(), phi_gops, phi_report.gops_per_joule(), phi_gops / phi_area));
 
     let (e_gops, e_gopj, e_area) = (rows[0].1, rows[0].2, rows[0].3);
     let mut table = Table::new(

@@ -17,7 +17,11 @@ fn main() {
         "Table 3: Phi area and power breakdown (28 nm, 500 MHz)",
         &["Component", "Area (mm2)", "Power (mW)"],
     );
-    table.row_owned(vec!["Preprocessor".into(), fmt(area.preprocessor, 3), fmt(model.preprocessor_mw, 1)]);
+    table.row_owned(vec![
+        "Preprocessor".into(),
+        fmt(area.preprocessor, 3),
+        fmt(model.preprocessor_mw, 1),
+    ]);
     table.row_owned(vec!["L1 Processor".into(), fmt(area.l1, 3), fmt(model.l1_mw, 1)]);
     table.row_owned(vec!["L2 Processor".into(), fmt(area.l2, 3), fmt(model.l2_mw, 1)]);
     table.row_owned(vec!["LIF Neuron".into(), fmt(area.lif, 3), fmt(model.lif_mw, 1)]);

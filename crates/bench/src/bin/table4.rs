@@ -7,8 +7,8 @@
 
 use phi_analysis::Table;
 use phi_bench::{pct, ratio, results_dir, ExperimentScale};
-use phi_snn::pipeline::workload_stats;
 use phi_core::{decompose, CalibrationConfig, Calibrator};
+use phi_snn::pipeline::workload_stats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_core::SpikeMatrix;

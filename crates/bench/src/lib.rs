@@ -7,8 +7,8 @@
 //! handling. Results are printed as aligned tables and also written as CSV
 //! under `results/`.
 
-use phi_snn::pipeline::PipelineConfig;
 use phi_core::CalibrationConfig;
+use phi_snn::pipeline::PipelineConfig;
 use snn_baselines::{Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar};
 use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
 use std::path::PathBuf;
@@ -59,10 +59,7 @@ impl ExperimentScale {
     /// `k = 16`, `q = 128`).
     pub fn pipeline(&self) -> PipelineConfig {
         PipelineConfig {
-            calibration: CalibrationConfig {
-                max_iters: self.kmeans_iters,
-                ..Default::default()
-            },
+            calibration: CalibrationConfig { max_iters: self.kmeans_iters, ..Default::default() },
             ..Default::default()
         }
     }

@@ -179,7 +179,8 @@ impl BitSlicedPhi {
 
     /// Merged sparsity statistics across planes.
     pub fn stats(&self) -> SparsityStats {
-        let per: Vec<SparsityStats> = self.decompositions.iter().map(Decomposition::stats).collect();
+        let per: Vec<SparsityStats> =
+            self.decompositions.iter().map(Decomposition::stats).collect();
         SparsityStats::merge_all(per.iter())
     }
 
@@ -263,8 +264,7 @@ mod tests {
         // Direct integer reference.
         for r in 0..6 {
             for n in 0..5 {
-                let expected: f32 =
-                    (0..10).map(|k| values[r][k] as f32 * weights[(k, n)]).sum();
+                let expected: f32 = (0..10).map(|k| values[r][k] as f32 * weights[(k, n)]).sum();
                 assert!((out[(r, n)] - expected).abs() < 1e-3);
             }
         }

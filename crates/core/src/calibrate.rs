@@ -5,13 +5,41 @@
 //! activations; the paper shows (Fig. 9a) that the row distribution within a
 //! partition is stable between training and test data, so patterns
 //! generalize. Each partition is calibrated independently to capture its
-//! local distribution.
+//! local distribution — and because each partition draws an *independent*
+//! RNG seed up front, the partition walk can run sequentially or in
+//! parallel ([`CalibrationEngine::Parallel`], the default) with bit-equal
+//! results.
 
-use crate::kmeans::{hamming_kmeans, KmeansConfig};
+use crate::kmeans::{
+    compress_tiles, hamming_kmeans_unweighted, weighted_hamming_kmeans, KmeansConfig,
+};
 use crate::pattern::{Pattern, PatternSet};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use snn_core::SpikeMatrix;
-use std::collections::HashMap;
+
+/// Which calibration engine to run.
+///
+/// All three produce byte-identical pattern sets for the same outer RNG
+/// state: the weighted engines are mathematically equivalent reformulations
+/// of the reference sweep, and partition seeds are drawn before the walk so
+/// execution order cannot matter. `Reference` exists as the benchmark
+/// baseline and test oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CalibrationEngine {
+    /// Sequential, unweighted Lloyd iterations over every raw tile — the
+    /// original implementation, kept for speedup tracking and as the
+    /// byte-identity oracle.
+    Reference,
+    /// Weight-compressed Lloyd iterations (deduplicated tiles), sequential
+    /// partition walk.
+    Weighted,
+    /// Weight-compressed Lloyd iterations with the partition walk
+    /// parallelized across threads.
+    #[default]
+    Parallel,
+}
 
 /// Configuration for the calibration stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,11 +56,21 @@ pub struct CalibrationConfig {
     /// Whether to top up the pattern set with the most frequent unmatched
     /// tiles when k-means returns fewer than `q` distinct centers.
     pub fill_with_frequent: bool,
+    /// Execution engine (weighted/parallel by default; see
+    /// [`CalibrationEngine`]).
+    pub engine: CalibrationEngine,
 }
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        CalibrationConfig { k: 16, q: 128, max_iters: 25, max_rows: 8192, fill_with_frequent: true }
+        CalibrationConfig {
+            k: 16,
+            q: 128,
+            max_iters: 25,
+            max_rows: 8192,
+            fill_with_frequent: true,
+            engine: CalibrationEngine::default(),
+        }
     }
 }
 
@@ -138,6 +176,11 @@ impl Calibrator {
     /// Calibrates from several activation dumps with identical column
     /// counts (e.g. one dump per calibration batch).
     ///
+    /// One independent seed per partition is drawn from `rng` before the
+    /// walk, so the per-partition work is order-free and the
+    /// [`CalibrationEngine::Parallel`] engine returns exactly what the
+    /// sequential engines return.
+    ///
     /// # Panics
     ///
     /// Panics if `dumps` is empty or the dumps disagree on column count.
@@ -153,21 +196,25 @@ impl Calibrator {
         }
         let k = self.config.k;
         let parts = cols.div_ceil(k);
-        let sets = (0..parts)
-            .map(|part| self.calibrate_partition(dumps, part, rng))
-            .collect();
+        let seeded: Vec<(usize, u64)> = (0..parts).map(|part| (part, rng.gen::<u64>())).collect();
+        let sets: Vec<PatternSet> = match self.config.engine {
+            CalibrationEngine::Parallel => seeded
+                .into_par_iter()
+                .map(|(part, seed)| self.calibrate_partition(dumps, part, seed))
+                .collect(),
+            _ => seeded
+                .into_iter()
+                .map(|(part, seed)| self.calibrate_partition(dumps, part, seed))
+                .collect(),
+        };
         LayerPatterns::new(k, sets)
     }
 
-    fn calibrate_partition<R: Rng + ?Sized>(
-        &self,
-        dumps: &[SpikeMatrix],
-        part: usize,
-        rng: &mut R,
-    ) -> PatternSet {
+    /// Gathers the calibration tiles of one partition, filtering all-zero
+    /// and one-hot rows (Algorithm 1 line 2): neither benefits from a
+    /// pattern.
+    fn gather_tiles(&self, dumps: &[SpikeMatrix], part: usize) -> Vec<u64> {
         let k = self.config.k;
-        // Gather tiles, filtering all-zero and one-hot rows (Algorithm 1
-        // line 2): neither benefits from a pattern.
         let mut tiles: Vec<u64> = Vec::new();
         let total_rows: usize = dumps.iter().map(SpikeMatrix::rows).sum();
         let stride = (total_rows / self.config.max_rows.max(1)).max(1);
@@ -175,7 +222,7 @@ impl Calibrator {
         for dump in dumps {
             for r in 0..dump.rows() {
                 global_row += 1;
-                if global_row % stride != 0 {
+                if !global_row.is_multiple_of(stride) {
                     continue;
                 }
                 let tile = dump.partition_tile(r, part, k);
@@ -185,36 +232,119 @@ impl Calibrator {
                 tiles.push(tile);
             }
         }
+        tiles
+    }
 
-        let mut centers = hamming_kmeans(
-            &tiles,
-            k,
-            KmeansConfig { clusters: self.config.q, max_iters: self.config.max_iters },
-            rng,
-        );
+    /// Gathers one partition's tiles directly in compressed
+    /// `(value, multiplicity)` form.
+    ///
+    /// For `k ≤ 16` the tiles index a 2^k counting table, so compression
+    /// costs O(tiles) plus a sort of the distinct values only — the raw
+    /// tile vector is never materialized. Wider partitions fall back to
+    /// gather-then-[`compress_tiles`]. Both produce the exact output of
+    /// `compress_tiles(gather_tiles(..))`.
+    fn gather_compressed(&self, dumps: &[SpikeMatrix], part: usize) -> Vec<(u64, u64)> {
+        let k = self.config.k;
+        if k > 16 {
+            return compress_tiles(&self.gather_tiles(dumps, part));
+        }
+        // Per-thread counting table, grown once and reset sparsely (only
+        // the touched slots), so repeated partitions pay O(distinct) for
+        // bookkeeping instead of a 2^k memset.
+        thread_local! {
+            static COUNTS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        COUNTS.with(|cell| {
+            let mut counts = cell.borrow_mut();
+            if counts.len() < 1 << k {
+                counts.resize(1 << k, 0);
+            }
+            let mut touched: Vec<u64> = Vec::new();
+            let total_rows: usize = dumps.iter().map(SpikeMatrix::rows).sum();
+            let stride = (total_rows / self.config.max_rows.max(1)).max(1);
+            {
+                let mut count_tile = |tile: u64| {
+                    if tile == 0 || tile & (tile - 1) == 0 {
+                        return;
+                    }
+                    if counts[tile as usize] == 0 {
+                        touched.push(tile);
+                    }
+                    counts[tile as usize] += 1;
+                };
+                if stride == 1 {
+                    // No subsampling: keep the hot scan free of the per-row
+                    // `% stride` division.
+                    for dump in dumps {
+                        for tile in dump.partition_column_tiles(part, k) {
+                            count_tile(tile);
+                        }
+                    }
+                } else {
+                    let mut global_row = 0usize;
+                    for dump in dumps {
+                        for tile in dump.partition_column_tiles(part, k) {
+                            global_row += 1;
+                            if !global_row.is_multiple_of(stride) {
+                                continue;
+                            }
+                            count_tile(tile);
+                        }
+                    }
+                }
+            }
+            touched.sort_unstable();
+            let compressed: Vec<(u64, u64)> =
+                touched.iter().map(|&v| (v, counts[v as usize])).collect();
+            for &v in &touched {
+                counts[v as usize] = 0;
+            }
+            compressed
+        })
+    }
+
+    fn calibrate_partition(&self, dumps: &[SpikeMatrix], part: usize, seed: u64) -> PatternSet {
+        let k = self.config.k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kmeans_config =
+            KmeansConfig { clusters: self.config.q, max_iters: self.config.max_iters };
+        // Both engines share the compressed form: the weighted engine
+        // clusters on it, and the frequency fill below reads it directly.
+        let (compressed, mut centers) = match self.config.engine {
+            CalibrationEngine::Reference => {
+                let tiles = self.gather_tiles(dumps, part);
+                let centers = hamming_kmeans_unweighted(&tiles, k, kmeans_config, &mut rng);
+                (compress_tiles(&tiles), centers)
+            }
+            _ => {
+                let compressed = self.gather_compressed(dumps, part);
+                let centers = weighted_hamming_kmeans(&compressed, k, kmeans_config, &mut rng);
+                (compressed, centers)
+            }
+        };
         // k-means centers can collide after rounding; refill free slots with
         // the most frequent tiles not already covered. This is a pure win:
         // an exact-match pattern gives those rows 100% Level-2 sparsity.
         if self.config.fill_with_frequent && centers.len() < self.config.q {
-            let mut freq: HashMap<u64, u32> = HashMap::new();
-            for &t in &tiles {
-                *freq.entry(t).or_insert(0) += 1;
-            }
-            for &c in &centers {
-                freq.remove(&c);
-            }
-            let mut by_freq: Vec<(u64, u32)> = freq.into_iter().collect();
-            by_freq.sort_unstable_by_key(|&(t, n)| (std::cmp::Reverse(n), t));
-            for (t, _) in by_freq {
+            // `centers` is sorted ascending (both engines finalize that
+            // way), so membership is a binary search.
+            debug_assert!(centers.windows(2).all(|w| w[0] < w[1]));
+            let mut by_freq: Vec<(u64, u64)> = compressed
+                .iter()
+                .filter(|(tile, _)| centers.binary_search(tile).is_err())
+                .map(|&(tile, count)| (tile, count))
+                .collect();
+            by_freq.sort_unstable_by_key(|&(tile, count)| (std::cmp::Reverse(count), tile));
+            for (tile, _) in by_freq {
                 if centers.len() >= self.config.q {
                     break;
                 }
                 // Skip degenerate tiles (cannot help; zero collides with
                 // the no-pattern index).
-                if t == 0 || t & (t - 1) == 0 {
+                if tile == 0 || tile & (tile - 1) == 0 {
                     continue;
                 }
-                centers.push(t);
+                centers.push(tile);
             }
         }
         centers.truncate(self.config.q);
@@ -273,11 +403,7 @@ mod tests {
         // distinct centers, and the fill stage cannot invent more.
         let tiles = [0b0011u64, 0b0110, 0b1100, 0b1001];
         let acts = SpikeMatrix::from_fn(80, 4, |r, c| (tiles[r % 4] >> c) & 1 == 1);
-        let cal = Calibrator::new(CalibrationConfig {
-            k: 4,
-            q: 8,
-            ..Default::default()
-        });
+        let cal = Calibrator::new(CalibrationConfig { k: 4, q: 8, ..Default::default() });
         let lp = cal.calibrate(&acts, &mut rng());
         assert_eq!(lp.set(0).len(), 4);
         for t in tiles {
@@ -307,13 +433,36 @@ mod tests {
     fn max_rows_subsamples() {
         let mut r = rng();
         let acts = SpikeMatrix::random(4096, 16, 0.25, &mut r);
-        let cal = Calibrator::new(CalibrationConfig {
-            q: 16,
-            max_rows: 128,
-            ..Default::default()
-        });
+        let cal = Calibrator::new(CalibrationConfig { q: 16, max_rows: 128, ..Default::default() });
         // Just verify it runs fast and produces patterns.
         let lp = cal.calibrate(&acts, &mut r);
         assert!(!lp.set(0).is_empty());
+    }
+
+    #[test]
+    fn engines_agree_byte_for_byte() {
+        // The acceptance property at the calibration level: reference,
+        // weighted, and parallel engines produce identical LayerPatterns
+        // for the same outer RNG state.
+        let mut r = rng();
+        for density in [0.1, 0.3] {
+            let acts = SpikeMatrix::random(512, 50, density, &mut r);
+            let mut results = Vec::new();
+            for engine in [
+                CalibrationEngine::Reference,
+                CalibrationEngine::Weighted,
+                CalibrationEngine::Parallel,
+            ] {
+                let cal = Calibrator::new(CalibrationConfig {
+                    q: 16,
+                    max_iters: 12,
+                    engine,
+                    ..Default::default()
+                });
+                results.push(cal.calibrate(&acts, &mut StdRng::seed_from_u64(41)));
+            }
+            assert_eq!(results[0], results[1], "reference vs weighted diverged");
+            assert_eq!(results[1], results[2], "weighted vs parallel diverged");
+        }
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::calibrate::LayerPatterns;
 use crate::stats::SparsityStats;
+use rayon::prelude::*;
 use snn_core::SpikeMatrix;
 
 /// One signed Level-2 correction element.
@@ -93,64 +94,23 @@ pub fn decompose(activations: &SpikeMatrix, patterns: &LayerPatterns) -> Decompo
     );
 
     let rows = activations.rows();
+    // Rows are independent, so decompose them in parallel and splice the
+    // per-row results together in row order (the collect preserves input
+    // order, keeping the output identical to a sequential sweep).
+    let row_results: Vec<RowDecomposition> =
+        (0..rows).into_par_iter().map(|r| decompose_row(activations, patterns, r)).collect();
+
     let mut l1 = Vec::with_capacity(rows * parts);
     let mut l2: Vec<Vec<L2Entry>> = Vec::with_capacity(rows);
     let mut l1_ones = 0u64;
     let mut l2_pos = 0u64;
     let mut l2_neg = 0u64;
-
-    for r in 0..rows {
-        let mut row_entries = Vec::new();
-        for part in 0..parts {
-            let tile = activations.partition_tile(r, part, k);
-            // The final partition may be narrower than k; pattern bits in
-            // the padded region are inert (their weights do not exist) and
-            // must not generate corrections.
-            let width = k.min(activations.cols() - part * k);
-            let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let baseline = tile.count_ones();
-            let set = patterns.set(part);
-            let choice = match set.best_match(tile) {
-                // Strictly better than bit sparsity: assign the pattern.
-                Some((idx, dist)) if dist < baseline => Some((idx, dist)),
-                _ => None,
-            };
-            match choice {
-                Some((idx, _)) => {
-                    let p = set.pattern(idx);
-                    l1.push(Some(idx as u16));
-                    let p_bits = p.bits() & width_mask;
-                    l1_ones += u64::from(p_bits.count_ones());
-                    let diff = p_bits ^ tile;
-                    let mut bits = diff;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        let col = (part * k + b) as u32;
-                        let value = if (tile >> b) & 1 == 1 {
-                            l2_pos += 1;
-                            1
-                        } else {
-                            l2_neg += 1;
-                            -1
-                        };
-                        row_entries.push(L2Entry { col, value });
-                    }
-                }
-                None => {
-                    l1.push(None);
-                    let mut bits = tile;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        l2_pos += 1;
-                        row_entries.push(L2Entry { col: (part * k + b) as u32, value: 1 });
-                    }
-                }
-            }
-        }
-        row_entries.sort_unstable_by_key(|e| e.col);
-        l2.push(row_entries);
+    for row in row_results {
+        l1.extend(row.l1);
+        l2.push(row.entries);
+        l1_ones += row.l1_ones;
+        l2_pos += row.l2_pos;
+        l2_neg += row.l2_neg;
     }
 
     Decomposition {
@@ -164,6 +124,80 @@ pub fn decompose(activations: &SpikeMatrix, patterns: &LayerPatterns) -> Decompo
         l2_neg,
         bit_nnz: activations.nnz() as u64,
     }
+}
+
+/// One row's share of the decomposition, produced independently per row by
+/// the parallel sweep.
+struct RowDecomposition {
+    l1: Vec<Option<u16>>,
+    entries: Vec<L2Entry>,
+    l1_ones: u64,
+    l2_pos: u64,
+    l2_neg: u64,
+}
+
+fn decompose_row(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    r: usize,
+) -> RowDecomposition {
+    let k = patterns.k();
+    let parts = patterns.num_partitions();
+    let mut l1 = Vec::with_capacity(parts);
+    let mut row_entries = Vec::new();
+    let mut l1_ones = 0u64;
+    let mut l2_pos = 0u64;
+    let mut l2_neg = 0u64;
+    for part in 0..parts {
+        let tile = activations.partition_tile(r, part, k);
+        // The final partition may be narrower than k; pattern bits in
+        // the padded region are inert (their weights do not exist) and
+        // must not generate corrections.
+        let width = k.min(activations.cols() - part * k);
+        let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let baseline = tile.count_ones();
+        let set = patterns.set(part);
+        let choice = match set.best_match(tile) {
+            // Strictly better than bit sparsity: assign the pattern.
+            Some((idx, dist)) if dist < baseline => Some((idx, dist)),
+            _ => None,
+        };
+        match choice {
+            Some((idx, _)) => {
+                let p = set.pattern(idx);
+                l1.push(Some(idx as u16));
+                let p_bits = p.bits() & width_mask;
+                l1_ones += u64::from(p_bits.count_ones());
+                let diff = p_bits ^ tile;
+                let mut bits = diff;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let col = (part * k + b) as u32;
+                    let value = if (tile >> b) & 1 == 1 {
+                        l2_pos += 1;
+                        1
+                    } else {
+                        l2_neg += 1;
+                        -1
+                    };
+                    row_entries.push(L2Entry { col, value });
+                }
+            }
+            None => {
+                l1.push(None);
+                let mut bits = tile;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    l2_pos += 1;
+                    row_entries.push(L2Entry { col: (part * k + b) as u32, value: 1 });
+                }
+            }
+        }
+    }
+    row_entries.sort_unstable_by_key(|e| e.col);
+    RowDecomposition { l1, entries: row_entries, l1_ones, l2_pos, l2_neg }
 }
 
 impl Decomposition {

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 ///
 /// Ties break toward the smaller tile value so the result is deterministic.
 pub fn greedy_frequent_patterns(points: &[u64], width: usize, q: usize) -> Vec<u64> {
-    assert!(width >= 1 && width <= 64, "width must be within 1..=64");
+    assert!((1..=64).contains(&width), "width must be within 1..=64");
     let mut freq: HashMap<u64, u32> = HashMap::new();
     for &p in points {
         if p == 0 || p & (p - 1) == 0 {
@@ -90,23 +90,16 @@ mod tests {
             let flips = rng.gen_range(1..=2);
             let mut tile = proto;
             for _ in 0..flips {
-                tile ^= 1 << rng.gen_range(0..16);
+                tile ^= 1u64 << rng.gen_range(0..16);
             }
             points.push(tile);
         }
         let q = 4;
         let greedy = greedy_objective(&points, 16, q);
-        let centers = hamming_kmeans(
-            &points,
-            16,
-            KmeansConfig { clusters: q, max_iters: 25 },
-            &mut rng,
-        );
+        let centers =
+            hamming_kmeans(&points, 16, KmeansConfig { clusters: q, max_iters: 25 }, &mut rng);
         let kmeans = total_distance(&points, &centers);
-        assert!(
-            kmeans < greedy,
-            "k-means objective {kmeans} should beat greedy {greedy} at q={q}"
-        );
+        assert!(kmeans < greedy, "k-means objective {kmeans} should beat greedy {greedy} at q={q}");
     }
 
     #[test]

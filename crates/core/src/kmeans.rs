@@ -7,6 +7,27 @@
 //! number of Level-2 correction elements that assignment would create, so
 //! minimizing within-cluster distance maximizes Level-2 sparsity by
 //! construction (§3.2).
+//!
+//! # Weight-compressed Lloyd iterations
+//!
+//! SNN tile distributions are heavily duplicated (Prosperity, HPCA 2025
+//! makes the same observation about SNN products): a partition with tens of
+//! thousands of calibration tiles typically holds only a few hundred
+//! *distinct* width-`k` values. [`hamming_kmeans`] therefore deduplicates
+//! the input into `(value, multiplicity)` pairs once and runs every Lloyd
+//! iteration over distinct values only, weighting the per-bit majority
+//! votes by multiplicity. The objective and every intermediate quantity
+//! (assignments, vote counts, empty-cluster reseeds, convergence) are
+//! *mathematically identical* to the unweighted sweep — duplicates of a
+//! tile always share an assignment, and the rounded mean only depends on
+//! weighted counts — so for a fixed seed the result is byte-identical to
+//! [`hamming_kmeans_unweighted`], at a fraction of the cost.
+//!
+//! The empty-cluster reseed ([`farthest tile`](hamming_kmeans)) is computed
+//! lazily: only when an iteration actually produces an empty cluster, not
+//! every iteration. Ties (several tiles equally far from their centers)
+//! break toward the numerically largest tile so the choice is independent
+//! of input order and multiplicity.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -26,6 +47,26 @@ impl Default for KmeansConfig {
     }
 }
 
+/// Deduplicates `points` into `(value, multiplicity)` pairs, sorted by
+/// value ascending.
+///
+/// This is the compression step in front of the weighted Lloyd iterations:
+/// SNN partitions typically hold far fewer distinct width-`k` tiles than
+/// raw tiles, and every k-means quantity depends on the input only through
+/// these counts.
+pub fn compress_tiles(points: &[u64]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<u64> = points.to_vec();
+    sorted.sort_unstable();
+    let mut compressed: Vec<(u64, u64)> = Vec::new();
+    for v in sorted {
+        match compressed.last_mut() {
+            Some((value, count)) if *value == v => *count += 1,
+            _ => compressed.push((v, 1)),
+        }
+    }
+    compressed
+}
+
 /// Runs binary k-means with Hamming distance on `points` of bit-width
 /// `width`, returning at most `config.clusters` binary centers.
 ///
@@ -38,6 +79,10 @@ impl Default for KmeansConfig {
 /// all-zero (an all-zero center would collide with the hardware's "no
 /// pattern" index).
 ///
+/// Internally the input is compressed with [`compress_tiles`] and handed to
+/// [`weighted_hamming_kmeans`]; the result is byte-identical to
+/// [`hamming_kmeans_unweighted`] for the same `rng` state.
+///
 /// # Panics
 ///
 /// Panics if `width` is 0 or exceeds 64.
@@ -47,7 +92,130 @@ pub fn hamming_kmeans<R: Rng + ?Sized>(
     config: KmeansConfig,
     rng: &mut R,
 ) -> Vec<u64> {
-    assert!(width >= 1 && width <= 64, "width must be within 1..=64");
+    weighted_hamming_kmeans(&compress_tiles(points), width, config, rng)
+}
+
+/// Weighted Lloyd iterations over pre-deduplicated `(value, multiplicity)`
+/// tiles.
+///
+/// `compressed` must be sorted by value with strictly distinct values —
+/// what [`compress_tiles`] produces. Centers are initialized by sampling
+/// `q` distinct values with `rng` (the only randomness used), then
+/// refined with multiplicity-weighted per-bit majority votes.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 64, or (debug only) if `compressed`
+/// is not sorted-distinct.
+pub fn weighted_hamming_kmeans<R: Rng + ?Sized>(
+    compressed: &[(u64, u64)],
+    width: usize,
+    config: KmeansConfig,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!((1..=64).contains(&width), "width must be within 1..=64");
+    debug_assert!(
+        compressed.windows(2).all(|w| w[0].0 < w[1].0),
+        "compressed tiles must be sorted with distinct values"
+    );
+    if compressed.is_empty() || config.clusters == 0 {
+        return Vec::new();
+    }
+
+    let values: Vec<u64> = compressed.iter().map(|&(v, _)| v).collect();
+    // Fast path: with at least as many clusters as distinct values, Lloyd
+    // iterations are a fixed point from the start — initialization selects
+    // every distinct value, each value is its own nearest center at
+    // distance 0, and the weighted majority vote reproduces it. The result
+    // is exactly the finalized distinct values, for any iteration count.
+    if values.len() <= config.clusters {
+        return finalize_centers(values);
+    }
+    // The fast path above guarantees strictly more distinct values than
+    // clusters from here on.
+    let q = config.clusters;
+    let mut centers: Vec<u64> = values.choose_multiple(rng, q).copied().collect();
+
+    let mut assignment = vec![0usize; compressed.len()];
+    for _ in 0..config.max_iters {
+        // Assign each distinct value to the nearest center (all duplicates
+        // of a value necessarily share its assignment).
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let best = nearest_center(&centers, v);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update: per-bit majority vote weighted by multiplicity, rounded
+        // to binary (Algorithm 1 line 6).
+        let mut counts = vec![[0u64; 64]; centers.len()];
+        let mut sizes = vec![0u64; centers.len()];
+        for (i, &(v, weight)) in compressed.iter().enumerate() {
+            let c = assignment[i];
+            sizes[c] += weight;
+            let mut bits = v;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                counts[c][b] += weight;
+                bits &= bits - 1;
+            }
+        }
+        // Empty-cluster reseed, computed lazily: only when a cluster is
+        // actually empty this iteration (against the pre-update centers,
+        // like the eager version did).
+        let reseed = if sizes.contains(&0) {
+            Some(farthest_value(&values, &centers, &assignment))
+        } else {
+            None
+        };
+        for (c, center) in centers.iter_mut().enumerate() {
+            if sizes[c] == 0 {
+                *center = reseed.expect("reseed computed when a cluster is empty");
+                changed = true;
+                continue;
+            }
+            let mut new_center = 0u64;
+            for (b, &count) in counts[c].iter().enumerate().take(width) {
+                // Mean ≥ 0.5 rounds to 1.
+                if 2 * count >= sizes[c] {
+                    new_center |= 1 << b;
+                }
+            }
+            if new_center != *center {
+                *center = new_center;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    finalize_centers(centers)
+}
+
+/// The original per-point sweep: unweighted Lloyd iterations over every raw
+/// tile.
+///
+/// Kept as the benchmark baseline for the weight-compressed engine and as
+/// the oracle in the byte-identity property tests. Same seeding, same
+/// deterministic tie-breaks, same result as [`hamming_kmeans`] — just
+/// O(points) instead of O(distinct) work per iteration.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 64.
+pub fn hamming_kmeans_unweighted<R: Rng + ?Sized>(
+    points: &[u64],
+    width: usize,
+    config: KmeansConfig,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!((1..=64).contains(&width), "width must be within 1..=64");
     if points.is_empty() || config.clusters == 0 {
         return Vec::new();
     }
@@ -74,8 +242,8 @@ pub fn hamming_kmeans<R: Rng + ?Sized>(
         }
 
         // Update: per-bit majority vote, rounded to binary.
-        let mut counts = vec![[0u32; 64]; centers.len()];
-        let mut sizes = vec![0u32; centers.len()];
+        let mut counts = vec![[0u64; 64]; centers.len()];
+        let mut sizes = vec![0u64; centers.len()];
         for (i, &p) in points.iter().enumerate() {
             let c = assignment[i];
             sizes[c] += 1;
@@ -86,18 +254,19 @@ pub fn hamming_kmeans<R: Rng + ?Sized>(
                 bits &= bits - 1;
             }
         }
-        let reseed = farthest_point(points, &centers, &assignment);
+        // Eager reseed, recomputed every iteration whether or not a cluster
+        // is empty — the original implementation's cost profile, preserved
+        // so the benchmark baseline stays honest. (The weighted engine
+        // computes this lazily.)
+        let reseed = farthest_value(points, &centers, &assignment);
         for (c, center) in centers.iter_mut().enumerate() {
             if sizes[c] == 0 {
-                // Empty cluster: re-seed with the point farthest from its
-                // assigned center.
                 *center = reseed;
                 changed = true;
                 continue;
             }
             let mut new_center = 0u64;
             for (b, &count) in counts[c].iter().enumerate().take(width) {
-                // Mean ≥ 0.5 rounds to 1 (Algorithm 1 line 6).
                 if 2 * count >= sizes[c] {
                     new_center |= 1 << b;
                 }
@@ -113,7 +282,12 @@ pub fn hamming_kmeans<R: Rng + ?Sized>(
         }
     }
 
-    // Post-process: dedup and drop degenerate centers.
+    finalize_centers(centers)
+}
+
+/// Post-processing shared by both engines: dedup and drop degenerate
+/// centers.
+fn finalize_centers(mut centers: Vec<u64>) -> Vec<u64> {
     centers.sort_unstable();
     centers.dedup();
     centers.retain(|&c| c != 0);
@@ -128,17 +302,25 @@ fn nearest_center(centers: &[u64], point: u64) -> usize {
         if d < best_d {
             best_d = d;
             best = i;
+            if d == 0 {
+                break;
+            }
         }
     }
     best
 }
 
-fn farthest_point(points: &[u64], centers: &[u64], assignment: &[usize]) -> u64 {
-    points
+/// The value farthest from its assigned center. Ties break toward the
+/// numerically largest value, which makes the choice independent of both
+/// input order and multiplicity — the property that keeps the weighted and
+/// unweighted engines byte-identical.
+fn farthest_value(values: &[u64], centers: &[u64], assignment: &[usize]) -> u64 {
+    values
         .iter()
         .enumerate()
-        .max_by_key(|&(i, &p)| (centers[assignment[i]] ^ p).count_ones())
-        .map(|(_, &p)| p)
+        .map(|(i, &v)| ((centers[assignment[i]] ^ v).count_ones(), v))
+        .max()
+        .map(|(_, v)| v)
         .unwrap_or(0)
 }
 
@@ -170,6 +352,7 @@ mod tests {
     #[test]
     fn empty_input_yields_no_centers() {
         assert!(hamming_kmeans(&[], 16, KmeansConfig::default(), &mut rng()).is_empty());
+        assert!(hamming_kmeans_unweighted(&[], 16, KmeansConfig::default(), &mut rng()).is_empty());
     }
 
     #[test]
@@ -238,5 +421,59 @@ mod tests {
             hamming_kmeans(&points, 2, KmeansConfig { clusters: 10, max_iters: 5 }, &mut rng());
         assert!(centers.len() <= 2);
         assert!(!centers.is_empty());
+    }
+
+    #[test]
+    fn compress_tiles_counts_multiplicity() {
+        let compressed = compress_tiles(&[5, 3, 5, 5, 3, 9]);
+        assert_eq!(compressed, vec![(3, 2), (5, 3), (9, 1)]);
+        assert!(compress_tiles(&[]).is_empty());
+    }
+
+    #[test]
+    fn weighted_engine_matches_unweighted_byte_for_byte() {
+        // The acceptance property: same seed → identical pattern sets, on
+        // inputs chosen to exercise duplicates and empty-cluster reseeds.
+        let mut r = rng();
+        for trial in 0..20u64 {
+            let n = 50 + (trial as usize) * 37;
+            let points: Vec<u64> = (0..n)
+                .map(|_| {
+                    // Heavy duplication: draw from a small prototype pool
+                    // with occasional noise.
+                    let proto = [0b1010_1010u64, 0b0101_0101, 0b1111_0000, 0b0011_1100]
+                        [r.gen_range(0..4usize)];
+                    if r.gen_bool(0.2) {
+                        proto ^ (1u64 << r.gen_range(0..8))
+                    } else {
+                        proto
+                    }
+                })
+                .collect();
+            for clusters in [2usize, 8, 64] {
+                let config = KmeansConfig { clusters, max_iters: 20 };
+                let mut ra = StdRng::seed_from_u64(1000 + trial);
+                let mut rb = StdRng::seed_from_u64(1000 + trial);
+                let weighted = hamming_kmeans(&points, 8, config, &mut ra);
+                let unweighted = hamming_kmeans_unweighted(&points, 8, config, &mut rb);
+                assert_eq!(
+                    weighted, unweighted,
+                    "engines diverged (trial {trial}, clusters {clusters})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_reseed_is_order_independent() {
+        // More clusters than distinct values forces empty clusters; the
+        // result must not depend on input order.
+        let config = KmeansConfig { clusters: 6, max_iters: 10 };
+        let fwd = vec![0b011u64, 0b110, 0b101, 0b011, 0b110];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let a = hamming_kmeans(&fwd, 3, config, &mut StdRng::seed_from_u64(5));
+        let b = hamming_kmeans(&rev, 3, config, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
     }
 }

@@ -59,10 +59,13 @@ pub mod pwp;
 pub mod stats;
 
 pub use bitslice::{BitSlicedMatrix, BitSlicedPhi};
-pub use calibrate::{CalibrationConfig, Calibrator, LayerPatterns};
+pub use calibrate::{CalibrationConfig, CalibrationEngine, Calibrator, LayerPatterns};
 pub use decompose::{decompose, Decomposition, L2Entry, TileAssignment};
 pub use greedy::{greedy_frequent_patterns, greedy_pattern_set};
-pub use kmeans::{hamming_kmeans, KmeansConfig};
+pub use kmeans::{
+    compress_tiles, hamming_kmeans, hamming_kmeans_unweighted, total_distance,
+    weighted_hamming_kmeans, KmeansConfig,
+};
 pub use paft::{AlignmentModel, PaftRegularizer};
 pub use pattern::{Pattern, PatternSet};
 pub use pwp::{phi_matmul, PwpTable};

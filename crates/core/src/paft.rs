@@ -73,9 +73,7 @@ impl PaftRegularizer {
     /// The pattern bits a tile is assigned (zero when no pattern wins).
     fn assigned_bits(patterns: &LayerPatterns, part: usize, tile: u64) -> u64 {
         match patterns.set(part).best_match(tile) {
-            Some((idx, dist)) if dist < tile.count_ones() => {
-                patterns.set(part).pattern(idx).bits()
-            }
+            Some((idx, dist)) if dist < tile.count_ones() => patterns.set(part).pattern(idx).bits(),
             _ => 0,
         }
     }

@@ -34,7 +34,7 @@ impl Pattern {
     /// Panics if `len` is 0 or exceeds 64, or if `bits` has bits set at or
     /// above `len`.
     pub fn new(bits: u64, len: usize) -> Self {
-        assert!(len >= 1 && len <= 64, "pattern length must be within 1..=64");
+        assert!((1..=64).contains(&len), "pattern length must be within 1..=64");
         if len < 64 {
             assert_eq!(bits >> len, 0, "bits set beyond pattern length");
         }
@@ -144,6 +144,9 @@ impl fmt::Binary for Pattern {
 pub struct PatternSet {
     width: usize,
     patterns: Vec<Pattern>,
+    /// `(bits, lowest index)` sorted by bits — the matcher's exact-match
+    /// shortcut. Derived from `patterns` in the constructor.
+    exact: Vec<(u64, u32)>,
 }
 
 impl PatternSet {
@@ -156,12 +159,18 @@ impl PatternSet {
         for p in &patterns {
             assert_eq!(p.len(), width, "pattern width mismatch");
         }
-        PatternSet { width, patterns }
+        let mut exact: Vec<(u64, u32)> =
+            patterns.iter().enumerate().map(|(i, p)| (p.bits(), i as u32)).collect();
+        // Sorting by (bits, index) then deduping by bits keeps the lowest
+        // index per value, matching the tie rule of [`Self::best_match`].
+        exact.sort_unstable();
+        exact.dedup_by_key(|&mut (bits, _)| bits);
+        PatternSet { width, patterns, exact }
     }
 
     /// An empty set (every row falls back to bit sparsity).
     pub fn empty(width: usize) -> Self {
-        PatternSet { width, patterns: Vec::new() }
+        PatternSet { width, patterns: Vec::new(), exact: Vec::new() }
     }
 
     /// Pattern width `k`.
@@ -197,12 +206,26 @@ impl PatternSet {
     /// `(index, distance)`, or `None` if the set is empty. Ties resolve to
     /// the lowest index (deterministic, matching the hardware matcher's
     /// minimum-selection tree).
+    ///
+    /// Calibrated SNN tiles overwhelmingly hit a pattern exactly, so an
+    /// exact match is answered from a sorted lookup in O(log q); the linear
+    /// distance scan runs only on misses, and then stops at distance 1 (the
+    /// minimum still attainable once distance 0 is ruled out).
     pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
-        self.patterns
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, p.hamming(tile)))
-            .min_by_key(|&(i, d)| (d, i))
+        if let Ok(pos) = self.exact.binary_search_by_key(&tile, |&(bits, _)| bits) {
+            return Some((self.exact[pos].1 as usize, 0));
+        }
+        let mut best: Option<(usize, u32)> = None;
+        for (i, p) in self.patterns.iter().enumerate() {
+            let d = p.hamming(tile);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+                if d <= 1 {
+                    break;
+                }
+            }
+        }
+        best
     }
 }
 

@@ -165,10 +165,8 @@ mod tests {
 
     #[test]
     fn pwp_row_is_sum_of_weight_rows() {
-        let patterns = LayerPatterns::new(
-            4,
-            vec![PatternSet::new(4, vec![Pattern::new(0b0101, 4)])],
-        );
+        let patterns =
+            LayerPatterns::new(4, vec![PatternSet::new(4, vec![Pattern::new(0b0101, 4)])]);
         let weights = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
         let pwp = PwpTable::new(&patterns, &weights).unwrap();
         // Pattern 0101 selects weight rows 0 and 2.
@@ -194,10 +192,7 @@ mod tests {
 
     #[test]
     fn pwp_rejects_wrong_weight_height() {
-        let patterns = LayerPatterns::new(
-            4,
-            vec![PatternSet::new(4, vec![Pattern::new(0b1, 4)])],
-        );
+        let patterns = LayerPatterns::new(4, vec![PatternSet::new(4, vec![Pattern::new(0b1, 4)])]);
         let weights = Matrix::zeros(9, 2); // needs 3 partitions, patterns have 1
         assert!(PwpTable::new(&patterns, &weights).is_err());
     }

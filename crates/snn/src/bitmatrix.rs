@@ -164,8 +164,22 @@ impl SpikeMatrix {
             assert_eq!(value >> len, 0, "value has bits beyond the tile length");
         }
         assert!(start + len <= self.cols, "tile [{start}, {}) out of bounds", start + len);
-        for i in 0..len {
-            self.set(row, start + i, (value >> i) & 1 == 1);
+        assert!(row < self.rows, "row {row} out of bounds");
+        if len == 0 {
+            return;
+        }
+        // Whole-word writes: the tile spans at most two words.
+        let base = row * self.words_per_row;
+        let word_idx = start / WORD_BITS;
+        let bit_idx = start % WORD_BITS;
+        let mask = if len == WORD_BITS { u64::MAX } else { (1u64 << len) - 1 };
+        let lo_word = &mut self.bits[base + word_idx];
+        *lo_word = (*lo_word & !(mask << bit_idx)) | (value << bit_idx);
+        let spill = bit_idx + len;
+        if spill > WORD_BITS {
+            let shift = WORD_BITS - bit_idx;
+            let hi_word = &mut self.bits[base + word_idx + 1];
+            *hi_word = (*hi_word & !(mask >> shift)) | (value >> shift);
         }
     }
 
@@ -283,6 +297,32 @@ impl SpikeMatrix {
     pub fn num_partitions(&self, k: usize) -> usize {
         assert!(k > 0, "partition width must be nonzero");
         self.cols.div_ceil(k)
+    }
+
+    /// Iterates over the tiles of partition `part` for every row, top to
+    /// bottom — `partition_tile(r, part, k)` for `r` in `0..rows`, but with
+    /// the partition geometry (word index, shift, mask) hoisted out of the
+    /// row loop. This is the calibration gather's hot scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not within `1..=64` or `part` is out of bounds.
+    pub fn partition_column_tiles(&self, part: usize, k: usize) -> impl Iterator<Item = u64> + '_ {
+        assert!(k > 0 && k <= WORD_BITS, "partition width must be within 1..=64");
+        assert!(part < self.num_partitions(k), "partition {part} out of bounds");
+        let start = part * k;
+        let len = k.min(self.cols - start);
+        let word_idx = start / WORD_BITS;
+        let bit_idx = start % WORD_BITS;
+        let mask = if len == WORD_BITS { u64::MAX } else { (1u64 << len) - 1 };
+        let crosses = bit_idx + len > WORD_BITS && word_idx + 1 < self.words_per_row;
+        (0..self.rows).map(move |r| {
+            let base = r * self.words_per_row + word_idx;
+            let lo = self.bits[base] >> bit_idx;
+            let value =
+                if crosses { lo | (self.bits[base + 1] << (WORD_BITS - bit_idx)) } else { lo };
+            value & mask
+        })
     }
 }
 
@@ -403,6 +443,55 @@ mod tests {
     }
 
     #[test]
+    fn set_tile_across_word_boundary() {
+        let mut m = SpikeMatrix::zeros(2, 128);
+        m.set_tile(0, 60, 16, 0xABCD);
+        assert_eq!(m.tile(0, 60, 16), 0xABCD);
+        assert_eq!(m.tile(0, 0, 60), 0);
+        assert_eq!(m.tile(0, 76, 52), 0);
+        assert_eq!(m.tile(1, 0, 64), 0);
+    }
+
+    #[test]
+    fn set_tile_overwrites_existing_bits() {
+        let mut m = SpikeMatrix::from_fn(1, 128, |_, _| true);
+        m.set_tile(0, 56, 16, 0x00FF);
+        assert_eq!(m.tile(0, 56, 16), 0x00FF);
+        // Neighbors untouched.
+        assert_eq!(m.tile(0, 40, 16), 0xFFFF);
+        assert_eq!(m.tile(0, 72, 16), 0xFFFF);
+    }
+
+    #[test]
+    fn set_tile_full_word_and_zero_len() {
+        let mut m = SpikeMatrix::zeros(1, 64);
+        m.set_tile(0, 0, 64, u64::MAX);
+        assert_eq!(m.tile(0, 0, 64), u64::MAX);
+        m.set_tile(0, 0, 0, 0);
+        assert_eq!(m.nnz(), 64);
+    }
+
+    #[test]
+    fn set_tile_matches_bitwise_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            use rand::Rng;
+            let cols = rng.gen_range(1usize..150);
+            let len = rng.gen_range(1usize..=64).min(cols);
+            let start = rng.gen_range(0..=cols - len);
+            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let value = rng.gen::<u64>() & mask;
+            let mut fast = SpikeMatrix::random(2, cols, 0.5, &mut rng);
+            let mut slow = fast.clone();
+            fast.set_tile(1, start, len, value);
+            for i in 0..len {
+                slow.set(1, start + i, (value >> i) & 1 == 1);
+            }
+            assert_eq!(fast, slow, "cols {cols} start {start} len {len}");
+        }
+    }
+
+    #[test]
     fn row_nnz_counts_row_only() {
         let mut m = SpikeMatrix::zeros(2, 130);
         m.set(0, 0, true);
@@ -471,6 +560,22 @@ mod tests {
         m.set(0, 18, true);
         assert_eq!(m.num_partitions(16), 2);
         assert_eq!(m.partition_tile(0, 1, 16), 0b100);
+    }
+
+    #[test]
+    fn partition_column_tiles_matches_partition_tile() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for cols in [20usize, 64, 100, 130] {
+            let m = SpikeMatrix::random(37, cols, 0.35, &mut rng);
+            for k in [3usize, 16, 31, 64] {
+                for part in 0..m.num_partitions(k) {
+                    let scanned: Vec<u64> = m.partition_column_tiles(part, k).collect();
+                    let reference: Vec<u64> =
+                        (0..m.rows()).map(|r| m.partition_tile(r, part, k)).collect();
+                    assert_eq!(scanned, reference, "cols {cols} k {k} part {part}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -46,9 +46,8 @@ impl Dataset {
     ///
     /// Panics if any index is out of bounds.
     pub fn batch(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
-        let inputs = Matrix::from_fn(indices.len(), self.inputs.cols(), |r, c| {
-            self.inputs[(indices[r], c)]
-        });
+        let inputs =
+            Matrix::from_fn(indices.len(), self.inputs.cols(), |r, c| self.inputs[(indices[r], c)]);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
         (inputs, labels)
     }
@@ -72,7 +71,13 @@ pub struct PrototypeConfig {
 
 impl Default for PrototypeConfig {
     fn default() -> Self {
-        PrototypeConfig { features: 64, classes: 4, samples: 512, noise: 0.08, active_fraction: 0.4 }
+        PrototypeConfig {
+            features: 64,
+            classes: 4,
+            samples: 512,
+            noise: 0.08,
+            active_fraction: 0.4,
+        }
     }
 }
 
@@ -128,10 +133,7 @@ pub fn prototype_dataset<R: Rng + ?Sized>(config: PrototypeConfig, rng: &mut R) 
 ///
 /// Panics if `test_fraction` is not within `(0, 1)`.
 pub fn split(dataset: &Dataset, test_fraction: f64) -> (Dataset, Dataset) {
-    assert!(
-        test_fraction > 0.0 && test_fraction < 1.0,
-        "test fraction must be within (0, 1)"
-    );
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be within (0, 1)");
     let period = (1.0 / test_fraction).round().max(2.0) as usize;
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
@@ -187,9 +189,8 @@ mod tests {
     fn same_class_samples_are_similar() {
         let d = small();
         // Distance within class should be smaller than across classes.
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let within = dist(d.inputs.row(0), d.inputs.row(3)); // both class 0
         let across = dist(d.inputs.row(0), d.inputs.row(1)); // class 0 vs 1
         assert!(within < across, "within {within} should be < across {across}");
@@ -216,14 +217,8 @@ mod tests {
         );
         let (train, test) = split(&d, 0.25);
         for class in 0..4 {
-            assert!(
-                train.labels.contains(&class),
-                "class {class} missing from train split"
-            );
-            assert!(
-                test.labels.contains(&class),
-                "class {class} missing from test split"
-            );
+            assert!(train.labels.contains(&class), "class {class} missing from train split");
+            assert!(test.labels.contains(&class), "class {class} missing from test split");
         }
     }
 

@@ -83,8 +83,7 @@ mod tests {
         let train = rate_encode(&x, 64, &mut rng);
         for c in (0..1000).step_by(97) {
             let p = x[(0, c)];
-            let rate: f32 =
-                train.iter().map(|t| t[(0, c)]).sum::<f32>() / train.len() as f32;
+            let rate: f32 = train.iter().map(|t| t[(0, c)]).sum::<f32>() / train.len() as f32;
             assert!((rate - p).abs() < 0.2, "rate {rate} vs p {p}");
         }
     }
@@ -93,9 +92,8 @@ mod tests {
     fn lif_encode_rate_equals_intensity() {
         let x = Matrix::from_rows(&[vec![0.25, 0.5, 1.0]]).unwrap();
         let train = lif_encode(&x, 100);
-        let rates: Vec<f32> = (0..3)
-            .map(|c| train.iter().map(|t| t[(0, c)]).sum::<f32>() / 100.0)
-            .collect();
+        let rates: Vec<f32> =
+            (0..3).map(|c| train.iter().map(|t| t[(0, c)]).sum::<f32>() / 100.0).collect();
         assert!((rates[0] - 0.25).abs() < 0.02);
         assert!((rates[1] - 0.5).abs() < 0.02);
         assert!((rates[2] - 1.0).abs() < 1e-6);

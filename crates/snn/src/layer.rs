@@ -94,7 +94,12 @@ pub struct LayerSpec {
 
 impl LayerSpec {
     /// Creates a layer spec.
-    pub fn new(name: impl Into<String>, kind: LayerKind, shape: GemmShape, timesteps: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        kind: LayerKind,
+        shape: GemmShape,
+        timesteps: usize,
+    ) -> Self {
         LayerSpec { name: name.into(), kind, shape, timesteps }
     }
 

@@ -183,8 +183,7 @@ mod tests {
 
     #[test]
     fn zero_reset_clears_potential() {
-        let mut n =
-            LifNeuron::new(LifConfig { reset: ResetMode::Zero, ..LifConfig::default() });
+        let mut n = LifNeuron::new(LifConfig { reset: ResetMode::Zero, ..LifConfig::default() });
         assert!(n.step(2.5));
         assert_eq!(n.potential(), 0.0);
     }

@@ -163,8 +163,7 @@ impl SnnNetwork {
         let classes = self.layers.last().expect("nonempty").weights.cols();
         let num_hidden = self.num_hidden();
 
-        let mut potentials: Vec<Matrix> = self
-            .layers[..num_hidden]
+        let mut potentials: Vec<Matrix> = self.layers[..num_hidden]
             .iter()
             .map(|l| Matrix::zeros(batch, l.weights.cols()))
             .collect();
@@ -186,13 +185,18 @@ impl SnnNetwork {
                 u.add_scaled(&current, 1.0);
                 // s = H(u - θ); v = reset(u, s)
                 let theta = self.lif.v_threshold;
-                let s = Matrix::from_fn(u.rows(), u.cols(), |r, c| {
-                    if u[(r, c)] >= theta {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                });
+                let s =
+                    Matrix::from_fn(
+                        u.rows(),
+                        u.cols(),
+                        |r, c| {
+                            if u[(r, c)] >= theta {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
                 potentials[i] = match self.lif.reset {
                     ResetMode::Subtract => {
                         let mut v = u.clone();
@@ -254,14 +258,17 @@ impl SnnNetwork {
         let dlogits_t = dlogits_mean.scale(1.0 / self.timesteps as f32);
 
         let mut grads = Gradients {
-            weights: self.layers.iter().map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols())).collect(),
+            weights: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
+                .collect(),
             bias: self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect(),
         };
         let mut reg_loss = 0.0f64;
 
         // dL/dv carried backwards across timesteps, per hidden layer.
-        let mut gv: Vec<Matrix> = self
-            .layers[..num_hidden]
+        let mut gv: Vec<Matrix> = self.layers[..num_hidden]
             .iter()
             .map(|l| Matrix::zeros(batch, l.weights.cols()))
             .collect();
@@ -293,9 +300,7 @@ impl SnnNetwork {
                 let du = Matrix::from_fn(u.rows(), u.cols(), |r, c| {
                     let sg = surrogate_grad(u[(r, c)] - theta, alpha);
                     match self.lif.reset {
-                        ResetMode::Subtract => {
-                            gs[(r, c)] * sg + gv[i][(r, c)] * (1.0 - theta * sg)
-                        }
+                        ResetMode::Subtract => gs[(r, c)] * sg + gv[i][(r, c)] * (1.0 - theta * sg),
                         ResetMode::Zero => gs[(r, c)] * sg + gv[i][(r, c)],
                     }
                 });
@@ -330,12 +335,7 @@ impl SnnNetwork {
 }
 
 /// `W_grad += xᵀ · d`, `b_grad += Σ_batch d`.
-fn accumulate_linear_grads(
-    w_grad: &mut Matrix,
-    b_grad: &mut [f32],
-    x: &Matrix,
-    d: &Matrix,
-) {
+fn accumulate_linear_grads(w_grad: &mut Matrix, b_grad: &mut [f32], x: &Matrix, d: &Matrix) {
     for b in 0..x.rows() {
         let x_row = x.row(b);
         let d_row = d.row(b);
@@ -360,12 +360,11 @@ fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
     let mut loss = 0.0f32;
     let grad = {
         let mut grad = Matrix::zeros(batch, logits.cols());
-        for r in 0..batch {
+        for (r, &label) in labels.iter().enumerate().take(batch) {
             let row = logits.row(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
             let sum: f32 = exps.iter().sum();
-            let label = labels[r];
             loss -= (exps[label] / sum).ln();
             let g_row = grad.row_mut(r);
             for (c, &e) in exps.iter().enumerate() {
@@ -390,9 +389,7 @@ mod tests {
 
     fn random_train(rng: &mut StdRng, t: usize, batch: usize, d: usize) -> Vec<Matrix> {
         (0..t)
-            .map(|_| {
-                Matrix::from_fn(batch, d, |_, _| if rng.gen_bool(0.4) { 1.0 } else { 0.0 })
-            })
+            .map(|_| Matrix::from_fn(batch, d, |_, _| if rng.gen_bool(0.4) { 1.0 } else { 0.0 }))
             .collect()
     }
 
@@ -474,10 +471,7 @@ mod tests {
             net.layers_mut()[layer].weights[(r, c)] = orig;
             let fd = (up - down) / (2.0 * eps);
             let analytic = grads.weights[layer][(r, c)];
-            assert!(
-                (fd - analytic).abs() < 2e-3,
-                "fd {fd} vs analytic {analytic} at ({r}, {c})"
-            );
+            assert!((fd - analytic).abs() < 2e-3, "fd {fd} vs analytic {analytic} at ({r}, {c})");
             checked += 1;
         }
         assert_eq!(checked, 3);
@@ -491,7 +485,7 @@ mod tests {
         let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
         let trace = net.forward(&train).unwrap();
         let (loss0, grads) = net.backward(&trace, &labels, None);
-        let lr = 0.5;
+        let lr = 0.1;
         for (layer, (wg, bg)) in grads.weights.iter().zip(&grads.bias).enumerate() {
             net.layers_mut()[layer].weights.add_scaled(wg, -lr);
             for (b, g) in net.layers_mut()[layer].bias.iter_mut().zip(bg) {

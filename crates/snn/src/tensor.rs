@@ -236,13 +236,7 @@ impl Matrix {
         if self.rows != rhs.rows || self.cols != rhs.cols {
             return None;
         }
-        Some(
-            self.data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| (a - b).abs())
-                .fold(0.0f32, f32::max),
-        )
+        Some(self.data.iter().zip(&rhs.data).map(|(&a, &b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 
     /// Whether all entries differ from `rhs` by at most `tol`.

@@ -177,7 +177,7 @@ pub fn record_activations(net: &SnnNetwork, data: &Dataset) -> Result<Vec<Matrix
     }
     rows.into_iter()
         .map(|layer_rows| {
-            Matrix::from_rows(&layer_rows).map_err(|e| e) // ragged impossible; propagate anyway
+            Matrix::from_rows(&layer_rows) // ragged impossible; propagate anyway
         })
         .collect()
 }
@@ -216,8 +216,7 @@ mod tests {
     fn loss_trends_downward() {
         let (mut net, train_set, _) = setup();
         let mut rng = StdRng::seed_from_u64(44);
-        let stats =
-            train(&mut net, &train_set, &SgdConfig::default(), 6, None, &mut rng).unwrap();
+        let stats = train(&mut net, &train_set, &SgdConfig::default(), 6, None, &mut rng).unwrap();
         assert!(stats.last().unwrap().loss < stats.first().unwrap().loss);
     }
 

@@ -44,6 +44,7 @@ impl ClusterSpec {
     ///
     /// Panics if `k` is not within `1..=64`, `clusters == 0`, or
     /// `partition_active` is not within `(0, 1]`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new<R: Rng + ?Sized>(
         cols: usize,
         k: usize,
@@ -54,7 +55,7 @@ impl ClusterSpec {
         partition_active: f64,
         rng: &mut R,
     ) -> Self {
-        assert!(k >= 1 && k <= 64, "k must be within 1..=64");
+        assert!((1..=64).contains(&k), "k must be within 1..=64");
         assert!(clusters > 0, "need at least one cluster");
         assert!(
             partition_active > 0.0 && partition_active <= 1.0,
@@ -245,7 +246,14 @@ pub struct WorkloadConfig {
 impl WorkloadConfig {
     /// Creates a config with paper defaults (`k = 16`, 4096-row cap).
     pub fn new(model: ModelId, dataset: DatasetId) -> Self {
-        WorkloadConfig { model, dataset, seed: 0xC0FFEE, max_rows: 4096, calibration_rows: 1024, k: 16 }
+        WorkloadConfig {
+            model,
+            dataset,
+            seed: 0xC0FFEE,
+            max_rows: 4096,
+            calibration_rows: 1024,
+            k: 16,
+        }
     }
 
     /// Overrides the per-layer row cap.
@@ -277,14 +285,14 @@ impl WorkloadConfig {
             let mut rng = StdRng::seed_from_u64(
                 self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
-            let density =
-                (profile.bit_density * kind_density_factor(spec.kind)).clamp(0.005, 0.6);
+            let density = (profile.bit_density * kind_density_factor(spec.kind)).clamp(0.005, 0.6);
             let layer_profile = ActivationProfile { bit_density: density, ..profile };
             let spec_cols = spec.shape.k;
             let total_rows = spec.shape.m * spec.timesteps;
             let rows = total_rows.min(self.max_rows);
             let (_, cluster) = generate_clustered(0, spec_cols, &layer_profile, self.k, &mut rng);
-            let calibration = cluster.sample(self.calibration_rows.min(total_rows.max(1)), &mut rng);
+            let calibration =
+                cluster.sample(self.calibration_rows.min(total_rows.max(1)), &mut rng);
             let activations = cluster.sample(rows.max(1), &mut rng);
             let row_scale = total_rows as f64 / rows.max(1) as f64;
             out.push(LayerWorkload { spec, activations, calibration, row_scale });
@@ -323,9 +331,8 @@ mod tests {
 
     #[test]
     fn generated_density_tracks_profile() {
-        let w = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10)
-            .with_max_rows(512)
-            .generate();
+        let w =
+            WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(512).generate();
         // Average density across conv layers should track the profile within
         // a small tolerance (noise shifts it slightly upward).
         let (mut nnz, mut total) = (0f64, 0f64);
@@ -348,10 +355,7 @@ mod tests {
         let random = SpikeMatrix::random(512, 64, profile.bit_density, &mut rng);
         let c_score = check_clusters(&clustered, 16);
         let r_score = check_clusters(&random, 16);
-        assert!(
-            c_score > r_score,
-            "clustered score {c_score} should exceed random {r_score}"
-        );
+        assert!(c_score > r_score, "clustered score {c_score} should exceed random {r_score}");
     }
 
     #[test]
@@ -367,9 +371,8 @@ mod tests {
 
     #[test]
     fn row_scale_accounts_for_subsampling() {
-        let w = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10)
-            .with_max_rows(100)
-            .generate();
+        let w =
+            WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(100).generate();
         let first = &w.layers[0]; // M*T = 4096 rows, capped at 100
         assert_eq!(first.activations.rows(), 100);
         assert!((first.row_scale - 40.96).abs() < 1e-9);
@@ -381,12 +384,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100)
-            .with_max_rows(64)
-            .generate();
-        let b = WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100)
-            .with_max_rows(64)
-            .generate();
+        let a = WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100).with_max_rows(64).generate();
+        let b = WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100).with_max_rows(64).generate();
         for (la, lb) in a.layers.iter().zip(&b.layers) {
             assert_eq!(la.activations, lb.activations);
         }

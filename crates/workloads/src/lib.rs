@@ -32,9 +32,9 @@
 //! ```
 
 pub mod generator;
-pub mod trace;
 pub mod models;
 pub mod profile;
+pub mod trace;
 
 pub use generator::{generate_clustered, ClusterSpec, LayerWorkload, Workload, WorkloadConfig};
 pub use models::{model_layers, DatasetId, ModelId, FIG8_PAIRS};

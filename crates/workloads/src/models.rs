@@ -142,11 +142,8 @@ pub fn model_layers(model: ModelId, dataset: DatasetId) -> Vec<LayerSpec> {
         ModelId::Spikformer | ModelId::Sdt => {
             // Spikformer-4-384 for static data, -2-256 for DVS; SDT shares
             // scales with its paper's CIFAR/DVS configurations.
-            let (dim, depth, tokens) = if dataset == DatasetId::Cifar10Dvs {
-                (256, 2, 64)
-            } else {
-                (384, 4, 64)
-            };
+            let (dim, depth, tokens) =
+                if dataset == DatasetId::Cifar10Dvs { (256, 2, 64) } else { (384, 4, 64) };
             let prefix = if model == ModelId::Spikformer { "spikf" } else { "sdt" };
             vision_transformer(prefix, t, classes, dim, depth, tokens, model == ModelId::Sdt)
         }
@@ -155,7 +152,13 @@ pub fn model_layers(model: ModelId, dataset: DatasetId) -> Vec<LayerSpec> {
     }
 }
 
-fn conv(name: &str, input: (usize, usize, usize), c_out: usize, stride: usize, t: usize) -> LayerSpec {
+fn conv(
+    name: &str,
+    input: (usize, usize, usize),
+    c_out: usize,
+    stride: usize,
+    t: usize,
+) -> LayerSpec {
     LayerSpec::new(name, LayerKind::Conv, conv2d_gemm(input, c_out, 3, stride, 1), t)
 }
 
@@ -182,12 +185,8 @@ fn vgg16(t: usize, classes: usize) -> Vec<LayerSpec> {
 
 fn resnet18(t: usize, classes: usize) -> Vec<LayerSpec> {
     let mut layers = vec![conv("conv1", (32, 32, 3), 64, 1, t)];
-    let stages: [(usize, usize, usize, bool); 4] = [
-        (32, 64, 64, false),
-        (32, 64, 128, true),
-        (16, 128, 256, true),
-        (8, 256, 512, true),
-    ];
+    let stages: [(usize, usize, usize, bool); 4] =
+        [(32, 64, 64, false), (32, 64, 128, true), (16, 128, 256, true), (8, 256, 512, true)];
     for (s, &(hw, c_in, c_out, downsample)) in stages.iter().enumerate() {
         let out_hw = if downsample { hw / 2 } else { hw };
         // Block 1 (possibly strided) + projection shortcut when downsampling.

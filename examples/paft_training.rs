@@ -16,10 +16,7 @@ use rand::SeedableRng;
 /// A deliberately tight pattern budget (q = 8) so that pre-PAFT
 /// activations do *not* all match exactly and the fine-tuning effect is
 /// visible.
-fn hidden_density(
-    net: &SnnNetwork,
-    data: &phi_snn::snn_core::dataset::Dataset,
-) -> (f64, f64) {
+fn hidden_density(net: &SnnNetwork, data: &phi_snn::snn_core::dataset::Dataset) -> (f64, f64) {
     let acts = record_activations(net, data).expect("record");
     let spikes = SpikeMatrix::from_matrix_threshold(&acts[0], 0.5);
     let mut rng = StdRng::seed_from_u64(5);
@@ -49,12 +46,19 @@ fn main() {
     let mut net = SnnNetwork::new(48, &[64], 6, 4, LifConfig::default(), &mut rng);
     let sgd = SgdConfig { lr: 0.05, momentum: 0.9, batch_size: 16 };
     let stats = train(&mut net, &train_set, &sgd, 15, None, &mut rng).expect("train");
-    println!("base training: final loss {:.3}, train acc {:.1}%",
-        stats.last().unwrap().loss, 100.0 * stats.last().unwrap().accuracy);
+    println!(
+        "base training: final loss {:.3}, train acc {:.1}%",
+        stats.last().unwrap().loss,
+        100.0 * stats.last().unwrap().accuracy
+    );
     let acc0 = evaluate(&net, &test_set).expect("eval");
     let (bit0, l20) = hidden_density(&net, &test_set);
-    println!("before PAFT: test acc {:.1}%, bit density {:.2}%, L2 density {:.2}%",
-        100.0 * acc0, 100.0 * bit0, 100.0 * l20);
+    println!(
+        "before PAFT: test acc {:.1}%, bit density {:.2}%, L2 density {:.2}%",
+        100.0 * acc0,
+        100.0 * bit0,
+        100.0 * l20
+    );
 
     // Phase 2: calibrate patterns on the *training* activations (§3.2),
     // then fine-tune with the Hamming regularizer (§3.3).
@@ -68,10 +72,18 @@ fn main() {
 
     let acc1 = evaluate(&net, &test_set).expect("eval");
     let (bit1, l21) = hidden_density(&net, &test_set);
-    println!("after  PAFT: test acc {:.1}%, bit density {:.2}%, L2 density {:.2}%",
-        100.0 * acc1, 100.0 * bit1, 100.0 * l21);
-    println!("\nL2 density change: {:.2}% -> {:.2}% ({:+.0}% relative)",
-        100.0 * l20, 100.0 * l21, 100.0 * (l21 / l20 - 1.0));
+    println!(
+        "after  PAFT: test acc {:.1}%, bit density {:.2}%, L2 density {:.2}%",
+        100.0 * acc1,
+        100.0 * bit1,
+        100.0 * l21
+    );
+    println!(
+        "\nL2 density change: {:.2}% -> {:.2}% ({:+.0}% relative)",
+        100.0 * l20,
+        100.0 * l21,
+        100.0 * (l21 / l20 - 1.0)
+    );
     println!("accuracy change:   {:.1}% -> {:.1}%", 100.0 * acc0, 100.0 * acc1);
     println!("\npaper shape (Figs 10-11): a few fine-tuning epochs cut element density");
     println!("substantially (the paper measures ~a quarter on CIFAR; this small task");

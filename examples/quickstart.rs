@@ -17,14 +17,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar10);
     let (calibration, cluster) = generate_clustered(1024, 256, &profile, 16, &mut rng);
     let activations = cluster.sample(512, &mut rng);
-    println!("activation matrix: {}x{}, bit density {:.2}%",
-        activations.rows(), activations.cols(), 100.0 * activations.bit_density());
+    println!(
+        "activation matrix: {}x{}, bit density {:.2}%",
+        activations.rows(),
+        activations.cols(),
+        100.0 * activations.bit_density()
+    );
 
     // 2. Calibrate patterns offline on the calibration split (Alg. 1).
     let config = CalibrationConfig::default(); // k = 16, q = 128
     let patterns = Calibrator::new(config).calibrate(&calibration, &mut rng);
-    println!("calibrated {} patterns across {} partitions",
-        patterns.total_patterns(), patterns.num_partitions());
+    println!(
+        "calibrated {} patterns across {} partitions",
+        patterns.total_patterns(),
+        patterns.num_partitions()
+    );
 
     // 3. Decompose the runtime activations into Level 1 + Level 2.
     let phi = decompose(&activations, &patterns);

@@ -6,15 +6,14 @@
 //! Run: `cargo run --release --example spikformer_attention`
 
 use phi_snn::phi_analysis::Table;
-use phi_snn::pipeline::{calibrate_layer, PipelineConfig};
 use phi_snn::phi_core::decompose;
+use phi_snn::pipeline::{calibrate_layer, PipelineConfig};
 use phi_snn::snn_core::LayerKind;
 use phi_snn::snn_workloads::{DatasetId, ModelId, WorkloadConfig};
 
 fn main() {
-    let workload = WorkloadConfig::new(ModelId::Spikformer, DatasetId::Cifar100)
-        .with_max_rows(256)
-        .generate();
+    let workload =
+        WorkloadConfig::new(ModelId::Spikformer, DatasetId::Cifar100).with_max_rows(256).generate();
     let pipeline = PipelineConfig::default();
 
     let mut table = Table::new(

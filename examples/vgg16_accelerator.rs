@@ -6,9 +6,7 @@
 
 use phi_snn::phi_analysis::Table;
 use phi_snn::pipeline::{run_baseline_workload, run_phi_workload, PipelineConfig};
-use phi_snn::snn_baselines::{
-    Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar,
-};
+use phi_snn::snn_baselines::{Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar};
 use phi_snn::snn_workloads::{DatasetId, ModelId, WorkloadConfig};
 
 fn main() {

@@ -47,6 +47,7 @@ pub mod pipeline {
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rayon::prelude::*;
     use snn_baselines::{Accelerator, BaselineModelReport};
     use snn_workloads::{LayerWorkload, Workload};
 
@@ -101,33 +102,57 @@ pub mod pipeline {
         Calibrator::new(*config).calibrate(&layer.calibration, &mut rng)
     }
 
+    /// Calibrates, optionally PAFT-aligns, and decomposes one layer — the
+    /// per-layer front half of the pipeline, shared by [`run_phi_workload`]
+    /// and [`workload_stats`].
+    ///
+    /// Deterministic in `(layer, config, index)`: the layer's RNG streams
+    /// are seeded from `config.seed` and the layer index alone, so layers
+    /// can be processed in any order (or in parallel) with identical
+    /// results.
+    fn prepare_layer(
+        layer: &LayerWorkload,
+        config: &PipelineConfig,
+        index: usize,
+    ) -> (snn_core::SpikeMatrix, phi_core::Decomposition) {
+        let seed = config.seed.wrapping_add(index as u64);
+        let patterns = calibrate_layer(layer, &config.calibration, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
+        let acts = match config.paft {
+            Some(strength) => {
+                AlignmentModel::new(strength).align(&layer.activations, &patterns, &mut rng)
+            }
+            None => layer.activations.clone(),
+        };
+        let decomp = decompose(&acts, &patterns);
+        (acts, decomp)
+    }
+
     /// Runs the Phi simulator over a generated workload: per layer,
     /// calibrate on the calibration split, optionally PAFT-align the
     /// runtime activations, then simulate.
+    ///
+    /// Layers are independent (per-layer RNG seeds derive from the layer
+    /// index), so they are processed in parallel; reports are collected in
+    /// layer order, making the output identical to the sequential walk.
     pub fn run_phi_workload(workload: &Workload, config: &PipelineConfig) -> ModelReport {
         let sim = PhiSimulator::new(config.accelerator.clone());
-        let mut layers: Vec<LayerReport> = Vec::with_capacity(workload.layers.len());
-        for (i, layer) in workload.layers.iter().enumerate() {
-            let seed = config.seed.wrapping_add(i as u64);
-            let patterns = calibrate_layer(layer, &config.calibration, seed);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
-            let acts = match config.paft {
-                Some(strength) => {
-                    AlignmentModel::new(strength).align(&layer.activations, &patterns, &mut rng)
-                }
-                None => layer.activations.clone(),
-            };
-            let decomp = decompose(&acts, &patterns);
-            let mut report = sim.run_decomposed(
-                &acts,
-                &decomp,
-                layer.spec.shape,
-                layer.row_scale,
-                &layer.spec.name,
-            );
-            report.name = layer.spec.name.clone();
-            layers.push(report);
-        }
+        let indexed: Vec<(usize, &LayerWorkload)> = workload.layers.iter().enumerate().collect();
+        let layers: Vec<LayerReport> = indexed
+            .into_par_iter()
+            .map(|(i, layer)| {
+                let (acts, decomp) = prepare_layer(layer, config, i);
+                let mut report = sim.run_decomposed(
+                    &acts,
+                    &decomp,
+                    layer.spec.shape,
+                    layer.row_scale,
+                    &layer.spec.name,
+                );
+                report.name = layer.spec.name.clone();
+                report
+            })
+            .collect();
         PhiSimulator::aggregate(layers)
     }
 
@@ -146,21 +171,14 @@ pub mod pipeline {
     }
 
     /// Calibrates and decomposes every layer, returning the merged sparsity
-    /// statistics (one Table 4 row).
+    /// statistics (one Table 4 row). Layers run in parallel, like
+    /// [`run_phi_workload`].
     pub fn workload_stats(workload: &Workload, config: &PipelineConfig) -> SparsityStats {
-        let mut all = Vec::with_capacity(workload.layers.len());
-        for (i, layer) in workload.layers.iter().enumerate() {
-            let seed = config.seed.wrapping_add(i as u64);
-            let patterns = calibrate_layer(layer, &config.calibration, seed);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
-            let acts = match config.paft {
-                Some(strength) => {
-                    AlignmentModel::new(strength).align(&layer.activations, &patterns, &mut rng)
-                }
-                None => layer.activations.clone(),
-            };
-            all.push(decompose(&acts, &patterns).stats());
-        }
+        let indexed: Vec<(usize, &LayerWorkload)> = workload.layers.iter().enumerate().collect();
+        let all: Vec<SparsityStats> = indexed
+            .into_par_iter()
+            .map(|(i, layer)| prepare_layer(layer, config, i).1.stats())
+            .collect();
         SparsityStats::merge_all(all.iter())
     }
 }

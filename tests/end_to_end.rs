@@ -62,9 +62,8 @@ fn clustered_beats_random_at_equal_density() {
     // §5.6: patterns exist even in random data but clustered SNN data gains
     // more.
     let mut rng = StdRng::seed_from_u64(5);
-    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar100)
-        .with_max_rows(256)
-        .generate();
+    let workload =
+        WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar100).with_max_rows(256).generate();
     let clustered = workload_stats(&workload, &fast_pipeline());
     let density = clustered.bit_density();
     let random = SpikeMatrix::random(512, 512, density, &mut rng);
@@ -105,9 +104,8 @@ fn real_snn_paft_reduces_density_without_collapse() {
 
     let acts = record_activations(&net, &train_set).expect("record");
     let spikes = SpikeMatrix::from_matrix_threshold(&acts[0], 0.5);
-    let patterns =
-        Calibrator::new(CalibrationConfig { q: 16, max_iters: 8, ..Default::default() })
-            .calibrate(&spikes, &mut rng);
+    let patterns = Calibrator::new(CalibrationConfig { q: 16, max_iters: 8, ..Default::default() })
+        .calibrate(&spikes, &mut rng);
     let reg = PaftRegularizer::new(vec![patterns], vec![3], 3e-4);
     let fine = SgdConfig { lr: 0.01, momentum: 0.9, batch_size: 16 };
     train(&mut net, &train_set, &fine, 4, Some(&reg), &mut rng).expect("paft");
@@ -127,9 +125,8 @@ fn real_snn_paft_reduces_density_without_collapse() {
 
 #[test]
 fn reports_aggregate_consistently() {
-    let workload = WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100)
-        .with_max_rows(64)
-        .generate();
+    let workload =
+        WorkloadConfig::new(ModelId::Sdt, DatasetId::Cifar100).with_max_rows(64).generate();
     let report = run_phi_workload(&workload, &fast_pipeline());
     let sum: f64 = report.layers.iter().map(|l| l.cycles).sum();
     assert!((report.total_cycles() - sum).abs() < 1e-6);

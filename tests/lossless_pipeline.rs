@@ -27,10 +27,7 @@ fn patterns_for(cols: usize, k: usize, seed: u64) -> LayerPatterns {
         .map(|_| {
             let q = rng.gen_range(0..12);
             let mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
-            PatternSet::new(
-                k,
-                (0..q).map(|_| Pattern::new(rng.gen::<u64>() & mask, k)).collect(),
-            )
+            PatternSet::new(k, (0..q).map(|_| Pattern::new(rng.gen::<u64>() & mask, k)).collect())
         })
         .collect();
     LayerPatterns::new(k, sets)

@@ -12,10 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_workload(model: ModelId, dataset: DatasetId) -> phi_snn::snn_workloads::Workload {
-    WorkloadConfig::new(model, dataset)
-        .with_max_rows(96)
-        .with_calibration_rows(128)
-        .generate()
+    WorkloadConfig::new(model, dataset).with_max_rows(96).with_calibration_rows(128).generate()
 }
 
 fn fast_pipeline() -> PipelineConfig {
@@ -56,10 +53,7 @@ fn phi_energy_efficiency_beats_baselines() {
     let pipeline = fast_pipeline();
     let phi = run_phi_workload(&workload, &pipeline);
     let phi_eff = phi.gops_per_joule();
-    for baseline in [
-        &SpikingEyeriss::default() as &dyn Accelerator,
-        &Stellar::default(),
-    ] {
+    for baseline in [&SpikingEyeriss::default() as &dyn Accelerator, &Stellar::default()] {
         let report = run_baseline_workload(baseline, &workload);
         assert!(
             phi_eff > report.gops_per_joule(),
@@ -77,8 +71,9 @@ fn phi_compute_cycles_grow_with_density() {
     let mut previous = 0.0f64;
     for density in [0.05, 0.15, 0.3, 0.5] {
         let acts = SpikeMatrix::random(256, 128, density, &mut rng);
-        let patterns = Calibrator::new(CalibrationConfig { q: 32, max_iters: 6, ..Default::default() })
-            .calibrate(&acts, &mut rng);
+        let patterns =
+            Calibrator::new(CalibrationConfig { q: 32, max_iters: 6, ..Default::default() })
+                .calibrate(&acts, &mut rng);
         let report = sim.run_layer(&acts, &patterns, GemmShape::new(256, 128, 64), 1.0);
         assert!(
             report.breakdown.compute >= previous,
@@ -141,11 +136,7 @@ fn baseline_roster_reports_consistent_ops() {
         &Stellar::default(),
     ] {
         let ops = run_baseline_workload(baseline, &workload).total_ops();
-        assert!(
-            (ops - reference).abs() / reference < 1e-9,
-            "{} disagrees on ops",
-            baseline.name()
-        );
+        assert!((ops - reference).abs() / reference < 1e-9, "{} disagrees on ops", baseline.name());
     }
     let phi = run_phi_workload(&workload, &fast_pipeline());
     assert!((phi.total_ops() - reference).abs() / reference < 1e-9, "Phi disagrees on ops");
@@ -161,8 +152,7 @@ fn wider_outputs_scale_cycles() {
     let narrow = sim.run_layer(&acts, &patterns, GemmShape::new(256, 64, 32), 1.0);
     let wide = sim.run_layer(&acts, &patterns, GemmShape::new(256, 64, 128), 1.0);
     assert!(
-        (wide.breakdown.compute - 4.0 * narrow.breakdown.compute).abs()
-            / wide.breakdown.compute
+        (wide.breakdown.compute - 4.0 * narrow.breakdown.compute).abs() / wide.breakdown.compute
             < 1e-9,
         "4x output width must mean 4x compute tiles"
     );

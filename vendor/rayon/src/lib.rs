@@ -1,0 +1,249 @@
+//! Minimal in-tree stand-in for the `rayon` crate.
+//!
+//! Provides `par_iter` / `into_par_iter` with `map` / `for_each` /
+//! `collect` / `sum` over an order-preserving chunked executor built on
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core, so results are collected in input order regardless of
+//! thread scheduling — exactly the determinism contract the Phi pipeline
+//! relies on. On a single-core host (or single-item input) everything runs
+//! inline with zero thread overhead.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-importable parallel iterator traits.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads to use for `n` items.
+fn workers_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+thread_local! {
+    /// Whether this thread is already a parallel-region worker. Nested
+    /// regions run inline on their worker, capping total threads at the
+    /// core count instead of cores² when parallel code calls parallel code
+    /// (e.g. per-layer pipeline parallelism around per-partition
+    /// calibration parallelism).
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` over `items` in parallel, preserving input order in the output.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 || IN_PARALLEL_REGION.with(std::cell::Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    // One contiguous chunk per worker keeps output order == input order.
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager, order-preserving parallel iterator.
+///
+/// Each adaptor (`map`) runs its stage in parallel immediately; terminal
+/// operations (`collect`, `sum`, `for_each`, `reduce`) then fold the
+/// already-computed, in-order results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter { items: parallel_map(self.items, f) }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    /// Collects the (already in-order) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the results.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Folds the in-order results with `op`, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter()` sugar over collections whose references convert.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if workers_for(2) <= 1 || IN_PARALLEL_REGION.with(std::cell::Cell::get) {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        (a(), hb.join().expect("parallel worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: usize = (0..1000).into_par_iter().map(|x| x + 1).sum();
+        assert_eq!(total, (1..=1000).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_regions_stay_correct() {
+        // Inner par_iter inside an outer one must run inline (depth guard)
+        // and still produce ordered, correct results.
+        let grid: Vec<Vec<usize>> = (0..16)
+            .into_par_iter()
+            .map(|i| (0..16).into_par_iter().map(move |j| i * 16 + j).collect())
+            .collect();
+        for (i, row) in grid.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, i * 16 + j);
+            }
+        }
+    }
+}
