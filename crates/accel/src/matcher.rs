@@ -3,7 +3,7 @@
 //! emits the candidate Level-2 sparse row.
 //!
 //! Functionally the matcher computes exactly what
-//! [`phi_core::decompose`] computes (that equivalence is tested); here we
+//! [`phi_core::decompose()`] computes (that equivalence is tested); here we
 //! model its *timing*: one row-tile enters per cycle, results emerge after
 //! the `q`-deep pipeline fills, and every transit performs `q` XOR+popcount
 //! comparisons (the energy events the §6.1 analysis charges).

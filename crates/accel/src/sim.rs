@@ -24,9 +24,17 @@ use crate::traffic::layer_traffic;
 use phi_core::{decompose, Decomposition, LayerPatterns};
 use snn_core::{GemmShape, SpikeMatrix};
 
+/// One m-tile row's Level-2 corrections for one partition, in the packer's
+/// input form: `(row offset within the tile, [(local column, is_negative)])`.
+type PackerRow = (u32, Vec<(u8, bool)>);
+
 /// The Phi accelerator simulator.
 ///
-/// See the crate-level example for typical use.
+/// See the [crate-level example](crate) for typical use: calibrate patterns
+/// with [`phi_core::Calibrator`], then hand the activations to
+/// [`PhiSimulator::run_layer`]. Serving paths that already hold a
+/// [`Decomposition`] (e.g. a `phi-runtime` batch) skip the matcher and call
+/// [`PhiSimulator::run_decomposition`] directly.
 #[derive(Debug, Clone)]
 pub struct PhiSimulator {
     config: PhiConfig,
@@ -79,6 +87,10 @@ impl PhiSimulator {
 
     /// Simulates one layer with a pre-computed decomposition (used when the
     /// caller also needs the decomposition, e.g. for reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations` disagrees with `decomp` on shape.
     pub fn run_decomposed(
         &self,
         activations: &SpikeMatrix,
@@ -87,12 +99,37 @@ impl PhiSimulator {
         row_scale: f64,
         name: &str,
     ) -> LayerReport {
-        let rows = activations.rows();
+        assert_eq!(activations.rows(), decomp.rows(), "activation rows must match decomposition");
+        assert_eq!(activations.cols(), decomp.cols(), "activation cols must match decomposition");
+        self.run_decomposition(decomp, shape, row_scale, name)
+    }
+
+    /// Simulates one layer from its [`Decomposition`] alone.
+    ///
+    /// The decomposition is self-contained (shape, pattern sets, L1/L2
+    /// contents and their statistics), so the original activation matrix is
+    /// not needed — the batched serving runtime calls this with
+    /// decompositions produced against a shared compiled artifact, without
+    /// keeping the raw spikes around. `run_layer` / `run_decomposed` reduce
+    /// to this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_scale` is not positive.
+    pub fn run_decomposition(
+        &self,
+        decomp: &Decomposition,
+        shape: GemmShape,
+        row_scale: f64,
+        name: &str,
+    ) -> LayerReport {
+        assert!(row_scale > 0.0, "row_scale must be positive");
+        let rows = decomp.rows();
         let k = decomp.k();
         let parts = decomp.num_partitions();
         let schedule = TileSchedule::new(
             rows,
-            activations.cols(),
+            decomp.cols(),
             shape.n,
             self.config.tile_m,
             k,
@@ -118,19 +155,26 @@ impl PhiSimulator {
         for mt in 0..schedule.m_tiles() {
             let (lo, hi) = schedule.m_range(mt);
             let l1_mt = l1_model.tile_cycles(decomp, lo, hi) as f64;
-            // Pack each partition's surviving Level-2 rows.
-            let mut packs_mt = 0u64;
-            for part in 0..parts {
-                let mut rows_entries: Vec<(u32, Vec<(u8, bool)>)> = Vec::new();
-                for r in lo..hi {
-                    let entries: Vec<(u8, bool)> = decomp
-                        .l2_tile(r, part)
-                        .map(|e| (((e.col as usize) - part * k) as u8, e.value < 0))
-                        .collect();
-                    if !entries.is_empty() {
-                        rows_entries.push(((r - lo) as u32, entries));
+            // Pack each partition's surviving Level-2 rows. Each row's
+            // corrections are sorted by column, so one sweep per row splits
+            // them into contiguous per-partition runs — O(entries) instead
+            // of re-filtering every row once per partition.
+            let mut per_part: Vec<Vec<PackerRow>> = vec![Vec::new(); parts];
+            for r in lo..hi.min(rows) {
+                let row = decomp.l2_row(r);
+                let mut i = 0;
+                while i < row.len() {
+                    let part = row[i].col as usize / k;
+                    let mut entries = Vec::new();
+                    while i < row.len() && row[i].col as usize / k == part {
+                        entries.push(((row[i].col as usize - part * k) as u8, row[i].value < 0));
+                        i += 1;
                     }
+                    per_part[part].push(((r - lo) as u32, entries));
                 }
+            }
+            let mut packs_mt = 0u64;
+            for rows_entries in &per_part {
                 let output =
                     pack_rows(rows_entries.iter().map(|(r, e)| (*r, e.as_slice())), &packer_config);
                 packs_mt += output.packs.len() as u64;
@@ -185,14 +229,17 @@ impl PhiSimulator {
             occupied_units as f64 / (total_packs * self.config.pack_units as u64) as f64
         };
 
+        let stats = decomp.stats();
         LayerReport {
             name: name.to_owned(),
             cycles,
             breakdown,
             traffic,
             energy,
-            bit_ops: activations.nnz() as f64 * row_scale * shape.n as f64,
-            stats: decomp.stats(),
+            // Identical to the original activation matrix's nnz: the
+            // decomposition is lossless, so bit_nnz carries it.
+            bit_ops: stats.bit_nnz as f64 * row_scale * shape.n as f64,
+            stats,
             pack_occupancy,
             oversize_rows,
         }
@@ -275,6 +322,43 @@ mod tests {
         let r2 = sim.run_layer(&acts, &patterns, GemmShape::new(128, 32, 32), 3.0);
         assert!((r2.breakdown.compute - 3.0 * r1.breakdown.compute).abs() < 1e-6);
         assert!((r2.bit_ops - 3.0 * r1.bit_ops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_decomposition_matches_run_layer() {
+        // The activation-free entry point must agree with the full path in
+        // every reported quantity (the decomposition carries the nnz).
+        let mut rng = StdRng::seed_from_u64(9);
+        let acts = SpikeMatrix::random(256, 48, 0.2, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q: 32, ..Default::default() })
+            .calibrate(&acts, &mut rng);
+        let decomp = phi_core::decompose(&acts, &patterns);
+        let sim = PhiSimulator::new(PhiConfig::default());
+        let shape = GemmShape::new(256, 48, 96);
+        let via_layer = sim.run_layer(&acts, &patterns, shape, 2.0);
+        let via_decomp = sim.run_decomposition(&decomp, shape, 2.0, "layer");
+        assert_eq!(via_layer.cycles, via_decomp.cycles);
+        assert_eq!(via_layer.breakdown, via_decomp.breakdown);
+        assert_eq!(via_layer.bit_ops, via_decomp.bit_ops);
+        assert_eq!(via_layer.energy.total_j(), via_decomp.energy.total_j());
+    }
+
+    #[test]
+    #[should_panic(expected = "activation rows must match decomposition")]
+    fn run_decomposed_rejects_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let acts = SpikeMatrix::random(8, 16, 0.2, &mut rng);
+        let patterns = Calibrator::new(CalibrationConfig { q: 4, ..Default::default() })
+            .calibrate(&acts, &mut rng);
+        let decomp = phi_core::decompose(&acts, &patterns);
+        let other = SpikeMatrix::zeros(9, 16);
+        PhiSimulator::new(PhiConfig::default()).run_decomposed(
+            &other,
+            &decomp,
+            GemmShape::new(9, 16, 16),
+            1.0,
+            "layer",
+        );
     }
 
     #[test]

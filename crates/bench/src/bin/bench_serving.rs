@@ -1,0 +1,197 @@
+//! Serving benchmark: the compiled-artifact batched runtime against the
+//! status-quo single-request path, written to `BENCH_serving.json` at the
+//! repository root.
+//!
+//! Two engines serve the same 64 requests drawn from the VGG-16 / CIFAR-10
+//! serving distribution (4 subsampled rows per layer per request — one
+//! inference trace at T = 4, extrapolated to full scale inside the
+//! simulator):
+//!
+//! * **single-request (recalibrate)** — what the repo did before the
+//!   runtime existed: every request re-derives patterns
+//!   (calibrate → decompose → simulate per input). This is the paper's
+//!   offline work incorrectly paid online, and the baseline the compiled
+//!   artifact amortizes away.
+//! * **batched (compiled artifact)** — compile once, then serve through
+//!   [`phi_runtime::BatchExecutor`] at batch sizes 1 / 8 / 64 over one
+//!   shared `Arc`'d [`phi_runtime::CompiledModel`].
+//!
+//! Alongside wall-clock throughput the run reports simulated p50/p99
+//! latency and energy per inference from the batch-64 report, verifies the
+//! artifact's byte-identical serialization roundtrip, and asserts that
+//! batched readout outputs equal the sequential single-input path exactly.
+//!
+//! Run with `cargo run --release -p phi_bench --bin bench_serving`
+//! (`PHI_BENCH_RUNS` overrides the repetition count; default 5).
+
+use phi_runtime::{BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler};
+use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rows per layer per request: one inference trace at T = 4 timesteps.
+const ROWS_PER_REQUEST: usize = 4;
+/// Requests served per measurement.
+const REQUESTS: usize = 64;
+/// Requests used to time the (slow) recalibrating baseline.
+const BASELINE_REQUESTS: usize = 8;
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn time_runs(runs: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    median(
+        (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let runs: usize =
+        std::env::var("PHI_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    println!("generating VGG-16 / CIFAR-10 workload...");
+    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();
+    let compiler = ModelCompiler::new(CompileOptions::default());
+
+    // Offline stage: compile once, measure it, and verify the artifact's
+    // serialization roundtrip is byte-identical.
+    println!("compiling model artifact ({runs} runs)...");
+    let compile_time = time_runs(runs, || {
+        std::hint::black_box(compiler.compile(&workload));
+    });
+    let artifact = compiler.compile(&workload);
+    let bytes = artifact.to_bytes();
+    let reloaded = CompiledModel::from_bytes(&bytes).expect("own artifact must load");
+    let roundtrip_identical = reloaded.to_bytes() == bytes;
+    println!(
+        "  compile: {compile_time:?}, artifact {} bytes ({} patterns), roundtrip byte-identical: {roundtrip_identical}",
+        bytes.len(),
+        artifact.total_patterns(),
+    );
+
+    let requests: Vec<InferenceRequest> = workload
+        .sample_requests(REQUESTS, ROWS_PER_REQUEST, 0xBA7C4)
+        .into_iter()
+        .map(InferenceRequest::new)
+        .collect();
+    let executor = BatchExecutor::new(Arc::new(reloaded));
+
+    // Status-quo baseline: every request re-derives patterns, exactly the
+    // calibrate → decompose → simulate walk the repo performed per run
+    // before the compiled artifact existed.
+    println!(
+        "timing single-request path (recalibrate per request, {BASELINE_REQUESTS} requests)..."
+    );
+    let baseline_total = time_runs(runs, || {
+        for request in &requests[..BASELINE_REQUESTS] {
+            let model = compiler.compile(&workload);
+            let one_shot = BatchExecutor::new(Arc::new(model));
+            std::hint::black_box(one_shot.execute_one(request).expect("baseline serves"));
+        }
+    });
+    let single_inf_s = BASELINE_REQUESTS as f64 / baseline_total.as_secs_f64();
+    println!("  {single_inf_s:.1} inf/s ({:.3} ms/inf)", 1e3 / single_inf_s);
+
+    // Compiled engine at batch sizes 1 / 8 / 64 over the same 64 requests.
+    let mut batched_inf_s = Vec::new();
+    for batch_size in [1usize, 8, 64] {
+        let elapsed = time_runs(runs, || {
+            for chunk in requests.chunks(batch_size) {
+                std::hint::black_box(executor.execute(chunk).expect("batch serves"));
+            }
+        });
+        let inf_s = REQUESTS as f64 / elapsed.as_secs_f64();
+        println!("  batch {batch_size:>2}: {inf_s:.1} inf/s");
+        batched_inf_s.push((batch_size, inf_s));
+    }
+    let batch64_inf_s = batched_inf_s.last().expect("three batch sizes").1;
+    let speedup_vs_single = batch64_inf_s / single_inf_s;
+    println!("batched (64) vs single-request: {speedup_vs_single:.1}x");
+
+    // Simulated serving metrics from one batch-64 report.
+    let report = executor.execute(&requests).expect("batch serves");
+    let p50 = report.p50_cycles();
+    let p99 = report.p99_cycles();
+    let energy_mj = report.energy_per_inference_j() * 1e3;
+    println!(
+        "simulated per-inference: p50 {p50:.0} cycles, p99 {p99:.0} cycles, {energy_mj:.3} mJ"
+    );
+
+    // Exactness: batched readouts equal the sequential single-input path
+    // bit for bit.
+    let exact = requests.iter().zip(&report.requests).all(|(request, batched)| {
+        let alone = executor.execute_one(request).expect("single path serves");
+        batched.readout == alone.readout && batched.readout.is_some()
+    });
+    println!("batch outputs == sequential single-input outputs: {exact}");
+
+    let json = format!(
+        r#"{{
+  "workload": "vgg16-cifar10",
+  "config": {{
+    "k": {artifact_k},
+    "q": {artifact_q},
+    "layers": {layers},
+    "requests": {REQUESTS},
+    "rows_per_request": {ROWS_PER_REQUEST},
+    "baseline_requests": {BASELINE_REQUESTS}
+  }},
+  "runs": {runs},
+  "threads": {threads},
+  "compile_ms": {compile_ms:.3},
+  "artifact_bytes": {artifact_bytes},
+  "artifact_roundtrip_byte_identical": {roundtrip_identical},
+  "single_request_recalibrate": {{ "inf_per_s": {single_inf_s:.3} }},
+  "batched_compiled": {{
+    "batch_1_inf_per_s": {b1:.3},
+    "batch_8_inf_per_s": {b8:.3},
+    "batch_64_inf_per_s": {b64:.3}
+  }},
+  "speedup_batch64_vs_single_request": {speedup_vs_single:.3},
+  "simulated_per_inference": {{
+    "p50_cycles": {p50:.1},
+    "p99_cycles": {p99:.1},
+    "energy_mj": {energy_mj:.6}
+  }},
+  "batch_outputs_match_sequential": {exact}
+}}
+"#,
+        artifact_k = artifact.k(),
+        artifact_q = artifact.q(),
+        layers = workload.layers.len(),
+        threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        compile_ms = compile_time.as_secs_f64() * 1e3,
+        artifact_bytes = bytes.len(),
+        b1 = batched_inf_s[0].1,
+        b8 = batched_inf_s[1].1,
+        b64 = batched_inf_s[2].1,
+    );
+    // Assert before persisting, so a failed acceptance run can never
+    // overwrite the checked-in numbers with its own.
+    assert!(roundtrip_identical, "artifact roundtrip must be byte-identical");
+    assert!(exact, "batched outputs must equal the sequential single-input path exactly");
+    // Wall-clock ratio on shared machines is noisy; CI smoke runs lower the
+    // bar via PHI_SERVING_MIN_SPEEDUP (0 disables) while local/acceptance
+    // runs keep the 4x floor.
+    let min_speedup: f64 =
+        std::env::var("PHI_SERVING_MIN_SPEEDUP").ok().and_then(|v| v.parse().ok()).unwrap_or(4.0);
+    assert!(
+        speedup_vs_single >= min_speedup,
+        "batched throughput (batch 64: {batch64_inf_s:.1} inf/s) must be at least \
+         {min_speedup}x the single-request path ({single_inf_s:.1} inf/s), got \
+         {speedup_vs_single:.2}x"
+    );
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
+    std::fs::write(&path, json).expect("write BENCH_serving.json");
+    println!("wrote {}", path.display());
+}

@@ -201,6 +201,26 @@ fn decompose_row(
 }
 
 impl Decomposition {
+    /// Reassembles a decomposition from its stored parts (the
+    /// deserialization path in [`crate::wire`]). Callers must have validated
+    /// the parts; only shape consistency is debug-asserted here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        patterns: LayerPatterns,
+        l1: Vec<Option<u16>>,
+        l2: Vec<Vec<L2Entry>>,
+        l1_ones: u64,
+        l2_pos: u64,
+        l2_neg: u64,
+        bit_nnz: u64,
+    ) -> Self {
+        debug_assert_eq!(l1.len(), rows * patterns.num_partitions());
+        debug_assert_eq!(l2.len(), rows);
+        Decomposition { rows, cols, patterns, l1, l2, l1_ones, l2_pos, l2_neg, bit_nnz }
+    }
+
     /// Activation row count.
     pub fn rows(&self) -> usize {
         self.rows

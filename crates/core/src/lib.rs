@@ -18,15 +18,18 @@
 //! 1. [`calibrate`] — run Hamming-distance k-means (the paper's Algorithm 1)
 //!    over a calibration activation dump to select `q` patterns per
 //!    partition;
-//! 2. [`decompose`] — assign each activation row-tile its best pattern (or
-//!    none) and emit the L1 index matrix plus the L2 sparse matrix;
+//! 2. [`decompose()`] — assign each activation row-tile its best pattern
+//!    (or none) and emit the L1 index matrix plus the L2 sparse matrix;
 //! 3. [`pwp`] — precompute pattern–weight products;
 //! 4. [`stats`] — measure the densities and theoretical speedups the paper
 //!    reports in Table 4 and Figure 7;
 //! 5. [`paft`] — Pattern-Aware Fine-Tuning: a spike regularizer that pulls
 //!    activations toward their assigned patterns through the surrogate
 //!    gradient (for the real trainable SNN), and an alignment model used for
-//!    the statistically generated workloads.
+//!    the statistically generated workloads;
+//! 6. [`wire`] — compact binary (de)serialization of pattern sets and
+//!    decompositions, the substrate of `phi-runtime`'s compiled-model
+//!    artifacts.
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@ pub mod paft;
 pub mod pattern;
 pub mod pwp;
 pub mod stats;
+pub mod wire;
 
 pub use bitslice::{BitSlicedMatrix, BitSlicedPhi};
 pub use calibrate::{CalibrationConfig, CalibrationEngine, Calibrator, LayerPatterns};

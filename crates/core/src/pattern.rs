@@ -138,8 +138,8 @@ impl fmt::Binary for Pattern {
 ///
 /// Pattern index 0 is reserved by the hardware for "no pattern assigned"
 /// (§3.1), so stored patterns are addressed 1-based by
-/// [`PatternSet::get`]-style lookups in the decomposition; this type stores
-/// only the real patterns.
+/// [`PatternSet::pattern`]-style lookups in the decomposition; this type
+/// stores only the real patterns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternSet {
     width: usize,

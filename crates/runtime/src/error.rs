@@ -1,0 +1,110 @@
+//! Runtime error handling.
+
+use phi_core::wire::WireError;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors produced while loading artifacts or executing batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A core record inside the artifact was truncated or corrupt.
+    Wire(WireError),
+    /// The artifact does not start with the `PHIC` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version stored in the artifact.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The artifact checksum does not match its contents.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact footer.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// Bytes remained after the artifact's declared end.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A request or artifact field disagreed with the model on a dimension.
+    Shape {
+        /// Human-readable description of the check that failed.
+        op: &'static str,
+        /// Expected value.
+        expected: usize,
+        /// Actual value.
+        actual: usize,
+    },
+    /// An empty batch was submitted.
+    EmptyBatch,
+    /// Reading or writing an artifact file failed.
+    Io(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Wire(e) => write!(f, "artifact payload: {e}"),
+            RuntimeError::BadMagic { found } => {
+                write!(f, "not a Phi artifact: magic bytes {found:?}")
+            }
+            RuntimeError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} unsupported (this build reads {supported})"
+                )
+            }
+            RuntimeError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            RuntimeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after artifact end")
+            }
+            RuntimeError::Shape { op, expected, actual } => {
+                write!(f, "shape mismatch in {op}: expected {expected}, got {actual}")
+            }
+            RuntimeError::EmptyBatch => write!(f, "cannot execute an empty batch"),
+            RuntimeError::Io(reason) => write!(f, "artifact I/O: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        RuntimeError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::BadMagic { found: *b"NOPE" };
+        assert!(e.to_string().contains("magic"));
+        let e = RuntimeError::Wire(WireError::Truncated { at: 3, needed: 5 });
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

@@ -1,0 +1,406 @@
+//! Serve-time batch execution against a shared [`CompiledModel`].
+//!
+//! A batch is processed layer-by-layer with the whole batch fused: the
+//! per-request spike rows are stacked into one matrix, decomposed once
+//! against the artifact's patterns, and simulated once — so the fixed
+//! per-layer costs (tile scheduling, the per-partition packer walk,
+//! traffic/energy accounting) are paid per *batch* instead of per request.
+//! Rows decompose independently, so the fused results are bit-identical to
+//! running each request alone; layers fan out across rayon workers.
+//!
+//! The executor reports three things per batch: the per-layer simulator
+//! reports (cycle/energy accounting of the Phi accelerator running the
+//! batch), per-request latency/energy attributions (for p50/p99), and —
+//! when the artifact carries readout weights — each request's functional
+//! output through the pattern-weight-product path.
+
+use crate::artifact::{CompiledLayer, CompiledModel};
+use crate::error::{Result, RuntimeError};
+use phi_accel::{LayerReport, PhiConfig, PhiSimulator};
+use phi_core::{decompose, phi_matmul};
+use rayon::prelude::*;
+use snn_core::{Matrix, SpikeMatrix};
+use std::sync::Arc;
+
+/// One inference request: the layer-wise spike activations of a single
+/// input, each `rows × K_layer` (every layer the same row count — a
+/// row-subsampled trace of the inference, extrapolated to full scale by
+/// the layer's `M × timesteps`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceRequest {
+    /// One spike matrix per model layer, in execution order.
+    pub layers: Vec<SpikeMatrix>,
+}
+
+impl InferenceRequest {
+    /// Wraps per-layer spike matrices (e.g. one entry of
+    /// [`snn_workloads::Workload::sample_requests`]).
+    pub fn new(layers: Vec<SpikeMatrix>) -> Self {
+        InferenceRequest { layers }
+    }
+
+    /// Rows carried per layer (0 for an empty request).
+    pub fn rows(&self) -> usize {
+        self.layers.first().map_or(0, SpikeMatrix::rows)
+    }
+
+    fn validate(&self, model: &CompiledModel, rows: usize) -> Result<()> {
+        if self.layers.len() != model.layers().len() {
+            return Err(RuntimeError::Shape {
+                op: "request layer count",
+                expected: model.layers().len(),
+                actual: self.layers.len(),
+            });
+        }
+        for (m, layer) in self.layers.iter().zip(model.layers()) {
+            if m.cols() != layer.shape.k {
+                return Err(RuntimeError::Shape {
+                    op: "request layer width",
+                    expected: layer.shape.k,
+                    actual: m.cols(),
+                });
+            }
+            if m.rows() != rows {
+                return Err(RuntimeError::Shape {
+                    op: "request layer rows",
+                    expected: rows,
+                    actual: m.rows(),
+                });
+            }
+        }
+        if rows == 0 {
+            return Err(RuntimeError::Shape { op: "request rows", expected: 1, actual: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// Serve-time result for one request.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// Functional output of the readout layer (`rows × N_readout`) through
+    /// the PWP path; `None` when the artifact carries no readout weights.
+    pub readout: Option<Matrix>,
+    /// Simulated accelerator cycles attributed to this request (full
+    /// inference scale).
+    pub cycles: f64,
+    /// Simulated energy attributed to this request, in joules.
+    pub energy_j: f64,
+}
+
+/// Everything one [`BatchExecutor::execute`] call produces.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-layer simulator reports for the fused batch.
+    pub layer_reports: Vec<LayerReport>,
+    /// Per-request results, in submission order.
+    pub requests: Vec<RequestResult>,
+}
+
+impl BatchReport {
+    /// Number of requests served.
+    pub fn batch_size(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total simulated cycles for the batch (sum over layers — the Phi
+    /// pipeline executes layers back-to-back).
+    pub fn total_cycles(&self) -> f64 {
+        self.layer_reports.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total simulated energy for the batch, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.layer_reports.iter().map(|l| l.energy.total_j()).sum()
+    }
+
+    /// Simulated energy per inference, in joules.
+    pub fn energy_per_inference_j(&self) -> f64 {
+        self.total_energy_j() / self.batch_size() as f64
+    }
+
+    /// Nearest-rank percentile (`0 < p ≤ 100`) of the per-request simulated
+    /// latency, in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]` or the report holds no requests.
+    pub fn latency_percentile_cycles(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be within (0, 100]");
+        assert!(!self.requests.is_empty(), "percentile of an empty request set");
+        let mut cycles: Vec<f64> = self.requests.iter().map(|r| r.cycles).collect();
+        cycles.sort_by(|a, b| a.partial_cmp(b).expect("finite cycle counts"));
+        let rank = ((p / 100.0) * cycles.len() as f64).ceil() as usize;
+        cycles[rank.clamp(1, cycles.len()) - 1]
+    }
+
+    /// Median per-request simulated latency, in cycles.
+    pub fn p50_cycles(&self) -> f64 {
+        self.latency_percentile_cycles(50.0)
+    }
+
+    /// 99th-percentile per-request simulated latency, in cycles.
+    pub fn p99_cycles(&self) -> f64 {
+        self.latency_percentile_cycles(99.0)
+    }
+}
+
+/// The serve-time engine: a shared, read-only [`CompiledModel`] behind an
+/// [`Arc`], a [`PhiSimulator`] for cycle/energy accounting, and zero
+/// per-request calibration.
+///
+/// Executors are cheap to clone (the artifact is shared, not copied), so
+/// one compiled model can back any number of serving threads.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    model: Arc<CompiledModel>,
+    sim: PhiSimulator,
+}
+
+impl BatchExecutor {
+    /// Creates an executor over a compiled model with the default
+    /// accelerator configuration.
+    pub fn new(model: Arc<CompiledModel>) -> Self {
+        BatchExecutor { model, sim: PhiSimulator::new(PhiConfig::default()) }
+    }
+
+    /// Overrides the accelerator configuration.
+    pub fn with_accelerator(mut self, config: PhiConfig) -> Self {
+        self.sim = PhiSimulator::new(config);
+        self
+    }
+
+    /// The shared artifact.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// Executes a batch of requests against the shared artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyBatch`] for an empty slice and
+    /// [`RuntimeError::Shape`] when a request disagrees with the model's
+    /// layer count or widths, carries zero rows, or differs from the other
+    /// requests in rows (batches must be row-uniform so one extrapolation
+    /// factor covers the fused matrix).
+    pub fn execute(&self, batch: &[InferenceRequest]) -> Result<BatchReport> {
+        let first = batch.first().ok_or(RuntimeError::EmptyBatch)?;
+        let rows = first.rows();
+        for request in batch {
+            request.validate(&self.model, rows)?;
+        }
+
+        let layers = self.model.layers();
+        let last = layers.len() - 1;
+        let indexed: Vec<(usize, &CompiledLayer)> = layers.iter().enumerate().collect();
+        let outcomes: Vec<LayerOutcome> = indexed
+            .into_par_iter()
+            .map(|(l, layer)| self.run_layer(l, l == last, layer, batch, rows))
+            .collect();
+
+        let mut requests: Vec<RequestResult> = (0..batch.len())
+            .map(|_| RequestResult { readout: None, cycles: 0.0, energy_j: 0.0 })
+            .collect();
+        let mut layer_reports = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            let total: f64 = outcome.shares.iter().sum();
+            let energy_j = outcome.report.energy.total_j();
+            for (b, share) in outcome.shares.iter().enumerate() {
+                let frac = share / total;
+                requests[b].cycles += outcome.report.cycles * frac;
+                requests[b].energy_j += energy_j * frac;
+            }
+            if let Some(readout) = outcome.readout {
+                for (b, request) in requests.iter_mut().enumerate() {
+                    request.readout = Some(readout.row_range(b * rows, (b + 1) * rows));
+                }
+            }
+            layer_reports.push(outcome.report);
+        }
+        Ok(BatchReport { layer_reports, requests })
+    }
+
+    /// Executes one request — the sequential single-input path. Equivalent
+    /// to a batch of one; the batched path produces bit-identical readout
+    /// outputs because rows decompose independently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute`].
+    pub fn execute_one(&self, request: &InferenceRequest) -> Result<RequestResult> {
+        let mut report = self.execute(std::slice::from_ref(request))?;
+        Ok(report.requests.pop().expect("batch of one yields one result"))
+    }
+
+    /// Fuses, decomposes, and simulates one layer of the batch, computing
+    /// the per-request attribution weights and (for the readout layer) the
+    /// functional outputs.
+    fn run_layer(
+        &self,
+        l: usize,
+        is_readout: bool,
+        layer: &CompiledLayer,
+        batch: &[InferenceRequest],
+        rows: usize,
+    ) -> LayerOutcome {
+        let mats: Vec<&SpikeMatrix> = batch.iter().map(|r| &r.layers[l]).collect();
+        let stacked = SpikeMatrix::vstack(&mats).expect("widths validated");
+        let decomp = decompose(&stacked, &layer.patterns);
+        let row_scale = layer.total_rows() as f64 / rows as f64;
+        let report = self.sim.run_decomposition(&decomp, layer.shape, row_scale, &layer.name);
+
+        // Attribution proxy per request: scanned rows plus Level-1
+        // accumulations plus Level-2 corrections — the quantities the
+        // processors' cycle counts grow with. Shares split the exact batch
+        // totals; they are an attribution, not an independent simulation.
+        let parts = decomp.num_partitions();
+        let shares: Vec<f64> = (0..batch.len())
+            .map(|b| {
+                let (lo, hi) = (b * rows, (b + 1) * rows);
+                let mut proxy = rows as f64;
+                for r in lo..hi {
+                    proxy += decomp.l2_row(r).len() as f64;
+                    proxy += (0..parts).filter(|&p| decomp.l1_index(r, p).is_some()).count() as f64;
+                }
+                proxy
+            })
+            .collect();
+
+        let readout = match (&layer.pwp, &layer.weights) {
+            (Some(pwp), Some(weights)) if is_readout => {
+                Some(phi_matmul(&decomp, pwp, weights).expect("artifact shapes are consistent"))
+            }
+            _ => None,
+        };
+        LayerOutcome { report, shares, readout }
+    }
+}
+
+/// One layer's share of the batch outcome.
+struct LayerOutcome {
+    report: LayerReport,
+    shares: Vec<f64>,
+    readout: Option<Matrix>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{CompileOptions, ModelCompiler};
+    use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
+
+    fn tiny_workload() -> Workload {
+        WorkloadConfig::new(ModelId::ResNet18, DatasetId::Cifar10)
+            .with_max_rows(32)
+            .with_calibration_rows(64)
+            .generate()
+    }
+
+    fn executor(workload: &Workload) -> BatchExecutor {
+        let model = ModelCompiler::new(CompileOptions::fast()).compile(workload);
+        BatchExecutor::new(Arc::new(model))
+    }
+
+    fn requests(workload: &Workload, count: usize, seed: u64) -> Vec<InferenceRequest> {
+        workload.sample_requests(count, 4, seed).into_iter().map(InferenceRequest::new).collect()
+    }
+
+    #[test]
+    fn batched_outputs_match_sequential_exactly() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        let batch = requests(&w, 6, 11);
+        let batched = exec.execute(&batch).unwrap();
+        for (request, result) in batch.iter().zip(&batched.requests) {
+            let alone = exec.execute_one(request).unwrap();
+            // Bit-exact: stacking is row concatenation and every row
+            // decomposes and accumulates independently.
+            assert_eq!(result.readout, alone.readout);
+            assert!(result.readout.is_some());
+        }
+    }
+
+    #[test]
+    fn attribution_sums_to_batch_totals() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        let report = exec.execute(&requests(&w, 5, 3)).unwrap();
+        let attributed: f64 = report.requests.iter().map(|r| r.cycles).sum();
+        let total = report.total_cycles();
+        assert!((attributed - total).abs() / total < 1e-9, "{attributed} vs {total}");
+        let attributed_e: f64 = report.requests.iter().map(|r| r.energy_j).sum();
+        assert!((attributed_e - report.total_energy_j()).abs() / report.total_energy_j() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_within_range() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        let report = exec.execute(&requests(&w, 16, 5)).unwrap();
+        let p50 = report.p50_cycles();
+        let p99 = report.p99_cycles();
+        let min = report.latency_percentile_cycles(0.1);
+        let max = report.latency_percentile_cycles(100.0);
+        assert!(min <= p50 && p50 <= p99 && p99 <= max);
+        assert!(min > 0.0);
+        assert!(report.energy_per_inference_j() > 0.0);
+        assert_eq!(report.batch_size(), 16);
+        assert_eq!(report.layer_reports.len(), w.layers.len());
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        assert!(matches!(exec.execute(&[]), Err(RuntimeError::EmptyBatch)));
+
+        // Wrong layer count.
+        let mut short = requests(&w, 1, 1);
+        short[0].layers.pop();
+        assert!(matches!(
+            exec.execute(&short),
+            Err(RuntimeError::Shape { op: "request layer count", .. })
+        ));
+
+        // Wrong layer width.
+        let mut narrow = requests(&w, 1, 1);
+        narrow[0].layers[0] = SpikeMatrix::zeros(4, 3);
+        assert!(matches!(
+            exec.execute(&narrow),
+            Err(RuntimeError::Shape { op: "request layer width", .. })
+        ));
+
+        // Rows differ across requests.
+        let mut ragged = requests(&w, 2, 1);
+        let wide = ragged[1].layers[0].cols();
+        ragged[1].layers[0] = SpikeMatrix::zeros(5, wide);
+        assert!(matches!(
+            exec.execute(&ragged),
+            Err(RuntimeError::Shape { op: "request layer rows", .. })
+        ));
+
+        // Zero-row request.
+        let empty = InferenceRequest::new(
+            w.layers.iter().map(|l| SpikeMatrix::zeros(0, l.spec.shape.k)).collect(),
+        );
+        assert!(matches!(
+            exec.execute(&[empty]),
+            Err(RuntimeError::Shape { op: "request rows", .. })
+        ));
+    }
+
+    #[test]
+    fn executors_share_one_artifact() {
+        let w = tiny_workload();
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
+        let a = BatchExecutor::new(Arc::clone(&model));
+        let b = a.clone();
+        assert_eq!(Arc::strong_count(&model), 3);
+        let batch = requests(&w, 2, 9);
+        let ra = a.execute(&batch).unwrap();
+        let rb = b.execute(&batch).unwrap();
+        assert_eq!(ra.requests[0].readout, rb.requests[0].readout);
+        assert_eq!(ra.total_cycles(), rb.total_cycles());
+    }
+}

@@ -1,0 +1,70 @@
+//! Batched inference runtime for the Phi reproduction.
+//!
+//! Everything upstream of this crate treats a run as one monolithic
+//! calibrate → decompose → simulate sweep. This crate splits that into the
+//! two phases a serving system actually has:
+//!
+//! * **Compile time** ([`ModelCompiler`]) — run the offline work once:
+//!   calibrate patterns per layer (§3.2 of the paper) and fold weights
+//!   into pattern–weight products (§4.4), producing an immutable
+//!   [`CompiledModel`] with a compact, versioned, checksummed binary
+//!   format ([`CompiledModel::to_bytes`] / [`CompiledModel::from_bytes`]).
+//! * **Serve time** ([`BatchExecutor`]) — share one `Arc`'d artifact
+//!   read-only across any number of executors, accept batches of encoded
+//!   spike inputs ([`InferenceRequest`]), fuse each layer's batch rows into
+//!   a single decomposition + simulation (amortizing the fixed per-layer
+//!   costs), and fan layers across rayon workers. Zero per-request
+//!   calibration.
+//!
+//! Each batch yields throughput-ready accounting — per-layer simulator
+//! reports, per-request latency attributions (p50/p99), simulated energy
+//! per inference — and, when the artifact carries readout weights, each
+//! request's functional output through the PWP path, bit-identical to
+//! serving the request alone.
+//!
+//! # Example: compile → serialize → load → serve
+//!
+//! ```
+//! use phi_runtime::{BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler};
+//! use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+//! use std::sync::Arc;
+//!
+//! // A small workload (shrunk for doc-test speed).
+//! let mut workload = WorkloadConfig::new(ModelId::ResNet18, DatasetId::Cifar10)
+//!     .with_max_rows(32)
+//!     .with_calibration_rows(64)
+//!     .generate();
+//! workload.layers.truncate(3);
+//!
+//! // Offline: calibrate + decompose weights, once.
+//! let compiled = ModelCompiler::new(CompileOptions::fast()).compile(&workload);
+//!
+//! // The artifact roundtrips byte-identically through its binary format.
+//! let bytes = compiled.to_bytes();
+//! let loaded = CompiledModel::from_bytes(&bytes)?;
+//! assert_eq!(loaded.to_bytes(), bytes);
+//!
+//! // Online: serve a batch against the shared artifact.
+//! let executor = BatchExecutor::new(Arc::new(loaded));
+//! let batch: Vec<InferenceRequest> =
+//!     workload.sample_requests(4, 2, 99).into_iter().map(InferenceRequest::new).collect();
+//! let report = executor.execute(&batch)?;
+//! assert_eq!(report.batch_size(), 4);
+//! assert!(report.p99_cycles() >= report.p50_cycles());
+//! assert!(report.energy_per_inference_j() > 0.0);
+//!
+//! // Batched results are bit-identical to serving a request alone.
+//! let alone = executor.execute_one(&batch[0])?;
+//! assert_eq!(report.requests[0].readout, alone.readout);
+//! # Ok::<(), phi_runtime::RuntimeError>(())
+//! ```
+
+pub mod artifact;
+pub mod compile;
+pub mod error;
+pub mod executor;
+
+pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC};
+pub use compile::{CompileOptions, ModelCompiler, WeightsMode};
+pub use error::{Result, RuntimeError};
+pub use executor::{BatchExecutor, BatchReport, InferenceRequest, RequestResult};

@@ -1,0 +1,163 @@
+//! Property tests for the compiled-model artifact format.
+//!
+//! The acceptance properties of the serving PR:
+//!
+//! * compile → serialize → deserialize is **byte-identical** (and the
+//!   deserialized model's patterns equal the compiled ones exactly);
+//! * a deserialized artifact serves **identical batch outputs** to the
+//!   model it was serialized from, and batched execution equals the
+//!   sequential single-input path bit-for-bit;
+//! * corrupted and truncated artifacts are rejected, never mis-served.
+
+use phi_runtime::{
+    BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler, RuntimeError,
+    WeightsMode,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_core::LayerSpec;
+use snn_workloads::{
+    activation_profile, generate_clustered, DatasetId, LayerWorkload, ModelId, Workload,
+};
+use std::sync::Arc;
+
+/// Builds a small synthetic workload with `layers` layers of varying
+/// width, clustered activations, and a latent spec per layer — enough
+/// structure to exercise multi-partition patterns without model-zoo cost.
+fn tiny_workload(layers: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar10);
+    let layer_workloads = (0..layers)
+        .map(|i| {
+            let cols = 16 + 13 * i; // deliberately ragged final partitions
+            let (calibration, cluster) = generate_clustered(48, cols, &profile, 16, &mut rng);
+            let activations = cluster.sample(16, &mut rng);
+            LayerWorkload {
+                spec: LayerSpec::new(
+                    format!("l{i}"),
+                    snn_core::LayerKind::Linear,
+                    snn_core::GemmShape::new(32, cols, 8 + 4 * i),
+                    4,
+                ),
+                activations,
+                calibration,
+                row_scale: 1.0,
+                cluster,
+            }
+        })
+        .collect();
+    Workload {
+        model: ModelId::Vgg16,
+        dataset: DatasetId::Cifar10,
+        profile,
+        layers: layer_workloads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compile → serialize → deserialize → serialize is byte-identical,
+    /// and every pattern set survives exactly.
+    #[test]
+    fn artifact_roundtrip_is_byte_identical(
+        layers in 1usize..4,
+        q in 2usize..24,
+        weights_all in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(layers, seed);
+        let mode = if weights_all { WeightsMode::All } else { WeightsMode::Readout };
+        let options = CompileOptions {
+            calibration: phi_core::CalibrationConfig { q, max_rows: 256, ..Default::default() },
+            seed: seed ^ 0xC0DE,
+            weights: mode,
+        };
+        let compiled = ModelCompiler::new(options).compile(&workload);
+        let bytes = compiled.to_bytes();
+        let loaded = CompiledModel::from_bytes(&bytes).expect("own bytes must load");
+        prop_assert_eq!(loaded.to_bytes(), bytes);
+        prop_assert_eq!(loaded.layers().len(), compiled.layers().len());
+        for (a, b) in loaded.layers().iter().zip(compiled.layers()) {
+            prop_assert_eq!(&a.patterns, &b.patterns);
+            prop_assert_eq!(&a.weights, &b.weights);
+            prop_assert_eq!(a.shape, b.shape);
+        }
+    }
+
+    /// A deserialized artifact serves the same batch outputs as the
+    /// original, and the batched path equals the sequential path exactly.
+    #[test]
+    fn loaded_artifact_serves_identical_batches(
+        layers in 1usize..3,
+        batch in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(layers, seed);
+        let options = CompileOptions {
+            calibration: phi_core::CalibrationConfig { q: 8, max_rows: 256, ..Default::default() },
+            seed: 3,
+            weights: WeightsMode::Readout,
+        };
+        let compiled = ModelCompiler::new(options).compile(&workload);
+        let loaded = CompiledModel::from_bytes(&compiled.to_bytes()).expect("roundtrip");
+        let original = BatchExecutor::new(Arc::new(compiled));
+        let reloaded = BatchExecutor::new(Arc::new(loaded));
+        let requests: Vec<InferenceRequest> = workload
+            .sample_requests(batch, 3, seed ^ 1)
+            .into_iter()
+            .map(InferenceRequest::new)
+            .collect();
+        let a = original.execute(&requests).expect("original serves");
+        let b = reloaded.execute(&requests).expect("reloaded serves");
+        prop_assert_eq!(a.total_cycles(), b.total_cycles());
+        prop_assert_eq!(a.total_energy_j(), b.total_energy_j());
+        for (ra, rb) in a.requests.iter().zip(&b.requests) {
+            prop_assert_eq!(&ra.readout, &rb.readout);
+            prop_assert!(ra.readout.is_some());
+            prop_assert_eq!(ra.cycles, rb.cycles);
+        }
+        // Batched == sequential, bit for bit.
+        for (request, batched) in requests.iter().zip(&a.requests) {
+            let alone = original.execute_one(request).expect("single path serves");
+            prop_assert_eq!(&batched.readout, &alone.readout);
+        }
+    }
+
+    /// Any single corrupted byte or truncation is rejected.
+    #[test]
+    fn damaged_artifacts_never_load(
+        flip_bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(1, seed);
+        let options = CompileOptions {
+            calibration: phi_core::CalibrationConfig { q: 4, max_rows: 128, ..Default::default() },
+            seed: 5,
+            weights: WeightsMode::Readout,
+        };
+        let bytes = ModelCompiler::new(options).compile(&workload).to_bytes();
+        // Corrupt one byte at a pseudo-random offset.
+        let offset = (seed as usize) % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= 1 << flip_bit;
+        prop_assert!(CompiledModel::from_bytes(&corrupted).is_err());
+        // Truncate at a pseudo-random length.
+        let cut = (seed as usize).wrapping_mul(31) % bytes.len();
+        prop_assert!(CompiledModel::from_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn truncated_header_is_rejected_with_truncation_error() {
+    let workload = tiny_workload(1, 0);
+    let bytes = ModelCompiler::new(CompileOptions::fast()).compile(&workload).to_bytes();
+    // Shorter than magic + version + checksum: structurally impossible.
+    for len in 0..16.min(bytes.len()) {
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes[..len]),
+            Err(RuntimeError::Wire(phi_core::wire::WireError::Truncated { .. }))
+        ));
+    }
+}

@@ -299,6 +299,72 @@ impl SpikeMatrix {
         self.cols.div_ceil(k)
     }
 
+    /// Stacks matrices vertically (row-wise concatenation).
+    ///
+    /// The batched serving runtime uses this to fuse the per-request spike
+    /// rows of one layer into a single matrix, so decomposition and
+    /// simulation run once per batch instead of once per request. Rows are
+    /// bit-identical to the inputs, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an empty slice and
+    /// [`Error::DimensionMismatch`] if the matrices disagree on columns.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use snn_core::SpikeMatrix;
+    ///
+    /// let a = SpikeMatrix::from_fn(1, 8, |_, c| c == 0);
+    /// let b = SpikeMatrix::from_fn(2, 8, |_, c| c == 7);
+    /// let stacked = SpikeMatrix::vstack(&[&a, &b])?;
+    /// assert_eq!(stacked.rows(), 3);
+    /// assert_eq!(stacked.row_range(0, 1), a);
+    /// assert_eq!(stacked.row_range(1, 3), b);
+    /// # Ok::<(), snn_core::Error>(())
+    /// ```
+    pub fn vstack(parts: &[&SpikeMatrix]) -> Result<SpikeMatrix> {
+        let first = parts.first().ok_or(Error::InvalidParameter {
+            name: "parts",
+            reason: "cannot stack zero matrices".to_owned(),
+        })?;
+        let cols = first.cols;
+        for p in parts {
+            if p.cols != cols {
+                return Err(Error::DimensionMismatch {
+                    op: "vstack columns",
+                    expected: cols,
+                    actual: p.cols,
+                });
+            }
+        }
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        let mut bits = Vec::with_capacity(rows * words_per_row);
+        for p in parts {
+            bits.extend_from_slice(&p.bits);
+        }
+        Ok(SpikeMatrix { rows, cols, words_per_row, bits })
+    }
+
+    /// Copies rows `lo..hi` into a new matrix (the inverse of [`vstack`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > rows`.
+    ///
+    /// [`vstack`]: SpikeMatrix::vstack
+    pub fn row_range(&self, lo: usize, hi: usize) -> SpikeMatrix {
+        assert!(lo <= hi && hi <= self.rows, "row range [{lo}, {hi}) out of bounds");
+        SpikeMatrix {
+            rows: hi - lo,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            bits: self.bits[lo * self.words_per_row..hi * self.words_per_row].to_vec(),
+        }
+    }
+
     /// Iterates over the tiles of partition `part` for every row, top to
     /// bottom — `partition_tile(r, part, k)` for `r` in `0..rows`, but with
     /// the partition geometry (word index, shift, mask) hoisted out of the
@@ -582,5 +648,44 @@ mod tests {
     fn debug_is_never_empty() {
         let m = SpikeMatrix::zeros(1, 4);
         assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn vstack_then_row_range_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for cols in [7usize, 64, 100] {
+            let blocks: Vec<SpikeMatrix> = [3usize, 1, 5]
+                .iter()
+                .map(|&r| SpikeMatrix::random(r, cols, 0.3, &mut rng))
+                .collect();
+            let refs: Vec<&SpikeMatrix> = blocks.iter().collect();
+            let stacked = SpikeMatrix::vstack(&refs).unwrap();
+            assert_eq!(stacked.rows(), 9);
+            assert_eq!(stacked.cols(), cols);
+            let mut lo = 0;
+            for b in &blocks {
+                let hi = lo + b.rows();
+                assert_eq!(stacked.row_range(lo, hi), *b);
+                lo = hi;
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_rejects_mixed_widths_and_empty_input() {
+        let a = SpikeMatrix::zeros(1, 8);
+        let b = SpikeMatrix::zeros(1, 9);
+        assert!(matches!(
+            SpikeMatrix::vstack(&[&a, &b]),
+            Err(Error::DimensionMismatch { op: "vstack columns", .. })
+        ));
+        assert!(matches!(SpikeMatrix::vstack(&[]), Err(Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn row_range_supports_empty_slices() {
+        let m = SpikeMatrix::zeros(4, 16);
+        assert_eq!(m.row_range(2, 2).rows(), 0);
+        assert_eq!(m.row_range(0, 4), m);
     }
 }

@@ -133,6 +133,22 @@ impl Matrix {
         &self.data
     }
 
+    /// Copies rows `lo..hi` into a new matrix — the dense counterpart of
+    /// [`crate::SpikeMatrix::row_range`], used to split batched layer
+    /// outputs back into per-request results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > rows`.
+    pub fn row_range(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.rows, "row range [{lo}, {hi}) out of bounds");
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
     /// Mutable flat view of the underlying storage, row-major.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
@@ -347,5 +363,15 @@ mod tests {
     #[test]
     fn debug_is_never_empty() {
         assert!(!format!("{:?}", Matrix::zeros(1, 1)).is_empty());
+    }
+
+    #[test]
+    fn row_range_extracts_exact_rows() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let mid = m.row_range(1, 3);
+        assert_eq!(mid.rows(), 2);
+        assert_eq!(mid.row(0), m.row(1));
+        assert_eq!(mid.row(1), m.row(2));
+        assert_eq!(m.row_range(2, 2).rows(), 0);
     }
 }

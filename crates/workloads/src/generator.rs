@@ -184,6 +184,11 @@ pub struct LayerWorkload {
     /// `total_rows / sampled_rows`: simulators multiply their per-row cycle
     /// counts by this to report full-layer numbers.
     pub row_scale: f64,
+    /// The latent cluster structure both draws came from. Retained so that
+    /// serving traffic ([`Workload::sample_requests`]) can keep drawing
+    /// fresh inputs from the *same* distribution the patterns were
+    /// calibrated on — the train/test consistency of Fig. 9a.
+    pub cluster: ClusterSpec,
 }
 
 impl LayerWorkload {
@@ -221,6 +226,62 @@ impl Workload {
     /// Total dense operations across layers.
     pub fn total_dense_ops(&self) -> f64 {
         self.layers.iter().map(LayerWorkload::dense_ops).sum()
+    }
+
+    /// Draws a batch of serving requests from the workload's latent
+    /// activation distribution.
+    ///
+    /// Each request holds one spike matrix per layer with `rows_per_layer`
+    /// rows — a row-subsampled trace of that inference's `M × T` activation
+    /// rows, extrapolated to full scale by [`Workload::request_row_scale`].
+    /// Because requests are drawn from the same [`ClusterSpec`]s the
+    /// calibration split came from, patterns compiled offline keep matching
+    /// serving traffic, which is the premise of the compiled-artifact
+    /// runtime.
+    ///
+    /// Deterministic in `(seed, request index, layer index)` and
+    /// independent per request, so batches can be regenerated, reordered,
+    /// or sharded freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_layer` is zero.
+    pub fn sample_requests(
+        &self,
+        count: usize,
+        rows_per_layer: usize,
+        seed: u64,
+    ) -> Vec<Vec<SpikeMatrix>> {
+        assert!(rows_per_layer > 0, "requests need at least one row per layer");
+        let layers = self.layers.len() as u64;
+        (0..count)
+            .map(|r| {
+                self.layers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, layer)| {
+                        let stream = (r as u64) * layers + i as u64 + 1;
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        layer.cluster.sample(rows_per_layer, &mut rng)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The extrapolation factor from a request's `rows_per_layer`
+    /// subsampled rows to the layer's full `M × T` rows (the serving
+    /// counterpart of [`LayerWorkload::row_scale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or `rows_per_layer` is zero.
+    pub fn request_row_scale(&self, layer: usize, rows_per_layer: usize) -> f64 {
+        assert!(rows_per_layer > 0, "requests need at least one row per layer");
+        let spec = &self.layers[layer].spec;
+        (spec.shape.m * spec.timesteps) as f64 / rows_per_layer as f64
     }
 }
 
@@ -295,7 +356,7 @@ impl WorkloadConfig {
                 cluster.sample(self.calibration_rows.min(total_rows.max(1)), &mut rng);
             let activations = cluster.sample(rows.max(1), &mut rng);
             let row_scale = total_rows as f64 / rows.max(1) as f64;
-            out.push(LayerWorkload { spec, activations, calibration, row_scale });
+            out.push(LayerWorkload { spec, activations, calibration, row_scale, cluster });
         }
         Workload { model: self.model, dataset: self.dataset, profile, layers: out }
     }
@@ -403,6 +464,43 @@ mod tests {
             assert!(w.total_bit_ops() > 0.0, "{model}/{dataset}");
             assert!(w.total_dense_ops() > w.total_bit_ops());
         }
+    }
+
+    #[test]
+    fn sample_requests_is_deterministic_and_on_distribution() {
+        let w =
+            WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(256).generate();
+        let a = w.sample_requests(3, 4, 99);
+        let b = w.sample_requests(3, 4, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for request in &a {
+            assert_eq!(request.len(), w.layers.len());
+            for (m, layer) in request.iter().zip(&w.layers) {
+                assert_eq!(m.rows(), 4);
+                assert_eq!(m.cols(), layer.spec.shape.k);
+            }
+        }
+        // Requests differ from each other and across seeds.
+        assert_ne!(a[0], a[1]);
+        assert_ne!(w.sample_requests(1, 4, 100)[0], a[0]);
+        // Density tracks the layer distribution (averaged over the model to
+        // smooth per-layer noise at 4 rows).
+        let (mut nnz, mut total) = (0f64, 0f64);
+        for m in a.iter().flatten() {
+            nnz += m.nnz() as f64;
+            total += (m.rows() * m.cols()) as f64;
+        }
+        let density = nnz / total;
+        assert!((density - 0.087).abs() < 0.05, "request density {density} off-profile");
+    }
+
+    #[test]
+    fn request_row_scale_extrapolates_to_full_layer() {
+        let w =
+            WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(64).generate();
+        // Layer 0 of VGG-16/CIFAR-10: M = 1024, T = 4.
+        assert!((w.request_row_scale(0, 4) - 1024.0).abs() < 1e-12);
     }
 
     #[test]

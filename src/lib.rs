@@ -15,7 +15,8 @@
 //! * [`snn_workloads`] — model zoo + calibrated activation generators;
 //! * [`phi_accel`] — the cycle-level Phi architecture simulator;
 //! * [`snn_baselines`] — Eyeriss/SpinalFlow/SATO/PTB/Stellar models;
-//! * [`phi_analysis`] — t-SNE, cluster metrics, table output.
+//! * [`phi_analysis`] — t-SNE, cluster metrics, table output;
+//! * [`phi_runtime`] — compile-time artifacts + the batched serving engine.
 //!
 //! # Quickstart
 //!
@@ -33,6 +34,7 @@
 pub use phi_accel;
 pub use phi_analysis;
 pub use phi_core;
+pub use phi_runtime;
 pub use snn_baselines;
 pub use snn_core;
 pub use snn_workloads;
