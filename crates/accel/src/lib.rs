@@ -45,6 +45,7 @@
 //! assert!(report.energy.total_mj() > 0.0);
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod datapath;
 pub mod dram;
@@ -59,6 +60,9 @@ pub mod sim;
 pub mod tiling;
 pub mod traffic;
 
+pub use backend::{
+    CpuBackend, ExecutionBackend, LayerOutput, LayerWork, MetricsMode, ReadoutPlan, SimBackend,
+};
 pub use config::PhiConfig;
 pub use dram::DramModel;
 pub use energy::{AreaBreakdown, EnergyBreakdown, EnergyModel};

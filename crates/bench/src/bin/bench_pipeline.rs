@@ -15,14 +15,22 @@
 //! Per configuration: full-workload calibration per engine (reference /
 //! weighted / parallel, median wall-clock), plus byte-identity and
 //! objective checks; and once overall, the full-workload decomposition
-//! under the parallel row sweep.
+//! under the parallel row sweep and the full-workload *functional
+//! execution* of those decompositions through the CPU execution backend
+//! ([`phi_accel::CpuBackend`]) — the pure PWP sparse-matmul hot path a
+//! serving request pays after decomposition, with zero simulator
+//! bookkeeping.
 //!
 //! Run with `cargo run --release -p phi_bench --bin bench_pipeline`
 //! (`PHI_BENCH_RUNS` overrides the repetition count; default 5).
 
-use phi_core::{decompose, total_distance, CalibrationConfig, CalibrationEngine, Calibrator};
+use phi_accel::{CpuBackend, ExecutionBackend, LayerWork, MetricsMode, ReadoutPlan};
+use phi_core::{
+    decompose, total_distance, CalibrationConfig, CalibrationEngine, Calibrator, PwpTable,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use snn_core::Matrix;
 use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -189,6 +197,46 @@ fn main() {
     });
     println!("decomposition: {decompose_time:?}");
 
+    // Functional execution through the CPU backend: every layer's
+    // precomputed decomposition runs the rayon-parallel PWP sparse matmul
+    // against deterministic per-layer weights — the post-decomposition
+    // cost of an outputs-only serving request.
+    println!("timing functional execution (CpuBackend PWP sparse matmul)...");
+    let decomps: Vec<_> =
+        workload.layers.iter().zip(&p_par).map(|(l, lp)| decompose(&l.activations, lp)).collect();
+    let weights: Vec<Matrix> = workload
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let mut rng = StdRng::seed_from_u64(0xF00D ^ i as u64);
+            Matrix::random(l.spec.shape.k, l.spec.shape.n, &mut rng)
+        })
+        .collect();
+    let pwps: Vec<PwpTable> = p_par
+        .iter()
+        .zip(&weights)
+        .map(|(lp, w)| PwpTable::new(lp, w).expect("weights match patterns"))
+        .collect();
+    let backend = CpuBackend;
+    let cpu_execute_time = time_runs(runs, || {
+        for (((layer, decomp), pwp), w) in
+            workload.layers.iter().zip(&decomps).zip(&pwps).zip(&weights)
+        {
+            let work = LayerWork {
+                decomp,
+                shape: layer.spec.shape,
+                row_scale: layer.row_scale,
+                name: &layer.spec.name,
+                readout: Some(ReadoutPlan { pwp, weights: w }),
+            };
+            let out = backend.run_layer(&work, MetricsMode::OutputsOnly);
+            assert!(out.readout.is_some() && out.report.is_none());
+            std::hint::black_box(out);
+        }
+    });
+    println!("functional execution (cpu backend): {cpu_execute_time:?}");
+
     let json = format!(
         r#"{{
   "workload": "vgg16-cifar10",
@@ -197,13 +245,15 @@ fn main() {
   "threads": {threads},
   "headline_q128": {headline},
   "iterated_q32": {iterated},
-  "decompose_ms": {dec_ms:.3}
+  "decompose_ms": {dec_ms:.3},
+  "cpu_execute_ms": {cpu_ms:.3}
 }}
 "#,
         threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         headline = headline.json(),
         iterated = iterated.json(),
         dec_ms = decompose_time.as_secs_f64() * 1e3,
+        cpu_ms = cpu_execute_time.as_secs_f64() * 1e3,
     );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     std::fs::write(&path, json).expect("write BENCH_pipeline.json");

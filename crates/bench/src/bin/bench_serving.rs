@@ -1,10 +1,10 @@
-//! Serving benchmark: the compiled-artifact batched runtime against the
-//! status-quo single-request path, written to `BENCH_serving.json` at the
-//! repository root.
+//! Serving benchmark: the compiled-artifact batched runtime — on both
+//! execution backends — against the status-quo single-request path,
+//! written to `BENCH_serving.json` at the repository root.
 //!
-//! Two engines serve the same 64 requests drawn from the VGG-16 / CIFAR-10
-//! serving distribution (4 subsampled rows per layer per request — one
-//! inference trace at T = 4, extrapolated to full scale inside the
+//! Three engines serve the same 64 requests drawn from the VGG-16 /
+//! CIFAR-10 serving distribution (4 subsampled rows per layer per request
+//! — one inference trace at T = 4, extrapolated to full scale inside the
 //! simulator):
 //!
 //! * **single-request (recalibrate)** — what the repo did before the
@@ -12,19 +12,38 @@
 //!   (calibrate → decompose → simulate per input). This is the paper's
 //!   offline work incorrectly paid online, and the baseline the compiled
 //!   artifact amortizes away.
-//! * **batched (compiled artifact)** — compile once, then serve through
-//!   [`phi_runtime::BatchExecutor`] at batch sizes 1 / 8 / 64 over one
-//!   shared `Arc`'d [`phi_runtime::CompiledModel`].
+//! * **batched, sim backend** — compile once, then serve through
+//!   [`phi_runtime::BatchExecutor`] over the default
+//!   [`phi_runtime::SimBackend`] at batch sizes 1 / 8 / 64: full
+//!   cycle-accurate accounting per batch.
+//! * **batched, CPU backend** — the same executor over
+//!   [`phi_runtime::CpuBackend`]: outputs only through the
+//!   rayon-parallel PWP matmul, no simulator bookkeeping on the hot path.
 //!
 //! Alongside wall-clock throughput the run reports simulated p50/p99
-//! latency and energy per inference from the batch-64 report, verifies the
-//! artifact's byte-identical serialization roundtrip, and asserts that
-//! batched readout outputs equal the sequential single-input path exactly.
+//! latency and energy per inference from the sim-backend batch-64 report,
+//! verifies the artifact's byte-identical serialization roundtrip, asserts
+//! that sim-backend batched readouts equal the sequential single-input
+//! path exactly, and asserts the CPU backend's readouts are bit-identical
+//! to the sim path.
 //!
-//! Run with `cargo run --release -p phi_bench --bin bench_serving`
-//! (`PHI_BENCH_RUNS` overrides the repetition count; default 5).
+//! Run with `cargo run --release -p phi_bench --bin bench_serving`.
+//! Environment knobs:
+//!
+//! * `PHI_BENCH_RUNS` — repetition count (default 5; median reported).
+//! * `PHI_SERVING_TRACKS=cpu` — CPU-backend smoke: skip the recalibrating
+//!   baseline and the sim-backend throughput sweep (the sim path still
+//!   runs once as the bit-identity anchor) and do not rewrite
+//!   `BENCH_serving.json`.
+//! * `PHI_SERVING_MIN_SPEEDUP` — floor for batched-vs-recalibrate
+//!   (default 4; 0 disables).
+//! * `PHI_SERVING_MIN_CPU_SPEEDUP` — floor for CPU-vs-sim backend at
+//!   batch 64 (default 2; 0 disables).
 
-use phi_runtime::{BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler};
+use phi_runtime::{
+    readouts_identical, BatchExecutor, CompileOptions, CompiledModel, InferenceRequest,
+    ModelCompiler,
+};
 use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -36,6 +55,8 @@ const ROWS_PER_REQUEST: usize = 4;
 const REQUESTS: usize = 64;
 /// Requests used to time the (slow) recalibrating baseline.
 const BASELINE_REQUESTS: usize = 8;
+/// Batch sizes swept per backend.
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
 
 fn median(mut times: Vec<Duration>) -> Duration {
     times.sort_unstable();
@@ -55,9 +76,36 @@ fn time_runs(runs: usize, mut f: impl FnMut()) -> Duration {
     )
 }
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Times one executor over the batch-size sweep, returning inf/s per size.
+fn sweep<B: phi_runtime::ExecutionBackend>(
+    label: &str,
+    executor: &BatchExecutor<B>,
+    requests: &[InferenceRequest],
+    runs: usize,
+) -> Vec<(usize, f64)> {
+    BATCH_SIZES
+        .iter()
+        .map(|&batch_size| {
+            let elapsed = time_runs(runs, || {
+                for chunk in requests.chunks(batch_size) {
+                    std::hint::black_box(executor.execute(chunk).expect("batch serves"));
+                }
+            });
+            let inf_s = REQUESTS as f64 / elapsed.as_secs_f64();
+            println!("  {label} batch {batch_size:>2}: {inf_s:.1} inf/s");
+            (batch_size, inf_s)
+        })
+        .collect()
+}
+
 fn main() {
     let runs: usize =
         std::env::var("PHI_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let cpu_only = std::env::var("PHI_SERVING_TRACKS").is_ok_and(|t| t == "cpu");
     println!("generating VGG-16 / CIFAR-10 workload...");
     let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();
     let compiler = ModelCompiler::new(CompileOptions::default());
@@ -77,61 +125,77 @@ fn main() {
         bytes.len(),
         artifact.total_patterns(),
     );
+    assert!(roundtrip_identical, "artifact roundtrip must be byte-identical");
 
     let requests: Vec<InferenceRequest> = workload
         .sample_requests(REQUESTS, ROWS_PER_REQUEST, 0xBA7C4)
         .into_iter()
         .map(InferenceRequest::new)
         .collect();
-    let executor = BatchExecutor::new(Arc::new(reloaded));
+    let model = Arc::new(reloaded);
+    let sim_executor = BatchExecutor::new(Arc::clone(&model));
+    let cpu_executor = BatchExecutor::cpu(Arc::clone(&model));
+
+    // The sim-path reference report (batch 64, full simulation): the
+    // bit-identity anchor for the CPU track and the source of the
+    // simulated serving metrics.
+    let sim_report = sim_executor.execute(&requests).expect("sim batch serves");
 
     // Status-quo baseline: every request re-derives patterns, exactly the
     // calibrate → decompose → simulate walk the repo performed per run
     // before the compiled artifact existed.
-    println!(
-        "timing single-request path (recalibrate per request, {BASELINE_REQUESTS} requests)..."
-    );
-    let baseline_total = time_runs(runs, || {
-        for request in &requests[..BASELINE_REQUESTS] {
-            let model = compiler.compile(&workload);
-            let one_shot = BatchExecutor::new(Arc::new(model));
-            std::hint::black_box(one_shot.execute_one(request).expect("baseline serves"));
-        }
-    });
-    let single_inf_s = BASELINE_REQUESTS as f64 / baseline_total.as_secs_f64();
-    println!("  {single_inf_s:.1} inf/s ({:.3} ms/inf)", 1e3 / single_inf_s);
-
-    // Compiled engine at batch sizes 1 / 8 / 64 over the same 64 requests.
-    let mut batched_inf_s = Vec::new();
-    for batch_size in [1usize, 8, 64] {
-        let elapsed = time_runs(runs, || {
-            for chunk in requests.chunks(batch_size) {
-                std::hint::black_box(executor.execute(chunk).expect("batch serves"));
+    let single_inf_s = (!cpu_only).then(|| {
+        println!(
+            "timing single-request path (recalibrate per request, {BASELINE_REQUESTS} requests)..."
+        );
+        let baseline_total = time_runs(runs, || {
+            for request in &requests[..BASELINE_REQUESTS] {
+                let one_shot = BatchExecutor::new(Arc::new(compiler.compile(&workload)));
+                std::hint::black_box(one_shot.execute_one(request).expect("baseline serves"));
             }
         });
-        let inf_s = REQUESTS as f64 / elapsed.as_secs_f64();
-        println!("  batch {batch_size:>2}: {inf_s:.1} inf/s");
-        batched_inf_s.push((batch_size, inf_s));
-    }
-    let batch64_inf_s = batched_inf_s.last().expect("three batch sizes").1;
-    let speedup_vs_single = batch64_inf_s / single_inf_s;
-    println!("batched (64) vs single-request: {speedup_vs_single:.1}x");
+        let inf_s = BASELINE_REQUESTS as f64 / baseline_total.as_secs_f64();
+        println!("  {inf_s:.1} inf/s ({:.3} ms/inf)", 1e3 / inf_s);
+        inf_s
+    });
 
-    // Simulated serving metrics from one batch-64 report.
-    let report = executor.execute(&requests).expect("batch serves");
-    let p50 = report.p50_cycles();
-    let p99 = report.p99_cycles();
-    let energy_mj = report.energy_per_inference_j() * 1e3;
+    // The two backend tracks over the same requests and artifact.
+    let sim_track = (!cpu_only).then(|| sweep("sim", &sim_executor, &requests, runs));
+    let cpu_track = sweep("cpu", &cpu_executor, &requests, runs);
+    let cpu64_inf_s = cpu_track.last().expect("three batch sizes").1;
+
+    // Cross-backend exactness: the CPU backend's readouts must equal the
+    // full simulation path bit for bit.
+    let cpu_report = cpu_executor.execute(&requests).expect("cpu batch serves");
+    let cpu_matches_sim = readouts_identical(&cpu_report, &sim_report);
+    println!("cpu-backend outputs == sim-backend outputs: {cpu_matches_sim}");
+    assert!(cpu_matches_sim, "CPU backend readouts must equal the sim path bit-for-bit");
+
+    if cpu_only {
+        println!("PHI_SERVING_TRACKS=cpu: smoke complete, BENCH_serving.json left untouched");
+        return;
+    }
+    let single_inf_s = single_inf_s.expect("baseline timed");
+    let sim_track = sim_track.expect("sim track timed");
+
+    let sim64_inf_s = sim_track.last().expect("three batch sizes").1;
+    let speedup_vs_single = sim64_inf_s / single_inf_s;
+    println!("sim-backend batched (64) vs single-request: {speedup_vs_single:.1}x");
+    let speedup_cpu_vs_sim = cpu64_inf_s / sim64_inf_s;
+    println!("cpu backend vs sim backend at batch 64: {speedup_cpu_vs_sim:.1}x");
+
+    // Simulated serving metrics from the sim-backend batch-64 report.
+    let p50 = sim_report.p50_cycles();
+    let p99 = sim_report.p99_cycles();
+    let energy_mj = sim_report.energy_per_inference_j() * 1e3;
     println!(
         "simulated per-inference: p50 {p50:.0} cycles, p99 {p99:.0} cycles, {energy_mj:.3} mJ"
     );
 
     // Exactness: batched readouts equal the sequential single-input path
-    // bit for bit.
-    let exact = requests.iter().zip(&report.requests).all(|(request, batched)| {
-        let alone = executor.execute_one(request).expect("single path serves");
-        batched.readout == alone.readout && batched.readout.is_some()
-    });
+    // bit for bit (the shared runtime helper).
+    let exact =
+        sim_executor.readouts_match_sequential(&requests, &sim_report).expect("sequential serves");
     println!("batch outputs == sequential single-input outputs: {exact}");
 
     let json = format!(
@@ -152,17 +216,24 @@ fn main() {
   "artifact_roundtrip_byte_identical": {roundtrip_identical},
   "single_request_recalibrate": {{ "inf_per_s": {single_inf_s:.3} }},
   "batched_compiled": {{
-    "batch_1_inf_per_s": {b1:.3},
-    "batch_8_inf_per_s": {b8:.3},
-    "batch_64_inf_per_s": {b64:.3}
+    "batch_1_inf_per_s": {s1:.3},
+    "batch_8_inf_per_s": {s8:.3},
+    "batch_64_inf_per_s": {s64:.3}
+  }},
+  "cpu_backend": {{
+    "batch_1_inf_per_s": {c1:.3},
+    "batch_8_inf_per_s": {c8:.3},
+    "batch_64_inf_per_s": {c64:.3}
   }},
   "speedup_batch64_vs_single_request": {speedup_vs_single:.3},
+  "speedup_cpu_vs_sim_batch64": {speedup_cpu_vs_sim:.3},
   "simulated_per_inference": {{
     "p50_cycles": {p50:.1},
     "p99_cycles": {p99:.1},
     "energy_mj": {energy_mj:.6}
   }},
-  "batch_outputs_match_sequential": {exact}
+  "batch_outputs_match_sequential": {exact},
+  "cpu_outputs_match_sim_backend": {cpu_matches_sim}
 }}
 "#,
         artifact_k = artifact.k(),
@@ -171,24 +242,31 @@ fn main() {
         threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         compile_ms = compile_time.as_secs_f64() * 1e3,
         artifact_bytes = bytes.len(),
-        b1 = batched_inf_s[0].1,
-        b8 = batched_inf_s[1].1,
-        b64 = batched_inf_s[2].1,
+        s1 = sim_track[0].1,
+        s8 = sim_track[1].1,
+        s64 = sim64_inf_s,
+        c1 = cpu_track[0].1,
+        c8 = cpu_track[1].1,
+        c64 = cpu64_inf_s,
     );
     // Assert before persisting, so a failed acceptance run can never
     // overwrite the checked-in numbers with its own.
-    assert!(roundtrip_identical, "artifact roundtrip must be byte-identical");
     assert!(exact, "batched outputs must equal the sequential single-input path exactly");
-    // Wall-clock ratio on shared machines is noisy; CI smoke runs lower the
-    // bar via PHI_SERVING_MIN_SPEEDUP (0 disables) while local/acceptance
-    // runs keep the 4x floor.
-    let min_speedup: f64 =
-        std::env::var("PHI_SERVING_MIN_SPEEDUP").ok().and_then(|v| v.parse().ok()).unwrap_or(4.0);
+    // Wall-clock ratios on shared machines are noisy; CI smoke runs lower
+    // the bars via the env knobs (0 disables) while local/acceptance runs
+    // keep the 4x / 2x floors.
+    let min_speedup = env_f64("PHI_SERVING_MIN_SPEEDUP", 4.0);
     assert!(
         speedup_vs_single >= min_speedup,
-        "batched throughput (batch 64: {batch64_inf_s:.1} inf/s) must be at least \
+        "batched throughput (batch 64: {sim64_inf_s:.1} inf/s) must be at least \
          {min_speedup}x the single-request path ({single_inf_s:.1} inf/s), got \
          {speedup_vs_single:.2}x"
+    );
+    let min_cpu_speedup = env_f64("PHI_SERVING_MIN_CPU_SPEEDUP", 2.0);
+    assert!(
+        speedup_cpu_vs_sim >= min_cpu_speedup,
+        "CPU backend (batch 64: {cpu64_inf_s:.1} inf/s) must be at least {min_cpu_speedup}x \
+         the sim backend ({sim64_inf_s:.1} inf/s), got {speedup_cpu_vs_sim:.2}x"
     );
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");

@@ -136,6 +136,28 @@ struct RowDecomposition {
     l2_neg: u64,
 }
 
+/// The matcher rule for one nonzero tile: the pattern only pays off when
+/// its correction count beats the tile's own bit sparsity
+/// (`dist < baseline`). Single-bit tiles can only win via an exact hit —
+/// so the linear distance scan (the expensive half of `best_match`) runs
+/// only for tiles with at least two bits. Bit-identical to probing
+/// `best_match` unconditionally.
+fn match_tile(set: &crate::PatternSet, tile: u64) -> Option<u16> {
+    match tile.count_ones() {
+        0 => None,
+        1 => set.exact_match(tile).map(|idx| idx as u16),
+        baseline => match set.best_match(tile) {
+            // Strictly better than bit sparsity: assign the pattern.
+            Some((idx, dist)) if dist < baseline => Some(idx as u16),
+            _ => None,
+        },
+    }
+}
+
+/// Decomposes one row: applies the matcher rule per partition tile and
+/// expands the decisions into L1 indices and column-sorted L2 corrections
+/// (partitions ascend and bits ascend within a partition, so entries come
+/// out sorted without a sort).
 fn decompose_row(
     activations: &SpikeMatrix,
     patterns: &LayerPatterns,
@@ -155,17 +177,10 @@ fn decompose_row(
         // must not generate corrections.
         let width = k.min(activations.cols() - part * k);
         let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-        let baseline = tile.count_ones();
-        let set = patterns.set(part);
-        let choice = match set.best_match(tile) {
-            // Strictly better than bit sparsity: assign the pattern.
-            Some((idx, dist)) if dist < baseline => Some((idx, dist)),
-            _ => None,
-        };
-        match choice {
-            Some((idx, _)) => {
-                let p = set.pattern(idx);
-                l1.push(Some(idx as u16));
+        match match_tile(patterns.set(part), tile) {
+            Some(idx) => {
+                let p = patterns.set(part).pattern(idx as usize);
+                l1.push(Some(idx));
                 let p_bits = p.bits() & width_mask;
                 l1_ones += u64::from(p_bits.count_ones());
                 let diff = p_bits ^ tile;
@@ -196,7 +211,6 @@ fn decompose_row(
             }
         }
     }
-    row_entries.sort_unstable_by_key(|e| e.col);
     RowDecomposition { l1, entries: row_entries, l1_ones, l2_pos, l2_neg }
 }
 

@@ -72,5 +72,5 @@ pub use kmeans::{
 };
 pub use paft::{AlignmentModel, PaftRegularizer};
 pub use pattern::{Pattern, PatternSet};
-pub use pwp::{phi_matmul, PwpTable};
+pub use pwp::{par_phi_matmul, phi_matmul, phi_matmul_row_into, PwpTable};
 pub use stats::SparsityStats;

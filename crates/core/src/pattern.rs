@@ -212,8 +212,8 @@ impl PatternSet {
     /// distance scan runs only on misses, and then stops at distance 1 (the
     /// minimum still attainable once distance 0 is ruled out).
     pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
-        if let Ok(pos) = self.exact.binary_search_by_key(&tile, |&(bits, _)| bits) {
-            return Some((self.exact[pos].1 as usize, 0));
+        if let Some(idx) = self.exact_match(tile) {
+            return Some((idx, 0));
         }
         let mut best: Option<(usize, u32)> = None;
         for (i, p) in self.patterns.iter().enumerate() {
@@ -226,6 +226,17 @@ impl PatternSet {
             }
         }
         best
+    }
+
+    /// Answers only the distance-0 half of [`Self::best_match`]: the
+    /// lowest-index pattern exactly equal to `tile`, from the sorted
+    /// lookup in O(log q). Decomposition uses this alone for tiles whose
+    /// own bit count rules out any inexact assignment.
+    pub fn exact_match(&self, tile: u64) -> Option<usize> {
+        self.exact
+            .binary_search_by_key(&tile, |&(bits, _)| bits)
+            .ok()
+            .map(|pos| self.exact[pos].1 as usize)
     }
 }
 

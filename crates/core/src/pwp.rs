@@ -9,6 +9,7 @@
 
 use crate::calibrate::LayerPatterns;
 use crate::decompose::Decomposition;
+use rayon::prelude::*;
 use snn_core::{Error, Matrix, Result};
 
 /// Precomputed pattern–weight products for one layer.
@@ -95,19 +96,9 @@ impl PwpTable {
     }
 }
 
-/// Computes the layer output from a Phi decomposition: Level-1 PWP
-/// accumulations plus Level-2 signed weight-row accumulations.
-///
-/// Bit-exact against [`snn_core::SpikeMatrix::spike_matmul`] on the original
-/// activation (both are pure `f32` additions applied in deterministic
-/// order; see the property tests).
-///
-/// # Errors
-///
-/// Returns a dimension error if `weights` does not match the decomposition
-/// (`weights.rows()` must cover the activation columns) or the PWP table
-/// shape disagrees.
-pub fn phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> Result<Matrix> {
+/// Validates the `decomposition × weights` shapes shared by
+/// [`phi_matmul`] and [`par_phi_matmul`].
+fn validate_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> Result<()> {
     if weights.rows() != decomp.cols() {
         return Err(Error::DimensionMismatch {
             op: "phi_matmul weights",
@@ -122,35 +113,111 @@ pub fn phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> R
             actual: pwp.num_partitions(),
         });
     }
-    let n = weights.cols();
-    let mut out = Matrix::zeros(decomp.rows(), n);
-    for r in 0..decomp.rows() {
-        // Level 1: one accumulation per assigned tile.
-        for part in 0..decomp.num_partitions() {
-            if let Some(idx) = decomp.l1_index(r, part) {
-                let pwp_row = pwp.row(part, idx as usize);
-                let acc = out.row_mut(r);
-                for (a, &v) in acc.iter_mut().zip(pwp_row) {
-                    *a += v;
-                }
-            }
-        }
-        // Level 2: signed weight-row corrections.
-        for e in decomp.l2_row(r) {
-            let w = weights.row(e.col as usize);
-            let acc = out.row_mut(r);
-            if e.value == 1 {
-                for (a, &wv) in acc.iter_mut().zip(w) {
-                    *a += wv;
-                }
-            } else {
-                for (a, &wv) in acc.iter_mut().zip(w) {
-                    *a -= wv;
-                }
+    Ok(())
+}
+
+/// Accumulates one decomposition row into `out` (width `N`): Level-1 PWP
+/// accumulations in partition order, then Level-2 signed weight-row
+/// corrections in stored order. Rows are independent, so any row
+/// scheduling built on this kernel ([`phi_matmul`]'s sequential sweep,
+/// [`par_phi_matmul`]'s rayon sweep) produces bit-identical outputs.
+///
+/// # Panics
+///
+/// Panics if `row` is out of bounds, `out.len()` differs from
+/// `weights.cols()`, or the shapes would fail [`phi_matmul`]'s validation.
+pub fn phi_matmul_row_into(
+    decomp: &Decomposition,
+    pwp: &PwpTable,
+    weights: &Matrix,
+    row: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), weights.cols(), "output row width must match weights");
+    // Level 1: one accumulation per assigned tile.
+    for part in 0..decomp.num_partitions() {
+        if let Some(idx) = decomp.l1_index(row, part) {
+            let pwp_row = pwp.row(part, idx as usize);
+            for (a, &v) in out.iter_mut().zip(pwp_row) {
+                *a += v;
             }
         }
     }
+    // Level 2: signed weight-row corrections.
+    for e in decomp.l2_row(row) {
+        let w = weights.row(e.col as usize);
+        if e.value == 1 {
+            for (a, &wv) in out.iter_mut().zip(w) {
+                *a += wv;
+            }
+        } else {
+            for (a, &wv) in out.iter_mut().zip(w) {
+                *a -= wv;
+            }
+        }
+    }
+}
+
+/// Computes the layer output from a Phi decomposition: Level-1 PWP
+/// accumulations plus Level-2 signed weight-row accumulations.
+///
+/// Bit-exact against [`snn_core::SpikeMatrix::spike_matmul`] on the original
+/// activation (both are pure `f32` additions applied in deterministic
+/// order; see the property tests).
+///
+/// # Errors
+///
+/// Returns a dimension error if `weights` does not match the decomposition
+/// (`weights.rows()` must cover the activation columns) or the PWP table
+/// shape disagrees.
+pub fn phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> Result<Matrix> {
+    validate_matmul(decomp, pwp, weights)?;
+    let mut out = Matrix::zeros(decomp.rows(), weights.cols());
+    for r in 0..decomp.rows() {
+        phi_matmul_row_into(decomp, pwp, weights, r, out.row_mut(r));
+    }
     Ok(out)
+}
+
+/// [`phi_matmul`] with the row sweep fanned across rayon workers.
+///
+/// Rows accumulate independently through [`phi_matmul_row_into`], so the
+/// result is bit-identical to the sequential sweep regardless of worker
+/// count — this is the CPU execution backend's hot kernel.
+///
+/// # Errors
+///
+/// Same conditions as [`phi_matmul`].
+pub fn par_phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> Result<Matrix> {
+    validate_matmul(decomp, pwp, weights)?;
+    let n = weights.cols();
+    let rows = decomp.rows();
+    if rows == 0 {
+        return Ok(Matrix::zeros(0, n));
+    }
+    // One contiguous row block per worker (not per row): the parallel map
+    // costs `workers` allocations, and the in-order block concatenation is
+    // the only copy.
+    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(rows);
+    let chunk = rows.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> =
+        (0..rows).step_by(chunk).map(|lo| (lo, (lo + chunk).min(rows))).collect();
+    let blocks: Vec<Vec<f32>> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut block = vec![0.0f32; (hi - lo) * n];
+            for r in lo..hi {
+                let out = &mut block[(r - lo) * n..(r - lo + 1) * n];
+                phi_matmul_row_into(decomp, pwp, weights, r, out);
+            }
+            block
+        })
+        .collect();
+    let mut data = Vec::with_capacity(rows * n);
+    for block in blocks {
+        data.extend_from_slice(&block);
+    }
+    Matrix::from_vec(rows, n, data)
 }
 
 #[cfg(test)]
@@ -212,6 +279,35 @@ mod tests {
             let diff = phi.max_abs_diff(&dense).unwrap();
             assert!(diff < 1e-4, "density {density}: diff {diff}");
         }
+    }
+
+    #[test]
+    fn par_phi_matmul_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for density in [0.05, 0.2, 0.5] {
+            let acts = SpikeMatrix::random(70, 37, density, &mut rng);
+            let weights = Matrix::random(37, 9, &mut rng);
+            let cal = Calibrator::new(CalibrationConfig { q: 8, ..Default::default() });
+            let patterns = cal.calibrate(&acts, &mut rng);
+            let d = decompose(&acts, &patterns);
+            let pwp = PwpTable::new(&patterns, &weights).unwrap();
+            let seq = phi_matmul(&d, &pwp, &weights).unwrap();
+            let par = par_phi_matmul(&d, &pwp, &weights).unwrap();
+            // Bit-exact, not approximate: rows accumulate independently.
+            assert_eq!(seq, par, "density {density}");
+        }
+    }
+
+    #[test]
+    fn par_phi_matmul_validates_dimensions() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let acts = SpikeMatrix::random(4, 16, 0.2, &mut rng);
+        let cal = Calibrator::new(CalibrationConfig { q: 4, ..Default::default() });
+        let patterns = cal.calibrate(&acts, &mut rng);
+        let d = decompose(&acts, &patterns);
+        let weights = Matrix::zeros(16, 4);
+        let pwp = PwpTable::new(&patterns, &weights).unwrap();
+        assert!(par_phi_matmul(&d, &pwp, &Matrix::zeros(20, 4)).is_err());
     }
 
     #[test]

@@ -45,6 +45,25 @@ pub enum RuntimeError {
         /// Actual value.
         actual: usize,
     },
+    /// A request's layers disagree on their row count: a ragged request
+    /// has no single row count, so fusing it would silently misattribute
+    /// rows.
+    Ragged {
+        /// Index of the first layer whose row count deviates.
+        layer: usize,
+        /// Row count of layer 0.
+        expected: usize,
+        /// Row count actually found at `layer`.
+        actual: usize,
+    },
+    /// The batch asked for hardware metrics from a backend that cannot
+    /// model them (e.g. [`MetricsMode::FullSim`] on the CPU backend).
+    ///
+    /// [`MetricsMode::FullSim`]: phi_accel::MetricsMode::FullSim
+    MetricsUnavailable {
+        /// Name of the backend that was asked.
+        backend: &'static str,
+    },
     /// An empty batch was submitted.
     EmptyBatch,
     /// Reading or writing an artifact file failed.
@@ -75,6 +94,16 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Shape { op, expected, actual } => {
                 write!(f, "shape mismatch in {op}: expected {expected}, got {actual}")
+            }
+            RuntimeError::Ragged { layer, expected, actual } => {
+                write!(
+                    f,
+                    "ragged request: layer {layer} carries {actual} rows but layer 0 carries \
+                     {expected}"
+                )
+            }
+            RuntimeError::MetricsUnavailable { backend } => {
+                write!(f, "backend '{backend}' does not model hardware; request OutputsOnly")
             }
             RuntimeError::EmptyBatch => write!(f, "cannot execute an empty batch"),
             RuntimeError::Io(reason) => write!(f, "artifact I/O: {reason}"),

@@ -1,23 +1,40 @@
-//! Serve-time batch execution against a shared [`CompiledModel`].
+//! Serve-time batch execution against a shared [`CompiledModel`], generic
+//! over a pluggable [`ExecutionBackend`].
 //!
 //! A batch is processed layer-by-layer with the whole batch fused: the
-//! per-request spike rows are stacked into one matrix, decomposed once
-//! against the artifact's patterns, and simulated once — so the fixed
-//! per-layer costs (tile scheduling, the per-partition packer walk,
-//! traffic/energy accounting) are paid per *batch* instead of per request.
-//! Rows decompose independently, so the fused results are bit-identical to
-//! running each request alone; layers fan out across rayon workers.
+//! per-request spike rows are stacked into one matrix and decomposed once
+//! against the artifact's patterns, then the layer is handed to the
+//! executor's backend. Rows decompose independently, so the fused results
+//! are bit-identical to running each request alone; layers fan out across
+//! rayon workers.
 //!
-//! The executor reports three things per batch: the per-layer simulator
-//! reports (cycle/energy accounting of the Phi accelerator running the
-//! batch), per-request latency/energy attributions (for p50/p99), and —
-//! when the artifact carries readout weights — each request's functional
-//! output through the pattern-weight-product path.
+//! What happens per layer depends on the backend and the batch's
+//! [`MetricsMode`]:
+//!
+//! * [`SimBackend`] (the default) runs the cycle-accurate Phi simulator
+//!   under [`MetricsMode::FullSim`] — per-layer reports, per-request
+//!   latency/energy attribution — and skips it under
+//!   [`MetricsMode::OutputsOnly`].
+//! * [`CpuBackend`] executes the decomposition directly through the
+//!   rayon-parallel PWP sparse matmul: outputs only, no tile scheduler,
+//!   packer walk, or traffic/energy accounting on the hot path.
+//!
+//! Outputs-only batches also prune the layer walk itself: a request's
+//! layers are independent activation traces (they do not feed each
+//! other), so a layer whose decomposition yields neither a simulator
+//! report nor a functional readout has no observable product and is
+//! skipped entirely.
+//!
+//! Either way, readout outputs go through the same row-independent kernel
+//! and are bit-identical across backends and batch sizes.
 
 use crate::artifact::{CompiledLayer, CompiledModel};
 use crate::error::{Result, RuntimeError};
-use phi_accel::{LayerReport, PhiConfig, PhiSimulator};
-use phi_core::{decompose, phi_matmul};
+use phi_accel::{
+    CpuBackend, ExecutionBackend, LayerReport, LayerWork, MetricsMode, PhiConfig, ReadoutPlan,
+    SimBackend,
+};
+use phi_core::{decompose, Decomposition};
 use rayon::prelude::*;
 use snn_core::{Matrix, SpikeMatrix};
 use std::sync::Arc;
@@ -39,9 +56,22 @@ impl InferenceRequest {
         InferenceRequest { layers }
     }
 
-    /// Rows carried per layer (0 for an empty request).
-    pub fn rows(&self) -> usize {
-        self.layers.first().map_or(0, SpikeMatrix::rows)
+    /// The row count every layer carries (0 for an empty request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Ragged`] when the layers disagree on their
+    /// row count — a ragged request has no single row count to report,
+    /// and silently answering with the first layer's (as this method once
+    /// did) would mis-shape downstream fusion.
+    pub fn rows(&self) -> Result<usize> {
+        let expected = self.layers.first().map_or(0, SpikeMatrix::rows);
+        for (layer, m) in self.layers.iter().enumerate().skip(1) {
+            if m.rows() != expected {
+                return Err(RuntimeError::Ragged { layer, expected, actual: m.rows() });
+            }
+        }
+        Ok(expected)
     }
 
     fn validate(&self, model: &CompiledModel, rows: usize) -> Result<()> {
@@ -52,19 +82,20 @@ impl InferenceRequest {
                 actual: self.layers.len(),
             });
         }
+        let own = self.rows()?;
+        if own != rows {
+            return Err(RuntimeError::Shape {
+                op: "request layer rows",
+                expected: rows,
+                actual: own,
+            });
+        }
         for (m, layer) in self.layers.iter().zip(model.layers()) {
             if m.cols() != layer.shape.k {
                 return Err(RuntimeError::Shape {
                     op: "request layer width",
                     expected: layer.shape.k,
                     actual: m.cols(),
-                });
-            }
-            if m.rows() != rows {
-                return Err(RuntimeError::Shape {
-                    op: "request layer rows",
-                    expected: rows,
-                    actual: m.rows(),
                 });
             }
         }
@@ -82,16 +113,20 @@ pub struct RequestResult {
     /// the PWP path; `None` when the artifact carries no readout weights.
     pub readout: Option<Matrix>,
     /// Simulated accelerator cycles attributed to this request (full
-    /// inference scale).
+    /// inference scale); 0 under [`MetricsMode::OutputsOnly`].
     pub cycles: f64,
-    /// Simulated energy attributed to this request, in joules.
+    /// Simulated energy attributed to this request, in joules; 0 under
+    /// [`MetricsMode::OutputsOnly`].
     pub energy_j: f64,
 }
 
 /// Everything one [`BatchExecutor::execute`] call produces.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
-    /// Per-layer simulator reports for the fused batch.
+    /// The metrics mode the batch ran under.
+    pub metrics: MetricsMode,
+    /// Per-layer simulator reports for the fused batch; empty under
+    /// [`MetricsMode::OutputsOnly`].
     pub layer_reports: Vec<LayerReport>,
     /// Per-request results, in submission order.
     pub requests: Vec<RequestResult>,
@@ -104,12 +139,13 @@ impl BatchReport {
     }
 
     /// Total simulated cycles for the batch (sum over layers — the Phi
-    /// pipeline executes layers back-to-back).
+    /// pipeline executes layers back-to-back); 0 in outputs-only mode.
     pub fn total_cycles(&self) -> f64 {
         self.layer_reports.iter().map(|l| l.cycles).sum()
     }
 
-    /// Total simulated energy for the batch, in joules.
+    /// Total simulated energy for the batch, in joules; 0 in outputs-only
+    /// mode.
     pub fn total_energy_j(&self) -> f64 {
         self.layer_reports.iter().map(|l| l.energy.total_j()).sum()
     }
@@ -124,10 +160,16 @@ impl BatchReport {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `(0, 100]` or the report holds no requests.
+    /// Panics if `p` is outside `(0, 100]`, the report holds no requests,
+    /// or the batch ran under [`MetricsMode::OutputsOnly`] (no latency was
+    /// simulated).
     pub fn latency_percentile_cycles(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p <= 100.0, "percentile must be within (0, 100]");
         assert!(!self.requests.is_empty(), "percentile of an empty request set");
+        assert!(
+            self.metrics == MetricsMode::FullSim,
+            "latency percentiles require MetricsMode::FullSim"
+        );
         let mut cycles: Vec<f64> = self.requests.iter().map(|r| r.cycles).collect();
         cycles.sort_by(|a, b| a.partial_cmp(b).expect("finite cycle counts"));
         let rank = ((p / 100.0) * cycles.len() as f64).ceil() as usize;
@@ -145,29 +187,61 @@ impl BatchReport {
     }
 }
 
-/// The serve-time engine: a shared, read-only [`CompiledModel`] behind an
-/// [`Arc`], a [`PhiSimulator`] for cycle/energy accounting, and zero
-/// per-request calibration.
-///
-/// Executors are cheap to clone (the artifact is shared, not copied), so
-/// one compiled model can back any number of serving threads.
-#[derive(Debug, Clone)]
-pub struct BatchExecutor {
-    model: Arc<CompiledModel>,
-    sim: PhiSimulator,
+/// True when two reports serve the same number of requests and every pair
+/// of readout outputs is present and bit-identical — the cross-backend
+/// (and cross-batch-size) equivalence check the benches and property
+/// tests assert.
+pub fn readouts_identical(a: &BatchReport, b: &BatchReport) -> bool {
+    a.requests.len() == b.requests.len()
+        && a.requests
+            .iter()
+            .zip(&b.requests)
+            .all(|(ra, rb)| ra.readout.is_some() && ra.readout == rb.readout)
 }
 
-impl BatchExecutor {
-    /// Creates an executor over a compiled model with the default
-    /// accelerator configuration.
+/// The serve-time engine: a shared, read-only [`CompiledModel`] behind an
+/// [`Arc`], an [`ExecutionBackend`] that runs each decomposed layer, and
+/// zero per-request calibration.
+///
+/// Executors are cheap to clone (the artifact is shared, not copied), so
+/// one compiled model can back any number of serving threads. The backend
+/// is a type parameter — [`BatchExecutor::new`] builds the default
+/// simulator-backed executor, [`BatchExecutor::cpu`] the fast
+/// outputs-only CPU executor, and [`BatchExecutor::with_backend`] accepts
+/// any other implementation.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor<B = SimBackend> {
+    model: Arc<CompiledModel>,
+    backend: B,
+}
+
+impl BatchExecutor<SimBackend> {
+    /// Creates a simulator-backed executor with the default accelerator
+    /// configuration.
     pub fn new(model: Arc<CompiledModel>) -> Self {
-        BatchExecutor { model, sim: PhiSimulator::new(PhiConfig::default()) }
+        BatchExecutor::with_backend(model, SimBackend::default())
     }
 
     /// Overrides the accelerator configuration.
     pub fn with_accelerator(mut self, config: PhiConfig) -> Self {
-        self.sim = PhiSimulator::new(config);
+        self.backend = SimBackend::new(config);
         self
+    }
+}
+
+impl BatchExecutor<CpuBackend> {
+    /// Creates an executor over the fast CPU kernel backend: functional
+    /// outputs through the rayon-parallel PWP matmul, no accelerator
+    /// bookkeeping.
+    pub fn cpu(model: Arc<CompiledModel>) -> Self {
+        BatchExecutor::with_backend(model, CpuBackend)
+    }
+}
+
+impl<B: ExecutionBackend> BatchExecutor<B> {
+    /// Creates an executor over an arbitrary backend.
+    pub fn with_backend(model: Arc<CompiledModel>, backend: B) -> Self {
+        BatchExecutor { model, backend }
     }
 
     /// The shared artifact.
@@ -175,28 +249,73 @@ impl BatchExecutor {
         &self.model
     }
 
-    /// Executes a batch of requests against the shared artifact.
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Executes a batch of requests under the backend's default metrics
+    /// mode (full simulation for hardware-modeling backends, outputs-only
+    /// otherwise).
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::EmptyBatch`] for an empty slice and
-    /// [`RuntimeError::Shape`] when a request disagrees with the model's
-    /// layer count or widths, carries zero rows, or differs from the other
-    /// requests in rows (batches must be row-uniform so one extrapolation
-    /// factor covers the fused matrix).
+    /// Same conditions as [`BatchExecutor::execute_with`].
     pub fn execute(&self, batch: &[InferenceRequest]) -> Result<BatchReport> {
+        self.execute_with(batch, self.backend.default_metrics())
+    }
+
+    /// Executes a batch of requests under an explicit [`MetricsMode`].
+    ///
+    /// Under [`MetricsMode::OutputsOnly`] only layers that contribute a
+    /// functional readout are executed (on an artifact without readout
+    /// weights the report carries no readouts and no layer runs at all);
+    /// under [`MetricsMode::FullSim`] every layer is decomposed and
+    /// simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::MetricsUnavailable`] when `metrics` is
+    /// [`MetricsMode::FullSim`] but the backend does not model hardware,
+    /// [`RuntimeError::EmptyBatch`] for an empty slice,
+    /// [`RuntimeError::Ragged`] when a request's own layers disagree on
+    /// rows, and [`RuntimeError::Shape`] when a request disagrees with the
+    /// model's layer count or widths, carries zero rows, or differs from
+    /// the other requests in rows (batches must be row-uniform so one
+    /// extrapolation factor covers the fused matrix).
+    pub fn execute_with(
+        &self,
+        batch: &[InferenceRequest],
+        metrics: MetricsMode,
+    ) -> Result<BatchReport> {
+        if metrics == MetricsMode::FullSim && !self.backend.models_hardware() {
+            return Err(RuntimeError::MetricsUnavailable { backend: self.backend.name() });
+        }
         let first = batch.first().ok_or(RuntimeError::EmptyBatch)?;
-        let rows = first.rows();
+        let rows = first.rows()?;
         for request in batch {
             request.validate(&self.model, rows)?;
         }
 
         let layers = self.model.layers();
         let last = layers.len() - 1;
-        let indexed: Vec<(usize, &CompiledLayer)> = layers.iter().enumerate().collect();
+        // Under FullSim every layer is decomposed and simulated. Under
+        // OutputsOnly a layer's decomposition is consumed by nothing
+        // unless it feeds a functional readout, so only layers with an
+        // observable product run — this, not just skipping the simulator,
+        // is what keeps accelerator bookkeeping off the outputs-only hot
+        // path.
+        let indexed: Vec<(usize, &CompiledLayer)> = layers
+            .iter()
+            .enumerate()
+            .filter(|&(l, layer)| {
+                metrics == MetricsMode::FullSim
+                    || (l == last && layer.pwp.is_some() && layer.weights.is_some())
+            })
+            .collect();
         let outcomes: Vec<LayerOutcome> = indexed
             .into_par_iter()
-            .map(|(l, layer)| self.run_layer(l, l == last, layer, batch, rows))
+            .map(|(l, layer)| self.run_layer(l, l == last, layer, batch, rows, metrics))
             .collect();
 
         let mut requests: Vec<RequestResult> = (0..batch.len())
@@ -204,38 +323,82 @@ impl BatchExecutor {
             .collect();
         let mut layer_reports = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
-            let total: f64 = outcome.shares.iter().sum();
-            let energy_j = outcome.report.energy.total_j();
-            for (b, share) in outcome.shares.iter().enumerate() {
-                let frac = share / total;
-                requests[b].cycles += outcome.report.cycles * frac;
-                requests[b].energy_j += energy_j * frac;
+            if let (Some(report), Some(shares)) = (outcome.report, outcome.shares) {
+                let total: f64 = shares.iter().sum();
+                let energy_j = report.energy.total_j();
+                for (b, share) in shares.iter().enumerate() {
+                    let frac = share / total;
+                    requests[b].cycles += report.cycles * frac;
+                    requests[b].energy_j += energy_j * frac;
+                }
+                layer_reports.push(report);
             }
             if let Some(readout) = outcome.readout {
                 for (b, request) in requests.iter_mut().enumerate() {
                     request.readout = Some(readout.row_range(b * rows, (b + 1) * rows));
                 }
             }
-            layer_reports.push(outcome.report);
         }
-        Ok(BatchReport { layer_reports, requests })
+        Ok(BatchReport { metrics, layer_reports, requests })
     }
 
-    /// Executes one request — the sequential single-input path. Equivalent
-    /// to a batch of one; the batched path produces bit-identical readout
-    /// outputs because rows decompose independently.
+    /// Executes one request — the sequential single-input path, under the
+    /// backend's default metrics mode. Equivalent to a batch of one; the
+    /// batched path produces bit-identical readout outputs because rows
+    /// decompose independently.
     ///
     /// # Errors
     ///
     /// Same conditions as [`BatchExecutor::execute`].
     pub fn execute_one(&self, request: &InferenceRequest) -> Result<RequestResult> {
-        let mut report = self.execute(std::slice::from_ref(request))?;
+        self.execute_one_with(request, self.backend.default_metrics())
+    }
+
+    /// [`BatchExecutor::execute_one`] under an explicit [`MetricsMode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute_with`].
+    pub fn execute_one_with(
+        &self,
+        request: &InferenceRequest,
+        metrics: MetricsMode,
+    ) -> Result<RequestResult> {
+        let mut report = self.execute_with(std::slice::from_ref(request), metrics)?;
         Ok(report.requests.pop().expect("batch of one yields one result"))
     }
 
-    /// Fuses, decomposes, and simulates one layer of the batch, computing
-    /// the per-request attribution weights and (for the readout layer) the
-    /// functional outputs.
+    /// Re-serves every request of `batch` alone through the sequential
+    /// single-input path (outputs-only — readouts do not depend on the
+    /// metrics mode) and checks the batched readouts in `report` equal
+    /// them bit-for-bit. `false` also covers a model without readout
+    /// weights — there is nothing to compare, so nothing is verified.
+    ///
+    /// This is the exactness check the serving benches and tests share.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute_with`].
+    pub fn readouts_match_sequential(
+        &self,
+        batch: &[InferenceRequest],
+        report: &BatchReport,
+    ) -> Result<bool> {
+        if batch.len() != report.requests.len() {
+            return Ok(false);
+        }
+        for (request, batched) in batch.iter().zip(&report.requests) {
+            let alone = self.execute_one_with(request, MetricsMode::OutputsOnly)?;
+            if batched.readout.is_none() || batched.readout != alone.readout {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Fuses and decomposes one layer of the batch, hands it to the
+    /// backend, and (when the backend simulated it) computes the
+    /// per-request attribution weights.
     fn run_layer(
         &self,
         l: usize,
@@ -243,44 +406,54 @@ impl BatchExecutor {
         layer: &CompiledLayer,
         batch: &[InferenceRequest],
         rows: usize,
+        metrics: MetricsMode,
     ) -> LayerOutcome {
         let mats: Vec<&SpikeMatrix> = batch.iter().map(|r| &r.layers[l]).collect();
         let stacked = SpikeMatrix::vstack(&mats).expect("widths validated");
         let decomp = decompose(&stacked, &layer.patterns);
-        let row_scale = layer.total_rows() as f64 / rows as f64;
-        let report = self.sim.run_decomposition(&decomp, layer.shape, row_scale, &layer.name);
-
-        // Attribution proxy per request: scanned rows plus Level-1
-        // accumulations plus Level-2 corrections — the quantities the
-        // processors' cycle counts grow with. Shares split the exact batch
-        // totals; they are an attribution, not an independent simulation.
-        let parts = decomp.num_partitions();
-        let shares: Vec<f64> = (0..batch.len())
-            .map(|b| {
-                let (lo, hi) = (b * rows, (b + 1) * rows);
-                let mut proxy = rows as f64;
-                for r in lo..hi {
-                    proxy += decomp.l2_row(r).len() as f64;
-                    proxy += (0..parts).filter(|&p| decomp.l1_index(r, p).is_some()).count() as f64;
-                }
-                proxy
-            })
-            .collect();
-
         let readout = match (&layer.pwp, &layer.weights) {
-            (Some(pwp), Some(weights)) if is_readout => {
-                Some(phi_matmul(&decomp, pwp, weights).expect("artifact shapes are consistent"))
-            }
+            (Some(pwp), Some(weights)) if is_readout => Some(ReadoutPlan { pwp, weights }),
             _ => None,
         };
-        LayerOutcome { report, shares, readout }
+        let work = LayerWork {
+            decomp: &decomp,
+            shape: layer.shape,
+            row_scale: layer.total_rows() as f64 / rows as f64,
+            name: &layer.name,
+            readout,
+        };
+        let output = self.backend.run_layer(&work, metrics);
+        let shares =
+            output.report.is_some().then(|| attribution_shares(&decomp, batch.len(), rows));
+        LayerOutcome { report: output.report, shares, readout: output.readout }
     }
+}
+
+/// Attribution proxy per request: scanned rows plus Level-1 accumulations
+/// plus Level-2 corrections — the quantities the processors' cycle counts
+/// grow with. Shares split the exact batch totals; they are an
+/// attribution, not an independent simulation. Only computed when the
+/// backend produced a report (the proxy walk is itself simulator-grade
+/// bookkeeping and stays off the outputs-only hot path).
+fn attribution_shares(decomp: &Decomposition, batch: usize, rows: usize) -> Vec<f64> {
+    let parts = decomp.num_partitions();
+    (0..batch)
+        .map(|b| {
+            let (lo, hi) = (b * rows, (b + 1) * rows);
+            let mut proxy = rows as f64;
+            for r in lo..hi {
+                proxy += decomp.l2_row(r).len() as f64;
+                proxy += (0..parts).filter(|&p| decomp.l1_index(r, p).is_some()).count() as f64;
+            }
+            proxy
+        })
+        .collect()
 }
 
 /// One layer's share of the batch outcome.
 struct LayerOutcome {
-    report: LayerReport,
-    shares: Vec<f64>,
+    report: Option<LayerReport>,
+    shares: Option<Vec<f64>>,
     readout: Option<Matrix>,
 }
 
@@ -319,6 +492,70 @@ mod tests {
             assert_eq!(result.readout, alone.readout);
             assert!(result.readout.is_some());
         }
+        // The shared helper reports the same verdict.
+        assert!(exec.readouts_match_sequential(&batch, &batched).unwrap());
+    }
+
+    #[test]
+    fn cpu_backend_readouts_match_sim_backend() {
+        let w = tiny_workload();
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
+        let sim = BatchExecutor::new(Arc::clone(&model));
+        let cpu = BatchExecutor::cpu(model);
+        let batch = requests(&w, 5, 17);
+        let full = sim.execute(&batch).unwrap();
+        let fast = cpu.execute(&batch).unwrap();
+        assert!(readouts_identical(&fast, &full));
+        assert!(cpu.readouts_match_sequential(&batch, &fast).unwrap());
+        // The CPU path carries no hardware accounting.
+        assert_eq!(fast.metrics, MetricsMode::OutputsOnly);
+        assert!(fast.layer_reports.is_empty());
+        assert!(fast.requests.iter().all(|r| r.cycles == 0.0 && r.energy_j == 0.0));
+    }
+
+    #[test]
+    fn outputs_only_mode_skips_simulation_on_the_sim_backend() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        let batch = requests(&w, 3, 23);
+        let full = exec.execute_with(&batch, MetricsMode::FullSim).unwrap();
+        let fast = exec.execute_with(&batch, MetricsMode::OutputsOnly).unwrap();
+        assert!(fast.layer_reports.is_empty());
+        assert!(!full.layer_reports.is_empty());
+        assert!(readouts_identical(&fast, &full));
+    }
+
+    #[test]
+    fn full_sim_on_the_cpu_backend_is_refused() {
+        let w = tiny_workload();
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
+        let cpu = BatchExecutor::cpu(model);
+        let batch = requests(&w, 2, 29);
+        assert!(matches!(
+            cpu.execute_with(&batch, MetricsMode::FullSim),
+            Err(RuntimeError::MetricsUnavailable { backend: "cpu" })
+        ));
+        // The default mode serves fine.
+        assert!(cpu.execute(&batch).is_ok());
+    }
+
+    #[test]
+    fn ragged_requests_are_rejected() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        // A request whose own layers disagree on rows: layer 1 gets an
+        // extra row. rows() itself must refuse to pick a count...
+        let mut ragged = requests(&w, 1, 31);
+        let wide = ragged[0].layers[1].cols();
+        ragged[0].layers[1] = SpikeMatrix::zeros(5, wide);
+        assert!(matches!(
+            ragged[0].rows(),
+            Err(RuntimeError::Ragged { layer: 1, expected: 4, actual: 5 })
+        ));
+        // ...and execution must reject the request for the same reason.
+        assert!(matches!(exec.execute(&ragged), Err(RuntimeError::Ragged { layer: 1, .. })));
+        // A uniform request still reports its rows.
+        assert_eq!(requests(&w, 1, 31)[0].rows().unwrap(), 4);
     }
 
     #[test]
@@ -350,6 +587,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "latency percentiles require MetricsMode::FullSim")]
+    fn percentiles_refuse_outputs_only_reports() {
+        let w = tiny_workload();
+        let exec = executor(&w);
+        let report = exec.execute_with(&requests(&w, 2, 5), MetricsMode::OutputsOnly).unwrap();
+        report.p50_cycles();
+    }
+
+    #[test]
     fn malformed_batches_are_rejected() {
         let w = tiny_workload();
         let exec = executor(&w);
@@ -371,13 +617,12 @@ mod tests {
             Err(RuntimeError::Shape { op: "request layer width", .. })
         ));
 
-        // Rows differ across requests.
-        let mut ragged = requests(&w, 2, 1);
-        let wide = ragged[1].layers[0].cols();
-        ragged[1].layers[0] = SpikeMatrix::zeros(5, wide);
+        // Rows uniform within each request but differing across requests.
+        let mut mixed = requests(&w, 1, 1);
+        mixed.extend(w.sample_requests(1, 5, 1).into_iter().map(InferenceRequest::new));
         assert!(matches!(
-            exec.execute(&ragged),
-            Err(RuntimeError::Shape { op: "request layer rows", .. })
+            exec.execute(&mixed),
+            Err(RuntimeError::Shape { op: "request layer rows", expected: 4, actual: 5 })
         ));
 
         // Zero-row request.
@@ -396,11 +641,13 @@ mod tests {
         let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
         let a = BatchExecutor::new(Arc::clone(&model));
         let b = a.clone();
-        assert_eq!(Arc::strong_count(&model), 3);
+        let c = BatchExecutor::cpu(Arc::clone(&model));
+        assert_eq!(Arc::strong_count(&model), 4);
         let batch = requests(&w, 2, 9);
         let ra = a.execute(&batch).unwrap();
         let rb = b.execute(&batch).unwrap();
         assert_eq!(ra.requests[0].readout, rb.requests[0].readout);
         assert_eq!(ra.total_cycles(), rb.total_cycles());
+        assert!(readouts_identical(&c.execute(&batch).unwrap(), &ra));
     }
 }

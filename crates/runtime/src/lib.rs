@@ -12,20 +12,33 @@
 //! * **Serve time** ([`BatchExecutor`]) — share one `Arc`'d artifact
 //!   read-only across any number of executors, accept batches of encoded
 //!   spike inputs ([`InferenceRequest`]), fuse each layer's batch rows into
-//!   a single decomposition + simulation (amortizing the fixed per-layer
-//!   costs), and fan layers across rayon workers. Zero per-request
-//!   calibration.
+//!   a single decomposition (amortizing the fixed per-layer costs), and
+//!   fan layers across rayon workers. Zero per-request calibration.
 //!
-//! Each batch yields throughput-ready accounting — per-layer simulator
-//! reports, per-request latency attributions (p50/p99), simulated energy
-//! per inference — and, when the artifact carries readout weights, each
-//! request's functional output through the PWP path, bit-identical to
-//! serving the request alone.
+//! The executor is generic over a pluggable [`ExecutionBackend`] — *what*
+//! to compute is fixed by the decomposition, *how* it runs is the
+//! backend's choice:
+//!
+//! * [`SimBackend`] (default, [`BatchExecutor::new`]) — the cycle-accurate
+//!   Phi simulator; batches yield per-layer reports, per-request latency
+//!   attributions (p50/p99), and simulated energy per inference.
+//! * [`CpuBackend`] ([`BatchExecutor::cpu`]) — executes the decomposition
+//!   directly through the rayon-parallel PWP sparse matmul; outputs only,
+//!   no accelerator bookkeeping on the hot path.
+//!
+//! A per-batch [`MetricsMode`] selects between outputs-only and full
+//! simulation on backends that model hardware. When the artifact carries
+//! readout weights, each request's functional output goes through the
+//! shared PWP kernel and is bit-identical across backends, batch sizes,
+//! and the sequential single-input path.
 //!
 //! # Example: compile → serialize → load → serve
 //!
 //! ```
-//! use phi_runtime::{BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler};
+//! use phi_runtime::{
+//!     readouts_identical, BatchExecutor, CompileOptions, CompiledModel, InferenceRequest,
+//!     ModelCompiler,
+//! };
 //! use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
 //! use std::sync::Arc;
 //!
@@ -44,8 +57,10 @@
 //! let loaded = CompiledModel::from_bytes(&bytes)?;
 //! assert_eq!(loaded.to_bytes(), bytes);
 //!
-//! // Online: serve a batch against the shared artifact.
-//! let executor = BatchExecutor::new(Arc::new(loaded));
+//! // Online: serve a batch against the shared artifact, with full
+//! // accelerator simulation (the default SimBackend).
+//! let model = Arc::new(loaded);
+//! let executor = BatchExecutor::new(Arc::clone(&model));
 //! let batch: Vec<InferenceRequest> =
 //!     workload.sample_requests(4, 2, 99).into_iter().map(InferenceRequest::new).collect();
 //! let report = executor.execute(&batch)?;
@@ -54,8 +69,13 @@
 //! assert!(report.energy_per_inference_j() > 0.0);
 //!
 //! // Batched results are bit-identical to serving a request alone.
-//! let alone = executor.execute_one(&batch[0])?;
-//! assert_eq!(report.requests[0].readout, alone.readout);
+//! assert!(executor.readouts_match_sequential(&batch, &report)?);
+//!
+//! // Outputs-only serving through the CPU kernel backend: identical
+//! // readouts, no simulator on the hot path.
+//! let fast = BatchExecutor::cpu(model).execute(&batch)?;
+//! assert!(fast.layer_reports.is_empty());
+//! assert!(readouts_identical(&fast, &report));
 //! # Ok::<(), phi_runtime::RuntimeError>(())
 //! ```
 
@@ -67,4 +87,13 @@ pub mod executor;
 pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC};
 pub use compile::{CompileOptions, ModelCompiler, WeightsMode};
 pub use error::{Result, RuntimeError};
-pub use executor::{BatchExecutor, BatchReport, InferenceRequest, RequestResult};
+pub use executor::{
+    readouts_identical, BatchExecutor, BatchReport, InferenceRequest, RequestResult,
+};
+// The backend vocabulary serving code needs — including everything
+// required to implement a custom `ExecutionBackend` — re-exported so
+// callers can stay on `phi_runtime` alone.
+pub use phi_accel::{
+    CpuBackend, ExecutionBackend, LayerOutput, LayerReport, LayerWork, MetricsMode, ReadoutPlan,
+    SimBackend,
+};

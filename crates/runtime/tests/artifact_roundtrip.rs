@@ -9,51 +9,15 @@
 //!   sequential single-input path bit-for-bit;
 //! * corrupted and truncated artifacts are rejected, never mis-served.
 
+use common::tiny_workload;
 use phi_runtime::{
     BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler, RuntimeError,
     WeightsMode,
 };
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use snn_core::LayerSpec;
-use snn_workloads::{
-    activation_profile, generate_clustered, DatasetId, LayerWorkload, ModelId, Workload,
-};
 use std::sync::Arc;
 
-/// Builds a small synthetic workload with `layers` layers of varying
-/// width, clustered activations, and a latent spec per layer — enough
-/// structure to exercise multi-partition patterns without model-zoo cost.
-fn tiny_workload(layers: usize, seed: u64) -> Workload {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar10);
-    let layer_workloads = (0..layers)
-        .map(|i| {
-            let cols = 16 + 13 * i; // deliberately ragged final partitions
-            let (calibration, cluster) = generate_clustered(48, cols, &profile, 16, &mut rng);
-            let activations = cluster.sample(16, &mut rng);
-            LayerWorkload {
-                spec: LayerSpec::new(
-                    format!("l{i}"),
-                    snn_core::LayerKind::Linear,
-                    snn_core::GemmShape::new(32, cols, 8 + 4 * i),
-                    4,
-                ),
-                activations,
-                calibration,
-                row_scale: 1.0,
-                cluster,
-            }
-        })
-        .collect();
-    Workload {
-        model: ModelId::Vgg16,
-        dataset: DatasetId::Cifar10,
-        profile,
-        layers: layer_workloads,
-    }
-}
+mod common;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

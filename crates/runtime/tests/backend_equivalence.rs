@@ -1,0 +1,115 @@
+//! Property tests pinning the execution-backend contract:
+//!
+//! * [`CpuBackend`] and [`SimBackend`] readout outputs are **bit-identical**
+//!   across randomized workloads, calibration budgets, seeds, request row
+//!   counts, and batch sizes;
+//! * outputs-only serving equals full simulation functionally, on every
+//!   backend, and both equal the sequential single-input path;
+//! * hardware metrics are refused where they cannot be produced.
+//!
+//! [`CpuBackend`]: phi_runtime::CpuBackend
+//! [`SimBackend`]: phi_runtime::SimBackend
+
+use common::tiny_workload;
+use phi_runtime::{
+    readouts_identical, BatchExecutor, CompileOptions, InferenceRequest, MetricsMode,
+    ModelCompiler, RuntimeError, WeightsMode,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+mod common;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance property of the backend refactor: for any workload,
+    /// pattern budget, batch size, and request shape, the CPU kernel path
+    /// produces exactly the readouts the simulator path produces.
+    #[test]
+    fn cpu_and_sim_backends_serve_bit_identical_readouts(
+        layers in 1usize..4,
+        q in 2usize..16,
+        batch in 1usize..7,
+        rows in 1usize..5,
+        weights_all in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(layers, seed);
+        let options = CompileOptions {
+            calibration: phi_core::CalibrationConfig { q, max_rows: 256, ..Default::default() },
+            seed: seed ^ 0xBEEF,
+            weights: if weights_all { WeightsMode::All } else { WeightsMode::Readout },
+        };
+        let model = Arc::new(ModelCompiler::new(options).compile(&workload));
+        let sim = BatchExecutor::new(Arc::clone(&model));
+        let cpu = BatchExecutor::cpu(Arc::clone(&model));
+        let requests: Vec<InferenceRequest> = workload
+            .sample_requests(batch, rows, seed ^ 0xF0)
+            .into_iter()
+            .map(InferenceRequest::new)
+            .collect();
+
+        let full = sim.execute(&requests).expect("sim backend serves");
+        let fast = cpu.execute(&requests).expect("cpu backend serves");
+        prop_assert!(readouts_identical(&fast, &full));
+
+        // Outputs-only on the sim backend is functionally the same batch.
+        let outputs_only = sim
+            .execute_with(&requests, MetricsMode::OutputsOnly)
+            .expect("outputs-only serves");
+        prop_assert!(readouts_identical(&outputs_only, &full));
+        prop_assert!(outputs_only.layer_reports.is_empty());
+        prop_assert_eq!(full.layer_reports.len(), layers);
+
+        // Both backends equal the sequential single-input path bit for bit.
+        prop_assert!(cpu.readouts_match_sequential(&requests, &fast).expect("sequential serves"));
+        prop_assert!(sim.readouts_match_sequential(&requests, &full).expect("sequential serves"));
+    }
+
+    /// FullSim on a backend that cannot model hardware is a typed error,
+    /// never a silent outputs-only downgrade.
+    #[test]
+    fn full_sim_is_refused_without_a_hardware_model(
+        batch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(2, seed);
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&workload));
+        let cpu = BatchExecutor::cpu(model);
+        let requests: Vec<InferenceRequest> = workload
+            .sample_requests(batch, 2, seed)
+            .into_iter()
+            .map(InferenceRequest::new)
+            .collect();
+        prop_assert!(matches!(
+            cpu.execute_with(&requests, MetricsMode::FullSim),
+            Err(RuntimeError::MetricsUnavailable { backend: "cpu" })
+        ));
+    }
+}
+
+/// An artifact compiled without readout weights serves no readouts in
+/// outputs-only mode (no layer has an observable product) but still
+/// simulates every layer under FullSim.
+#[test]
+fn weightless_artifacts_serve_metrics_but_no_outputs() {
+    let workload = tiny_workload(2, 99);
+    let options = CompileOptions::fast().with_weights(WeightsMode::None);
+    let model = Arc::new(ModelCompiler::new(options).compile(&workload));
+    let sim = BatchExecutor::new(Arc::clone(&model));
+    let cpu = BatchExecutor::cpu(model);
+    let requests: Vec<InferenceRequest> =
+        workload.sample_requests(3, 2, 5).into_iter().map(InferenceRequest::new).collect();
+
+    let full = sim.execute(&requests).unwrap();
+    assert_eq!(full.layer_reports.len(), 2);
+    assert!(full.requests.iter().all(|r| r.readout.is_none() && r.cycles > 0.0));
+
+    let fast = cpu.execute(&requests).unwrap();
+    assert!(fast.layer_reports.is_empty());
+    assert!(fast.requests.iter().all(|r| r.readout.is_none() && r.cycles == 0.0));
+
+    // Nothing to compare: the shared helper reports false, not success.
+    assert!(!sim.readouts_match_sequential(&requests, &full).unwrap());
+}

@@ -1,0 +1,43 @@
+//! Shared fixture for the runtime integration tests: a small synthetic
+//! workload with clustered activations and a latent spec per layer —
+//! enough structure to exercise multi-partition patterns without
+//! model-zoo cost.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_core::LayerSpec;
+use snn_workloads::{
+    activation_profile, generate_clustered, DatasetId, LayerWorkload, ModelId, Workload,
+};
+
+/// Builds a `layers`-deep workload of varying width (deliberately ragged
+/// final partitions), deterministic in `seed`.
+pub fn tiny_workload(layers: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = activation_profile(ModelId::Vgg16, DatasetId::Cifar10);
+    let layer_workloads = (0..layers)
+        .map(|i| {
+            let cols = 16 + 13 * i;
+            let (calibration, cluster) = generate_clustered(48, cols, &profile, 16, &mut rng);
+            let activations = cluster.sample(16, &mut rng);
+            LayerWorkload {
+                spec: LayerSpec::new(
+                    format!("l{i}"),
+                    snn_core::LayerKind::Linear,
+                    snn_core::GemmShape::new(32, cols, 8 + 4 * i),
+                    4,
+                ),
+                activations,
+                calibration,
+                row_scale: 1.0,
+                cluster,
+            }
+        })
+        .collect();
+    Workload {
+        model: ModelId::Vgg16,
+        dataset: DatasetId::Cifar10,
+        profile,
+        layers: layer_workloads,
+    }
+}

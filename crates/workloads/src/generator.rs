@@ -496,6 +496,22 @@ mod tests {
     }
 
     #[test]
+    fn sample_requests_reproduce_across_workload_generations() {
+        // Backend benches draw their request batches from a freshly
+        // generated workload each run: the same (config, seed) must yield
+        // the same requests process-to-process, and a request's content
+        // must depend only on (seed, request index, layer index) — so a
+        // shorter draw is a strict prefix of a longer one and batches can
+        // be resized or sharded without perturbing the traffic.
+        let config = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(128);
+        let a = config.generate().sample_requests(6, 4, 0xBA7C4);
+        let b = config.generate().sample_requests(6, 4, 0xBA7C4);
+        assert_eq!(a, b, "fresh generations must reproduce the same requests");
+        let prefix = config.generate().sample_requests(3, 4, 0xBA7C4);
+        assert_eq!(&a[..3], &prefix[..], "request count must not perturb earlier requests");
+    }
+
+    #[test]
     fn request_row_scale_extrapolates_to_full_layer() {
         let w =
             WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(64).generate();

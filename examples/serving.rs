@@ -1,11 +1,12 @@
 //! Serving: compile a model into an immutable artifact once, persist it,
 //! then serve batches of spike inputs against it with zero per-request
-//! calibration.
+//! calibration — on either execution backend.
 //!
 //! Run: `cargo run --release --example serving`
 
 use phi_snn::phi_runtime::{
-    BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler,
+    readouts_identical, BatchExecutor, CompileOptions, CompiledModel, InferenceRequest,
+    ModelCompiler,
 };
 use phi_snn::snn_workloads::{DatasetId, ModelId, WorkloadConfig};
 use std::sync::Arc;
@@ -37,17 +38,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         loaded.to_bytes().len()
     );
 
-    // 3. Online: draw a batch of requests from the serving distribution
-    //    (4 subsampled rows per layer ≙ one inference trace at T = 4) and
-    //    execute it against the shared artifact.
-    let executor = BatchExecutor::new(Arc::new(loaded));
+    // 3. Online, fast path: when the caller only wants outputs, the CPU
+    //    backend executes the decomposition directly — rayon-parallel PWP
+    //    sparse matmul, no accelerator bookkeeping.
+    let model = Arc::new(loaded);
+    let cpu = BatchExecutor::cpu(Arc::clone(&model));
     let batch: Vec<InferenceRequest> =
         workload.sample_requests(32, 4, 0x5E41).into_iter().map(InferenceRequest::new).collect();
     let start = Instant::now();
-    let report = executor.execute(&batch)?;
+    let outputs = cpu.execute(&batch)?;
     let elapsed = start.elapsed();
     println!(
-        "served {} inferences in {:?} ({:.0} inf/s wall-clock)",
+        "cpu backend: served {} inferences in {:?} ({:.0} inf/s wall-clock, outputs only)",
+        outputs.batch_size(),
+        elapsed,
+        outputs.batch_size() as f64 / elapsed.as_secs_f64()
+    );
+
+    // 4. Online, metrics path: the sim backend runs the same batch through
+    //    the cycle-accurate Phi model when hardware numbers are wanted.
+    let sim = BatchExecutor::new(Arc::clone(&model));
+    let start = Instant::now();
+    let report = sim.execute(&batch)?;
+    let elapsed = start.elapsed();
+    println!(
+        "sim backend: served {} inferences in {:?} ({:.0} inf/s wall-clock, full simulation)",
         report.batch_size(),
         elapsed,
         report.batch_size() as f64 / elapsed.as_secs_f64()
@@ -59,13 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.energy_per_inference_j() * 1e3
     );
 
-    // 4. The batched path is exact: readout outputs are bit-identical to
-    //    serving each request alone.
-    let alone = executor.execute_one(&batch[0])?;
-    assert_eq!(report.requests[0].readout, alone.readout);
+    // 5. Both paths are exact: backend readouts are bit-identical to each
+    //    other and to serving each request alone.
+    assert!(readouts_identical(&outputs, &report));
+    assert!(sim.readouts_match_sequential(&batch, &report)?);
     let readout = report.requests[0].readout.as_ref().expect("readout weights compiled in");
     println!(
-        "request 0 readout: {}x{} logits, identical to the sequential single-input path",
+        "request 0 readout: {}x{} logits, identical across backends and the sequential path",
         readout.rows(),
         readout.cols()
     );
