@@ -25,6 +25,66 @@ use crate::sim::PhiSimulator;
 use phi_core::{par_phi_matmul, Decomposition, PwpTable};
 use snn_core::{GemmShape, Matrix};
 
+/// A value-level backend choice, for configuration surfaces (server
+/// configs, CLI flags, environment knobs) that pick an execution backend
+/// at run time rather than compile time.
+///
+/// [`BackendKind::create`] instantiates the chosen backend behind a
+/// `Box<dyn ExecutionBackend>` — the trait is object-safe, and the boxed
+/// form implements [`ExecutionBackend`] itself, so code generic over a
+/// backend accepts either a concrete type or a configured box.
+///
+/// ```
+/// use phi_accel::{BackendKind, ExecutionBackend};
+///
+/// let kind: BackendKind = "cpu".parse()?;
+/// let backend = kind.create();
+/// assert_eq!(backend.name(), "cpu");
+/// assert!(!backend.models_hardware());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The fast host-CPU kernel backend ([`CpuBackend`]): outputs only.
+    /// The default — serving fronts want throughput unless asked otherwise.
+    #[default]
+    Cpu,
+    /// The cycle-accurate simulator backend ([`SimBackend`]) with the
+    /// default [`PhiConfig`]: full hardware accounting available.
+    Sim,
+}
+
+impl BackendKind {
+    /// Instantiates the chosen backend.
+    pub fn create(self) -> Box<dyn ExecutionBackend> {
+        match self {
+            BackendKind::Cpu => Box::new(CpuBackend),
+            BackendKind::Sim => Box::new(SimBackend::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Cpu => "cpu",
+            BackendKind::Sim => "sim",
+        })
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu" => Ok(BackendKind::Cpu),
+            "sim" => Ok(BackendKind::Sim),
+            other => Err(format!("unknown backend '{other}' (expected 'cpu' or 'sim')")),
+        }
+    }
+}
+
 /// How much accounting a batch wants from its backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricsMode {
@@ -103,6 +163,27 @@ pub trait ExecutionBackend: Send + Sync {
     /// should check [`ExecutionBackend::models_hardware`] up front (the
     /// serving executor does).
     fn run_layer(&self, work: &LayerWork<'_>, metrics: MetricsMode) -> LayerOutput;
+}
+
+// A boxed backend is itself a backend, so run-time-configured choices
+// ([`BackendKind::create`]) slot into code generic over `B:
+// ExecutionBackend` without a second code path.
+impl ExecutionBackend for Box<dyn ExecutionBackend> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn models_hardware(&self) -> bool {
+        (**self).models_hardware()
+    }
+
+    fn default_metrics(&self) -> MetricsMode {
+        (**self).default_metrics()
+    }
+
+    fn run_layer(&self, work: &LayerWork<'_>, metrics: MetricsMode) -> LayerOutput {
+        (**self).run_layer(work, metrics)
+    }
 }
 
 /// Computes the functional readout for a layer, when planned — the one
@@ -259,6 +340,29 @@ mod tests {
         let out = CpuBackend.run_layer(&work(&f, true), MetricsMode::OutputsOnly);
         assert!(out.report.is_none());
         assert!(!CpuBackend.models_hardware());
+    }
+
+    #[test]
+    fn backend_kind_round_trips_and_creates_the_right_backend() {
+        for kind in [BackendKind::Cpu, BackendKind::Sim] {
+            assert_eq!(kind.to_string().parse::<BackendKind>(), Ok(kind));
+            let backend = kind.create();
+            assert_eq!(backend.name(), kind.to_string());
+            assert_eq!(backend.models_hardware(), kind == BackendKind::Sim);
+        }
+        assert_eq!(BackendKind::default(), BackendKind::Cpu);
+        assert!("gpu".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn boxed_backend_delegates_to_its_inner_backend() {
+        let f = fixture(15);
+        let boxed: Box<dyn ExecutionBackend> = BackendKind::Cpu.create();
+        assert_eq!(boxed.default_metrics(), MetricsMode::OutputsOnly);
+        let out = boxed.run_layer(&work(&f, true), MetricsMode::OutputsOnly);
+        let direct = CpuBackend.run_layer(&work(&f, true), MetricsMode::OutputsOnly);
+        assert_eq!(out.readout, direct.readout);
+        assert!(out.readout.is_some());
     }
 
     #[test]

@@ -45,6 +45,8 @@
 //! assert!(report.energy.total_mj() > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod backend;
 pub mod config;
 pub mod datapath;
@@ -61,7 +63,8 @@ pub mod tiling;
 pub mod traffic;
 
 pub use backend::{
-    CpuBackend, ExecutionBackend, LayerOutput, LayerWork, MetricsMode, ReadoutPlan, SimBackend,
+    BackendKind, CpuBackend, ExecutionBackend, LayerOutput, LayerWork, MetricsMode, ReadoutPlan,
+    SimBackend,
 };
 pub use config::PhiConfig;
 pub use dram::DramModel;

@@ -25,6 +25,7 @@
 //! (`PHI_BENCH_RUNS` overrides the repetition count; default 5).
 
 use phi_accel::{CpuBackend, ExecutionBackend, LayerWork, MetricsMode, ReadoutPlan};
+use phi_bench::{bench_runs, median};
 use phi_core::{
     decompose, total_distance, CalibrationConfig, CalibrationEngine, Calibrator, PwpTable,
 };
@@ -34,11 +35,6 @@ use snn_core::Matrix;
 use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
-
-fn median(mut times: Vec<Duration>) -> Duration {
-    times.sort_unstable();
-    times[times.len() / 2]
-}
 
 fn calibrate_workload(
     workload: &Workload,
@@ -178,8 +174,7 @@ fn measure_config(workload: &Workload, q: usize, runs: usize) -> ConfigResult {
 }
 
 fn main() {
-    let runs: usize =
-        std::env::var("PHI_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let runs = bench_runs();
     println!("generating VGG-16 / CIFAR-10 workload...");
     let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();
     let layers = workload.layers.len();

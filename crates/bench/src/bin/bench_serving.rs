@@ -40,6 +40,7 @@
 //! * `PHI_SERVING_MIN_CPU_SPEEDUP` — floor for CPU-vs-sim backend at
 //!   batch 64 (default 2; 0 disables).
 
+use phi_bench::{bench_runs, env_f64, median};
 use phi_runtime::{
     readouts_identical, BatchExecutor, CompileOptions, CompiledModel, InferenceRequest,
     ModelCompiler,
@@ -58,11 +59,6 @@ const BASELINE_REQUESTS: usize = 8;
 /// Batch sizes swept per backend.
 const BATCH_SIZES: [usize; 3] = [1, 8, 64];
 
-fn median(mut times: Vec<Duration>) -> Duration {
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 fn time_runs(runs: usize, mut f: impl FnMut()) -> Duration {
     f(); // warm-up
     median(
@@ -74,10 +70,6 @@ fn time_runs(runs: usize, mut f: impl FnMut()) -> Duration {
             })
             .collect(),
     )
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Times one executor over the batch-size sweep, returning inf/s per size.
@@ -103,8 +95,7 @@ fn sweep<B: phi_runtime::ExecutionBackend>(
 }
 
 fn main() {
-    let runs: usize =
-        std::env::var("PHI_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let runs = bench_runs();
     let cpu_only = std::env::var("PHI_SERVING_TRACKS").is_ok_and(|t| t == "cpu");
     println!("generating VGG-16 / CIFAR-10 workload...");
     let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();

@@ -83,6 +83,29 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Median of a set of timings (the `bench_*` binaries' central estimate).
+///
+/// # Panics
+///
+/// Panics on an empty input.
+pub fn median(mut times: Vec<std::time::Duration>) -> std::time::Duration {
+    assert!(!times.is_empty(), "median of no timings");
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Repetition count for the `bench_*` binaries: `PHI_BENCH_RUNS`, with
+/// non-numeric or missing values falling back to 5.
+pub fn bench_runs() -> usize {
+    std::env::var("PHI_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+}
+
+/// Reads an `f64` env knob (the `bench_*` speedup floors), falling back
+/// to `default` when unset or unparsable.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 /// Formats a float with `digits` decimals.
 pub fn fmt(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
@@ -126,6 +149,15 @@ mod tests {
         assert_eq!(pct(0.0305), "3.0%"); // banker's-free f64 rounding of 3.05
         assert_eq!(ratio(3.454), "3.45x");
         assert_eq!(ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn median_takes_the_middle_timing() {
+        use std::time::Duration;
+        let ms = |n| Duration::from_millis(n);
+        assert_eq!(median(vec![ms(3), ms(1), ms(2)]), ms(2));
+        assert_eq!(median(vec![ms(5)]), ms(5));
+        assert_eq!(env_f64("PHI_NO_SUCH_KNOB", 4.0), 4.0);
     }
 
     #[test]

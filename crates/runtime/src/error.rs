@@ -119,6 +119,77 @@ impl From<WireError> for RuntimeError {
     }
 }
 
+/// Errors produced by the serving front-end ([`crate::server`]).
+///
+/// Admission-control errors (`UnknownModel`, `QueueFull`, `Oversized`,
+/// `Rejected`) are returned synchronously by
+/// [`PhiServer::submit`](crate::PhiServer::submit) — a bad request never
+/// reaches a batch, so it can never poison the other requests coalesced
+/// with it. The remaining variants surface asynchronously through
+/// [`ResponseHandle::wait`](crate::ResponseHandle::wait).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// The request named a model key the registry does not hold.
+    UnknownModel {
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// The admission queue is at capacity; the request was shed. Callers
+    /// implement their own backpressure (retry with delay, fail over,
+    /// degrade) — the server never blocks a submitter.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request carries more rows per layer than the server admits.
+    Oversized {
+        /// Rows per layer the request carries.
+        rows: usize,
+        /// The configured admission ceiling.
+        max: usize,
+    },
+    /// The request failed shape validation against its model at enqueue
+    /// time (ragged layers, wrong layer count/width, zero rows).
+    Rejected(RuntimeError),
+    /// The batch this request was coalesced into failed to execute. Every
+    /// request of the batch observes the same error.
+    Execution(RuntimeError),
+    /// The server is shutting down; queued requests are resolved with
+    /// this error instead of silently vanishing.
+    ShuttingDown,
+    /// The worker resolving this request disappeared without answering
+    /// (a panic on the worker thread).
+    Disconnected,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownModel { key } => write!(f, "unknown model key '{key}'"),
+            ServerError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests); request shed")
+            }
+            ServerError::Oversized { rows, max } => {
+                write!(f, "request carries {rows} rows per layer; server admits at most {max}")
+            }
+            ServerError::Rejected(e) => write!(f, "request rejected at enqueue: {e}"),
+            ServerError::Execution(e) => write!(f, "batch execution failed: {e}"),
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Disconnected => write!(f, "worker dropped the response channel"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Rejected(e) | ServerError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +206,16 @@ mod tests {
     fn errors_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RuntimeError>();
+        assert_send_sync::<ServerError>();
+    }
+
+    #[test]
+    fn server_errors_display_their_cause() {
+        let e = ServerError::Rejected(RuntimeError::Ragged { layer: 2, expected: 4, actual: 5 });
+        assert!(e.to_string().contains("ragged"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ServerError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains('8'));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -74,7 +74,17 @@ impl InferenceRequest {
         Ok(expected)
     }
 
-    fn validate(&self, model: &CompiledModel, rows: usize) -> Result<()> {
+    /// Validates this request against a compiled model and returns its
+    /// row count — the full admission check a serving front-end runs at
+    /// enqueue time, so a malformed request is refused before it can be
+    /// coalesced into (and poison) a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Shape`] when the request disagrees with the
+    /// model's layer count or widths or carries zero rows, and
+    /// [`RuntimeError::Ragged`] when its own layers disagree on rows.
+    pub fn validate_against(&self, model: &CompiledModel) -> Result<usize> {
         if self.layers.len() != model.layers().len() {
             return Err(RuntimeError::Shape {
                 op: "request layer count",
@@ -82,14 +92,7 @@ impl InferenceRequest {
                 actual: self.layers.len(),
             });
         }
-        let own = self.rows()?;
-        if own != rows {
-            return Err(RuntimeError::Shape {
-                op: "request layer rows",
-                expected: rows,
-                actual: own,
-            });
-        }
+        let rows = self.rows()?;
         for (m, layer) in self.layers.iter().zip(model.layers()) {
             if m.cols() != layer.shape.k {
                 return Err(RuntimeError::Shape {
@@ -101,6 +104,18 @@ impl InferenceRequest {
         }
         if rows == 0 {
             return Err(RuntimeError::Shape { op: "request rows", expected: 1, actual: 0 });
+        }
+        Ok(rows)
+    }
+
+    fn validate(&self, model: &CompiledModel, rows: usize) -> Result<()> {
+        let own = self.validate_against(model)?;
+        if own != rows {
+            return Err(RuntimeError::Shape {
+                op: "request layer rows",
+                expected: rows,
+                actual: own,
+            });
         }
         Ok(())
     }
@@ -233,6 +248,28 @@ impl BatchExecutor<CpuBackend> {
     /// Creates an executor over the fast CPU kernel backend: functional
     /// outputs through the rayon-parallel PWP matmul, no accelerator
     /// bookkeeping.
+    ///
+    /// ```
+    /// use phi_runtime::{BatchExecutor, CompileOptions, InferenceRequest, ModelCompiler};
+    /// use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+    /// use std::sync::Arc;
+    ///
+    /// let mut workload = WorkloadConfig::new(ModelId::ResNet18, DatasetId::Cifar10)
+    ///     .with_max_rows(32)
+    ///     .with_calibration_rows(64)
+    ///     .generate();
+    /// workload.layers.truncate(3);
+    /// let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&workload));
+    ///
+    /// let executor = BatchExecutor::cpu(model);
+    /// let batch: Vec<InferenceRequest> =
+    ///     workload.sample_requests(2, 4, 7).into_iter().map(InferenceRequest::new).collect();
+    /// let report = executor.execute(&batch)?;
+    /// // Outputs only: readouts are present, hardware accounting is not.
+    /// assert!(report.requests.iter().all(|r| r.readout.is_some()));
+    /// assert!(report.layer_reports.is_empty());
+    /// # Ok::<(), phi_runtime::RuntimeError>(())
+    /// ```
     pub fn cpu(model: Arc<CompiledModel>) -> Self {
         BatchExecutor::with_backend(model, CpuBackend)
     }

@@ -32,6 +32,14 @@
 //! shared PWP kernel and is bit-identical across backends, batch sizes,
 //! and the sequential single-input path.
 //!
+//! On top of the executor sits the **serving front-end** ([`PhiServer`],
+//! [`server`] module): requests enqueue one at a time, a dynamic batcher
+//! coalesces them into executor batches bounded by
+//! [`ServerConfig::max_batch`] / [`ServerConfig::max_wait`], a
+//! [`ModelRegistry`] lets one server host several compiled models, and
+//! admission control sheds or rejects bad traffic with typed
+//! [`ServerError`]s before it can reach a batch.
+//!
 //! # Example: compile → serialize → load → serve
 //!
 //! ```
@@ -79,21 +87,28 @@
 //! # Ok::<(), phi_runtime::RuntimeError>(())
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod artifact;
 pub mod compile;
 pub mod error;
 pub mod executor;
+pub mod server;
 
 pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC};
 pub use compile::{CompileOptions, ModelCompiler, WeightsMode};
-pub use error::{Result, RuntimeError};
+pub use error::{Result, RuntimeError, ServerError};
 pub use executor::{
     readouts_identical, BatchExecutor, BatchReport, InferenceRequest, RequestResult,
+};
+pub use server::{
+    ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle, ServedResponse, ServerConfig,
+    ServerResult,
 };
 // The backend vocabulary serving code needs — including everything
 // required to implement a custom `ExecutionBackend` — re-exported so
 // callers can stay on `phi_runtime` alone.
 pub use phi_accel::{
-    CpuBackend, ExecutionBackend, LayerOutput, LayerReport, LayerWork, MetricsMode, ReadoutPlan,
-    SimBackend,
+    BackendKind, CpuBackend, ExecutionBackend, LayerOutput, LayerReport, LayerWork, MetricsMode,
+    ReadoutPlan, SimBackend,
 };

@@ -1,0 +1,974 @@
+//! Async serving front-end: request-level admission, dynamic batching,
+//! and multi-model hosting over [`BatchExecutor`].
+//!
+//! Everything below this module thinks in *batches* — callers of
+//! [`BatchExecutor::execute`] must hand-assemble a row-uniform
+//! `Vec<InferenceRequest>` and block while it runs. A serving system
+//! thinks in *requests*: independent clients submit one inference at a
+//! time and someone else must coalesce them, because the throughput win
+//! of batching (PR 3 measured 19k → 218k inf/s from batch 1 to 64 on the
+//! CPU backend) is only real if it happens automatically.
+//!
+//! [`PhiServer`] is that someone else. The request lifecycle:
+//!
+//! ```text
+//!  submit(key, request)                 collector thread            worker pool
+//!  ───────────────────┐           ┌──────────────────────┐      ┌──────────────────┐
+//!  admission control  │  enqueue  │ drain queue, coalesce │ batch│ BatchExecutor<B> │
+//!  · unknown model    ├──────────▶│ by (model, rows) into ├─────▶│ execute(&batch)  │
+//!  · ragged/oversized │  bounded  │ batches bounded by    │ mpsc │ resolve handles  │
+//!  · queue-full shed  │  queue    │ max_batch / max_wait  │      │ record stats     │
+//!  ───────────────────┘           └──────────────────────┘      └──────────────────┘
+//!          │ Err(ServerError)                                          │
+//!          ▼                                                           ▼
+//!   caller keeps the rejected            ResponseHandle::wait() ⇒ ServedResponse
+//!   request out of everyone's batch      (readout + queue-wait/exec latency)
+//! ```
+//!
+//! Design points:
+//!
+//! * **Admission control happens at enqueue, synchronously.** A request
+//!   that names an unknown model, is ragged, oversized, or mis-shaped is
+//!   refused by [`PhiServer::submit`] before it can join a batch — so one
+//!   bad request can never fail the well-formed requests coalesced around
+//!   it. When the bounded queue is at capacity the request is *shed*
+//!   ([`ServerError::QueueFull`]) instead of blocking the submitter.
+//! * **Batches are coalesced by `(model, rows)`.** The executor requires
+//!   row-uniform batches (one extrapolation factor per fused matrix), so
+//!   the collector groups the queue head's key and dispatches when the
+//!   group reaches [`ServerConfig::max_batch`] or the head request has
+//!   waited [`ServerConfig::max_wait`].
+//! * **Execution is bit-identical to calling [`BatchExecutor`] directly.**
+//!   The server adds queueing and coalescing, never arithmetic: readouts
+//!   are the same bits a direct `execute` of the same requests produces,
+//!   regardless of how traffic interleaves (pinned by the
+//!   `server_admission` integration suite).
+//! * **One server hosts many models.** A [`ModelRegistry`] maps string
+//!   keys to `Arc`'d [`CompiledModel`] artifacts; registering a model is
+//!   zero-copy, and per-model [`ModelStatsSnapshot`] counters (served /
+//!   shed / rejected, p50/p99 queue-wait and exec latency) come for free.
+//! * **No async runtime.** The workspace vendors its dependencies, so the
+//!   collector and workers are `std::thread`s coordinated with a
+//!   `Mutex`/`Condvar` queue and `mpsc` channels; [`ResponseHandle`] is
+//!   the blocking future equivalent.
+//!
+//! # Example: start a server, submit, wait
+//!
+//! ```
+//! use phi_runtime::{
+//!     CompileOptions, InferenceRequest, ModelCompiler, ModelRegistry, PhiServer, ServerConfig,
+//! };
+//! use snn_workloads::{DatasetId, ModelId, WorkloadConfig};
+//! use std::sync::Arc;
+//!
+//! let mut workload = WorkloadConfig::new(ModelId::ResNet18, DatasetId::Cifar10)
+//!     .with_max_rows(32)
+//!     .with_calibration_rows(64)
+//!     .generate();
+//! workload.layers.truncate(3);
+//! let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&workload));
+//!
+//! let mut registry = ModelRegistry::new();
+//! registry.register("resnet18", Arc::clone(&model));
+//! let server = PhiServer::start(registry, ServerConfig::default());
+//!
+//! let request = InferenceRequest::new(workload.sample_requests(1, 4, 5).remove(0));
+//! let handle = server.submit("resnet18", request)?;
+//! let response = handle.wait()?;
+//! assert!(response.readout.is_some());
+//! assert!(response.batch_size >= 1);
+//! assert_eq!(server.stats("resnet18").unwrap().served, 1);
+//! # Ok::<(), phi_runtime::ServerError>(())
+//! ```
+
+use crate::artifact::CompiledModel;
+use crate::error::ServerError;
+use crate::executor::{BatchExecutor, InferenceRequest};
+use phi_accel::{BackendKind, ExecutionBackend};
+use snn_core::Matrix;
+use std::collections::{HashMap, VecDeque};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Outcome alias for server calls.
+pub type ServerResult<T> = std::result::Result<T, ServerError>;
+
+/// Tuning knobs of the dynamic batcher. Start from
+/// [`ServerConfig::default`] and override with the `with_*` builders.
+///
+/// The two policy bounds interact: a batch for one `(model, rows)` group
+/// is dispatched as soon as `max_batch` requests have coalesced, and no
+/// later than `max_wait` after its oldest request enqueued (plus any
+/// head-of-line time while an earlier group's batch forms — the collector
+/// coalesces one group at a time, in arrival order). So `max_wait` bounds
+/// the batching latency a request is charged, and `max_batch` caps how
+/// much traffic one execution fuses. Closed-loop deployments get the best
+/// throughput when `max_batch` is near the expected concurrency (a full
+/// batch dispatches immediately, with `max_wait` only catching
+/// stragglers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Largest batch the collector will fuse (default 64).
+    pub max_batch: usize,
+    /// Longest a queued request waits for its batch to fill before the
+    /// collector dispatches the partial batch (default 1 ms).
+    pub max_wait: Duration,
+    /// Bounded admission-queue capacity; submissions beyond it are shed
+    /// with [`ServerError::QueueFull`] (default 1024).
+    pub queue_capacity: usize,
+    /// Largest per-layer row count a request may carry; anything larger
+    /// is refused with [`ServerError::Oversized`] (default 256).
+    pub max_request_rows: usize,
+    /// Worker threads executing dispatched batches (default: one per
+    /// available core).
+    pub workers: usize,
+    /// Which [`ExecutionBackend`] every hosted model executes on
+    /// (default [`BackendKind::Cpu`] — serving wants throughput; pick
+    /// [`BackendKind::Sim`] to get simulated cycles/energy per response).
+    pub backend: BackendKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 1024,
+            max_request_rows: 256,
+            workers: std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            backend: BackendKind::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Overrides the maximum batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Overrides the batching deadline.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Overrides the admission-queue capacity.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Overrides the per-request row ceiling.
+    pub fn with_max_request_rows(mut self, max_request_rows: usize) -> Self {
+        self.max_request_rows = max_request_rows;
+        self
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// The models a server hosts: string keys mapped to shared, immutable
+/// [`CompiledModel`] artifacts. Registration is zero-copy — the registry
+/// clones the `Arc`, never the artifact — so one compiled model can be
+/// registered under several keys or shared with direct executors.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, Arc<CompiledModel>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Registers `model` under `key`, returning the previously registered
+    /// artifact if the key was already taken.
+    pub fn register(
+        &mut self,
+        key: impl Into<String>,
+        model: Arc<CompiledModel>,
+    ) -> Option<Arc<CompiledModel>> {
+        self.models.insert(key.into(), model)
+    }
+
+    /// The artifact registered under `key`.
+    pub fn get(&self, key: &str) -> Option<&Arc<CompiledModel>> {
+        self.models.get(key)
+    }
+
+    /// Registered keys, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.models.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// What the server resolves a request's [`ResponseHandle`] with.
+#[derive(Debug, Clone)]
+pub struct ServedResponse {
+    /// Functional output of the readout layer, bit-identical to a direct
+    /// [`BatchExecutor`] call on the same request; `None` when the model
+    /// carries no readout weights.
+    pub readout: Option<Matrix>,
+    /// Simulated accelerator cycles attributed to this request — nonzero
+    /// only on [`BackendKind::Sim`] servers.
+    pub cycles: f64,
+    /// Simulated energy attributed to this request, in joules — nonzero
+    /// only on [`BackendKind::Sim`] servers.
+    pub energy_j: f64,
+    /// Wall-clock time between enqueue and the start of this request's
+    /// batch execution.
+    pub queue_wait: Duration,
+    /// Wall-clock execution time of the batch this request rode in.
+    pub exec: Duration,
+    /// How many requests that batch fused.
+    pub batch_size: usize,
+}
+
+/// The per-request future of the `std::thread` world: blocks until the
+/// collector/worker pipeline resolves the request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<ServerResult<ServedResponse>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Execution`] when the batch failed,
+    /// [`ServerError::ShuttingDown`] when the server stopped before
+    /// serving it, and [`ServerError::Disconnected`] when the resolving
+    /// worker vanished.
+    pub fn wait(self) -> ServerResult<ServedResponse> {
+        self.rx.recv().unwrap_or(Err(ServerError::Disconnected))
+    }
+
+    /// Like [`ResponseHandle::wait`] with an upper bound; `None` means
+    /// the request is still in flight and the handle stays usable.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServerResult<ServedResponse>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServerError::Disconnected)),
+        }
+    }
+}
+
+/// Point-in-time counters for one hosted model (see [`PhiServer::stats`]).
+/// Latency percentiles are nearest-rank over a bounded sample ring
+/// (the most recent [`STAT_SAMPLE_CAP`] per series), in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStatsSnapshot {
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed at admission because the queue was full.
+    pub shed: u64,
+    /// Requests refused at admission as malformed (ragged, mis-shaped,
+    /// zero-row, oversized).
+    pub rejected: u64,
+    /// Requests that reached a batch whose execution failed.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean fused batch size (`served / batches`; 0 before any batch).
+    pub mean_batch: f64,
+    /// Median wall-clock wait between enqueue and batch execution, µs.
+    pub p50_queue_wait_us: f64,
+    /// 99th-percentile queue wait, µs.
+    pub p99_queue_wait_us: f64,
+    /// Median wall-clock batch execution time observed by a request, µs.
+    pub p50_exec_us: f64,
+    /// 99th-percentile execution time, µs.
+    pub p99_exec_us: f64,
+}
+
+/// How many latency samples each per-model series retains (a ring; the
+/// newest overwrite the oldest).
+pub const STAT_SAMPLE_CAP: usize = 1 << 16;
+
+/// Bounded sample ring for one latency series.
+#[derive(Debug, Default)]
+struct SampleRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl SampleRing {
+    fn push(&mut self, value: f64) {
+        if self.samples.len() < STAT_SAMPLE_CAP {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next % STAT_SAMPLE_CAP] = value;
+        }
+        self.next = (self.next + 1) % STAT_SAMPLE_CAP;
+    }
+
+    /// Nearest-rank percentile (`0 < p ≤ 100`); 0 when no samples exist.
+    fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+/// Live counters behind a [`ModelStatsSnapshot`].
+#[derive(Debug, Default)]
+struct ModelStats {
+    served: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    queue_wait_us: Mutex<SampleRing>,
+    exec_us: Mutex<SampleRing>,
+}
+
+impl ModelStats {
+    fn record_batch(&self, queue_waits: &[Duration], exec: Duration) {
+        let batch = queue_waits.len() as u64;
+        self.served.fetch_add(batch, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.queue_wait_us.lock().expect("stats lock");
+        for wait in queue_waits {
+            ring.push(wait.as_secs_f64() * 1e6);
+        }
+        drop(ring);
+        let mut ring = self.exec_us.lock().expect("stats lock");
+        // One exec sample per request, so percentiles weight by traffic.
+        for _ in 0..batch {
+            ring.push(exec.as_secs_f64() * 1e6);
+        }
+    }
+
+    fn snapshot(&self) -> ModelStatsSnapshot {
+        let served = self.served.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let queue = self.queue_wait_us.lock().expect("stats lock");
+        let exec = self.exec_us.lock().expect("stats lock");
+        ModelStatsSnapshot {
+            served,
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 { 0.0 } else { served as f64 / batches as f64 },
+            p50_queue_wait_us: queue.percentile(50.0),
+            p99_queue_wait_us: queue.percentile(99.0),
+            p50_exec_us: exec.percentile(50.0),
+            p99_exec_us: exec.percentile(99.0),
+        }
+    }
+}
+
+/// One hosted model: its executor (artifact + backend) and counters.
+/// Coalescing groups identify entries by `Arc` pointer, so no key is
+/// stored here.
+struct ModelEntry {
+    executor: BatchExecutor<Box<dyn ExecutionBackend>>,
+    stats: ModelStats,
+}
+
+/// One admitted, not-yet-dispatched request.
+struct Pending {
+    entry: Arc<ModelEntry>,
+    request: InferenceRequest,
+    rows: usize,
+    enqueued: Instant,
+    tx: mpsc::Sender<ServerResult<ServedResponse>>,
+}
+
+/// A coalesced batch on its way to a worker.
+struct Batch {
+    entry: Arc<ModelEntry>,
+    pending: Vec<Pending>,
+}
+
+/// State shared between submitters and the collector.
+struct Shared {
+    config: ServerConfig,
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    unknown_model: AtomicU64,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    /// Queued requests per coalescing group, kept in lockstep with
+    /// `items` so a submitter can tell in O(1) whether its arrival
+    /// completed a batch (and the collector can count without scanning).
+    counts: HashMap<GroupKey, usize>,
+    shutdown: bool,
+}
+
+/// A coalescing group: one hosted model (by entry identity) at one
+/// per-layer row count — exactly the requests the executor may fuse.
+type GroupKey = (usize, usize);
+
+impl QueueState {
+    fn group(pending: &Pending) -> GroupKey {
+        (Arc::as_ptr(&pending.entry) as usize, pending.rows)
+    }
+
+    /// Appends a request and returns its group's queued count.
+    fn push(&mut self, pending: Pending) -> usize {
+        let group = Self::group(&pending);
+        self.items.push_back(pending);
+        let count = self.counts.entry(group).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    fn group_count(&self, group: GroupKey) -> usize {
+        self.counts.get(&group).copied().unwrap_or(0)
+    }
+
+    /// Removes up to `limit` requests of `group` (in arrival order),
+    /// leaving everything else queued in order.
+    fn extract(&mut self, group: GroupKey, limit: usize) -> Vec<Pending> {
+        let mut batch = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.items.len());
+        for pending in self.items.drain(..) {
+            if batch.len() < limit && Self::group(&pending) == group {
+                batch.push(pending);
+            } else {
+                rest.push_back(pending);
+            }
+        }
+        self.items = rest;
+        match self.counts.get_mut(&group) {
+            Some(count) if *count > batch.len() => *count -= batch.len(),
+            _ => {
+                self.counts.remove(&group);
+            }
+        }
+        batch
+    }
+}
+
+/// The serving front-end: hosts every model of a [`ModelRegistry`] behind
+/// request-level admission control, a dynamic batcher, and a worker pool.
+/// See the [module docs](crate::server) for the request lifecycle.
+///
+/// The server owns its threads: dropping it (or calling
+/// [`PhiServer::shutdown`]) stops the collector, resolves still-queued
+/// requests with [`ServerError::ShuttingDown`], and joins every thread.
+pub struct PhiServer {
+    shared: Arc<Shared>,
+    entries: HashMap<String, Arc<ModelEntry>>,
+    collector: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PhiServer {
+    /// Spawns the collector and worker threads and starts serving.
+    ///
+    /// Every registered model gets its own executor over a fresh instance
+    /// of the configured backend; artifacts stay shared (`Arc`-cloned from
+    /// the registry, never copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry is empty or the config is degenerate
+    /// (`max_batch`, `queue_capacity`, `max_request_rows`, or `workers`
+    /// of zero) — these are deployment bugs, not runtime conditions.
+    pub fn start(registry: ModelRegistry, config: ServerConfig) -> Self {
+        assert!(!registry.is_empty(), "a server needs at least one registered model");
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        assert!(config.queue_capacity > 0, "queue_capacity must be at least 1");
+        assert!(config.max_request_rows > 0, "max_request_rows must be at least 1");
+        assert!(config.workers > 0, "workers must be at least 1");
+
+        let entries: HashMap<String, Arc<ModelEntry>> = registry
+            .models
+            .into_iter()
+            .map(|(key, model)| {
+                let entry = ModelEntry {
+                    executor: BatchExecutor::with_backend(model, config.backend.create()),
+                    stats: ModelStats::default(),
+                };
+                (key, Arc::new(entry))
+            })
+            .collect();
+
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                counts: HashMap::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            unknown_model: AtomicU64::new(0),
+        });
+
+        let (dispatch_tx, dispatch_rx) = mpsc::channel::<Batch>();
+        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
+        let workers: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|w| {
+                let rx = Arc::clone(&dispatch_rx);
+                std::thread::Builder::new()
+                    .name(format!("phi-server-worker-{w}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let collector = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("phi-server-collector".into())
+                .spawn(move || collector_loop(&shared, &dispatch_tx))
+                .expect("spawn collector thread")
+        };
+
+        PhiServer { shared, entries, collector: Some(collector), workers }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// Hosted model keys, sorted.
+    pub fn model_keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Submits one request for the model registered under `key`,
+    /// returning a handle that resolves once a batch containing the
+    /// request has executed.
+    ///
+    /// Admission control runs here, synchronously: the model key is
+    /// resolved, the request is shape-validated against that model
+    /// (including the ragged check), the row ceiling is enforced, and the
+    /// bounded queue is checked — so every error below is returned before
+    /// the request can influence any other request's batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`], [`ServerError::Rejected`] (ragged /
+    /// mis-shaped / zero-row), [`ServerError::Oversized`],
+    /// [`ServerError::QueueFull`] (shed), or [`ServerError::ShuttingDown`].
+    pub fn submit(&self, key: &str, request: InferenceRequest) -> ServerResult<ResponseHandle> {
+        let entry = self.entries.get(key).ok_or_else(|| {
+            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            ServerError::UnknownModel { key: key.to_string() }
+        })?;
+        let rows = request.validate_against(entry.executor.model()).map_err(|e| {
+            entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            ServerError::Rejected(e)
+        })?;
+        let max = self.shared.config.max_request_rows;
+        if rows > max {
+            entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Oversized { rows, max });
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        if queue.shutdown {
+            return Err(ServerError::ShuttingDown);
+        }
+        if queue.items.len() >= self.shared.config.queue_capacity {
+            entry.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::QueueFull { capacity: self.shared.config.queue_capacity });
+        }
+        let was_idle = queue.items.is_empty();
+        let matching = queue.push(Pending {
+            entry: Arc::clone(entry),
+            request,
+            rows,
+            enqueued: Instant::now(),
+            tx,
+        });
+        let completes_batch = matching >= self.shared.config.max_batch;
+        drop(queue);
+        // Wake the collector only when this arrival changes its decision:
+        // traffic after idle starts a batch, and a full group dispatches
+        // immediately. Intermediate arrivals just raise the count the
+        // collector will read at its deadline — skipping their wakeups
+        // keeps the submit path (and the whole box, on small hosts) off
+        // the context-switch treadmill.
+        if was_idle || completes_batch {
+            self.shared.cond.notify_all();
+        }
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Counters for the model registered under `key`; `None` for an
+    /// unknown key.
+    pub fn stats(&self, key: &str) -> Option<ModelStatsSnapshot> {
+        self.entries.get(key).map(|e| e.stats.snapshot())
+    }
+
+    /// How many submissions named a key no model is registered under.
+    pub fn unknown_model_rejections(&self) -> u64 {
+        self.shared.unknown_model.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting requests, resolves everything still queued with
+    /// [`ServerError::ShuttingDown`], and joins the collector and worker
+    /// threads. Batches already dispatched still complete and resolve
+    /// normally. Called automatically on drop.
+    ///
+    /// A worker that panicked earlier (e.g. a panicking custom backend)
+    /// is joined tolerantly: its requests already resolved with
+    /// [`ServerError::Disconnected`], and re-raising the panic here would
+    /// turn a served error into an abort when the server is dropped
+    /// during unwinding.
+    pub fn shutdown(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PhiServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for PhiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhiServer")
+            .field("models", &self.model_keys())
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The dynamic batcher: waits for traffic, coalesces the queue head's
+/// `(model, rows)` group until it is full or its deadline passes, and
+/// hands the batch to the worker pool. Requests stay *in the shared
+/// queue* while their batch forms, so admission capacity bounds queued
+/// work and later arrivals join an open batch without extra plumbing.
+fn collector_loop(shared: &Shared, dispatch: &mpsc::Sender<Batch>) {
+    let config = shared.config;
+    loop {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        // Sleep until there is traffic (or we are told to stop).
+        while queue.items.is_empty() && !queue.shutdown {
+            queue = shared.cond.wait(queue).expect("queue lock");
+        }
+        if queue.shutdown {
+            resolve_shutdown(&mut queue);
+            return;
+        }
+
+        // Coalesce around the head request's group until the batch is
+        // full or the head has waited its max_wait. The group counts are
+        // maintained by `submit`, which only wakes this thread when a
+        // group completes — in between, this loop sleeps through
+        // arrivals and reads the final count at the deadline.
+        let group = QueueState::group(&queue.items[0]);
+        let deadline = queue.items[0].enqueued + config.max_wait;
+        loop {
+            if queue.group_count(group) >= config.max_batch || queue.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, result) =
+                shared.cond.wait_timeout(queue, deadline - now).expect("queue lock");
+            queue = guard;
+            if result.timed_out() {
+                break;
+            }
+        }
+        if queue.shutdown {
+            resolve_shutdown(&mut queue);
+            return;
+        }
+
+        // Extract the batch, preserving arrival order for everything left.
+        let pending = queue.extract(group, config.max_batch);
+        drop(queue);
+
+        let entry = Arc::clone(&pending[0].entry);
+        if dispatch.send(Batch { entry, pending }).is_err() {
+            return; // every worker is gone; nothing can execute batches
+        }
+    }
+}
+
+/// Resolves everything still queued at shutdown; nothing vanishes
+/// silently.
+fn resolve_shutdown(queue: &mut QueueState) {
+    queue.counts.clear();
+    for pending in queue.items.drain(..) {
+        let _ = pending.tx.send(Err(ServerError::ShuttingDown));
+    }
+}
+
+/// A worker: pull a batch, execute it on the model's executor, resolve
+/// every rider with its share of the report plus wall-clock latency, and
+/// record stats. Exits when the collector hangs up the channel.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Batch>>) {
+    loop {
+        // Hold the receiver lock only while waiting; execution happens
+        // after it is released so other workers can pick up batches.
+        let batch = match rx.lock().expect("dispatch lock").recv() {
+            Ok(batch) => batch,
+            Err(_) => return,
+        };
+        serve_batch(batch);
+    }
+}
+
+fn serve_batch(batch: Batch) {
+    let Batch { entry, pending } = batch;
+    let exec_start = Instant::now();
+    let queue_waits: Vec<Duration> =
+        pending.iter().map(|p| exec_start.duration_since(p.enqueued)).collect();
+    let (requests, resolvers): (Vec<InferenceRequest>, Vec<_>) =
+        pending.into_iter().map(|p| (p.request, (p.tx, p.enqueued))).unzip();
+
+    match entry.executor.execute(&requests) {
+        Ok(report) => {
+            let exec = exec_start.elapsed();
+            entry.stats.record_batch(&queue_waits, exec);
+            let batch_size = requests.len();
+            for ((tx, enqueued), result) in resolvers.into_iter().zip(report.requests) {
+                let _ = tx.send(Ok(ServedResponse {
+                    readout: result.readout,
+                    cycles: result.cycles,
+                    energy_j: result.energy_j,
+                    queue_wait: exec_start.duration_since(enqueued),
+                    exec,
+                    batch_size,
+                }));
+            }
+        }
+        Err(e) => {
+            // Admission validated shapes, so this is unexpected — but it
+            // must still resolve every rider, with the same typed error.
+            entry.stats.failed.fetch_add(requests.len() as u64, Ordering::Relaxed);
+            for (tx, _) in resolvers {
+                let _ = tx.send(Err(ServerError::Execution(e.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{CompileOptions, ModelCompiler};
+    use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
+
+    fn tiny_workload() -> Workload {
+        let mut w = WorkloadConfig::new(ModelId::ResNet18, DatasetId::Cifar10)
+            .with_max_rows(32)
+            .with_calibration_rows(64)
+            .generate();
+        w.layers.truncate(3);
+        w
+    }
+
+    fn model(w: &Workload) -> Arc<CompiledModel> {
+        Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(w))
+    }
+
+    fn requests(w: &Workload, count: usize, rows: usize, seed: u64) -> Vec<InferenceRequest> {
+        w.sample_requests(count, rows, seed).into_iter().map(InferenceRequest::new).collect()
+    }
+
+    #[test]
+    fn registry_registers_and_lists_models() {
+        let w = tiny_workload();
+        let m = model(&w);
+        let mut registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.register("b", Arc::clone(&m)).is_none());
+        assert!(registry.register("a", Arc::clone(&m)).is_none());
+        // Re-registering a key returns the displaced artifact.
+        assert!(registry.register("a", Arc::clone(&m)).is_some());
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.keys(), ["a", "b"]);
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("c").is_none());
+        // Registration is zero-copy: all handles point at one artifact.
+        assert_eq!(Arc::strong_count(&m), 3);
+    }
+
+    #[test]
+    fn server_serves_and_counts_requests() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(1));
+        assert_eq!(server.model_keys(), ["m"]);
+
+        let batch = requests(&w, 4, 4, 3);
+        let handles: Vec<ResponseHandle> =
+            batch.iter().map(|r| server.submit("m", r.clone()).unwrap()).collect();
+        for handle in handles {
+            let response = handle.wait().unwrap();
+            assert!(response.readout.is_some());
+            assert!(response.batch_size >= 1 && response.batch_size <= 4);
+            assert!(response.exec > Duration::ZERO);
+        }
+        let stats = server.stats("m").unwrap();
+        assert_eq!(stats.served, 4);
+        assert!(stats.batches >= 1 && stats.batches <= 4);
+        assert!(stats.mean_batch >= 1.0);
+        assert!(stats.p99_exec_us >= stats.p50_exec_us);
+        assert!(stats.p99_queue_wait_us >= stats.p50_queue_wait_us);
+        assert!(server.stats("nope").is_none());
+    }
+
+    #[test]
+    fn server_coalesces_a_full_batch_without_waiting_for_the_deadline() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        // A deadline far beyond the test timeout: only the max_batch bound
+        // can dispatch, so observing responses proves full-batch dispatch.
+        let config = ServerConfig::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_secs(3600))
+            .with_workers(1);
+        let server = PhiServer::start(registry, config);
+        let handles: Vec<ResponseHandle> =
+            requests(&w, 4, 4, 5).into_iter().map(|r| server.submit("m", r).unwrap()).collect();
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().batch_size, 4);
+        }
+        let stats = server.stats("m").unwrap();
+        assert_eq!((stats.served, stats.batches), (4, 1));
+        assert!((stats.mean_batch - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_dispatches_partial_batches() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config = ServerConfig::default()
+            .with_max_batch(64)
+            .with_max_wait(Duration::from_millis(5))
+            .with_workers(1);
+        let server = PhiServer::start(registry, config);
+        // One lone request can never fill max_batch; only the deadline can
+        // dispatch it.
+        let handle = server.submit("m", requests(&w, 1, 4, 7).remove(0)).unwrap();
+        let response = handle.wait().unwrap();
+        assert_eq!(response.batch_size, 1);
+        // The lone request waited out (approximately) the full deadline.
+        assert!(response.queue_wait >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn requests_with_different_rows_batch_separately() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config =
+            ServerConfig::default().with_max_wait(Duration::from_millis(10)).with_workers(1);
+        let server = PhiServer::start(registry, config);
+        let four = server.submit("m", requests(&w, 1, 4, 1).remove(0)).unwrap();
+        let eight = server.submit("m", requests(&w, 1, 8, 1).remove(0)).unwrap();
+        // Different row counts can never fuse (the executor would reject
+        // the ragged batch); each resolves in its own batch.
+        assert_eq!(four.wait().unwrap().batch_size, 1);
+        assert_eq!(eight.wait().unwrap().batch_size, 1);
+        assert_eq!(server.stats("m").unwrap().batches, 2);
+    }
+
+    #[test]
+    fn sim_backend_servers_attach_simulated_metrics() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config = ServerConfig::default().with_backend(BackendKind::Sim).with_workers(1);
+        let server = PhiServer::start(registry, config);
+        let response = server.submit("m", requests(&w, 1, 4, 9).remove(0)).unwrap();
+        let response = response.wait().unwrap();
+        assert!(response.cycles > 0.0);
+        assert!(response.energy_j > 0.0);
+        assert!(response.readout.is_some());
+    }
+
+    #[test]
+    fn shutdown_resolves_queued_requests_and_refuses_new_ones() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        // max_batch larger than what we submit + an hour-long deadline:
+        // the collector holds the batch open, so the requests are still
+        // queued when shutdown lands and must resolve with ShuttingDown.
+        let config = ServerConfig::default()
+            .with_max_batch(64)
+            .with_max_wait(Duration::from_secs(3600))
+            .with_workers(1);
+        let mut server = PhiServer::start(registry, config);
+        let held = server.submit("m", requests(&w, 1, 4, 11).remove(0)).unwrap();
+        server.shutdown();
+        assert!(matches!(held.wait(), Err(ServerError::ShuttingDown)));
+        assert_eq!(
+            server.submit("m", requests(&w, 1, 4, 12).remove(0)).unwrap_err(),
+            ServerError::ShuttingDown
+        );
+        // Shutdown is idempotent (drop will run it again).
+        server.shutdown();
+    }
+
+    #[test]
+    fn sample_ring_overwrites_oldest_beyond_cap() {
+        let mut ring = SampleRing::default();
+        for i in 0..STAT_SAMPLE_CAP + 10 {
+            ring.push(i as f64);
+        }
+        assert_eq!(ring.samples.len(), STAT_SAMPLE_CAP);
+        // The oldest 10 samples were overwritten.
+        assert!(ring.percentile(0.1) >= 10.0);
+        assert_eq!(ring.percentile(100.0), (STAT_SAMPLE_CAP + 9) as f64);
+        assert_eq!(SampleRing::default().percentile(50.0), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Admission-control edges and server-vs-direct-executor equivalence for
+//! the serving front-end.
+//!
+//! The contract under test: every malformed submission is refused
+//! *synchronously at enqueue* with a typed [`ServerError`] (so it can
+//! never poison a coalesced batch), overload sheds instead of blocking,
+//! and for everything admitted the server is pure plumbing — its readouts
+//! are bit-identical to calling [`BatchExecutor`] directly, no matter how
+//! many clients interleave or how the batcher slices the traffic.
+
+mod common;
+
+use common::tiny_workload;
+use phi_runtime::{
+    BatchExecutor, CompileOptions, InferenceRequest, ModelCompiler, ModelRegistry, PhiServer,
+    RuntimeError, ServerConfig, ServerError,
+};
+use snn_core::SpikeMatrix;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn compiled(seed: u64) -> (snn_workloads::Workload, Arc<phi_runtime::CompiledModel>) {
+    let workload = tiny_workload(3, seed);
+    let model = ModelCompiler::new(CompileOptions::fast()).compile(&workload);
+    (workload, Arc::new(model))
+}
+
+fn server_with(model: Arc<phi_runtime::CompiledModel>, config: ServerConfig) -> PhiServer {
+    let mut registry = ModelRegistry::new();
+    registry.register("model", model);
+    PhiServer::start(registry, config)
+}
+
+fn requests(
+    w: &snn_workloads::Workload,
+    count: usize,
+    rows: usize,
+    seed: u64,
+) -> Vec<InferenceRequest> {
+    w.sample_requests(count, rows, seed).into_iter().map(InferenceRequest::new).collect()
+}
+
+#[test]
+fn unknown_model_key_is_rejected_at_enqueue() {
+    let (w, model) = compiled(1);
+    let server = server_with(model, ServerConfig::default());
+    let request = requests(&w, 1, 4, 1).remove(0);
+    assert!(matches!(
+        server.submit("no-such-model", request.clone()),
+        Err(ServerError::UnknownModel { key }) if key == "no-such-model"
+    ));
+    assert_eq!(server.unknown_model_rejections(), 1);
+    // The registered key still serves.
+    assert!(server.submit("model", request).unwrap().wait().is_ok());
+}
+
+#[test]
+fn ragged_request_is_rejected_at_enqueue_not_mid_batch() {
+    let (w, model) = compiled(2);
+    let server = server_with(
+        model,
+        // A patient batcher sized to the 7 good requests below: if the
+        // ragged request were admitted it WOULD be coalesced with the
+        // good traffic submitted around it (and the batch would misfuse).
+        ServerConfig::default().with_max_batch(7).with_max_wait(Duration::from_secs(3600)),
+    );
+    let mut batch = requests(&w, 8, 4, 2);
+    let victim = batch.remove(0);
+    let mut ragged = batch.remove(0);
+    let wide = ragged.layers[1].cols();
+    ragged.layers[1] = SpikeMatrix::zeros(5, wide);
+
+    // Good request enqueues and waits for its batch to fill...
+    let good = server.submit("model", victim).unwrap();
+    // ...the ragged one is refused synchronously, with the typed cause.
+    assert!(matches!(
+        server.submit("model", ragged),
+        Err(ServerError::Rejected(RuntimeError::Ragged { layer: 1, expected: 4, actual: 5 }))
+    ));
+    assert_eq!(server.stats("model").unwrap().rejected, 1);
+
+    // The good traffic batches and serves untouched by the rejection.
+    for request in batch {
+        server.submit("model", request).unwrap();
+    }
+    let response = good.wait().unwrap();
+    assert_eq!(response.batch_size, 7);
+    assert!(response.readout.is_some());
+    let stats = server.stats("model").unwrap();
+    assert_eq!((stats.served, stats.failed), (7, 0));
+}
+
+#[test]
+fn zero_row_request_is_rejected_at_enqueue() {
+    let (w, model) = compiled(3);
+    let server = server_with(Arc::clone(&model), ServerConfig::default());
+    let empty = InferenceRequest::new(
+        w.layers.iter().map(|l| SpikeMatrix::zeros(0, l.spec.shape.k)).collect(),
+    );
+    assert!(matches!(
+        server.submit("model", empty),
+        Err(ServerError::Rejected(RuntimeError::Shape { op: "request rows", .. }))
+    ));
+    // Wrong layer count and wrong width are also enqueue-time rejections.
+    let mut short = requests(&w, 1, 4, 3).remove(0);
+    short.layers.pop();
+    assert!(matches!(
+        server.submit("model", short),
+        Err(ServerError::Rejected(RuntimeError::Shape { op: "request layer count", .. }))
+    ));
+    let mut narrow = requests(&w, 1, 4, 3).remove(0);
+    narrow.layers[0] = SpikeMatrix::zeros(4, 1);
+    assert!(matches!(
+        server.submit("model", narrow),
+        Err(ServerError::Rejected(RuntimeError::Shape { op: "request layer width", .. }))
+    ));
+    assert_eq!(server.stats("model").unwrap().rejected, 3);
+}
+
+#[test]
+fn oversized_request_is_rejected_at_enqueue() {
+    let (w, model) = compiled(4);
+    let server = server_with(model, ServerConfig::default().with_max_request_rows(4));
+    assert!(matches!(
+        server.submit("model", requests(&w, 1, 5, 4).remove(0)),
+        Err(ServerError::Oversized { rows: 5, max: 4 })
+    ));
+    assert!(server.submit("model", requests(&w, 1, 4, 4).remove(0)).is_ok());
+}
+
+#[test]
+fn queue_full_sheds_instead_of_blocking() {
+    let (w, model) = compiled(5);
+    // Capacity 3, and a batcher that cannot dispatch (batch of 64 with an
+    // hour-long deadline): requests accumulate in the queue so the 4th
+    // submission must be shed synchronously.
+    let config = ServerConfig::default()
+        .with_queue_capacity(3)
+        .with_max_batch(64)
+        .with_max_wait(Duration::from_secs(3600));
+    let mut server = server_with(model, config);
+    let mut held = Vec::new();
+    for request in requests(&w, 3, 4, 5) {
+        held.push(server.submit("model", request).unwrap());
+    }
+    assert!(matches!(
+        server.submit("model", requests(&w, 1, 4, 6).remove(0)),
+        Err(ServerError::QueueFull { capacity: 3 })
+    ));
+    let stats = server.stats("model").unwrap();
+    assert_eq!((stats.shed, stats.served), (1, 0));
+    // Shutdown resolves the held requests instead of leaking them.
+    server.shutdown();
+    for handle in held {
+        assert!(matches!(handle.wait(), Err(ServerError::ShuttingDown)));
+    }
+}
+
+/// The server must be pure plumbing: under many concurrent clients with
+/// randomized per-client traffic (including mixed row counts, which force
+/// the batcher to keep separate coalescing groups), every response's
+/// readout equals a direct `BatchExecutor` call on the same request,
+/// bit for bit.
+#[test]
+fn server_readouts_are_bit_identical_to_direct_execution_under_interleaving() {
+    let (w, model) = compiled(6);
+    let direct = BatchExecutor::cpu(Arc::clone(&model));
+    let server = server_with(
+        Arc::clone(&model),
+        ServerConfig::default().with_max_batch(8).with_max_wait(Duration::from_micros(200)),
+    );
+
+    let clients = 6;
+    let per_client = 12;
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let server = &server;
+            let direct = &direct;
+            let w = &w;
+            scope.spawn(move || {
+                // Client-specific rows (3..=5) exercise separate batching
+                // groups; client-specific seeds randomize interleaving.
+                let rows = 3 + (client % 3);
+                let traffic: Vec<InferenceRequest> = w
+                    .sample_client_requests(client as u64, per_client, rows, 0xFEED)
+                    .into_iter()
+                    .map(InferenceRequest::new)
+                    .collect();
+                for request in traffic {
+                    let expected = direct.execute_one(&request).unwrap().readout;
+                    let response = server.submit("model", request).unwrap().wait().unwrap();
+                    assert!(response.readout.is_some());
+                    assert_eq!(response.readout, expected, "client {client} diverged");
+                }
+            });
+        }
+    });
+    let stats = server.stats("model").unwrap();
+    assert_eq!(stats.served, (clients * per_client) as u64);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.batches <= stats.served, "batches cannot exceed requests");
+}

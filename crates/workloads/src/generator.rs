@@ -271,6 +271,38 @@ impl Workload {
             .collect()
     }
 
+    /// Draws one client's serving traffic for a multi-client benchmark:
+    /// the same per-layer latent distribution as
+    /// [`Workload::sample_requests`], but each `client` id derives its own
+    /// disjoint deterministic stream, so concurrent closed-loop clients
+    /// submit distinct (yet reproducible) traffic without coordinating.
+    ///
+    /// Deterministic in `(seed, client, request index, layer index)`;
+    /// different clients mix `client` into the stream seed, so their
+    /// request sequences differ (statistically — the mix is a hash, not
+    /// a bijection proof) while every client stays on the calibrated
+    /// distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_layer` is zero.
+    pub fn sample_client_requests(
+        &self,
+        client: u64,
+        count: usize,
+        rows_per_layer: usize,
+        seed: u64,
+    ) -> Vec<Vec<SpikeMatrix>> {
+        // A distinct odd multiplier plus a constant offset keeps client
+        // streams apart from each other and from plain
+        // `sample_requests(seed)` draws (the offset covers the wrapping
+        // client id whose multiplied term would otherwise be zero).
+        let client_seed = seed
+            ^ 0xA02B_DBF7_8BB0_96EA
+            ^ client.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        self.sample_requests(count, rows_per_layer, client_seed)
+    }
+
     /// The extrapolation factor from a request's `rows_per_layer`
     /// subsampled rows to the layer's full `M × T` rows (the serving
     /// counterpart of [`LayerWorkload::row_scale`]).
@@ -509,6 +541,25 @@ mod tests {
         assert_eq!(a, b, "fresh generations must reproduce the same requests");
         let prefix = config.generate().sample_requests(3, 4, 0xBA7C4);
         assert_eq!(&a[..3], &prefix[..], "request count must not perturb earlier requests");
+    }
+
+    #[test]
+    fn client_streams_are_deterministic_and_disjoint() {
+        let w =
+            WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(128).generate();
+        let a0 = w.sample_client_requests(0, 3, 4, 42);
+        let a1 = w.sample_client_requests(1, 3, 4, 42);
+        // Reproducible per client, distinct across clients and seeds.
+        assert_eq!(a0, w.sample_client_requests(0, 3, 4, 42));
+        assert_ne!(a0, a1);
+        assert_ne!(a0, w.sample_client_requests(0, 3, 4, 43));
+        // Every client's requests stay shaped like plain sampled traffic.
+        for request in a0.iter().chain(&a1) {
+            assert_eq!(request.len(), w.layers.len());
+            for (m, layer) in request.iter().zip(&w.layers) {
+                assert_eq!((m.rows(), m.cols()), (4, layer.spec.shape.k));
+            }
+        }
     }
 
     #[test]
