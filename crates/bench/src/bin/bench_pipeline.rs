@@ -15,19 +15,33 @@
 //! Per configuration: full-workload calibration per engine (reference /
 //! weighted / parallel, median wall-clock), plus byte-identity and
 //! objective checks; and once overall, the full-workload decomposition
-//! under the parallel row sweep and the full-workload *functional
-//! execution* of those decompositions through the CPU execution backend
-//! ([`phi_accel::CpuBackend`]) — the pure PWP sparse-matmul hot path a
-//! serving request pays after decomposition, with zero simulator
-//! bookkeeping.
+//! under three matchers — the linear reference scan, the cold
+//! popcount-bucketed [`phi_core::MatchIndex`] path, and the warm
+//! [`phi_core::TileCache`]-memoized path — and the full-workload
+//! *functional execution* of those decompositions through the CPU
+//! execution backend ([`phi_accel::CpuBackend`]) — the pure PWP
+//! sparse-matmul hot path a serving request pays after decomposition,
+//! with zero simulator bookkeeping. All three decomposition paths are
+//! asserted bit-identical before anything is written.
 //!
-//! Run with `cargo run --release -p phi_bench --bin bench_pipeline`
-//! (`PHI_BENCH_RUNS` overrides the repetition count; default 5).
+//! Run with `cargo run --release -p phi_bench --bin bench_pipeline`.
+//! Environment knobs:
+//!
+//! * `PHI_BENCH_RUNS` — repetition count (default 5; median reported).
+//! * `PHI_TILE_CACHE` — per-layer tile-cache capacity for the warm track
+//!   (0 disables the cache, which also skips the warm-speedup floor).
+//! * `PHI_PIPELINE_MIN_WARM_SPEEDUP` — floor for warm (cached) vs cold
+//!   (indexed, uncached) decomposition (default 2; 0 disables).
+//! * `PHI_PIPELINE_MAX_COLD_RATIO` — ceiling for cold (indexed) vs the
+//!   linear-reference decomposition time: the index trades the linear
+//!   path's exact-match shortcut for bucket scans, so a small gap is
+//!   expected, but not a large one (default 1.3; 0 disables).
 
 use phi_accel::{CpuBackend, ExecutionBackend, LayerWork, MetricsMode, ReadoutPlan};
-use phi_bench::{bench_runs, median};
+use phi_bench::{bench_runs, env_f64, median};
 use phi_core::{
-    decompose, total_distance, CalibrationConfig, CalibrationEngine, Calibrator, PwpTable,
+    decompose, decompose_cached, decompose_indexed, total_distance, CalibrationConfig,
+    CalibrationEngine, Calibrator, LayerMatchIndex, PwpTable, TileCache, TileCacheStats,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -183,14 +197,64 @@ fn main() {
     let headline = measure_config(&workload, 128, runs);
     let iterated = measure_config(&workload, 32, runs);
 
-    println!("timing decomposition (parallel row sweep)...");
+    println!("timing decomposition (linear reference matcher)...");
     let p_par = calibrate_workload(&workload, 128, CalibrationEngine::Parallel);
     let decompose_time = time_runs(runs, || {
         for (layer, lp) in workload.layers.iter().zip(&p_par) {
             std::hint::black_box(decompose(&layer.activations, lp));
         }
     });
-    println!("decomposition: {decompose_time:?}");
+    println!("decomposition (linear): {decompose_time:?}");
+
+    // The online-hot-path accelerators: cold = every tile resolved through
+    // the popcount-bucketed match index (what a first-ever batch pays);
+    // warm = tile decisions replayed from the shared memo (what every
+    // later batch pays, spiking activations being as repetitive as they
+    // are).
+    println!("timing decomposition (match index, cold)...");
+    let indexes: Vec<LayerMatchIndex> = p_par.iter().map(LayerMatchIndex::new).collect();
+    let cold_time = time_runs(runs, || {
+        for (layer, (lp, idx)) in workload.layers.iter().zip(p_par.iter().zip(&indexes)) {
+            std::hint::black_box(decompose_indexed(&layer.activations, lp, idx));
+        }
+    });
+    println!("decomposition (indexed, cold): {cold_time:?}");
+
+    let cache_capacity = phi_runtime::default_tile_cache_capacity();
+    println!("timing decomposition (tile cache, warm, capacity {cache_capacity}/layer)...");
+    let caches: Vec<TileCache> = p_par.iter().map(|_| TileCache::new(cache_capacity)).collect();
+    // time_runs' warm-up call doubles as the cache-filling pass; the
+    // measured iterations then run against a hot cache.
+    let warm_time = time_runs(runs, || {
+        for (layer, ((lp, idx), cache)) in
+            workload.layers.iter().zip(p_par.iter().zip(&indexes).zip(&caches))
+        {
+            std::hint::black_box(decompose_cached(&layer.activations, lp, idx, cache));
+        }
+    });
+    let mut cache_stats = TileCacheStats::default();
+    for cache in &caches {
+        cache_stats.merge(&cache.stats());
+    }
+    println!(
+        "decomposition (cached, warm): {warm_time:?} (hit rate {:.4}, {} entries, {} evictions)",
+        cache_stats.hit_rate(),
+        cache_stats.entries,
+        cache_stats.evictions
+    );
+    let warm_speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64();
+    println!("warm vs cold: {warm_speedup:.2}x");
+
+    // Bit-identity across all three matcher paths, per layer, warm cache
+    // included — the correctness invariant of the whole accelerator.
+    let paths_identical = workload.layers.iter().zip(p_par.iter().zip(&indexes).zip(&caches)).all(
+        |(layer, ((lp, idx), cache))| {
+            let linear = decompose(&layer.activations, lp);
+            linear == decompose_indexed(&layer.activations, lp, idx)
+                && linear == decompose_cached(&layer.activations, lp, idx, cache)
+        },
+    );
+    println!("linear == indexed == cached decompositions: {paths_identical}");
 
     // Functional execution through the CPU backend: every layer's
     // precomputed decomposition runs the rayon-parallel PWP sparse matmul
@@ -241,6 +305,18 @@ fn main() {
   "headline_q128": {headline},
   "iterated_q32": {iterated},
   "decompose_ms": {dec_ms:.3},
+  "decompose_indexed_cold_ms": {cold_ms:.3},
+  "decompose_cached_warm_ms": {warm_ms:.3},
+  "decompose_warm_speedup": {warm_speedup:.3},
+  "tile_cache": {{
+    "capacity": {cache_capacity},
+    "hits": {cache_hits},
+    "misses": {cache_misses},
+    "evictions": {cache_evictions},
+    "entries": {cache_entries},
+    "hit_rate": {cache_hit_rate:.6}
+  }},
+  "decompose_paths_bit_identical": {paths_identical},
   "cpu_execute_ms": {cpu_ms:.3}
 }}
 "#,
@@ -248,12 +324,18 @@ fn main() {
         headline = headline.json(),
         iterated = iterated.json(),
         dec_ms = decompose_time.as_secs_f64() * 1e3,
+        cold_ms = cold_time.as_secs_f64() * 1e3,
+        warm_ms = warm_time.as_secs_f64() * 1e3,
+        cache_hits = cache_stats.hits,
+        cache_misses = cache_stats.misses,
+        cache_evictions = cache_stats.evictions,
+        cache_entries = cache_stats.entries,
+        cache_hit_rate = cache_stats.hit_rate(),
         cpu_ms = cpu_execute_time.as_secs_f64() * 1e3,
     );
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
-    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
-    println!("wrote {}", path.display());
 
+    // Assert before persisting, so a failed acceptance run can never
+    // overwrite the checked-in numbers with its own.
     for result in [&headline, &iterated] {
         assert!(
             result.byte_identical,
@@ -270,4 +352,37 @@ fn main() {
     // tiles: a zero objective would mean the iterated Lloyd path was never
     // exercised and the objective check above was vacuous.
     assert!(iterated.objective_reference > 0, "q = 32 run must exercise the iterated path");
+    assert!(paths_identical, "indexed and cached decompositions must equal the linear reference");
+    // Wall-clock ratios on shared machines are noisy; CI smoke runs lower
+    // the bars via the env knobs (0 disables).
+    // The cold (indexed, uncached) path must stay within 1.3x of the
+    // linear reference scan — on the reference container that pins it
+    // well below the PR 3 baseline of 12.7 ms (the linear path itself
+    // dropped to ~9 ms under this PR's sweep optimizations, and cold
+    // measures ~10.7 ms). The index trades the linear path's sorted
+    // exact-match shortcut for bucket scans, so a small gap is expected;
+    // a large one would mean the bucket probe regressed.
+    let max_cold_ratio = env_f64("PHI_PIPELINE_MAX_COLD_RATIO", 1.3);
+    if max_cold_ratio > 0.0 {
+        let ratio = cold_time.as_secs_f64() / decompose_time.as_secs_f64();
+        assert!(
+            ratio <= max_cold_ratio,
+            "indexed cold decompose ({cold_time:?}) must not be slower than {max_cold_ratio}x \
+             the linear reference ({decompose_time:?}), got {ratio:.2}x"
+        );
+    }
+    let min_warm_speedup = env_f64("PHI_PIPELINE_MIN_WARM_SPEEDUP", 2.0);
+    if cache_capacity > 0 {
+        assert!(
+            warm_speedup >= min_warm_speedup,
+            "warm cached decompose ({warm_time:?}) must be at least {min_warm_speedup}x faster \
+             than cold ({cold_time:?}), got {warm_speedup:.2}x"
+        );
+    } else {
+        println!("PHI_TILE_CACHE=0: warm-speedup floor skipped (cache disabled)");
+    }
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
 }

@@ -19,6 +19,9 @@
 //!   (batch-1) serving* rate the headline speedup is measured against
 //!   (the multi-client direct rates are reported for context, but on a
 //!   container whose host share fluctuates they are scheduler-noisy).
+//!   The direct executor runs with the decomposition tile cache
+//!   *disabled*, so the per-run bit-identity assert below also pins
+//!   cached == uncached == direct readouts.
 //! * **server** — every client thread submits to one [`PhiServer`]
 //!   (CPU backend, `max_batch` = client count, 200 µs batching deadline)
 //!   and blocks on its [`ResponseHandle`]: the collector coalesces the
@@ -37,6 +40,9 @@
 //!   0 disables).
 //! * `PHI_SERVER_SMOKE=1` — CI smoke: a small traffic volume per client
 //!   and no `BENCH_server.json` rewrite (asserts stay hard).
+//! * `PHI_TILE_CACHE` — per-layer decomposition tile-cache capacity for
+//!   the servers (0 disables; the direct reference executor always runs
+//!   uncached, so the bit-identity assert covers both paths either way).
 //!
 //! [`PhiServer`]: phi_runtime::PhiServer
 //! [`BatchExecutor`]: phi_runtime::BatchExecutor
@@ -179,7 +185,10 @@ fn main() {
     println!("generating VGG-16 / CIFAR-10 workload + compiling artifact...");
     let workload = WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).generate();
     let model = Arc::new(ModelCompiler::new(CompileOptions::default()).compile(&workload));
-    let direct = BatchExecutor::cpu(Arc::clone(&model));
+    // The reference pass runs uncached: the servers keep their (default)
+    // tile caches, so the bit-identity assert per run covers the cached
+    // vs uncached decomposition paths on real serving traffic.
+    let direct = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(0);
 
     let mut tracks = Vec::new();
     let mut all_match = true;
@@ -276,7 +285,8 @@ fn main() {
       "p50_queue_wait_us": {p50_wait:.1},
       "p99_queue_wait_us": {p99_wait:.1},
       "p50_exec_us": {p50_exec:.1},
-      "p99_exec_us": {p99_exec:.1}
+      "p99_exec_us": {p99_exec:.1},
+      "tile_cache_hit_rate": {cache_hit_rate:.6}
     }}"#,
                 clients = t.clients,
                 direct = t.direct_concurrent_inf_s,
@@ -290,6 +300,7 @@ fn main() {
                 p99_wait = t.stats.p99_queue_wait_us,
                 p50_exec = t.stats.p50_exec_us,
                 p99_exec = t.stats.p99_exec_us,
+                cache_hit_rate = t.stats.tile_cache.hit_rate(),
             )
         })
         .collect();
@@ -302,7 +313,8 @@ fn main() {
     "max_wait_us": {max_wait_us},
     "queue_capacity": {queue_capacity},
     "backend": "{backend}",
-    "workers": {workers}
+    "workers": {workers},
+    "tile_cache": {tile_cache}
   }},
   "runs": {runs},
   "threads": {threads},
@@ -319,6 +331,7 @@ fn main() {
         queue_capacity = base_config().queue_capacity,
         backend = base_config().backend,
         workers = base_config().workers,
+        tile_cache = base_config().tile_cache,
         threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         tracks = track_json.join(",\n"),
     );

@@ -24,8 +24,10 @@
 //! latency and energy per inference from the sim-backend batch-64 report,
 //! verifies the artifact's byte-identical serialization roundtrip, asserts
 //! that sim-backend batched readouts equal the sequential single-input
-//! path exactly, and asserts the CPU backend's readouts are bit-identical
-//! to the sim path.
+//! path exactly, asserts the CPU backend's readouts are bit-identical
+//! to the sim path, and asserts a tile-cache-disabled executor
+//! (`PHI_TILE_CACHE=0` equivalent) serves the same bits as the cached
+//! one — alongside the cached executor's hit/miss/eviction counters.
 //!
 //! Run with `cargo run --release -p phi_bench --bin bench_serving`.
 //! Environment knobs:
@@ -162,6 +164,25 @@ fn main() {
     println!("cpu-backend outputs == sim-backend outputs: {cpu_matches_sim}");
     assert!(cpu_matches_sim, "CPU backend readouts must equal the sim path bit-for-bit");
 
+    // Tile-cache exactness: an executor with decomposition caching
+    // disabled must serve the same bits as the (cache-warm, after the
+    // sweeps above) default executor.
+    let uncached_executor = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(0);
+    let uncached_report = uncached_executor.execute(&requests).expect("uncached batch serves");
+    let cached_matches_uncached = readouts_identical(&cpu_report, &uncached_report);
+    let cache_stats = cpu_executor.tile_cache_stats();
+    println!(
+        "cached outputs == uncached outputs: {cached_matches_uncached} (hit rate {:.4}, {} \
+         entries, {} evictions)",
+        cache_stats.hit_rate(),
+        cache_stats.entries,
+        cache_stats.evictions
+    );
+    assert!(
+        cached_matches_uncached,
+        "tile-cached readouts must equal the cache-disabled path bit-for-bit"
+    );
+
     if cpu_only {
         println!("PHI_SERVING_TRACKS=cpu: smoke complete, BENCH_serving.json left untouched");
         return;
@@ -218,6 +239,14 @@ fn main() {
   }},
   "speedup_batch64_vs_single_request": {speedup_vs_single:.3},
   "speedup_cpu_vs_sim_batch64": {speedup_cpu_vs_sim:.3},
+  "tile_cache": {{
+    "capacity": {cache_capacity},
+    "hits": {cache_hits},
+    "misses": {cache_misses},
+    "evictions": {cache_evictions},
+    "hit_rate": {cache_hit_rate:.6}
+  }},
+  "cached_outputs_match_uncached": {cached_matches_uncached},
   "simulated_per_inference": {{
     "p50_cycles": {p50:.1},
     "p99_cycles": {p99:.1},
@@ -229,6 +258,11 @@ fn main() {
 "#,
         artifact_k = artifact.k(),
         artifact_q = artifact.q(),
+        cache_capacity = cache_stats.capacity,
+        cache_hits = cache_stats.hits,
+        cache_misses = cache_stats.misses,
+        cache_evictions = cache_stats.evictions,
+        cache_hit_rate = cache_stats.hit_rate(),
         layers = workload.layers.len(),
         threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         compile_ms = compile_time.as_secs_f64() * 1e3,

@@ -76,10 +76,14 @@ impl Default for CalibrationConfig {
 
 /// Calibrated pattern sets for one layer: one [`PatternSet`] per width-`k`
 /// partition of the layer's K dimension.
+///
+/// The sets live behind an `Arc`, so cloning layer patterns — which every
+/// [`crate::Decomposition`] does to stay self-contained — is a reference
+/// bump, not a deep copy of `q × partitions` patterns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerPatterns {
     k: usize,
-    sets: Vec<PatternSet>,
+    sets: std::sync::Arc<[PatternSet]>,
 }
 
 impl LayerPatterns {
@@ -92,7 +96,7 @@ impl LayerPatterns {
         for s in &sets {
             assert_eq!(s.width(), k, "pattern set width mismatch");
         }
-        LayerPatterns { k, sets }
+        LayerPatterns { k, sets: sets.into() }
     }
 
     /// Partition width.

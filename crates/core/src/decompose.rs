@@ -3,9 +3,13 @@
 //! correction matrix.
 //!
 //! For every row and every width-`k` partition, the *pattern matcher* rule
-//! is applied:
+//! is applied (this paragraph is the authoritative statement of the rule;
+//! every matcher in the workspace — the linear reference scan, the
+//! [`MatchIndex`], and the [`TileCache`] memo — implements or memoizes
+//! exactly it):
 //!
-//! * find the calibrated pattern with minimum Hamming distance to the tile;
+//! * find the calibrated pattern with minimum Hamming distance to the
+//!   tile, ties resolving to the lowest pattern index;
 //! * if that distance beats the tile's own popcount (the "no pattern"
 //!   baseline), assign the pattern and emit one `+1`/`−1` correction per
 //!   mismatching bit (`+1` where activation has a 1 the pattern lacks, `−1`
@@ -14,11 +18,31 @@
 //!
 //! The decomposition is lossless by construction: summing the assigned
 //! pattern row and the corrections reproduces the activation tile exactly.
+//!
+//! # Entry points
+//!
+//! Three functions produce bit-identical [`Decomposition`]s:
+//!
+//! * [`decompose`] — the linear reference: every tile probes
+//!   [`crate::PatternSet::best_match`].
+//! * [`decompose_indexed`] — probes a precomputed [`MatchIndex`] per
+//!   partition instead of scanning all `q` patterns: popcount buckets are
+//!   visited in best-first order of the Hamming lower bound
+//!   `|popcount(pattern) − popcount(tile)|` and the scan stops once that
+//!   bound exceeds the best distance found.
+//! * [`decompose_cached`] — additionally memoizes whole tile decisions in
+//!   a shared, bounded [`TileCache`], so repeated tiles (ubiquitous in
+//!   spiking activations) skip the matcher entirely.
 
 use crate::calibrate::LayerPatterns;
+use crate::pattern::PatternSet;
 use crate::stats::SparsityStats;
 use rayon::prelude::*;
 use snn_core::SpikeMatrix;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One signed Level-2 correction element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,15 +69,21 @@ pub struct TileAssignment {
 /// rows, and a copy of the pattern sets so the decomposition is
 /// self-contained (reconstruction and functional GEMM need the pattern
 /// bits).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decomposition {
     rows: usize,
     cols: usize,
     patterns: LayerPatterns,
-    /// Row-major `rows × parts` pattern indices.
-    l1: Vec<Option<u16>>,
-    /// Per-row Level-2 corrections, sorted by column.
-    l2: Vec<Vec<L2Entry>>,
+    /// Row-major `rows × parts` pattern indices; [`NO_PATTERN`] marks an
+    /// unassigned tile (the hardware's reserved index, half the width of
+    /// `Option<u16>` on the sweep's hottest write path).
+    l1: Vec<u16>,
+    /// All Level-2 corrections, row-major and sorted by column within
+    /// each row; row `r` owns `l2[l2_offsets[r]..l2_offsets[r + 1]]`
+    /// (CSR layout — one allocation per sweep instead of one per row).
+    l2: Vec<L2Entry>,
+    /// Row boundaries into `l2`; `rows + 1` elements.
+    l2_offsets: Vec<u32>,
     /// Total popcount of all assigned patterns (Table 4's "L1 density"
     /// numerator).
     l1_ones: u64,
@@ -61,6 +91,10 @@ pub struct Decomposition {
     l2_neg: u64,
     bit_nnz: u64,
 }
+
+/// The sentinel [`Decomposition`] stores internally for "no pattern
+/// assigned" — the same reserved value the wire format uses.
+const NO_PATTERN: u16 = u16::MAX;
 
 /// Decomposes `activations` against calibrated `patterns`.
 ///
@@ -85,33 +119,350 @@ pub struct Decomposition {
 /// assert!(phi.verify_lossless(&acts));
 /// ```
 pub fn decompose(activations: &SpikeMatrix, patterns: &LayerPatterns) -> Decomposition {
+    check_partitioning(activations, patterns);
+    let chunks = run_chunks(activations, patterns, |_| {
+        |part: usize, tile: u64, baseline: u32| {
+            finish_decision(activations, patterns, part, tile, baseline, {
+                patterns.set(part).best_match(tile)
+            })
+        }
+    });
+    combine(activations, patterns, chunks)
+}
+
+/// [`decompose`] resolving every nontrivial tile through a precomputed
+/// [`MatchIndex`] per partition — the popcount-bucketed best-first probe —
+/// instead of the linear reference scan. Bit-identical to [`decompose`].
+///
+/// # Panics
+///
+/// Panics if the pattern partition count does not match the activation
+/// width, or if `index` does not cover `patterns`' partitioning.
+pub fn decompose_indexed(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    index: &LayerMatchIndex,
+) -> Decomposition {
+    check_partitioning(activations, patterns);
+    check_index(patterns, index);
+    let chunks = run_chunks(activations, patterns, |_| {
+        |part: usize, tile: u64, baseline: u32| {
+            resolve_tile(activations, patterns, index, part, tile, baseline)
+        }
+    });
+    combine(activations, patterns, chunks)
+}
+
+/// One worker's share of a cached sweep: its chunk, its snapshot
+/// hit/miss-probe counts, and the distinct misses it resolved (for the
+/// commit merge).
+type ChunkOutcome = (ChunkDecomposition, u64, u64, TileMap);
+
+/// [`decompose_indexed`] with a shared [`TileCache`] memoizing whole tile
+/// decisions across calls: a hit skips the matcher entirely and replays
+/// the stored decision. The cache is keyed by
+/// `(partition, partition width, tile bits)` — the width matters because
+/// the final partition of a narrower activation masks its corrections
+/// differently — and every stored decision is a pure function of that
+/// key, so the output is bit-identical to [`decompose`] regardless of
+/// cache state, capacity, or eviction history (even when one cache is
+/// shared across activations of different column counts), including a
+/// disabled (capacity-0) cache, which degrades to the pure indexed path.
+///
+/// The sweep reads one immutable snapshot of the cache (lock-free
+/// probes), resolves each distinct missed key through the index exactly
+/// once (repeats within the sweep replay the in-flight decision), and
+/// commits the resolved keys — with the sweep's hit/miss counts — in one
+/// merge at the end.
+///
+/// # Panics
+///
+/// Panics if the pattern partition count does not match the activation
+/// width, if `index` does not cover `patterns`' partitioning, or if the
+/// partition count exceeds the key encoding's [`MAX_CACHE_PARTITIONS`].
+pub fn decompose_cached(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    index: &LayerMatchIndex,
+    cache: &TileCache,
+) -> Decomposition {
+    if !cache.is_enabled() {
+        return decompose_indexed(activations, patterns, index);
+    }
+    check_partitioning(activations, patterns);
+    check_index(patterns, index);
+    let parts = patterns.num_partitions();
+    assert!(parts <= MAX_CACHE_PARTITIONS, "partition count {parts} exceeds the cache key space");
     let k = patterns.k();
-    let parts = activations.num_partitions(k);
+    // Only the final partition can be narrower than k; every probe below
+    // needs its width in the key.
+    let last_part = parts.wrapping_sub(1);
+    let last_width = if parts == 0 { 0 } else { k.min(activations.cols() - last_part * k) as u32 };
+    let snapshot = cache.snapshot();
+    let bounds = chunk_bounds(activations.rows());
+    let outcomes: Vec<ChunkOutcome> = bounds
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut hits = 0u64;
+            let mut miss_probes = 0u64;
+            let mut resolved = TileMap::default();
+            let chunk = run_chunk(activations, patterns, lo, hi, |part, tile, baseline| {
+                let width = if part == last_part { last_width } else { k as u32 };
+                let key = tile_key(part as u32, width, tile);
+                match snapshot.get(&key) {
+                    Some(&decision) => {
+                        hits += 1;
+                        decision
+                    }
+                    None => {
+                        miss_probes += 1;
+                        // Spiking tiles repeat heavily even within one
+                        // sweep: resolve each distinct key once and
+                        // replay it for the repeats.
+                        *resolved.entry(key).or_insert_with(|| {
+                            resolve_tile(activations, patterns, index, part, tile, baseline)
+                        })
+                    }
+                }
+            });
+            (chunk, hits, miss_probes, resolved)
+        })
+        .collect();
+    // Release the snapshot before committing so the merge can usually
+    // mutate the map in place instead of cloning it.
+    drop(snapshot);
+    let mut chunks = Vec::with_capacity(outcomes.len());
+    let mut hits = 0u64;
+    let mut miss_probes = 0u64;
+    let mut resolved: Vec<(TileKey, TileDecision)> = Vec::new();
+    for (chunk, chunk_hits, chunk_probes, chunk_resolved) in outcomes {
+        hits += chunk_hits;
+        miss_probes += chunk_probes;
+        resolved.extend(chunk_resolved);
+        chunks.push(chunk);
+    }
+    cache.commit(hits, miss_probes, resolved);
+    combine(activations, patterns, chunks)
+}
+
+/// Panics unless the pattern partitioning tiles the activation width.
+fn check_partitioning(activations: &SpikeMatrix, patterns: &LayerPatterns) {
     assert_eq!(
-        parts,
+        activations.num_partitions(patterns.k()),
         patterns.num_partitions(),
         "pattern partition count must match activation width"
     );
+}
 
-    let rows = activations.rows();
-    // Rows are independent, so decompose them in parallel and splice the
-    // per-row results together in row order (the collect preserves input
-    // order, keeping the output identical to a sequential sweep).
-    let row_results: Vec<RowDecomposition> =
-        (0..rows).into_par_iter().map(|r| decompose_row(activations, patterns, r)).collect();
+/// Panics unless the match index covers the pattern partitioning.
+fn check_index(patterns: &LayerPatterns, index: &LayerMatchIndex) {
+    assert_eq!(
+        index.num_partitions(),
+        patterns.num_partitions(),
+        "match index partition count must match the pattern sets"
+    );
+}
 
-    let mut l1 = Vec::with_capacity(rows * parts);
-    let mut l2: Vec<Vec<L2Entry>> = Vec::with_capacity(rows);
-    let mut l1_ones = 0u64;
-    let mut l2_pos = 0u64;
-    let mut l2_neg = 0u64;
-    for row in row_results {
-        l1.extend(row.l1);
-        l2.push(row.entries);
-        l1_ones += row.l1_ones;
-        l2_pos += row.l2_pos;
-        l2_neg += row.l2_neg;
+/// One contiguous block of rows, decomposed by one worker. Buffers are
+/// allocated per chunk, not per row, so the sweep's allocation count is
+/// bounded by the worker count instead of the row count.
+struct ChunkDecomposition {
+    /// Row-major `chunk_rows × parts` pattern indices ([`NO_PATTERN`] =
+    /// unassigned).
+    l1: Vec<u16>,
+    /// The chunk's corrections, row-major (CSR within the chunk).
+    l2: Vec<L2Entry>,
+    /// Per-row end offsets into `l2` (`chunk_rows` elements, relative to
+    /// the chunk).
+    l2_ends: Vec<u32>,
+    l1_ones: u64,
+    l2_pos: u64,
+    l2_neg: u64,
+}
+
+/// The row ranges the parallel sweep splits into: one chunk per worker.
+/// "Worker" uses `available_parallelism`, which is exactly the pool size
+/// of the vendored `rayon` shim (it has no pool-size override); the shim
+/// distributes whole chunks, so finer splits would only add allocations.
+fn chunk_bounds(rows: usize) -> Vec<(usize, usize)> {
+    let workers =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let size = rows.div_ceil(workers.min(rows.max(1))).max(1);
+    (0..rows.div_ceil(size)).map(|c| (c * size, ((c + 1) * size).min(rows))).collect()
+}
+
+/// Runs the chunked parallel sweep with a per-chunk decision closure for
+/// nontrivial tiles (trivial tiles — empty or single-bit — are decided
+/// inline: an empty tile emits nothing, and a single-bit tile can only
+/// win via an exact hit, which has no corrections).
+fn run_chunks<D, F>(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    make_decide: F,
+) -> Vec<ChunkDecomposition>
+where
+    D: FnMut(usize, u64, u32) -> TileDecision,
+    F: Fn(usize) -> D + Sync,
+{
+    chunk_bounds(activations.rows())
+        .into_par_iter()
+        .map(|(lo, hi)| run_chunk(activations, patterns, lo, hi, make_decide(lo)))
+        .collect()
+}
+
+/// Decomposes rows `lo..hi`: applies the matcher rule per partition tile
+/// and expands the decisions into L1 indices and column-sorted L2
+/// corrections (partitions ascend and bits ascend within a partition, so
+/// entries come out sorted without a sort).
+fn run_chunk(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    lo: usize,
+    hi: usize,
+    mut decide: impl FnMut(usize, u64, u32) -> TileDecision,
+) -> ChunkDecomposition {
+    let k = patterns.k();
+    let parts = patterns.num_partitions();
+    let rows = hi - lo;
+    // The chunk never emits more corrections than its rows hold bits (an
+    // assigned pattern must strictly beat the tile's own bit count), so
+    // one reservation covers the whole chunk.
+    let nnz: usize = (lo..hi).map(|r| activations.row_nnz(r)).sum();
+    let mut out = ChunkDecomposition {
+        l1: Vec::with_capacity(rows * parts),
+        l2: Vec::with_capacity(nnz),
+        l2_ends: Vec::with_capacity(rows),
+        l1_ones: 0,
+        l2_pos: 0,
+        l2_neg: 0,
+    };
+    // The nonzero-tile body shared by both walks below.
+    let mut handle = |out: &mut ChunkDecomposition, part: usize, tile: u64| {
+        let decision = match tile.count_ones() {
+            1 => single_bit_tile(patterns.set(part), tile),
+            baseline => decide(part, tile, baseline),
+        };
+        emit_tile(out, decision, tile, part, k);
+    };
+    if 64 % k == 0 {
+        // Word-aligned tiling: walk each row's backing words and skip
+        // fully-zero words (the common case in sparse spiking data)
+        // without touching their tiles at all. Bits beyond the column
+        // count are guaranteed zero, so shifting out of the raw word
+        // yields exactly the masked tile.
+        let tiles_per_word = 64 / k;
+        let k_mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+        for r in lo..hi {
+            for (w_idx, &word) in activations.row_words(r).iter().enumerate() {
+                let first = w_idx * tiles_per_word;
+                let last = (first + tiles_per_word).min(parts);
+                if word == 0 {
+                    // Empty tiles need no decision, corrections, or
+                    // counter updates.
+                    out.l1.resize(out.l1.len() + (last - first), NO_PATTERN);
+                    continue;
+                }
+                for part in first..last {
+                    let tile = (word >> ((part - first) * k)) & k_mask;
+                    if tile == 0 {
+                        out.l1.push(NO_PATTERN);
+                    } else {
+                        handle(&mut out, part, tile);
+                    }
+                }
+            }
+            out.l2_ends.push(out.l2.len() as u32);
+        }
+    } else {
+        for r in lo..hi {
+            for (part, tile) in activations.row_partition_tiles(r, k).enumerate() {
+                if tile == 0 {
+                    out.l1.push(NO_PATTERN);
+                } else {
+                    handle(&mut out, part, tile);
+                }
+            }
+            out.l2_ends.push(out.l2.len() as u32);
+        }
     }
+    out
+}
+
+/// Expands one tile decision into its L1 index and L2 corrections.
+/// `diff` doubles as the correction set: each set bit is one correction,
+/// `+1` where the tile holds the 1 and `−1` where the pattern does; for
+/// an unassigned tile `diff == tile`, so every correction is a `+1` (the
+/// raw-bit-sparsity fallback).
+#[inline]
+fn emit_tile(
+    out: &mut ChunkDecomposition,
+    decision: TileDecision,
+    tile: u64,
+    part: usize,
+    k: usize,
+) {
+    let TileDecision { pattern, diff } = decision;
+    match pattern {
+        Some(idx) => {
+            out.l1.push(idx);
+            // The masked pattern bits are `tile ^ diff` by construction.
+            out.l1_ones += u64::from((tile ^ diff).count_ones());
+        }
+        None => out.l1.push(NO_PATTERN),
+    }
+    let mut bits = diff;
+    while bits != 0 {
+        let b = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let col = (part * k + b) as u32;
+        let value = if (tile >> b) & 1 == 1 {
+            out.l2_pos += 1;
+            1
+        } else {
+            out.l2_neg += 1;
+            -1
+        };
+        out.l2.push(L2Entry { col, value });
+    }
+}
+
+/// Splices chunk results together in row order (the parallel collect
+/// preserves input order, keeping every output identical to a sequential
+/// sweep). Rows are independent, which is also why batch fusion and
+/// caching cannot change any output bit.
+fn combine(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    mut chunk_results: Vec<ChunkDecomposition>,
+) -> Decomposition {
+    let rows = activations.rows();
+    let parts = patterns.num_partitions();
+    let (l1, l2, ends, l1_ones, l2_pos, l2_neg) = if chunk_results.len() == 1 {
+        // The single-worker sweep already produced the final buffers.
+        let c = chunk_results.pop().expect("one chunk");
+        (c.l1, c.l2, c.l2_ends, c.l1_ones, c.l2_pos, c.l2_neg)
+    } else {
+        let mut l1 = Vec::with_capacity(rows * parts);
+        let mut l2: Vec<L2Entry> =
+            Vec::with_capacity(chunk_results.iter().map(|c| c.l2.len()).sum());
+        let mut ends = Vec::with_capacity(rows);
+        let mut l1_ones = 0u64;
+        let mut l2_pos = 0u64;
+        let mut l2_neg = 0u64;
+        for mut chunk in chunk_results {
+            let base = l2.len() as u32;
+            l1.append(&mut chunk.l1);
+            l2.append(&mut chunk.l2);
+            ends.extend(chunk.l2_ends.iter().map(|&e| base + e));
+            l1_ones += chunk.l1_ones;
+            l2_pos += chunk.l2_pos;
+            l2_neg += chunk.l2_neg;
+        }
+        (l1, l2, ends, l1_ones, l2_pos, l2_neg)
+    };
+    let mut l2_offsets = Vec::with_capacity(rows + 1);
+    l2_offsets.push(0);
+    l2_offsets.extend(ends);
 
     Decomposition {
         rows,
@@ -119,6 +470,7 @@ pub fn decompose(activations: &SpikeMatrix, patterns: &LayerPatterns) -> Decompo
         patterns: patterns.clone(),
         l1,
         l2,
+        l2_offsets,
         l1_ones,
         l2_pos,
         l2_neg,
@@ -126,92 +478,77 @@ pub fn decompose(activations: &SpikeMatrix, patterns: &LayerPatterns) -> Decompo
     }
 }
 
-/// One row's share of the decomposition, produced independently per row by
-/// the parallel sweep.
-struct RowDecomposition {
-    l1: Vec<Option<u16>>,
-    entries: Vec<L2Entry>,
-    l1_ones: u64,
-    l2_pos: u64,
-    l2_neg: u64,
-}
-
-/// The matcher rule for one nonzero tile: the pattern only pays off when
-/// its correction count beats the tile's own bit sparsity
-/// (`dist < baseline`). Single-bit tiles can only win via an exact hit —
-/// so the linear distance scan (the expensive half of `best_match`) runs
-/// only for tiles with at least two bits. Bit-identical to probing
-/// `best_match` unconditionally.
-fn match_tile(set: &crate::PatternSet, tile: u64) -> Option<u16> {
-    match tile.count_ones() {
-        0 => None,
-        1 => set.exact_match(tile).map(|idx| idx as u16),
-        baseline => match set.best_match(tile) {
-            // Strictly better than bit sparsity: assign the pattern.
-            Some((idx, dist)) if dist < baseline => Some(idx as u16),
-            _ => None,
-        },
+/// The matcher rule for a single-bit tile: it can only win via an exact
+/// hit (its correction count would otherwise match or exceed its own bit
+/// sparsity), and an exact hit has no corrections. The one-hot mask
+/// answers the common case — calibration filters one-hot patterns, so
+/// there is normally nothing to match — with one AND.
+#[inline]
+fn single_bit_tile(set: &PatternSet, tile: u64) -> TileDecision {
+    if set.one_hot_mask() & tile == 0 {
+        return TileDecision { pattern: None, diff: tile };
     }
+    let pattern = set.exact_match(tile).map(|idx| idx as u16);
+    TileDecision { pattern, diff: if pattern.is_some() { 0 } else { tile } }
 }
 
-/// Decomposes one row: applies the matcher rule per partition tile and
-/// expands the decisions into L1 indices and column-sorted L2 corrections
-/// (partitions ascend and bits ascend within a partition, so entries come
-/// out sorted without a sort).
-fn decompose_row(
+/// The matcher rule for one nontrivial tile (popcount ≥ 2), resolved
+/// through the partition's [`MatchIndex`] — the cache-miss path of
+/// [`decompose_cached`]. Returns the decision in the memoizable
+/// [`TileDecision`] form.
+fn resolve_tile(
     activations: &SpikeMatrix,
     patterns: &LayerPatterns,
-    r: usize,
-) -> RowDecomposition {
-    let k = patterns.k();
-    let parts = patterns.num_partitions();
-    let mut l1 = Vec::with_capacity(parts);
-    let mut row_entries = Vec::new();
-    let mut l1_ones = 0u64;
-    let mut l2_pos = 0u64;
-    let mut l2_neg = 0u64;
-    for part in 0..parts {
-        let tile = activations.partition_tile(r, part, k);
-        // The final partition may be narrower than k; pattern bits in
-        // the padded region are inert (their weights do not exist) and
-        // must not generate corrections.
-        let width = k.min(activations.cols() - part * k);
-        let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-        match match_tile(patterns.set(part), tile) {
-            Some(idx) => {
-                let p = patterns.set(part).pattern(idx as usize);
-                l1.push(Some(idx));
-                let p_bits = p.bits() & width_mask;
-                l1_ones += u64::from(p_bits.count_ones());
-                let diff = p_bits ^ tile;
-                let mut bits = diff;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let col = (part * k + b) as u32;
-                    let value = if (tile >> b) & 1 == 1 {
-                        l2_pos += 1;
-                        1
-                    } else {
-                        l2_neg += 1;
-                        -1
-                    };
-                    row_entries.push(L2Entry { col, value });
-                }
-            }
-            None => {
-                l1.push(None);
-                let mut bits = tile;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    l2_pos += 1;
-                    row_entries.push(L2Entry { col: (part * k + b) as u32, value: 1 });
-                }
-            }
+    index: &LayerMatchIndex,
+    part: usize,
+    tile: u64,
+    baseline: u32,
+) -> TileDecision {
+    finish_decision(activations, patterns, part, tile, baseline, {
+        index.partition(part).best_match(tile)
+    })
+}
+
+/// Turns a matcher answer into the tile's decision: assign the pattern
+/// only when its distance strictly beats the tile's own bit sparsity,
+/// and derive the correction bitmask.
+#[inline]
+fn finish_decision(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    part: usize,
+    tile: u64,
+    baseline: u32,
+    matched: Option<(usize, u32)>,
+) -> TileDecision {
+    let pattern = match matched {
+        // Strictly better than bit sparsity: assign the pattern.
+        Some((idx, dist)) if dist < baseline => Some(idx as u16),
+        _ => None,
+    };
+    let diff = match pattern {
+        Some(idx) => {
+            (patterns.set(part).pattern(idx as usize).bits()
+                & partition_mask(activations.cols(), part, patterns.k()))
+                ^ tile
         }
+        None => tile,
+    };
+    TileDecision { pattern, diff }
+}
+
+/// Bit mask of the columns partition `part` actually covers. The final
+/// partition may be narrower than `k`; pattern bits in the padded region
+/// are inert (their weights do not exist) and must not generate
+/// corrections.
+#[inline]
+fn partition_mask(cols: usize, part: usize, k: usize) -> u64 {
+    let width = k.min(cols - part * k);
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
     }
-    RowDecomposition { l1, entries: row_entries, l1_ones, l2_pos, l2_neg }
 }
 
 impl Decomposition {
@@ -232,7 +569,26 @@ impl Decomposition {
     ) -> Self {
         debug_assert_eq!(l1.len(), rows * patterns.num_partitions());
         debug_assert_eq!(l2.len(), rows);
-        Decomposition { rows, cols, patterns, l1, l2, l1_ones, l2_pos, l2_neg, bit_nnz }
+        let l1 = l1.into_iter().map(|p| p.unwrap_or(NO_PATTERN)).collect();
+        let mut l2_offsets = Vec::with_capacity(rows + 1);
+        l2_offsets.push(0u32);
+        let mut flat = Vec::with_capacity(l2.iter().map(Vec::len).sum());
+        for row in l2 {
+            flat.extend(row);
+            l2_offsets.push(flat.len() as u32);
+        }
+        Decomposition {
+            rows,
+            cols,
+            patterns,
+            l1,
+            l2: flat,
+            l2_offsets,
+            l1_ones,
+            l2_pos,
+            l2_neg,
+            bit_nnz,
+        }
     }
 
     /// Activation row count.
@@ -267,7 +623,8 @@ impl Decomposition {
     /// Panics if out of bounds.
     pub fn l1_index(&self, row: usize, part: usize) -> Option<u16> {
         assert!(row < self.rows && part < self.num_partitions(), "index out of bounds");
-        self.l1[row * self.num_partitions() + part]
+        let raw = self.l1[row * self.num_partitions() + part];
+        (raw != NO_PATTERN).then_some(raw)
     }
 
     /// Full assignment record for `(row, part)`.
@@ -286,7 +643,7 @@ impl Decomposition {
     ///
     /// Panics if `row` is out of bounds.
     pub fn l2_row(&self, row: usize) -> &[L2Entry] {
-        &self.l2[row]
+        &self.l2[self.l2_offsets[row] as usize..self.l2_offsets[row + 1] as usize]
     }
 
     /// Number of Level-2 corrections in the `(row, part)` tile.
@@ -298,7 +655,7 @@ impl Decomposition {
         let k = self.k() as u32;
         let lo = (part as u32) * k;
         let hi = lo + k;
-        self.l2[row].iter().filter(|e| e.col >= lo && e.col < hi).count() as u32
+        self.l2_row(row).iter().filter(|e| e.col >= lo && e.col < hi).count() as u32
     }
 
     /// Level-2 corrections of the `(row, part)` tile, sorted by column.
@@ -310,7 +667,7 @@ impl Decomposition {
         let k = self.k() as u32;
         let lo = (part as u32) * k;
         let hi = lo + k;
-        self.l2[row].iter().copied().filter(move |e| e.col >= lo && e.col < hi)
+        self.l2_row(row).iter().copied().filter(move |e| e.col >= lo && e.col < hi)
     }
 
     /// Total Level-2 nonzeros.
@@ -320,7 +677,7 @@ impl Decomposition {
 
     /// Number of tiles with an assigned pattern.
     pub fn assigned_tiles(&self) -> u64 {
-        self.l1.iter().filter(|a| a.is_some()).count() as u64
+        self.l1.iter().filter(|&&a| a != NO_PATTERN).count() as u64
     }
 
     /// Sparsity statistics (Table 4 / Fig. 7 quantities).
@@ -354,7 +711,7 @@ impl Decomposition {
                     }
                 }
             }
-            for e in &self.l2[r] {
+            for e in self.l2_row(r) {
                 let col = e.col as usize;
                 match e.value {
                     1 => {
@@ -375,6 +732,483 @@ impl Decomposition {
     /// Whether `L1 + L2` reconstructs `original` exactly.
     pub fn verify_lossless(&self, original: &SpikeMatrix) -> bool {
         self.reconstruct() == *original
+    }
+}
+
+/// A sub-linear matcher over one partition's [`PatternSet`]: patterns
+/// bucketed by popcount, probed in best-first order of the Hamming lower
+/// bound `|popcount(pattern) − popcount(tile)|` (an XOR can never erase
+/// the popcount difference), with early termination once that bound
+/// exceeds the best distance found.
+///
+/// [`MatchIndex::best_match`] is bit-identical to
+/// [`PatternSet::best_match`] — same `(min distance, then min index)` tie
+/// rule — which the `match_cache` property suite pins down. Construction
+/// reuses the popcounts precomputed by the [`PatternSet`] constructor.
+///
+/// # Example
+///
+/// ```
+/// use phi_core::{MatchIndex, Pattern, PatternSet};
+///
+/// let set = PatternSet::new(4, vec![Pattern::new(0b1100, 4), Pattern::new(0b0011, 4)]);
+/// let index = MatchIndex::new(&set);
+/// assert_eq!(index.best_match(0b1101), set.best_match(0b1101));
+/// assert_eq!(index.best_match(0b1101), Some((0, 1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchIndex {
+    /// Bucket boundaries: the entries of popcount `pc` live at
+    /// `entries[offsets[pc]..offsets[pc + 1]]` (CSR layout — one
+    /// contiguous allocation keeps the best-first scan on hot cache
+    /// lines). `offsets` has `width + 2` elements.
+    offsets: Vec<u32>,
+    /// `(bits, index)` of every pattern, grouped by popcount, ascending
+    /// by index within each bucket (the order the tie rule needs).
+    entries: Vec<(u64, u32)>,
+}
+
+impl MatchIndex {
+    /// Builds the index for one pattern set.
+    pub fn new(set: &PatternSet) -> Self {
+        let mut buckets = vec![Vec::new(); set.width() + 1];
+        for (i, p) in set.patterns().iter().enumerate() {
+            buckets[set.popcount(i) as usize].push((p.bits(), i as u32));
+        }
+        MatchIndex::from_buckets(buckets)
+    }
+
+    /// Pattern width the index was built at.
+    pub fn width(&self) -> usize {
+        self.offsets.len() - 2
+    }
+
+    /// Number of indexed patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(bits, pattern index)` entries of one popcount bucket,
+    /// ascending by index (the serialization order of [`crate::wire`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `popcount > width`.
+    pub fn bucket(&self, popcount: usize) -> &[(u64, u32)] {
+        &self.entries[self.offsets[popcount] as usize..self.offsets[popcount + 1] as usize]
+    }
+
+    /// Reassembles an index from its buckets (the deserialization path in
+    /// [`crate::wire`]); callers must have validated the entries.
+    pub(crate) fn from_buckets(buckets: Vec<Vec<(u64, u32)>>) -> Self {
+        let mut offsets = Vec::with_capacity(buckets.len() + 1);
+        let mut entries = Vec::with_capacity(buckets.iter().map(Vec::len).sum());
+        offsets.push(0);
+        for bucket in buckets {
+            entries.extend(bucket);
+            offsets.push(entries.len() as u32);
+        }
+        MatchIndex { offsets, entries }
+    }
+
+    /// The pattern minimizing Hamming distance to `tile`, as
+    /// `(index, distance)`; `None` for an empty set. Bit-identical to
+    /// [`PatternSet::best_match`], including the lowest-index tie rule.
+    pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
+        let tp = tile.count_ones() as i64;
+        let width = self.width() as i64;
+        let mut best: Option<(u32, u32)> = None; // (distance, index), lexicographic min
+        for delta in 0..=width {
+            if let Some((bd, _)) = best {
+                // Every unvisited bucket bounds its distances by delta:
+                // strictly beyond the best distance, nothing can win (a
+                // tie at the bound loses on distance, not index, because
+                // d >= delta > bd).
+                if delta as u32 > bd {
+                    break;
+                }
+            }
+            for (side, pc) in [tp - delta, tp + delta].into_iter().enumerate() {
+                // At delta 0 both sides name the same bucket; visit once.
+                if pc < 0 || pc > width || (side == 1 && delta == 0) {
+                    continue;
+                }
+                for &(bits, idx) in self.bucket(pc as usize) {
+                    let d = (bits ^ tile).count_ones();
+                    let better = match best {
+                        None => true,
+                        Some((bd, bi)) => d < bd || (d == bd && idx < bi),
+                    };
+                    if better {
+                        if d == 0 {
+                            // Exact hits all share this bucket and ascend
+                            // by index: the first is the final answer.
+                            return Some((idx as usize, 0));
+                        }
+                        best = Some((d, idx));
+                        if d == delta as u32 {
+                            // Bucket-minimal distance: later entries in
+                            // this bucket have d >= delta and higher
+                            // indices, so none can improve. (The sibling
+                            // bucket at the same delta is still visited —
+                            // it may hold an equal distance at a lower
+                            // index.)
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(d, i)| (i as usize, d))
+    }
+}
+
+/// One [`MatchIndex`] per partition of a layer — the unit
+/// [`decompose_indexed`] and [`decompose_cached`] consume, and the record
+/// `phi-runtime` serializes into compiled-model artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMatchIndex {
+    indexes: Vec<MatchIndex>,
+}
+
+impl LayerMatchIndex {
+    /// Builds the per-partition indexes for a layer's pattern sets.
+    pub fn new(patterns: &LayerPatterns) -> Self {
+        LayerMatchIndex { indexes: patterns.sets().iter().map(MatchIndex::new).collect() }
+    }
+
+    /// Reassembles a layer index from per-partition parts (the
+    /// deserialization path in [`crate::wire`]).
+    pub(crate) fn from_indexes(indexes: Vec<MatchIndex>) -> Self {
+        LayerMatchIndex { indexes }
+    }
+
+    /// Number of partitions covered.
+    pub fn num_partitions(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The index of partition `part`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of bounds.
+    pub fn partition(&self, part: usize) -> &MatchIndex {
+        &self.indexes[part]
+    }
+
+    /// All per-partition indexes, in partition order.
+    pub fn indexes(&self) -> &[MatchIndex] {
+        &self.indexes
+    }
+}
+
+/// The memoizable outcome of the matcher rule for one `(partition, tile)`
+/// key: the assigned pattern (or `None` for bit sparsity) and the Level-2
+/// correction set in bitmask form — each set bit of `diff` is one
+/// correction, signed `+1` where the tile holds the bit and `−1` where
+/// the (width-masked) pattern does. For an unassigned tile `diff` equals
+/// the tile itself, so every correction is a `+1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileDecision {
+    /// Index into the partition's [`PatternSet`], or `None` when the tile
+    /// keeps its raw bit sparsity.
+    pub pattern: Option<u16>,
+    /// XOR of the width-masked assigned pattern bits and the tile (the
+    /// tile itself when no pattern is assigned).
+    pub diff: u64,
+}
+
+/// Point-in-time counters of a [`TileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the caller resolved and inserted).
+    pub misses: u64,
+    /// Inserts that displaced a different key (capacity pressure).
+    pub evictions: u64,
+    /// Slots currently holding a decision.
+    pub entries: u64,
+    /// Total slot count (0 when the cache is disabled).
+    pub capacity: u64,
+}
+
+impl TileCacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another cache's counters (the per-model aggregation
+    /// over per-layer caches).
+    pub fn merge(&mut self, other: &TileCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.capacity += other.capacity;
+    }
+}
+
+/// Largest partition count a [`TileCache`] key can encode: the partition
+/// index shares its word with the 7-bit partition width, leaving 25 bits
+/// of index (a 512 M-column layer at `k = 16` — far beyond any real
+/// model).
+pub const MAX_CACHE_PARTITIONS: usize = 1 << 25;
+
+/// A packed `(partition · width, tile bits)` cache key — see
+/// [`tile_key`].
+type TileKey = (u32, u64);
+
+/// Packs a cache key. The partition *width* is part of the key because a
+/// decision's correction mask depends on it: the same partition index
+/// and tile bits can mask differently when the cache is shared across
+/// activations whose final partitions are narrower. Widths are ≤ 64, so
+/// they fit the low 7 bits under the partition index.
+#[inline]
+fn tile_key(part: u32, width: u32, tile: u64) -> TileKey {
+    debug_assert!(width <= 64);
+    ((part << 7) | width, tile)
+}
+
+/// The memo table behind a [`TileCache`] snapshot.
+type TileMap = HashMap<TileKey, TileDecision, BuildHasherDefault<TileKeyHasher>>;
+
+/// A deterministic multiply-xor hasher for [`TileKey`]s — the keys are
+/// already near-uniform bit patterns, so the SipHash default would spend
+/// more time hashing than the probe it guards.
+#[derive(Default)]
+struct TileKeyHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for TileKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // SplitMix64-style finalizer: HashMap consumes both the low bits
+        // (bucket mask) and high bits (SIMD tag), so mix both well.
+        let mut h = self.state;
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// A bounded, shared memo table for tile decisions, reused across
+/// decompositions (and, behind an `Arc`, across batches and server
+/// workers — see `phi_runtime::BatchExecutor`).
+///
+/// The table is an immutable snapshot behind a mutex-guarded `Arc`:
+/// [`decompose_cached`] takes the snapshot once per sweep, probes it
+/// lock-free from every parallel row, and commits the sweep's misses in
+/// one merge — so the steady-state hit path costs a hash-map probe and
+/// nothing else. Inserting past `capacity` evicts arbitrary earlier
+/// entries (the eviction counter tracks this pressure); capacity 0
+/// disables the cache entirely, degrading [`decompose_cached`] to the
+/// pure indexed path.
+///
+/// Because a stored decision is a pure function of its key (within one
+/// layer's pattern sets), cache state can never change a decomposition
+/// bit — only its speed.
+///
+/// # Example
+///
+/// ```
+/// use phi_core::{decompose, decompose_cached, LayerMatchIndex, TileCache};
+/// use phi_core::{LayerPatterns, Pattern, PatternSet};
+/// use snn_core::SpikeMatrix;
+///
+/// let patterns = LayerPatterns::new(4, vec![PatternSet::new(4, vec![Pattern::new(0b0110, 4)])]);
+/// let index = LayerMatchIndex::new(&patterns);
+/// let cache = TileCache::new(1024);
+/// let mut acts = SpikeMatrix::zeros(2, 4);
+/// acts.set_tile(0, 0, 4, 0b0111);
+/// acts.set_tile(1, 0, 4, 0b0111); // the tile repeats, but this sweep's
+///                                 // snapshot predates it: two misses
+/// let cold = decompose_cached(&acts, &patterns, &index, &cache);
+/// assert_eq!(cold, decompose(&acts, &patterns));
+/// assert_eq!(cache.stats().misses, 2);
+/// // The next sweep replays the committed decision.
+/// let warm = decompose_cached(&acts, &patterns, &index, &cache);
+/// assert_eq!(warm, cold);
+/// assert_eq!(cache.stats().hits, 2);
+/// ```
+pub struct TileCache {
+    capacity: usize,
+    map: Mutex<Arc<TileMap>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TileCache {
+    /// Creates a cache holding at most `capacity` decisions;
+    /// `capacity == 0` disables the cache.
+    pub fn new(capacity: usize) -> Self {
+        TileCache {
+            capacity,
+            map: Mutex::new(Arc::new(TileMap::default())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled cache: every lookup misses, inserts are dropped, and no
+    /// counter moves. [`decompose_indexed`] behaves as if running on one.
+    pub fn disabled() -> Self {
+        TileCache::new(0)
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity != 0
+    }
+
+    /// Maximum number of stored decisions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current immutable snapshot (the lock is held only for the
+    /// `Arc` clone; probes are lock-free thereafter).
+    fn snapshot(&self) -> Arc<TileMap> {
+        Arc::clone(&self.map.lock().expect("tile cache map"))
+    }
+
+    /// Merges one sweep's outcome: `hits` snapshot lookups answered,
+    /// `miss_probes` lookups that missed the snapshot, and the distinct
+    /// decisions resolved for those misses — inserted while evicting
+    /// arbitrary earlier entries once `capacity` is reached. Duplicate
+    /// keys across `resolved` (the same tile resolved by several
+    /// parallel chunks) collapse into one entry.
+    fn commit(&self, hits: u64, miss_probes: u64, resolved: Vec<(TileKey, TileDecision)>) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if miss_probes > 0 {
+            self.misses.fetch_add(miss_probes, Ordering::Relaxed);
+        }
+        if resolved.is_empty() {
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut guard = self.map.lock().expect("tile cache map");
+        // Steady state mutates the map in place; a concurrent sweep still
+        // holding the snapshot forces one copy-on-write clone.
+        let map = Arc::make_mut(&mut guard);
+        for (key, decision) in resolved {
+            evicted += u64::from(Self::insert_bounded(map, self.capacity, key, decision));
+        }
+        drop(guard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Inserts one decision, evicting an arbitrary earlier entry first if
+    /// the map is at `capacity` and the key is new; returns whether an
+    /// eviction happened. The single authority for the eviction policy,
+    /// shared by [`Self::commit`] and [`Self::insert`].
+    fn insert_bounded(
+        map: &mut TileMap,
+        capacity: usize,
+        key: TileKey,
+        decision: TileDecision,
+    ) -> bool {
+        let evict = map.len() >= capacity && !map.contains_key(&key);
+        if evict {
+            let victim = *map.keys().next().expect("nonempty map at capacity");
+            map.remove(&victim);
+        }
+        map.insert(key, decision);
+        evict
+    }
+
+    /// Looks up the memoized decision for the `(part, width, tile)` tile
+    /// (`width` is the partition's column width — `k` except possibly for
+    /// the final partition), counting the hit or miss. Always `None` on a
+    /// disabled cache (uncounted).
+    pub fn lookup(&self, part: u32, width: u32, tile: u64) -> Option<TileDecision> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let found = self.snapshot().get(&tile_key(part, width, tile)).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoizes the decision for the `(part, width, tile)` tile, evicting
+    /// an arbitrary earlier entry if the cache is full. No-op on a
+    /// disabled cache.
+    pub fn insert(&self, part: u32, width: u32, tile: u64, decision: TileDecision) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = self.map.lock().expect("tile cache map");
+        let map = Arc::make_mut(&mut guard);
+        let evicted =
+            Self::insert_bounded(map, self.capacity, tile_key(part, width, tile), decision);
+        drop(guard);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every stored decision (counters keep accumulating).
+    pub fn clear(&self) {
+        *self.map.lock().expect("tile cache map") = Arc::new(TileMap::default());
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> TileCacheStats {
+        TileCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("tile cache map").len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for TileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TileCache")
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -515,6 +1349,135 @@ mod tests {
             let total: u32 = (0..d.num_partitions()).map(|p| d.l2_tile_nnz(r, p)).sum();
             assert_eq!(total as usize, d.l2_row(r).len());
         }
+    }
+
+    #[test]
+    fn indexed_and_cached_paths_match_the_linear_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for density in [0.1, 0.3] {
+            let acts = SpikeMatrix::random(80, 50, density, &mut rng);
+            let cal = Calibrator::new(CalibrationConfig { q: 16, ..Default::default() });
+            let patterns = cal.calibrate(&acts, &mut rng);
+            let index = LayerMatchIndex::new(&patterns);
+            let linear = decompose(&acts, &patterns);
+            let indexed = decompose_indexed(&acts, &patterns, &index);
+            assert_eq!(indexed, linear);
+            let cache = TileCache::new(256);
+            let cold = decompose_cached(&acts, &patterns, &index, &cache);
+            let warm = decompose_cached(&acts, &patterns, &index, &cache);
+            assert_eq!(cold, linear);
+            assert_eq!(warm, linear);
+            assert!(cache.stats().hits > 0, "second sweep must hit the cache");
+            assert!(linear.verify_lossless(&acts));
+        }
+    }
+
+    #[test]
+    fn match_index_keeps_the_lowest_index_tie_rule() {
+        // Duplicate patterns and a cross-bucket tie: tile 0b1101 is
+        // distance 1 from 0b1100 (index 0, popcount 2) and from 0b1111
+        // (index 3, popcount 4). The lower index must win even though the
+        // popcount-4 bucket is visited at the same bound.
+        let set = PatternSet::new(
+            4,
+            vec![
+                Pattern::new(0b1100, 4),
+                Pattern::new(0b0011, 4),
+                Pattern::new(0b1100, 4),
+                Pattern::new(0b1111, 4),
+            ],
+        );
+        let index = MatchIndex::new(&set);
+        for tile in 0..16u64 {
+            assert_eq!(index.best_match(tile), set.best_match(tile), "tile {tile:04b}");
+        }
+        assert_eq!(index.best_match(0b1101), Some((0, 1)));
+        assert!(MatchIndex::new(&PatternSet::empty(16)).best_match(5).is_none());
+        assert_eq!(index.len(), 4);
+        assert!(!index.is_empty());
+        assert_eq!(index.width(), 4);
+    }
+
+    #[test]
+    fn tile_cache_counts_hits_misses_and_evictions() {
+        let cache = TileCache::new(1);
+        assert_eq!(cache.capacity(), 1);
+        let a = TileDecision { pattern: Some(3), diff: 0b10 };
+        let b = TileDecision { pattern: None, diff: 0b11 };
+        assert_eq!(cache.lookup(0, 4, 0b11), None);
+        cache.insert(0, 4, 0b11, a);
+        assert_eq!(cache.lookup(0, 4, 0b11), Some(a));
+        // A different key lands in the single slot: insert evicts.
+        assert_eq!(cache.lookup(1, 4, 0b101), None);
+        cache.insert(1, 4, 0b101, b);
+        assert_eq!(cache.lookup(1, 4, 0b101), Some(b));
+        assert_eq!(cache.lookup(0, 4, 0b11), None, "evicted key must miss");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 3, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.lookup(1, 4, 0b101), None);
+    }
+
+    #[test]
+    fn disabled_cache_stores_and_counts_nothing() {
+        let cache = TileCache::disabled();
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.capacity(), 0);
+        cache.insert(0, 4, 7, TileDecision { pattern: None, diff: 7 });
+        assert_eq!(cache.lookup(0, 4, 7), None);
+        assert_eq!(cache.stats(), TileCacheStats::default());
+        // And the cached decompose path degrades to the indexed path.
+        let mut rng = StdRng::seed_from_u64(22);
+        let acts = SpikeMatrix::random(20, 32, 0.25, &mut rng);
+        let cal = Calibrator::new(CalibrationConfig { q: 8, ..Default::default() });
+        let patterns = cal.calibrate(&acts, &mut rng);
+        let index = LayerMatchIndex::new(&patterns);
+        assert_eq!(decompose_cached(&acts, &patterns, &index, &cache), decompose(&acts, &patterns));
+    }
+
+    #[test]
+    fn shared_cache_across_different_widths_stays_exact() {
+        // Two activation sets with the same partition COUNT but different
+        // final-partition widths (cols 8 vs 7 at k = 4). The cached tile
+        // decision for the final partition masks its corrections by that
+        // width, so the key must distinguish them — a regression test for
+        // the width-blind key that replayed a col-7 correction into a
+        // 7-column matrix.
+        let patterns = LayerPatterns::new(
+            4,
+            vec![
+                PatternSet::new(4, vec![Pattern::new(0b0110, 4)]),
+                PatternSet::new(4, vec![Pattern::new(0b1110, 4)]),
+            ],
+        );
+        let index = LayerMatchIndex::new(&patterns);
+        let cache = TileCache::new(64);
+        let mut wide = SpikeMatrix::zeros(1, 8);
+        wide.set_tile(0, 4, 4, 0b0110); // final partition width 4
+        let mut narrow = SpikeMatrix::zeros(1, 7);
+        narrow.set_tile(0, 4, 3, 0b110); // same tile bits, width 3
+        for acts in [&wide, &narrow, &wide, &narrow] {
+            let cached = decompose_cached(acts, &patterns, &index, &cache);
+            assert_eq!(cached, decompose(acts, &patterns));
+            assert!(cached.verify_lossless(acts));
+        }
+    }
+
+    #[test]
+    fn tile_cache_stats_merge_accumulates() {
+        let mut total = TileCacheStats::default();
+        total.merge(&TileCacheStats { hits: 2, misses: 1, evictions: 0, entries: 3, capacity: 8 });
+        total.merge(&TileCacheStats { hits: 1, misses: 3, evictions: 2, entries: 1, capacity: 8 });
+        assert_eq!(total.hits, 3);
+        assert_eq!(total.misses, 4);
+        assert_eq!(total.evictions, 2);
+        assert_eq!(total.entries, 4);
+        assert_eq!(total.capacity, 16);
+        assert!((total.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(TileCacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

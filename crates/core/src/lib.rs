@@ -64,7 +64,10 @@ pub mod wire;
 
 pub use bitslice::{BitSlicedMatrix, BitSlicedPhi};
 pub use calibrate::{CalibrationConfig, CalibrationEngine, Calibrator, LayerPatterns};
-pub use decompose::{decompose, Decomposition, L2Entry, TileAssignment};
+pub use decompose::{
+    decompose, decompose_cached, decompose_indexed, Decomposition, L2Entry, LayerMatchIndex,
+    MatchIndex, TileAssignment, TileCache, TileCacheStats, TileDecision, MAX_CACHE_PARTITIONS,
+};
 pub use greedy::{greedy_frequent_patterns, greedy_pattern_set};
 pub use kmeans::{
     compress_tiles, hamming_kmeans, hamming_kmeans_unweighted, total_distance,

@@ -147,6 +147,16 @@ pub struct PatternSet {
     /// `(bits, lowest index)` sorted by bits — the matcher's exact-match
     /// shortcut. Derived from `patterns` in the constructor.
     exact: Vec<(u64, u32)>,
+    /// Per-pattern popcounts, precomputed once so neither the linear scan
+    /// nor [`crate::decompose::MatchIndex`] recounts bits per probe.
+    /// Derived from `patterns` in the constructor.
+    popcounts: Vec<u32>,
+    /// Union of all single-bit patterns: bit `b` is set iff some pattern
+    /// equals `1 << b`. Calibration filters one-hot patterns (§3.2), so
+    /// this is normally 0 — letting the decomposition's single-bit tiles
+    /// skip their exact-match probe with one AND. Derived from `patterns`
+    /// in the constructor.
+    one_hot: u64,
 }
 
 impl PatternSet {
@@ -165,12 +175,20 @@ impl PatternSet {
         // index per value, matching the tie rule of [`Self::best_match`].
         exact.sort_unstable();
         exact.dedup_by_key(|&mut (bits, _)| bits);
-        PatternSet { width, patterns, exact }
+        let popcounts = patterns.iter().map(Pattern::popcount).collect();
+        let one_hot = patterns.iter().filter(|p| p.is_one_hot()).fold(0, |m, p| m | p.bits());
+        PatternSet { width, patterns, exact, popcounts, one_hot }
     }
 
     /// An empty set (every row falls back to bit sparsity).
     pub fn empty(width: usize) -> Self {
-        PatternSet { width, patterns: Vec::new(), exact: Vec::new() }
+        PatternSet {
+            width,
+            patterns: Vec::new(),
+            exact: Vec::new(),
+            popcounts: Vec::new(),
+            one_hot: 0,
+        }
     }
 
     /// Pattern width `k`.
@@ -202,21 +220,61 @@ impl PatternSet {
         self.patterns[idx]
     }
 
+    /// Precomputed popcount of the pattern at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn popcount(&self, idx: usize) -> u32 {
+        self.popcounts[idx]
+    }
+
+    /// Precomputed per-pattern popcounts, index-aligned with
+    /// [`Self::patterns`].
+    pub fn popcounts(&self) -> &[u32] {
+        &self.popcounts
+    }
+
+    /// Union of all single-bit (one-hot) patterns in the set: bit `b` is
+    /// set iff some pattern equals `1 << b`. A single-bit tile with
+    /// `tile & one_hot_mask() == 0` therefore cannot have an exact match,
+    /// without probing [`Self::exact_match`]. Calibrated sets filter
+    /// one-hot patterns (§3.2), so this is usually 0.
+    #[inline]
+    pub fn one_hot_mask(&self) -> u64 {
+        self.one_hot
+    }
+
     /// Finds the pattern minimizing Hamming distance to `tile`, returning
     /// `(index, distance)`, or `None` if the set is empty. Ties resolve to
     /// the lowest index (deterministic, matching the hardware matcher's
     /// minimum-selection tree).
     ///
     /// Calibrated SNN tiles overwhelmingly hit a pattern exactly, so an
-    /// exact match is answered from a sorted lookup in O(log q); the linear
-    /// distance scan runs only on misses, and then stops at distance 1 (the
-    /// minimum still attainable once distance 0 is ruled out).
+    /// exact match is answered from a sorted lookup in O(log q). The
+    /// linear distance scan runs only on misses; it skips any pattern
+    /// whose precomputed popcount puts the Hamming lower bound
+    /// `|popcount(p) − popcount(tile)|` at or above the best distance so
+    /// far (such a pattern can never strictly improve, so the skip is
+    /// bit-identical), and stops outright at distance 1 (the minimum still
+    /// attainable once distance 0 is ruled out).
+    ///
+    /// This scan is the *linear reference matcher*: the sub-linear
+    /// [`crate::decompose::MatchIndex`] is property-tested to agree with
+    /// it bit for bit.
     pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
         if let Some(idx) = self.exact_match(tile) {
             return Some((idx, 0));
         }
+        let tp = tile.count_ones();
         let mut best: Option<(usize, u32)> = None;
         for (i, p) in self.patterns.iter().enumerate() {
+            if let Some((_, bd)) = best {
+                if self.popcounts[i].abs_diff(tp) >= bd {
+                    continue;
+                }
+            }
             let d = p.hamming(tile);
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));

@@ -1,14 +1,14 @@
 //! The compiled-model artifact: an immutable, serializable snapshot of
 //! everything the offline stage produces.
 //!
-//! # Binary format (version 1)
+//! # Binary format (version 2)
 //!
 //! All integers little-endian; strings are `u32`-length-prefixed UTF-8;
 //! floats are stored as their IEEE-754 bit patterns (bit-exact roundtrip).
 //!
 //! ```text
 //! magic      b"PHIC"
-//! version    u32                      (currently 1)
+//! version    u32                      (currently 2)
 //! label      str                      e.g. "VGG16/CIFAR10"
 //! k, q       u32, u32                 calibration geometry
 //! seed       u64                      compile seed (provenance)
@@ -18,25 +18,38 @@
 //!   m, k, n    u64 × 3                GEMM shape
 //!   timesteps  u32
 //!   patterns   phi_core::wire layer-patterns record
+//!   index      phi_core::wire layer-match-index record   (version ≥ 2)
 //!   weights?   u8 flag; if 1: rows u32, cols u32, f32 × rows·cols
 //! checksum   u64                      FNV-1a over every preceding byte
 //! ```
 //!
 //! Pattern–weight products are *derived* state: they are recomputed from
 //! the stored weights on construction and load rather than serialized, so
-//! an artifact cannot carry PWPs that disagree with its weights.
+//! an artifact cannot carry PWPs that disagree with its weights. The
+//! per-layer [`phi_core::LayerMatchIndex`] added in version 2 is derived
+//! state too, but it *is* serialized (it is part of what the compile
+//! stage precomputes for the online hot path); its wire record is fully
+//! validated against the pattern sets on load, so it can never disagree
+//! with them either. Version-1 artifacts still load — the index is
+//! rebuilt from their patterns ([`CompiledLayer::new`] always derives
+//! it), and [`CompiledModel::to_bytes_version`] can still write the old
+//! layout for downgrade tests.
 
 use crate::error::{Result, RuntimeError};
 use phi_core::wire::{self, Reader};
-use phi_core::{LayerPatterns, PwpTable};
+use phi_core::{LayerMatchIndex, LayerPatterns, PwpTable};
 use snn_core::{GemmShape, Matrix};
 use std::path::Path;
 
 /// First four bytes of every compiled artifact.
 pub const MAGIC: [u8; 4] = *b"PHIC";
 
-/// The artifact format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The artifact format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest artifact format version this build still reads (version 1
+/// predates the serialized match index, which is rebuilt on load).
+pub const OLDEST_SUPPORTED_VERSION: u32 = 1;
 
 /// One layer of a compiled model: calibrated patterns plus (optionally)
 /// the weights and their precomputed pattern–weight products.
@@ -50,6 +63,10 @@ pub struct CompiledLayer {
     pub timesteps: usize,
     /// Calibrated pattern sets, one per width-`k` partition.
     pub patterns: LayerPatterns,
+    /// Per-partition popcount-bucketed match indexes derived from
+    /// `patterns` — the serve-time decomposition probes these instead of
+    /// scanning every pattern.
+    pub match_index: LayerMatchIndex,
     /// Layer weights (`K × N`), when compiled with them.
     pub weights: Option<Matrix>,
     /// Pattern–weight products derived from `weights` (never serialized).
@@ -57,7 +74,8 @@ pub struct CompiledLayer {
 }
 
 impl CompiledLayer {
-    /// Assembles a layer, deriving the PWP table when weights are present.
+    /// Assembles a layer, deriving the match index and (when weights are
+    /// present) the PWP table.
     ///
     /// # Panics
     ///
@@ -71,10 +89,27 @@ impl CompiledLayer {
         patterns: LayerPatterns,
         weights: Option<Matrix>,
     ) -> Self {
+        let match_index = LayerMatchIndex::new(&patterns);
+        CompiledLayer::with_index(name, shape, timesteps, patterns, match_index, weights)
+    }
+
+    /// [`CompiledLayer::new`] with a ready-made match index — the
+    /// format-v2 load path, which already parsed (and exhaustively
+    /// validated, see [`phi_core::wire::read_match_index`]) the index
+    /// record instead of rebuilding it.
+    fn with_index(
+        name: String,
+        shape: GemmShape,
+        timesteps: usize,
+        patterns: LayerPatterns,
+        match_index: LayerMatchIndex,
+        weights: Option<Matrix>,
+    ) -> Self {
+        debug_assert_eq!(match_index, LayerMatchIndex::new(&patterns));
         let pwp = weights
             .as_ref()
             .map(|w| PwpTable::new(&patterns, w).expect("weights must match patterns"));
-        CompiledLayer { name, shape, timesteps, patterns, weights, pwp }
+        CompiledLayer { name, shape, timesteps, patterns, match_index, weights, pwp }
     }
 
     /// Total activation rows of one full inference (`M × timesteps`).
@@ -143,11 +178,31 @@ impl CompiledModel {
         self.layers.iter().map(|l| l.patterns.total_patterns()).sum()
     }
 
-    /// Serializes the artifact to its binary format.
+    /// Serializes the artifact to the current binary format
+    /// ([`FORMAT_VERSION`]).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_version(FORMAT_VERSION).expect("current format version is writable")
+    }
+
+    /// Serializes the artifact in an explicit format version — the
+    /// current one, or an older still-supported layout (compatibility
+    /// testing, serving fleets mid-upgrade). Version 1 simply omits the
+    /// per-layer match-index records; loading it rebuilds them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnsupportedVersion`] for a version outside
+    /// [`OLDEST_SUPPORTED_VERSION`]`..=`[`FORMAT_VERSION`].
+    pub fn to_bytes_version(&self, version: u32) -> Result<Vec<u8>> {
+        if !(OLDEST_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
+            return Err(RuntimeError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
-        wire::put_u32(&mut out, FORMAT_VERSION);
+        wire::put_u32(&mut out, version);
         wire::put_str(&mut out, &self.label);
         wire::put_u32(&mut out, self.k as u32);
         wire::put_u32(&mut out, self.q as u32);
@@ -160,6 +215,9 @@ impl CompiledModel {
             wire::put_u64(&mut out, layer.shape.n as u64);
             wire::put_u32(&mut out, layer.timesteps as u32);
             wire::write_layer_patterns(&layer.patterns, &mut out);
+            if version >= 2 {
+                wire::write_layer_match_index(&layer.match_index, &mut out);
+            }
             match &layer.weights {
                 Some(w) => {
                     out.push(1);
@@ -174,7 +232,7 @@ impl CompiledModel {
         }
         let checksum = fnv1a(&out);
         wire::put_u64(&mut out, checksum);
-        out
+        Ok(out)
     }
 
     /// Deserializes an artifact, verifying magic, version, checksum, and
@@ -205,7 +263,7 @@ impl CompiledModel {
         let mut r = Reader::new(body);
         r.bytes(4).expect("magic length checked above");
         let version = r.u32()?;
-        if version != FORMAT_VERSION {
+        if !(OLDEST_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(RuntimeError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -255,6 +313,16 @@ impl CompiledModel {
                     actual: patterns.num_partitions(),
                 });
             }
+            // A version-2 artifact carries the index; its wire record is
+            // fully validated against the pattern sets (range, bucketing,
+            // ordering, coverage), which pins it to exactly the index a
+            // rebuild would produce. A version-1 artifact has no record,
+            // so the index is rebuilt from the patterns.
+            let match_index = if version >= 2 {
+                wire::read_layer_match_index(&mut r, &patterns)?
+            } else {
+                LayerMatchIndex::new(&patterns)
+            };
             let weights = match r.u8()? {
                 0 => None,
                 1 => {
@@ -287,11 +355,12 @@ impl CompiledModel {
                     }))
                 }
             };
-            layers.push(CompiledLayer::new(
+            layers.push(CompiledLayer::with_index(
                 name,
                 GemmShape::new(m, kk, n),
                 timesteps,
                 patterns,
+                match_index,
                 weights,
             ));
         }
@@ -364,6 +433,47 @@ mod tests {
             assert_eq!(back.layers()[0].patterns, m.layers()[0].patterns);
             assert_eq!(back.layers()[0].weights, m.layers()[0].weights);
             assert_eq!(back.layers()[0].pwp.is_some(), weights);
+        }
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load_with_a_rebuilt_index() {
+        for weights in [false, true] {
+            let m = tiny_model(weights);
+            let v1 = m.to_bytes_version(1).unwrap();
+            let v2 = m.to_bytes();
+            assert_ne!(v1, v2, "v2 must carry the extra index records");
+            assert!(v1.len() < v2.len());
+            assert_eq!(v1[4..8], 1u32.to_le_bytes());
+            let back = CompiledModel::from_bytes(&v1).expect("v1 artifact must load");
+            // The rebuilt index equals what the v2 artifact carries, so
+            // re-serializing the loaded model upgrades it byte-identically.
+            assert_eq!(back.to_bytes(), v2);
+            for (a, b) in back.layers().iter().zip(m.layers()) {
+                assert_eq!(a.match_index, b.match_index);
+            }
+        }
+    }
+
+    #[test]
+    fn unwritable_versions_are_refused() {
+        let m = tiny_model(false);
+        for v in [0, FORMAT_VERSION + 1] {
+            assert!(matches!(
+                m.to_bytes_version(v),
+                Err(RuntimeError::UnsupportedVersion { found, supported: FORMAT_VERSION })
+                    if found == v
+            ));
+        }
+    }
+
+    #[test]
+    fn loaded_layers_carry_indexes_matching_their_patterns() {
+        let m = tiny_model(true);
+        let back = CompiledModel::from_bytes(&m.to_bytes()).unwrap();
+        for layer in back.layers() {
+            assert_eq!(layer.match_index, phi_core::LayerMatchIndex::new(&layer.patterns));
+            assert_eq!(layer.match_index.num_partitions(), layer.patterns.num_partitions());
         }
     }
 

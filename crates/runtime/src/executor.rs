@@ -34,10 +34,30 @@ use phi_accel::{
     CpuBackend, ExecutionBackend, LayerReport, LayerWork, MetricsMode, PhiConfig, ReadoutPlan,
     SimBackend,
 };
-use phi_core::{decompose, Decomposition};
+use phi_core::{decompose_cached, Decomposition, TileCache, TileCacheStats};
 use rayon::prelude::*;
 use snn_core::{Matrix, SpikeMatrix};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Default per-layer [`TileCache`] capacity (slots) when neither
+/// [`PHI_TILE_CACHE_ENV`] nor [`BatchExecutor::with_tile_cache_capacity`]
+/// says otherwise.
+pub const DEFAULT_TILE_CACHE_CAPACITY: usize = 1 << 15;
+
+/// Environment variable overriding the per-layer tile-cache capacity for
+/// every executor that is not explicitly configured; `0` disables the
+/// cache (every batch re-resolves its tiles through the match index).
+pub const PHI_TILE_CACHE_ENV: &str = "PHI_TILE_CACHE";
+
+/// The per-layer tile-cache capacity executors default to:
+/// [`PHI_TILE_CACHE_ENV`] when set and parsable, else
+/// [`DEFAULT_TILE_CACHE_CAPACITY`].
+pub fn default_tile_cache_capacity() -> usize {
+    std::env::var(PHI_TILE_CACHE_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TILE_CACHE_CAPACITY)
+}
 
 /// One inference request: the layer-wise spike activations of a single
 /// input, each `rows × K_layer` (every layer the same row count — a
@@ -224,10 +244,23 @@ pub fn readouts_identical(a: &BatchReport, b: &BatchReport) -> bool {
 /// simulator-backed executor, [`BatchExecutor::cpu`] the fast
 /// outputs-only CPU executor, and [`BatchExecutor::with_backend`] accepts
 /// any other implementation.
+///
+/// Each executor owns one [`TileCache`] per model layer, shared across
+/// its clones (and therefore across every batch and serving worker on
+/// the same executor lineage): spiking activations repeat tiles heavily,
+/// so decompositions after the first replay memoized decisions instead
+/// of re-matching. Capacity comes from [`default_tile_cache_capacity`]
+/// (the [`PHI_TILE_CACHE_ENV`] knob) unless
+/// [`BatchExecutor::with_tile_cache_capacity`] overrides it; outputs are
+/// bit-identical with the cache enabled, disabled, or thrashing.
 #[derive(Debug, Clone)]
 pub struct BatchExecutor<B = SimBackend> {
     model: Arc<CompiledModel>,
     backend: B,
+    /// One tile-decision memo per layer, in layer order.
+    caches: Arc<Vec<TileCache>>,
+    /// Recycled word buffers for batch assembly ([`SpikeMatrix::vstack_into`]).
+    scratch: Arc<Mutex<Vec<Vec<u64>>>>,
 }
 
 impl BatchExecutor<SimBackend> {
@@ -276,9 +309,19 @@ impl BatchExecutor<CpuBackend> {
 }
 
 impl<B: ExecutionBackend> BatchExecutor<B> {
-    /// Creates an executor over an arbitrary backend.
+    /// Creates an executor over an arbitrary backend, with per-layer tile
+    /// caches at [`default_tile_cache_capacity`].
     pub fn with_backend(model: Arc<CompiledModel>, backend: B) -> Self {
-        BatchExecutor { model, backend }
+        let caches = build_caches(&model, default_tile_cache_capacity());
+        BatchExecutor { model, backend, caches, scratch: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Replaces the per-layer tile caches with fresh ones of `capacity`
+    /// slots each (`0` disables caching). Clones taken *after* this call
+    /// share the new caches; earlier clones keep the old ones.
+    pub fn with_tile_cache_capacity(mut self, capacity: usize) -> Self {
+        self.caches = build_caches(&self.model, capacity);
+        self
     }
 
     /// The shared artifact.
@@ -289,6 +332,16 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
     /// The execution backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Aggregated hit/miss/eviction counters over the per-layer tile
+    /// caches (capacity and entries sum across layers).
+    pub fn tile_cache_stats(&self) -> TileCacheStats {
+        let mut total = TileCacheStats::default();
+        for cache in self.caches.iter() {
+            total.merge(&cache.stats());
+        }
+        total
     }
 
     /// Executes a batch of requests under the backend's default metrics
@@ -446,8 +499,16 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
         metrics: MetricsMode,
     ) -> LayerOutcome {
         let mats: Vec<&SpikeMatrix> = batch.iter().map(|r| &r.layers[l]).collect();
-        let stacked = SpikeMatrix::vstack(&mats).expect("widths validated");
-        let decomp = decompose(&stacked, &layer.patterns);
+        // Assemble into a recycled buffer (layers run in parallel, so the
+        // pool holds one buffer per concurrently fused layer), decompose
+        // through the artifact's match index and this executor's
+        // persistent tile cache, then return the buffer for the next
+        // batch.
+        let buffer = self.scratch.lock().expect("scratch pool").pop().unwrap_or_default();
+        let stacked = SpikeMatrix::vstack_into(&mats, buffer).expect("widths validated");
+        let decomp =
+            decompose_cached(&stacked, &layer.patterns, &layer.match_index, &self.caches[l]);
+        self.scratch.lock().expect("scratch pool").push(stacked.into_bits());
         let readout = match (&layer.pwp, &layer.weights) {
             (Some(pwp), Some(weights)) if is_readout => Some(ReadoutPlan { pwp, weights }),
             _ => None,
@@ -464,6 +525,11 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
             output.report.is_some().then(|| attribution_shares(&decomp, batch.len(), rows));
         LayerOutcome { report: output.report, shares, readout: output.readout }
     }
+}
+
+/// One fresh [`TileCache`] per model layer.
+fn build_caches(model: &CompiledModel, capacity: usize) -> Arc<Vec<TileCache>> {
+    Arc::new(model.layers().iter().map(|_| TileCache::new(capacity)).collect())
 }
 
 /// Attribution proxy per request: scanned rows plus Level-1 accumulations
@@ -670,6 +736,49 @@ mod tests {
             exec.execute(&[empty]),
             Err(RuntimeError::Shape { op: "request rows", .. })
         ));
+    }
+
+    #[test]
+    fn tile_cache_persists_across_batches_and_never_changes_outputs() {
+        let w = tiny_workload();
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
+        let cached = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(1 << 12);
+        let uncached = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(0);
+        assert_eq!(uncached.tile_cache_stats(), phi_core::TileCacheStats::default());
+
+        let batch = requests(&w, 6, 41);
+        let first = cached.execute(&batch).unwrap();
+        let after_first = cached.tile_cache_stats();
+        assert!(after_first.misses > 0, "a cold cache must miss");
+        assert!(after_first.entries > 0);
+        // The second batch replays memoized decisions...
+        let second = cached.execute(&batch).unwrap();
+        let after_second = cached.tile_cache_stats();
+        assert!(after_second.hits > after_first.hits, "a warm cache must hit");
+        // ...and the readouts are bit-identical to both the first batch
+        // and the cache-disabled executor.
+        assert!(readouts_identical(&second, &first));
+        assert!(readouts_identical(&uncached.execute(&batch).unwrap(), &first));
+        // Clones share the cache lineage.
+        let clone = cached.clone();
+        clone.execute(&batch).unwrap();
+        assert!(clone.tile_cache_stats().hits > after_second.hits);
+        assert_eq!(clone.tile_cache_stats(), cached.tile_cache_stats());
+    }
+
+    #[test]
+    fn tiny_tile_caches_evict_under_pressure_without_output_drift() {
+        let w = tiny_workload();
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
+        let thrashing = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(1);
+        let reference = BatchExecutor::cpu(model).with_tile_cache_capacity(0);
+        let batch = requests(&w, 8, 43);
+        let a = thrashing.execute(&batch).unwrap();
+        let b = thrashing.execute(&batch).unwrap();
+        let stats = thrashing.tile_cache_stats();
+        assert!(stats.evictions > 0, "capacity 1 must evict: {stats:?}");
+        assert!(readouts_identical(&a, &b));
+        assert!(readouts_identical(&a, &reference.execute(&batch).unwrap()));
     }
 
     #[test]

@@ -5,15 +5,19 @@
 //! two phases a serving system actually has:
 //!
 //! * **Compile time** ([`ModelCompiler`]) — run the offline work once:
-//!   calibrate patterns per layer (§3.2 of the paper) and fold weights
-//!   into pattern–weight products (§4.4), producing an immutable
-//!   [`CompiledModel`] with a compact, versioned, checksummed binary
-//!   format ([`CompiledModel::to_bytes`] / [`CompiledModel::from_bytes`]).
+//!   calibrate patterns per layer (§3.2 of the paper), fold weights
+//!   into pattern–weight products (§4.4), and build each layer's
+//!   popcount-bucketed [`LayerMatchIndex`] for the serve-time matcher,
+//!   producing an immutable [`CompiledModel`] with a compact, versioned,
+//!   checksummed binary format ([`CompiledModel::to_bytes`] /
+//!   [`CompiledModel::from_bytes`]).
 //! * **Serve time** ([`BatchExecutor`]) — share one `Arc`'d artifact
 //!   read-only across any number of executors, accept batches of encoded
 //!   spike inputs ([`InferenceRequest`]), fuse each layer's batch rows into
 //!   a single decomposition (amortizing the fixed per-layer costs), and
-//!   fan layers across rayon workers. Zero per-request calibration.
+//!   fan layers across rayon workers. Zero per-request calibration; tile
+//!   decisions are memoized in per-layer [`TileCache`]s that persist
+//!   across batches, so repeated spiking activations skip the matcher.
 //!
 //! The executor is generic over a pluggable [`ExecutionBackend`] — *what*
 //! to compute is fixed by the decomposition, *how* it runs is the
@@ -95,11 +99,12 @@ pub mod error;
 pub mod executor;
 pub mod server;
 
-pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC};
+pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC, OLDEST_SUPPORTED_VERSION};
 pub use compile::{CompileOptions, ModelCompiler, WeightsMode};
 pub use error::{Result, RuntimeError, ServerError};
 pub use executor::{
-    readouts_identical, BatchExecutor, BatchReport, InferenceRequest, RequestResult,
+    default_tile_cache_capacity, readouts_identical, BatchExecutor, BatchReport, InferenceRequest,
+    RequestResult, DEFAULT_TILE_CACHE_CAPACITY, PHI_TILE_CACHE_ENV,
 };
 pub use server::{
     ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle, ServedResponse, ServerConfig,
@@ -112,3 +117,7 @@ pub use phi_accel::{
     BackendKind, CpuBackend, ExecutionBackend, LayerOutput, LayerReport, LayerWork, MetricsMode,
     ReadoutPlan, SimBackend,
 };
+// The decomposition-accelerator vocabulary of the online hot path (the
+// artifact's per-layer match indexes and the executor's tile caches),
+// likewise re-exported.
+pub use phi_core::{LayerMatchIndex, MatchIndex, TileCache, TileCacheStats};

@@ -130,6 +130,11 @@ pub struct ServerConfig {
     /// (default [`BackendKind::Cpu`] — serving wants throughput; pick
     /// [`BackendKind::Sim`] to get simulated cycles/energy per response).
     pub backend: BackendKind,
+    /// Per-layer tile-cache capacity of every hosted model's executor;
+    /// `0` disables decomposition caching (default:
+    /// [`crate::executor::default_tile_cache_capacity`], i.e. the
+    /// `PHI_TILE_CACHE` environment knob).
+    pub tile_cache: usize,
 }
 
 impl Default for ServerConfig {
@@ -141,6 +146,7 @@ impl Default for ServerConfig {
             max_request_rows: 256,
             workers: std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
             backend: BackendKind::default(),
+            tile_cache: crate::executor::default_tile_cache_capacity(),
         }
     }
 }
@@ -179,6 +185,12 @@ impl ServerConfig {
     /// Overrides the execution backend.
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Overrides the per-layer tile-cache capacity (`0` disables).
+    pub fn with_tile_cache(mut self, tile_cache: usize) -> Self {
+        self.tile_cache = tile_cache;
         self
     }
 }
@@ -310,6 +322,10 @@ pub struct ModelStatsSnapshot {
     pub p50_exec_us: f64,
     /// 99th-percentile execution time, µs.
     pub p99_exec_us: f64,
+    /// Decomposition tile-cache counters of this model's executor,
+    /// aggregated over its per-layer caches (all zeros when the cache is
+    /// disabled via [`ServerConfig::tile_cache`]).
+    pub tile_cache: phi_core::TileCacheStats,
 }
 
 /// How many latency samples each per-model series retains (a ring; the
@@ -374,7 +390,7 @@ impl ModelStats {
         }
     }
 
-    fn snapshot(&self) -> ModelStatsSnapshot {
+    fn snapshot(&self, tile_cache: phi_core::TileCacheStats) -> ModelStatsSnapshot {
         let served = self.served.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let queue = self.queue_wait_us.lock().expect("stats lock");
@@ -390,6 +406,7 @@ impl ModelStats {
             p99_queue_wait_us: queue.percentile(99.0),
             p50_exec_us: exec.percentile(50.0),
             p99_exec_us: exec.percentile(99.0),
+            tile_cache,
         }
     }
 }
@@ -517,7 +534,8 @@ impl PhiServer {
             .into_iter()
             .map(|(key, model)| {
                 let entry = ModelEntry {
-                    executor: BatchExecutor::with_backend(model, config.backend.create()),
+                    executor: BatchExecutor::with_backend(model, config.backend.create())
+                        .with_tile_cache_capacity(config.tile_cache),
                     stats: ModelStats::default(),
                 };
                 (key, Arc::new(entry))
@@ -633,7 +651,7 @@ impl PhiServer {
     /// Counters for the model registered under `key`; `None` for an
     /// unknown key.
     pub fn stats(&self, key: &str) -> Option<ModelStatsSnapshot> {
-        self.entries.get(key).map(|e| e.stats.snapshot())
+        self.entries.get(key).map(|e| e.stats.snapshot(e.executor.tile_cache_stats()))
     }
 
     /// How many submissions named a key no model is registered under.
@@ -957,6 +975,39 @@ mod tests {
         );
         // Shutdown is idempotent (drop will run it again).
         server.shutdown();
+    }
+
+    #[test]
+    fn server_stats_expose_tile_cache_hit_rates() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config = ServerConfig::default().with_workers(1).with_tile_cache(1 << 12);
+        let server = PhiServer::start(registry, config);
+        assert_eq!(server.config().tile_cache, 1 << 12);
+        // Two waves of identical traffic: the second replays the first's
+        // memoized tile decisions.
+        for _ in 0..2 {
+            for r in requests(&w, 3, 4, 13) {
+                server.submit("m", r).unwrap().wait().unwrap();
+            }
+        }
+        let stats = server.stats("m").unwrap();
+        assert!(stats.tile_cache.capacity > 0);
+        assert!(stats.tile_cache.hits > 0, "repeated traffic must hit: {:?}", stats.tile_cache);
+        assert!(stats.tile_cache.hit_rate() > 0.0);
+
+        // A cache-disabled server serves identical readouts.
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let off = PhiServer::start(registry, config.with_tile_cache(0));
+        for (request, cached) in requests(&w, 3, 4, 13).into_iter().zip(requests(&w, 3, 4, 13)) {
+            let a = off.submit("m", request).unwrap().wait().unwrap();
+            let b = server.submit("m", cached).unwrap().wait().unwrap();
+            assert_eq!(a.readout, b.readout);
+        }
+        let stats = off.stats("m").unwrap();
+        assert_eq!(stats.tile_cache, phi_core::TileCacheStats::default());
     }
 
     #[test]

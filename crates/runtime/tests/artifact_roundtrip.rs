@@ -89,6 +89,43 @@ proptest! {
         }
     }
 
+    /// A version-1 (pre-match-index) artifact loads through the rebuild
+    /// fallback, serves bit-identically to the v2 artifact, and
+    /// re-serializes as a byte-identical v2 upgrade.
+    #[test]
+    fn version_1_artifacts_load_and_serve_identically(
+        layers in 1usize..4,
+        q in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(layers, seed);
+        let options = CompileOptions {
+            calibration: phi_core::CalibrationConfig { q, max_rows: 256, ..Default::default() },
+            seed: seed ^ 0x01D,
+            weights: WeightsMode::Readout,
+        };
+        let compiled = ModelCompiler::new(options).compile(&workload);
+        let v1 = compiled.to_bytes_version(1).expect("v1 is still writable");
+        let from_v1 = CompiledModel::from_bytes(&v1).expect("v1 artifact must load");
+        // The rebuilt match index upgrades the artifact byte-identically.
+        prop_assert_eq!(from_v1.to_bytes(), compiled.to_bytes());
+        for (a, b) in from_v1.layers().iter().zip(compiled.layers()) {
+            prop_assert_eq!(&a.match_index, &b.match_index);
+        }
+        // And it serves the same bits.
+        let requests: Vec<InferenceRequest> = workload
+            .sample_requests(3, 2, seed ^ 0x1D2)
+            .into_iter()
+            .map(InferenceRequest::new)
+            .collect();
+        let old = BatchExecutor::cpu(Arc::new(from_v1)).execute(&requests).expect("serves");
+        let new = BatchExecutor::cpu(Arc::new(compiled)).execute(&requests).expect("serves");
+        for (ra, rb) in old.requests.iter().zip(&new.requests) {
+            prop_assert_eq!(&ra.readout, &rb.readout);
+            prop_assert!(ra.readout.is_some());
+        }
+    }
+
     /// Any single corrupted byte or truncation is rejected.
     #[test]
     fn damaged_artifacts_never_load(

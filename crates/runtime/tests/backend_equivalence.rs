@@ -67,6 +67,46 @@ proptest! {
         prop_assert!(sim.readouts_match_sequential(&requests, &full).expect("sequential serves"));
     }
 
+    /// The serving acceptance property of the tile cache: executors with
+    /// caching enabled (any capacity, warm or cold, across repeated
+    /// batches) serve exactly the readouts a cache-disabled executor and
+    /// the sequential path serve.
+    #[test]
+    fn cached_executors_serve_bit_identical_readouts(
+        layers in 1usize..4,
+        q in 2usize..16,
+        batch in 1usize..6,
+        rows in 1usize..4,
+        capacity in prop::sample::select(vec![1usize, 128, 1 << 14]),
+        seed in any::<u64>(),
+    ) {
+        let workload = tiny_workload(layers, seed);
+        let options = CompileOptions {
+            calibration: phi_core::CalibrationConfig { q, max_rows: 256, ..Default::default() },
+            seed: seed ^ 0xCACE,
+            weights: WeightsMode::Readout,
+        };
+        let model = Arc::new(ModelCompiler::new(options).compile(&workload));
+        let cached = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(capacity);
+        let uncached = BatchExecutor::cpu(Arc::clone(&model)).with_tile_cache_capacity(0);
+        let requests: Vec<InferenceRequest> = workload
+            .sample_requests(batch, rows, seed ^ 0xCAFE)
+            .into_iter()
+            .map(InferenceRequest::new)
+            .collect();
+
+        let reference = uncached.execute(&requests).expect("uncached serves");
+        let cold = cached.execute(&requests).expect("cold cache serves");
+        let warm = cached.execute(&requests).expect("warm cache serves");
+        prop_assert!(readouts_identical(&cold, &reference));
+        prop_assert!(readouts_identical(&warm, &reference));
+        prop_assert!(cached.readouts_match_sequential(&requests, &warm).expect("sequential"));
+        // The uncached executor never touches a cache; the cached one
+        // either cached something or had only trivial tiles.
+        prop_assert_eq!(uncached.tile_cache_stats().capacity, 0);
+        prop_assert!(cached.tile_cache_stats().capacity > 0);
+    }
+
     /// FullSim on a backend that cannot model hardware is a typed error,
     /// never a silent outputs-only downgrade.
     #[test]

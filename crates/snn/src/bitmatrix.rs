@@ -325,6 +325,19 @@ impl SpikeMatrix {
     /// # Ok::<(), snn_core::Error>(())
     /// ```
     pub fn vstack(parts: &[&SpikeMatrix]) -> Result<SpikeMatrix> {
+        SpikeMatrix::vstack_into(parts, Vec::new())
+    }
+
+    /// [`Self::vstack`] assembling into a recycled word buffer: `scratch`
+    /// is cleared, pre-reserved to the known total row count, filled, and
+    /// becomes the stacked matrix's storage. Callers that stack every
+    /// batch (the serve-time executor) recover the buffer afterwards with
+    /// [`Self::into_bits`] instead of reallocating per batch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::vstack`].
+    pub fn vstack_into(parts: &[&SpikeMatrix], mut scratch: Vec<u64>) -> Result<SpikeMatrix> {
         let first = parts.first().ok_or(Error::InvalidParameter {
             name: "parts",
             reason: "cannot stack zero matrices".to_owned(),
@@ -341,11 +354,18 @@ impl SpikeMatrix {
         }
         let rows = parts.iter().map(|p| p.rows).sum();
         let words_per_row = cols.div_ceil(WORD_BITS);
-        let mut bits = Vec::with_capacity(rows * words_per_row);
+        scratch.clear();
+        scratch.reserve(rows * words_per_row);
         for p in parts {
-            bits.extend_from_slice(&p.bits);
+            scratch.extend_from_slice(&p.bits);
         }
-        Ok(SpikeMatrix { rows, cols, words_per_row, bits })
+        Ok(SpikeMatrix { rows, cols, words_per_row, bits: scratch })
+    }
+
+    /// Consumes the matrix, returning its backing word buffer (for
+    /// recycling through [`Self::vstack_into`]).
+    pub fn into_bits(self) -> Vec<u64> {
+        self.bits
     }
 
     /// Copies rows `lo..hi` into a new matrix (the inverse of [`vstack`]).
@@ -363,6 +383,52 @@ impl SpikeMatrix {
             words_per_row: self.words_per_row,
             bits: self.bits[lo * self.words_per_row..hi * self.words_per_row].to_vec(),
         }
+    }
+
+    /// The backing 64-bit words of one row, low columns first (column
+    /// `c` lives at bit `c % 64` of word `c / 64`; bits at or beyond the
+    /// column count are always zero). The decomposition sweep walks rows
+    /// at word granularity so fully-zero words — the common case in
+    /// sparse spiking data — skip per-tile work entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Iterates over every partition tile of one row, left to right —
+    /// `partition_tile(row, part, k)` for `part` in `0..num_partitions(k)`,
+    /// but with the geometry advanced incrementally (shifts and masks, no
+    /// per-tile division or bounds re-derivation). This is the
+    /// decomposition sweep's hot scan: it touches every tile of every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not within `1..=64` or `row` is out of bounds.
+    pub fn row_partition_tiles(&self, row: usize, k: usize) -> impl Iterator<Item = u64> + '_ {
+        assert!(k > 0 && k <= WORD_BITS, "partition width must be within 1..=64");
+        assert!(row < self.rows, "row {row} out of bounds");
+        let base = row * self.words_per_row;
+        let words = &self.bits[base..base + self.words_per_row];
+        let cols = self.cols;
+        (0..self.num_partitions(k)).map(move |part| {
+            let start = part * k;
+            let len = k.min(cols - start);
+            let word_idx = start / WORD_BITS;
+            let bit_idx = start % WORD_BITS;
+            let mask = if len == WORD_BITS { u64::MAX } else { (1u64 << len) - 1 };
+            let lo = words[word_idx] >> bit_idx;
+            let value = if bit_idx + len > WORD_BITS && word_idx + 1 < words.len() {
+                lo | (words[word_idx + 1] << (WORD_BITS - bit_idx))
+            } else {
+                lo
+            };
+            value & mask
+        })
     }
 
     /// Iterates over the tiles of partition `part` for every row, top to
@@ -669,6 +735,41 @@ mod tests {
                 lo = hi;
             }
         }
+    }
+
+    #[test]
+    fn row_partition_tiles_matches_partition_tile() {
+        let mut rng = StdRng::seed_from_u64(34);
+        for cols in [20usize, 64, 100, 130] {
+            let m = SpikeMatrix::random(9, cols, 0.4, &mut rng);
+            for k in [5usize, 16, 64] {
+                for r in 0..m.rows() {
+                    let tiles: Vec<u64> = m.row_partition_tiles(r, k).collect();
+                    assert_eq!(tiles.len(), m.num_partitions(k));
+                    for (part, &tile) in tiles.iter().enumerate() {
+                        assert_eq!(tile, m.partition_tile(r, part, k), "cols {cols} k {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_into_recycles_the_scratch_buffer() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = SpikeMatrix::random(3, 40, 0.3, &mut rng);
+        let b = SpikeMatrix::random(2, 40, 0.3, &mut rng);
+        let plain = SpikeMatrix::vstack(&[&a, &b]).unwrap();
+        // A dirty, over-sized scratch buffer must not leak into the result.
+        let scratch = vec![u64::MAX; 64];
+        let stacked = SpikeMatrix::vstack_into(&[&a, &b], scratch).unwrap();
+        assert_eq!(stacked, plain);
+        // The recovered buffer keeps its (possibly larger) capacity for
+        // the next batch.
+        let recovered = stacked.into_bits();
+        assert!(recovered.capacity() >= 64);
+        let again = SpikeMatrix::vstack_into(&[&a, &b], recovered).unwrap();
+        assert_eq!(again, plain);
     }
 
     #[test]
