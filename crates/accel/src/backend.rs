@@ -242,7 +242,10 @@ impl ExecutionBackend for SimBackend {
 /// rayon-parallel PWP sparse matmul, with zero accelerator bookkeeping.
 ///
 /// Its outputs are bit-identical to [`SimBackend`]'s (same kernel); it
-/// never produces a [`LayerReport`].
+/// never produces a [`LayerReport`]. The matmul's inner accumulation runs
+/// on the runtime-dispatched [`phi_core::simd`] kernels — elementwise
+/// `f32` adds with no reassociation — so readouts are also bit-identical
+/// across every dispatch level (`PHI_SIMD=off|scalar|auto`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CpuBackend;
 
@@ -310,6 +313,20 @@ mod tests {
         // Both equal the sequential reference kernel bit-for-bit.
         let reference = phi_matmul(&f.decomp, &f.pwp, &f.weights).unwrap();
         assert_eq!(cpu.readout.unwrap(), reference);
+    }
+
+    #[test]
+    fn forced_scalar_readout_is_bit_identical_to_auto_dispatch() {
+        use phi_core::simd::{self, SimdLevel};
+        let f = fixture(16);
+        let auto = CpuBackend.run_layer(&work(&f, true), MetricsMode::OutputsOnly);
+        let prev = simd::force(SimdLevel::Scalar);
+        let scalar = CpuBackend.run_layer(&work(&f, true), MetricsMode::OutputsOnly);
+        simd::force(prev);
+        // Matrix equality is exact (f32 bit patterns compare through ==
+        // with no NaNs in play), so this pins SIMD == scalar end to end.
+        assert_eq!(auto.readout, scalar.readout);
+        assert!(auto.readout.is_some());
     }
 
     #[test]

@@ -10,11 +10,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phi_core::{
-    compress_tiles, hamming_kmeans_unweighted, weighted_hamming_kmeans, CalibrationConfig,
-    CalibrationEngine, Calibrator, KmeansConfig,
+    compress_tiles, decompose, hamming_kmeans_unweighted, phi_matmul_row_into, simd,
+    weighted_hamming_kmeans, CalibrationConfig, CalibrationEngine, Calibrator, KmeansConfig,
+    PwpTable,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use snn_core::{Matrix, SpikeMatrix};
 use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
 use std::hint::black_box;
 
@@ -90,5 +92,83 @@ fn bench_kmeans_compression(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_kmeans_compression);
+/// The levels to A/B: always scalar, plus the dispatched level when it is
+/// actually vectorized (a `PHI_SIMD=scalar` run would otherwise register
+/// the same benchmark ID twice).
+fn ab_levels() -> Vec<simd::SimdLevel> {
+    let auto = simd::level();
+    if auto == simd::SimdLevel::Scalar {
+        vec![auto]
+    } else {
+        vec![simd::SimdLevel::Scalar, auto]
+    }
+}
+
+/// Scalar-vs-SIMD A/B on the batched Hamming probe kernel, at the two
+/// pattern-set sizes the paper uses (q = 32 and the default q = 128).
+/// The forced level is restored after each measurement, so the groups are
+/// order-independent.
+fn bench_hamming_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    for q in [32usize, 128] {
+        let patterns: Vec<u64> = (0..q).map(|_| rng.gen::<u64>() & 0xFFFF).collect();
+        let tiles: Vec<u64> = (0..1024).map(|_| rng.gen::<u64>() & 0xFFFF).collect();
+        let mut out = vec![0u32; q];
+        let mut group = c.benchmark_group(format!("hamming_batch_q{q}"));
+        for level in ab_levels() {
+            group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+                let prev = simd::force(level);
+                b.iter(|| {
+                    for &tile in &tiles {
+                        simd::hamming_batch(black_box(&patterns), black_box(tile), &mut out);
+                        black_box(simd::min_hamming(black_box(&patterns), black_box(tile)));
+                    }
+                });
+                simd::force(prev);
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Scalar-vs-SIMD A/B on the PWP sparse-matmul row kernel — the CPU
+/// execution backend's inner loop.
+fn bench_phi_matmul_row(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let acts = SpikeMatrix::random(256, 512, 0.2, &mut rng);
+    let weights = Matrix::random(512, 128, &mut rng);
+    let cal = Calibrator::new(CalibrationConfig { q: 128, ..CalibrationConfig::default() });
+    let patterns = cal.calibrate(&acts, &mut rng);
+    let decomp = decompose(&acts, &patterns);
+    let pwp = PwpTable::new(&patterns, &weights).expect("shapes match");
+    let mut out = vec![0.0f32; weights.cols()];
+    let mut group = c.benchmark_group("phi_matmul_row");
+    for level in ab_levels() {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            let prev = simd::force(level);
+            b.iter(|| {
+                for r in 0..decomp.rows() {
+                    out.fill(0.0);
+                    phi_matmul_row_into(
+                        black_box(&decomp),
+                        black_box(&pwp),
+                        black_box(&weights),
+                        r,
+                        &mut out,
+                    );
+                }
+            });
+            simd::force(prev);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_kmeans_compression,
+    bench_hamming_batch,
+    bench_phi_matmul_row
+);
 criterion_main!(benches);

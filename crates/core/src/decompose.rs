@@ -38,7 +38,7 @@ use crate::calibrate::LayerPatterns;
 use crate::pattern::PatternSet;
 use crate::stats::SparsityStats;
 use rayon::prelude::*;
-use snn_core::SpikeMatrix;
+use snn_core::{simd, SpikeMatrix};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,9 +145,24 @@ pub fn decompose_indexed(
 ) -> Decomposition {
     check_partitioning(activations, patterns);
     check_index(patterns, index);
+    let parts = patterns.num_partitions();
     let chunks = run_chunks(activations, patterns, |_| {
-        |part: usize, tile: u64, baseline: u32| {
-            resolve_tile(activations, patterns, index, part, tile, baseline)
+        // Last decision per partition: spiking rows repeat the previous
+        // row's tile ~30% of the time, and the decision is a pure
+        // function of `(partition, tile)`, so a repeat replays it
+        // without walking the index. (The linear [`decompose`] path
+        // deliberately stays memo-free — it is the reference the
+        // indexed path is benchmarked against.)
+        let mut memo_tile = vec![0u64; parts];
+        let mut memo_dec = vec![TileDecision { pattern: None, diff: 0 }; parts];
+        move |part: usize, tile: u64, baseline: u32| {
+            if memo_tile[part] == tile {
+                return memo_dec[part];
+            }
+            let decision = resolve_tile(activations, patterns, index, part, tile, baseline);
+            memo_tile[part] = tile;
+            memo_dec[part] = decision;
+            decision
         }
     });
     combine(activations, patterns, chunks)
@@ -206,16 +221,36 @@ pub fn decompose_cached(
             let mut hits = 0u64;
             let mut miss_probes = 0u64;
             let mut resolved = TileMap::default();
+            // Last decision per partition: spiking rows repeat the
+            // previous row's tile ~30% of the time, and the snapshot is
+            // immutable for the whole sweep, so a repeat replays the
+            // decision — and the same hit/miss accounting — without
+            // touching the map. Tile 0 never reaches the closure
+            // (trivial tiles are decided inline), so it is a free
+            // "empty" sentinel.
+            let mut memo_tile = vec![0u64; parts];
+            let mut memo_was_hit = vec![false; parts];
+            let mut memo_dec = vec![TileDecision { pattern: None, diff: 0 }; parts];
             let chunk = run_chunk(activations, patterns, lo, hi, |part, tile, baseline| {
+                if memo_tile[part] == tile {
+                    if memo_was_hit[part] {
+                        hits += 1;
+                    } else {
+                        miss_probes += 1;
+                    }
+                    return memo_dec[part];
+                }
                 let width = if part == last_part { last_width } else { k as u32 };
                 let key = tile_key(part as u32, width, tile);
-                match snapshot.get(&key) {
+                let decision = match snapshot.get(&key) {
                     Some(&decision) => {
                         hits += 1;
+                        memo_was_hit[part] = true;
                         decision
                     }
                     None => {
                         miss_probes += 1;
+                        memo_was_hit[part] = false;
                         // Spiking tiles repeat heavily even within one
                         // sweep: resolve each distinct key once and
                         // replay it for the repeats.
@@ -223,7 +258,10 @@ pub fn decompose_cached(
                             resolve_tile(activations, patterns, index, part, tile, baseline)
                         })
                     }
-                }
+                };
+                memo_tile[part] = tile;
+                memo_dec[part] = decision;
+                decision
             });
             (chunk, hits, miss_probes, resolved)
         })
@@ -329,86 +367,62 @@ fn run_chunk(
     // one reservation covers the whole chunk.
     let nnz: usize = (lo..hi).map(|r| activations.row_nnz(r)).sum();
     let mut out = ChunkDecomposition {
-        l1: Vec::with_capacity(rows * parts),
+        // L1 is bulk-filled with the sentinel up front, so the sweep
+        // writes an index only for the tiles that actually assign a
+        // pattern — empty tiles (the common case in sparse spiking
+        // data) never touch it.
+        l1: vec![NO_PATTERN; rows * parts],
         l2: Vec::with_capacity(nnz),
         l2_ends: Vec::with_capacity(rows),
         l1_ones: 0,
         l2_pos: 0,
         l2_neg: 0,
     };
-    // The nonzero-tile body shared by both walks below.
-    let mut handle = |out: &mut ChunkDecomposition, part: usize, tile: u64| {
-        let decision = match tile.count_ones() {
-            1 => single_bit_tile(patterns.set(part), tile),
-            baseline => decide(part, tile, baseline),
-        };
-        emit_tile(out, decision, tile, part, k);
-    };
-    if 64 % k == 0 {
-        // Word-aligned tiling: walk each row's backing words and skip
-        // fully-zero words (the common case in sparse spiking data)
-        // without touching their tiles at all. Bits beyond the column
-        // count are guaranteed zero, so shifting out of the raw word
-        // yields exactly the masked tile.
-        let tiles_per_word = 64 / k;
-        let k_mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
-        for r in lo..hi {
-            for (w_idx, &word) in activations.row_words(r).iter().enumerate() {
-                let first = w_idx * tiles_per_word;
-                let last = (first + tiles_per_word).min(parts);
-                if word == 0 {
-                    // Empty tiles need no decision, corrections, or
-                    // counter updates.
-                    out.l1.resize(out.l1.len() + (last - first), NO_PATTERN);
-                    continue;
-                }
-                for part in first..last {
-                    let tile = (word >> ((part - first) * k)) & k_mask;
-                    if tile == 0 {
-                        out.l1.push(NO_PATTERN);
-                    } else {
-                        handle(&mut out, part, tile);
-                    }
-                }
+    // One reusable tile buffer per chunk: each row's tiles are unpacked
+    // in one pass (the SIMD shear kernel for word-aligned `k`, the
+    // incremental scalar scan otherwise), then decided tile by tile.
+    let mut tiles = vec![0u64; parts];
+    for r in lo..hi {
+        activations.row_partition_tiles_into(r, k, &mut tiles);
+        let row_base = (r - lo) * parts;
+        for (part, &tile) in tiles.iter().enumerate() {
+            if tile == 0 {
+                // Empty tiles need no decision, corrections, or
+                // counter updates; their L1 slot is already the
+                // sentinel.
+                continue;
             }
-            out.l2_ends.push(out.l2.len() as u32);
+            let decision = match tile.count_ones() {
+                1 => single_bit_tile(patterns.set(part), tile),
+                baseline => decide(part, tile, baseline),
+            };
+            emit_tile(&mut out, decision, tile, row_base + part, part, k);
         }
-    } else {
-        for r in lo..hi {
-            for (part, tile) in activations.row_partition_tiles(r, k).enumerate() {
-                if tile == 0 {
-                    out.l1.push(NO_PATTERN);
-                } else {
-                    handle(&mut out, part, tile);
-                }
-            }
-            out.l2_ends.push(out.l2.len() as u32);
-        }
+        out.l2_ends.push(out.l2.len() as u32);
     }
     out
 }
 
-/// Expands one tile decision into its L1 index and L2 corrections.
-/// `diff` doubles as the correction set: each set bit is one correction,
-/// `+1` where the tile holds the 1 and `−1` where the pattern does; for
-/// an unassigned tile `diff == tile`, so every correction is a `+1` (the
-/// raw-bit-sparsity fallback).
+/// Expands one tile decision into its L1 index (written into the
+/// pre-filled slot) and L2 corrections. `diff` doubles as the correction
+/// set: each set bit is one correction, `+1` where the tile holds the 1
+/// and `−1` where the pattern does; for an unassigned tile
+/// `diff == tile`, so every correction is a `+1` (the raw-bit-sparsity
+/// fallback).
 #[inline]
 fn emit_tile(
     out: &mut ChunkDecomposition,
     decision: TileDecision,
     tile: u64,
+    slot: usize,
     part: usize,
     k: usize,
 ) {
     let TileDecision { pattern, diff } = decision;
-    match pattern {
-        Some(idx) => {
-            out.l1.push(idx);
-            // The masked pattern bits are `tile ^ diff` by construction.
-            out.l1_ones += u64::from((tile ^ diff).count_ones());
-        }
-        None => out.l1.push(NO_PATTERN),
+    if let Some(idx) = pattern {
+        out.l1[slot] = idx;
+        // The masked pattern bits are `tile ^ diff` by construction.
+        out.l1_ones += u64::from(simd::hamming64(tile, diff));
     }
     let mut bits = diff;
     while bits != 0 {
@@ -759,13 +773,35 @@ impl Decomposition {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchIndex {
     /// Bucket boundaries: the entries of popcount `pc` live at
-    /// `entries[offsets[pc]..offsets[pc + 1]]` (CSR layout — one
-    /// contiguous allocation keeps the best-first scan on hot cache
+    /// `bits[offsets[pc]..offsets[pc + 1]]` /
+    /// `idx[offsets[pc]..offsets[pc + 1]]` (CSR layout — one contiguous
+    /// allocation per plane keeps the best-first scan on hot cache
     /// lines). `offsets` has `width + 2` elements.
     offsets: Vec<u32>,
-    /// `(bits, index)` of every pattern, grouped by popcount, ascending
-    /// by index within each bucket (the order the tie rule needs).
-    entries: Vec<(u64, u32)>,
+    /// Every pattern's bits, grouped by popcount, ascending by pattern
+    /// index within each bucket — a padded-free contiguous bit-plane the
+    /// [`snn_core::simd`] kernels batch-probe 4–8 patterns per vector
+    /// iteration (structure-of-arrays twin of `idx`).
+    bits: Vec<u64>,
+    /// The pattern index of each `bits` entry, same grouping and order
+    /// (ascending within a bucket — the order the tie rule needs).
+    idx: Vec<u32>,
+    /// Every pattern's bits in *pattern-index* order — the same plane
+    /// [`PatternSet`] keeps. At a vector dispatch level one batched
+    /// [`simd::min_hamming`] over this plane answers a probe outright:
+    /// the kernel's first-minimum position is the lowest pattern index at
+    /// the minimum distance, exactly the tie rule. The bucketed planes
+    /// above stay authoritative for serialization and the scalar-level
+    /// pruned walk.
+    plane: Vec<u64>,
+    /// Distinct pattern bits, sorted — the binary-searched exact-match
+    /// shortcut. Calibration budgets that cover every distinct tile (the
+    /// q = 128 headline config) make exact hits the overwhelmingly common
+    /// probe, and a `log q` search beats any scan.
+    exact: Vec<u64>,
+    /// The lowest pattern index holding each `exact` entry (duplicates
+    /// collapse to the lowest — the tie rule at distance 0).
+    exact_idx: Vec<u32>,
 }
 
 impl MatchIndex {
@@ -785,41 +821,95 @@ impl MatchIndex {
 
     /// Number of indexed patterns.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.idx.len()
     }
 
     /// Whether the index holds no patterns.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.idx.is_empty()
     }
 
-    /// The `(bits, pattern index)` entries of one popcount bucket,
-    /// ascending by index (the serialization order of [`crate::wire`]).
+    /// The pattern indices of one popcount bucket, ascending (the
+    /// serialization order of [`crate::wire`]).
     ///
     /// # Panics
     ///
     /// Panics if `popcount > width`.
-    pub fn bucket(&self, popcount: usize) -> &[(u64, u32)] {
-        &self.entries[self.offsets[popcount] as usize..self.offsets[popcount + 1] as usize]
+    pub fn bucket_indices(&self, popcount: usize) -> &[u32] {
+        &self.idx[self.offsets[popcount] as usize..self.offsets[popcount + 1] as usize]
+    }
+
+    /// The pattern bits of one popcount bucket, position-aligned with
+    /// [`Self::bucket_indices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `popcount > width`.
+    pub fn bucket_bits(&self, popcount: usize) -> &[u64] {
+        &self.bits[self.offsets[popcount] as usize..self.offsets[popcount + 1] as usize]
     }
 
     /// Reassembles an index from its buckets (the deserialization path in
-    /// [`crate::wire`]); callers must have validated the entries.
+    /// [`crate::wire`] — compiled artifacts rebuild the SoA probe layout
+    /// here on load); callers must have validated the entries.
     pub(crate) fn from_buckets(buckets: Vec<Vec<(u64, u32)>>) -> Self {
+        let total: usize = buckets.iter().map(Vec::len).sum();
         let mut offsets = Vec::with_capacity(buckets.len() + 1);
-        let mut entries = Vec::with_capacity(buckets.iter().map(Vec::len).sum());
+        let mut bits = Vec::with_capacity(total);
+        let mut idx = Vec::with_capacity(total);
+        // Validated buckets partition the pattern indices 0..total, so
+        // scattering by index rebuilds the index-ordered plane exactly.
+        let mut plane = vec![0u64; total];
         offsets.push(0);
         for bucket in buckets {
-            entries.extend(bucket);
-            offsets.push(entries.len() as u32);
+            for (b, i) in bucket {
+                bits.push(b);
+                idx.push(i);
+                plane[i as usize] = b;
+            }
+            offsets.push(bits.len() as u32);
         }
-        MatchIndex { offsets, entries }
+        // The exact-match shortcut: sort (bits, index) so duplicates sit
+        // adjacent with their lowest index first, then keep one entry per
+        // distinct bits value.
+        let mut pairs: Vec<(u64, u32)> = bits.iter().copied().zip(idx.iter().copied()).collect();
+        pairs.sort_unstable();
+        let mut exact = Vec::with_capacity(pairs.len());
+        let mut exact_idx = Vec::with_capacity(pairs.len());
+        for (b, i) in pairs {
+            if exact.last() != Some(&b) {
+                exact.push(b);
+                exact_idx.push(i);
+            }
+        }
+        MatchIndex { offsets, bits, idx, plane, exact, exact_idx }
     }
 
     /// The pattern minimizing Hamming distance to `tile`, as
     /// `(index, distance)`; `None` for an empty set. Bit-identical to
     /// [`PatternSet::best_match`], including the lowest-index tie rule.
+    ///
+    /// At a vector dispatch level the probe is a single batched
+    /// [`simd::min_hamming`] over the index-ordered plane (8
+    /// XOR+popcounts per AVX-512 iteration, branch-free): the kernel's
+    /// first minimum *is* the global `(min distance, min index)` answer.
+    /// That beats the bucketed best-first walk for the pattern budgets
+    /// this repo runs (q ≤ 128 — a handful of unrolled vector
+    /// iterations), which pays a dispatch call per visited bucket. At
+    /// scalar level the pruned walk below wins instead, and both
+    /// compute the same lexicographic minimum over `(distance, index)`.
     pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
+        // Exact hits first, at every dispatch level: a distance-0 match
+        // with the lowest pattern index is the final answer under the tie
+        // rule, and the binary search answers the overwhelmingly common
+        // probe (calibration budgets usually cover every distinct tile)
+        // in `log q` steps without scanning anything.
+        if let Ok(pos) = self.exact.binary_search(&tile) {
+            return Some((self.exact_idx[pos] as usize, 0));
+        }
+        if simd::level() != simd::SimdLevel::Scalar {
+            return simd::min_hamming(&self.plane, tile);
+        }
         let tp = tile.count_ones() as i64;
         let width = self.width() as i64;
         let mut best: Option<(u32, u32)> = None; // (distance, index), lexicographic min
@@ -838,29 +928,23 @@ impl MatchIndex {
                 if pc < 0 || pc > width || (side == 1 && delta == 0) {
                     continue;
                 }
-                for &(bits, idx) in self.bucket(pc as usize) {
-                    let d = (bits ^ tile).count_ones();
-                    let better = match best {
-                        None => true,
-                        Some((bd, bi)) => d < bd || (d == bd && idx < bi),
-                    };
-                    if better {
-                        if d == 0 {
-                            // Exact hits all share this bucket and ascend
-                            // by index: the first is the final answer.
-                            return Some((idx as usize, 0));
-                        }
-                        best = Some((d, idx));
-                        if d == delta as u32 {
-                            // Bucket-minimal distance: later entries in
-                            // this bucket have d >= delta and higher
-                            // indices, so none can improve. (The sibling
-                            // bucket at the same delta is still visited —
-                            // it may hold an equal distance at a lower
-                            // index.)
-                            break;
-                        }
+                let lo = self.offsets[pc as usize] as usize;
+                let hi = self.offsets[pc as usize + 1] as usize;
+                let Some((pos, d)) = simd::min_hamming(&self.bits[lo..hi], tile) else {
+                    continue; // empty bucket
+                };
+                let idx = self.idx[lo + pos];
+                let better = match best {
+                    None => true,
+                    Some((bd, bi)) => d < bd || (d == bd && idx < bi),
+                };
+                if better {
+                    if d == 0 {
+                        // Exact hits all share this bucket and ascend
+                        // by index: the first is the final answer.
+                        return Some((idx as usize, 0));
                     }
+                    best = Some((d, idx));
                 }
             }
         }

@@ -31,6 +31,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use snn_core::simd;
 
 /// Configuration for [`hamming_kmeans`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,19 +296,10 @@ fn finalize_centers(mut centers: Vec<u64>) -> Vec<u64> {
 }
 
 fn nearest_center(centers: &[u64], point: u64) -> usize {
-    let mut best = 0usize;
-    let mut best_d = u32::MAX;
-    for (i, &c) in centers.iter().enumerate() {
-        let d = (c ^ point).count_ones();
-        if d < best_d {
-            best_d = d;
-            best = i;
-            if d == 0 {
-                break;
-            }
-        }
-    }
-    best
+    // The batched kernel's first-minimum rule matches the strict-< scan
+    // this function used to spell out, so assignment is unchanged at any
+    // dispatch level.
+    simd::min_hamming(centers, point).map_or(0, |(i, _)| i)
 }
 
 /// The value farthest from its assigned center. Ties break toward the
@@ -318,7 +310,7 @@ fn farthest_value(values: &[u64], centers: &[u64], assignment: &[usize]) -> u64 
     values
         .iter()
         .enumerate()
-        .map(|(i, &v)| ((centers[assignment[i]] ^ v).count_ones(), v))
+        .map(|(i, &v)| (simd::hamming64(centers[assignment[i]], v), v))
         .max()
         .map(|(_, v)| v)
         .unwrap_or(0)
@@ -333,9 +325,7 @@ pub fn total_distance(points: &[u64], centers: &[u64]) -> u64 {
     }
     points
         .iter()
-        .map(|&p| {
-            centers.iter().map(|&c| (c ^ p).count_ones()).min().unwrap_or(p.count_ones()) as u64
-        })
+        .map(|&p| simd::min_hamming(centers, p).map_or_else(|| p.count_ones(), |(_, d)| d) as u64)
         .sum()
 }
 

@@ -77,3 +77,8 @@ pub use paft::{AlignmentModel, PaftRegularizer};
 pub use pattern::{Pattern, PatternSet};
 pub use pwp::{par_phi_matmul, phi_matmul, phi_matmul_row_into, PwpTable};
 pub use stats::SparsityStats;
+
+/// Runtime-dispatched SIMD kernels for the bit-op hot loops (re-exported
+/// from `snn_core`, where the bit-matrix substrate lives). See
+/// [`simd::level`] and the `PHI_SIMD` environment override.
+pub use snn_core::simd;

@@ -70,10 +70,12 @@ impl Pattern {
         self.bits.count_ones()
     }
 
-    /// Hamming distance to a raw tile word of the same width.
+    /// Hamming distance to a raw tile word of the same width (routed
+    /// through the workspace's one distance primitive,
+    /// [`snn_core::simd::hamming64`]).
     #[inline]
     pub fn hamming(&self, tile: u64) -> u32 {
-        (self.bits ^ tile).count_ones()
+        snn_core::simd::hamming64(self.bits, tile)
     }
 
     /// Whether this is the all-zero pattern.
@@ -157,6 +159,11 @@ pub struct PatternSet {
     /// skip their exact-match probe with one AND. Derived from `patterns`
     /// in the constructor.
     one_hot: u64,
+    /// The patterns' raw bits as one contiguous, index-ordered plane —
+    /// the layout the [`snn_core::simd`] kernels batch-probe 4–8
+    /// patterns per vector iteration. Derived from `patterns` in the
+    /// constructor.
+    bits: Vec<u64>,
 }
 
 impl PatternSet {
@@ -177,7 +184,8 @@ impl PatternSet {
         exact.dedup_by_key(|&mut (bits, _)| bits);
         let popcounts = patterns.iter().map(Pattern::popcount).collect();
         let one_hot = patterns.iter().filter(|p| p.is_one_hot()).fold(0, |m, p| m | p.bits());
-        PatternSet { width, patterns, exact, popcounts, one_hot }
+        let bits = patterns.iter().map(Pattern::bits).collect();
+        PatternSet { width, patterns, exact, popcounts, one_hot, bits }
     }
 
     /// An empty set (every row falls back to bit sparsity).
@@ -188,6 +196,7 @@ impl PatternSet {
             exact: Vec::new(),
             popcounts: Vec::new(),
             one_hot: 0,
+            bits: Vec::new(),
         }
     }
 
@@ -246,6 +255,13 @@ impl PatternSet {
         self.one_hot
     }
 
+    /// The patterns' raw bits as one contiguous, index-ordered plane —
+    /// the layout the [`snn_core::simd`] distance kernels consume.
+    #[inline]
+    pub fn pattern_bits(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Finds the pattern minimizing Hamming distance to `tile`, returning
     /// `(index, distance)`, or `None` if the set is empty. Ties resolve to
     /// the lowest index (deterministic, matching the hardware matcher's
@@ -253,12 +269,18 @@ impl PatternSet {
     ///
     /// Calibrated SNN tiles overwhelmingly hit a pattern exactly, so an
     /// exact match is answered from a sorted lookup in O(log q). The
-    /// linear distance scan runs only on misses; it skips any pattern
-    /// whose precomputed popcount puts the Hamming lower bound
-    /// `|popcount(p) − popcount(tile)|` at or above the best distance so
-    /// far (such a pattern can never strictly improve, so the skip is
-    /// bit-identical), and stops outright at distance 1 (the minimum still
-    /// attainable once distance 0 is ruled out).
+    /// distance scan runs only on misses. At a vector
+    /// [`snn_core::simd::level`] it is one batched
+    /// [`snn_core::simd::min_hamming`] probe over the contiguous pattern
+    /// bit-plane (4–8 XOR+popcounts per iteration); the first-minimum
+    /// lane rule is exactly this function's lowest-index tie rule, so
+    /// the answer is bit-identical. The scalar path keeps the pruned
+    /// scan: it skips any pattern whose precomputed popcount puts the
+    /// Hamming lower bound `|popcount(p) − popcount(tile)|` at or above
+    /// the best distance so far (such a pattern can never strictly
+    /// improve, so the skip is bit-identical), and stops outright at
+    /// distance 1 (the minimum still attainable once distance 0 is ruled
+    /// out — which the exact-match probe just did).
     ///
     /// This scan is the *linear reference matcher*: the sub-linear
     /// [`crate::decompose::MatchIndex`] is property-tested to agree with
@@ -266,6 +288,9 @@ impl PatternSet {
     pub fn best_match(&self, tile: u64) -> Option<(usize, u32)> {
         if let Some(idx) = self.exact_match(tile) {
             return Some((idx, 0));
+        }
+        if snn_core::simd::level() != snn_core::simd::SimdLevel::Scalar {
+            return snn_core::simd::min_hamming(&self.bits, tile);
         }
         let tp = tile.count_ones();
         let mut best: Option<(usize, u32)> = None;

@@ -10,7 +10,7 @@
 use crate::calibrate::LayerPatterns;
 use crate::decompose::Decomposition;
 use rayon::prelude::*;
-use snn_core::{Error, Matrix, Result};
+use snn_core::{simd, Error, Matrix, Result};
 
 /// Precomputed pattern–weight products for one layer.
 #[derive(Debug, Clone)]
@@ -53,11 +53,7 @@ impl PwpTable {
                     if row >= weights.rows() {
                         continue;
                     }
-                    let w = weights.row(row);
-                    let acc = table.row_mut(pi);
-                    for (a, &wv) in acc.iter_mut().zip(w) {
-                        *a += wv;
-                    }
+                    simd::add_assign(table.row_mut(pi), weights.row(row));
                 }
             }
             tables.push(table);
@@ -133,29 +129,39 @@ pub fn phi_matmul_row_into(
     row: usize,
     out: &mut [f32],
 ) {
+    let mut terms = Vec::new();
+    phi_matmul_row_with(decomp, pwp, weights, row, out, &mut terms);
+}
+
+/// [`phi_matmul_row_into`] with a caller-owned scratch buffer for the
+/// gathered terms, so row sweeps pay one allocation instead of one per
+/// row. The buffer is cleared on entry; its capacity is reused.
+fn phi_matmul_row_with<'a>(
+    decomp: &Decomposition,
+    pwp: &'a PwpTable,
+    weights: &'a Matrix,
+    row: usize,
+    out: &mut [f32],
+    terms: &mut Vec<(&'a [f32], bool)>,
+) {
     assert_eq!(out.len(), weights.cols(), "output row width must match weights");
-    // Level 1: one accumulation per assigned tile.
+    // Gather the row's accumulation terms — Level-1 PWP rows in partition
+    // order, then Level-2 signed weight rows in stored order — and fuse
+    // them into one SIMD pass. Per output element the additions still run
+    // in exactly this term order, so the result is bit-identical to the
+    // one-pass-per-term sweep at every dispatch level.
+    terms.clear();
+    let l2 = decomp.l2_row(row);
+    terms.reserve(decomp.num_partitions() + l2.len());
     for part in 0..decomp.num_partitions() {
         if let Some(idx) = decomp.l1_index(row, part) {
-            let pwp_row = pwp.row(part, idx as usize);
-            for (a, &v) in out.iter_mut().zip(pwp_row) {
-                *a += v;
-            }
+            terms.push((pwp.row(part, idx as usize), false));
         }
     }
-    // Level 2: signed weight-row corrections.
-    for e in decomp.l2_row(row) {
-        let w = weights.row(e.col as usize);
-        if e.value == 1 {
-            for (a, &wv) in out.iter_mut().zip(w) {
-                *a += wv;
-            }
-        } else {
-            for (a, &wv) in out.iter_mut().zip(w) {
-                *a -= wv;
-            }
-        }
+    for e in l2 {
+        terms.push((weights.row(e.col as usize), e.value != 1));
     }
+    simd::accumulate_signed(out, terms);
 }
 
 /// Computes the layer output from a Phi decomposition: Level-1 PWP
@@ -173,8 +179,9 @@ pub fn phi_matmul_row_into(
 pub fn phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) -> Result<Matrix> {
     validate_matmul(decomp, pwp, weights)?;
     let mut out = Matrix::zeros(decomp.rows(), weights.cols());
+    let mut terms = Vec::new();
     for r in 0..decomp.rows() {
-        phi_matmul_row_into(decomp, pwp, weights, r, out.row_mut(r));
+        phi_matmul_row_with(decomp, pwp, weights, r, out.row_mut(r), &mut terms);
     }
     Ok(out)
 }
@@ -202,20 +209,26 @@ pub fn par_phi_matmul(decomp: &Decomposition, pwp: &PwpTable, weights: &Matrix) 
     let chunk = rows.div_ceil(workers);
     let ranges: Vec<(usize, usize)> =
         (0..rows).step_by(chunk).map(|lo| (lo, (lo + chunk).min(rows))).collect();
-    let blocks: Vec<Vec<f32>> = ranges
+    let mut blocks: Vec<Vec<f32>> = ranges
         .into_par_iter()
         .map(|(lo, hi)| {
             let mut block = vec![0.0f32; (hi - lo) * n];
+            let mut terms = Vec::new();
             for r in lo..hi {
                 let out = &mut block[(r - lo) * n..(r - lo + 1) * n];
-                phi_matmul_row_into(decomp, pwp, weights, r, out);
+                phi_matmul_row_with(decomp, pwp, weights, r, out, &mut terms);
             }
             block
         })
         .collect();
+    // A single worker produced the whole output already — hand its block
+    // over instead of copying it through the concatenation below.
+    if blocks.len() == 1 {
+        return Matrix::from_vec(rows, n, blocks.pop().expect("one block"));
+    }
     let mut data = Vec::with_capacity(rows * n);
-    for block in blocks {
-        data.extend_from_slice(&block);
+    for block in &blocks {
+        data.extend_from_slice(block);
     }
     Matrix::from_vec(rows, n, data)
 }

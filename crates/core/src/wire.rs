@@ -299,9 +299,9 @@ pub fn read_layer_patterns(r: &mut Reader<'_>) -> Result<LayerPatterns> {
 pub fn write_match_index(index: &MatchIndex, out: &mut Vec<u8>) {
     put_u32(out, index.width() as u32);
     for pc in 0..=index.width() {
-        let bucket = index.bucket(pc);
+        let bucket = index.bucket_indices(pc);
         put_u32(out, bucket.len() as u32);
-        for &(_, idx) in bucket {
+        for &idx in bucket {
             put_u32(out, idx);
         }
     }

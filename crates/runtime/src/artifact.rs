@@ -65,7 +65,11 @@ pub struct CompiledLayer {
     pub patterns: LayerPatterns,
     /// Per-partition popcount-bucketed match indexes derived from
     /// `patterns` — the serve-time decomposition probes these instead of
-    /// scanning every pattern.
+    /// scanning every pattern. The wire record stores only bucket
+    /// membership; deserialization rebuilds each index's contiguous
+    /// bit-plane layout (see [`phi_core::MatchIndex::from_buckets`]), so
+    /// loaded artifacts probe through the batched SIMD Hamming kernels
+    /// exactly like freshly compiled ones.
     pub match_index: LayerMatchIndex,
     /// Layer weights (`K × N`), when compiled with them.
     pub weights: Option<Matrix>,

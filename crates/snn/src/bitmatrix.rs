@@ -6,6 +6,7 @@
 //! single `u64`, making Hamming distance a `popcount(xor)`.
 
 use crate::error::{Error, Result};
+use crate::simd;
 use crate::tensor::Matrix;
 use rand::Rng;
 use std::fmt;
@@ -191,12 +192,12 @@ impl SpikeMatrix {
     pub fn row_nnz(&self, row: usize) -> usize {
         assert!(row < self.rows, "row {row} out of bounds");
         let base = row * self.words_per_row;
-        self.bits[base..base + self.words_per_row].iter().map(|w| w.count_ones() as usize).sum()
+        simd::popcount_words(&self.bits[base..base + self.words_per_row]) as usize
     }
 
     /// Total number of set bits.
     pub fn nnz(&self) -> usize {
-        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+        simd::popcount_words(&self.bits) as usize
     }
 
     /// Fraction of bits that are one (the paper's *bit density*).
@@ -429,6 +430,35 @@ impl SpikeMatrix {
             };
             value & mask
         })
+    }
+
+    /// Materializes every partition tile of one row into `out` —
+    /// `out[part] == partition_tile(row, part, k)` for every partition.
+    /// For word-aligned widths (`64 % k == 0`, including the paper's
+    /// `k = 16`) the unpack runs through the dispatched
+    /// [`simd::extract_aligned_tiles`] kernel, shearing 4 tiles out of a
+    /// backing word per vector operation; other widths fall back to the
+    /// incremental scalar scan of [`Self::row_partition_tiles`]. This is
+    /// the decomposition sweep's tile source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not within `1..=64`, `row` is out of bounds, or
+    /// `out.len() != num_partitions(k)`.
+    pub fn row_partition_tiles_into(&self, row: usize, k: usize, out: &mut [u64]) {
+        assert!(k > 0 && k <= WORD_BITS, "partition width must be within 1..=64");
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert_eq!(out.len(), self.num_partitions(k), "tile buffer must cover every partition");
+        if WORD_BITS.is_multiple_of(k) {
+            // Padding bits beyond the column count are guaranteed zero,
+            // so the aligned unpack of the raw words yields exactly the
+            // masked tiles, final (narrower) partition included.
+            simd::extract_aligned_tiles(self.row_words(row), k, out);
+        } else {
+            for (slot, tile) in out.iter_mut().zip(self.row_partition_tiles(row, k)) {
+                *slot = tile;
+            }
+        }
     }
 
     /// Iterates over the tiles of partition `part` for every row, top to
@@ -749,6 +779,23 @@ mod tests {
                     for (part, &tile) in tiles.iter().enumerate() {
                         assert_eq!(tile, m.partition_tile(r, part, k), "cols {cols} k {k}");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_partition_tiles_into_matches_the_iterator() {
+        let mut rng = StdRng::seed_from_u64(35);
+        for cols in [20usize, 64, 100, 130] {
+            let m = SpikeMatrix::random(9, cols, 0.4, &mut rng);
+            // Aligned widths take the SIMD unpack; the rest the scalar scan.
+            for k in [4usize, 5, 8, 16, 31, 32, 64] {
+                let mut buf = vec![u64::MAX; m.num_partitions(k)];
+                for r in 0..m.rows() {
+                    m.row_partition_tiles_into(r, k, &mut buf);
+                    let reference: Vec<u64> = m.row_partition_tiles(r, k).collect();
+                    assert_eq!(buf, reference, "cols {cols} k {k} row {r}");
                 }
             }
         }

@@ -37,6 +37,7 @@ pub mod error;
 pub mod layer;
 pub mod lif;
 pub mod network;
+pub mod simd;
 pub mod tensor;
 pub mod train;
 

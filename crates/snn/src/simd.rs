@@ -1,0 +1,1081 @@
+//! Runtime-dispatched SIMD kernels for the bit-op hot loops.
+//!
+//! Phi's software pipeline spends its time in a handful of primitive
+//! loops: XOR+popcount Hamming distances (pattern matching, k-means),
+//! word popcounts (density accounting), tile extraction from packed
+//! rows, and elementwise `f32` row accumulation (the PWP GEMM). This
+//! module implements each primitive three ways — a portable scalar
+//! reference, 256-bit AVX2, and 512-bit AVX-512 (`aarch64` gets NEON) —
+//! behind one runtime CPU-feature dispatch, using only stable
+//! `core::arch` intrinsics (no external crates).
+//!
+//! # Bit-identity contract
+//!
+//! Every dispatched function returns *bit-identical* results at every
+//! [`SimdLevel`]:
+//!
+//! * the integer kernels are exact by construction (XOR and popcount
+//!   have one answer);
+//! * [`min_hamming`] preserves the *first-minimum* rule — the lowest
+//!   index among minimum-distance entries wins, exactly like a scalar
+//!   left-to-right scan — which is what the pattern matcher's
+//!   "min distance, then min index" tie rule reduces to over
+//!   index-ascending pattern arrays;
+//! * [`add_assign`] / [`sub_assign`] are elementwise (`out[i] ± src[i]`,
+//!   one operation per element, no reassociation), so `f32` rounding is
+//!   unchanged lane for lane.
+//!
+//! The `simd_equivalence` property suite in `phi-core` pins all of this
+//! against the [`scalar`] twins.
+//!
+//! # Dispatch
+//!
+//! The active level is detected once and cached. The `PHI_SIMD`
+//! environment variable overrides it: `off`/`scalar` force the portable
+//! path, `auto` (or unset, or any unrecognized value) uses the best
+//! detected level, and `avx2`/`avx512`/`neon` clamp to that level if the
+//! host supports it. Benchmarks A/B the paths in-process via [`force`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The instruction-set tier a kernel dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar Rust — always available, the bit-identity
+    /// reference.
+    Scalar = 0,
+    /// 256-bit AVX2 (x86-64): XOR + nibble-LUT popcount, 8-lane `f32`.
+    Avx2 = 1,
+    /// 512-bit AVX-512 with `VPOPCNTDQ` (x86-64): hardware 64-bit lane
+    /// popcount, 16-lane `f32`.
+    Avx512 = 2,
+    /// 128-bit NEON (aarch64): `vcnt` byte popcount, 4-lane `f32`.
+    Neon = 3,
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+            SimdLevel::Neon => "neon",
+        })
+    }
+}
+
+/// Sentinel for "not yet initialized" in the cached level.
+const UNINIT: u8 = u8::MAX;
+
+/// The cached dispatch level; initialized on first use from `PHI_SIMD`
+/// and CPU detection, overridable via [`force`].
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+#[inline]
+fn decode(v: u8) -> SimdLevel {
+    match v {
+        1 => SimdLevel::Avx2,
+        2 => SimdLevel::Avx512,
+        3 => SimdLevel::Neon,
+        _ => SimdLevel::Scalar,
+    }
+}
+
+/// The best level the host CPU supports, independent of `PHI_SIMD` and
+/// [`force`].
+pub fn detected() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return SimdLevel::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        SimdLevel::Scalar
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is architecturally guaranteed on aarch64.
+        SimdLevel::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// Clamps a requested tier to what the host actually supports. The x86
+/// tiers and NEON are distinct families, not an ordering: requesting a
+/// tier from the other family degrades to scalar.
+fn clamp(requested: SimdLevel) -> SimdLevel {
+    let cap = detected();
+    match requested {
+        SimdLevel::Scalar => SimdLevel::Scalar,
+        SimdLevel::Neon => {
+            if cap == SimdLevel::Neon {
+                SimdLevel::Neon
+            } else {
+                SimdLevel::Scalar
+            }
+        }
+        x86_tier => {
+            if cap == SimdLevel::Neon {
+                SimdLevel::Scalar
+            } else {
+                x86_tier.min(cap)
+            }
+        }
+    }
+}
+
+/// The level `PHI_SIMD` requests, clamped to what the host supports.
+fn env_level() -> SimdLevel {
+    match std::env::var("PHI_SIMD").ok().as_deref() {
+        Some("off") | Some("scalar") | Some("0") => SimdLevel::Scalar,
+        Some("avx2") => clamp(SimdLevel::Avx2),
+        Some("avx512") => clamp(SimdLevel::Avx512),
+        Some("neon") => clamp(SimdLevel::Neon),
+        // `auto`, unset, empty, or unrecognized: best detected.
+        _ => detected(),
+    }
+}
+
+/// The active dispatch level (cached after the first call).
+#[inline]
+pub fn level() -> SimdLevel {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNINIT {
+        return decode(v);
+    }
+    let l = env_level();
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    l
+}
+
+/// Overrides the dispatch level in-process (clamped to the detected
+/// capability, so forcing an unsupported tier degrades safely), and
+/// returns the previously active level. Benchmarks use this to A/B the
+/// scalar and vector paths without re-execing; results stay
+/// bit-identical either way.
+pub fn force(l: SimdLevel) -> SimdLevel {
+    let prev = level();
+    LEVEL.store(clamp(l) as u8, Ordering::Relaxed);
+    prev
+}
+
+/// Hamming distance between two width-≤64 bit words — the single
+/// distance primitive every matcher, clusterer, and statistic in the
+/// workspace routes through (one word needs no vectorization; `XOR` +
+/// the `popcnt` instruction is optimal).
+#[inline(always)]
+pub fn hamming64(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Total popcount of a word slice (row/matrix nonzero counts).
+pub fn popcount_words(words: &[u64]) -> u64 {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::popcount_words_avx512(words) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::popcount_words_avx2(words) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::popcount_words_neon(words) },
+        _ => scalar::popcount_words(words),
+    }
+}
+
+/// Writes the Hamming distance from `tile` to every word of `patterns`
+/// into `out` (a contiguous pattern bit-plane probe, 4–8 patterns per
+/// vector iteration).
+///
+/// # Panics
+///
+/// Panics if `out.len() != patterns.len()`.
+pub fn hamming_batch(patterns: &[u64], tile: u64, out: &mut [u32]) {
+    assert_eq!(patterns.len(), out.len(), "distance buffer must match the pattern count");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::hamming_batch_avx512(patterns, tile, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::hamming_batch_avx2(patterns, tile, out) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::hamming_batch_neon(patterns, tile, out) },
+        _ => scalar::hamming_batch(patterns, tile, out),
+    }
+}
+
+/// The position and value of the minimum Hamming distance from `tile`
+/// over a contiguous pattern bit-plane; `None` for an empty slice.
+///
+/// Ties resolve to the *lowest position* — identical to a scalar
+/// left-to-right strict-improvement scan — and the scan stops early on
+/// an exact (distance-0) hit. This is the matcher's inner probe: over an
+/// index-ascending pattern array, first-minimum == the "min distance,
+/// then min index" tie rule.
+pub fn min_hamming(patterns: &[u64], tile: u64) -> Option<(usize, u32)> {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::min_hamming_avx512(patterns, tile) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::min_hamming_avx2(patterns, tile) },
+        _ => scalar::min_hamming(patterns, tile),
+    }
+}
+
+/// Elementwise `out[i] += src[i]` — the PWP / correction row
+/// accumulation. One addition per element in lane order, so the `f32`
+/// result is bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_assign(out: &mut [f32], src: &[f32]) {
+    assert_eq!(out.len(), src.len(), "accumulation rows must match in width");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::add_assign_avx512(out, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::add_assign_avx2(out, src) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::add_assign_neon(out, src) },
+        _ => scalar::add_assign(out, src),
+    }
+}
+
+/// Elementwise `out[i] -= src[i]` — the `−1` correction accumulation.
+/// Same bit-identity argument as [`add_assign`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_assign(out: &mut [f32], src: &[f32]) {
+    assert_eq!(out.len(), src.len(), "accumulation rows must match in width");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::sub_assign_avx512(out, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::sub_assign_avx2(out, src) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::sub_assign_neon(out, src) },
+        _ => scalar::sub_assign(out, src),
+    }
+}
+
+/// Accumulates a batch of signed rows into `out` in one pass:
+/// `out[i] += terms[0].0[i] ± … ± terms[T-1].0[i]` with `true` marking a
+/// subtracted term, applied in term order per element.
+///
+/// This is the fused form of a [`add_assign`]/[`sub_assign`] sequence:
+/// one dispatch for the whole chain, and the x86 kernels prefetch the
+/// next terms' rows while the current one streams — each term row is a
+/// fresh cache-cold stream, and the hardware prefetcher needs several
+/// misses to lock on without the hint. Terms are applied in order, so
+/// every element sees the exact same addition chain as the sequential
+/// calls — no reassociation, bit-identity holds.
+///
+/// # Panics
+///
+/// Panics if any term differs from `out` in length.
+pub fn accumulate_signed(out: &mut [f32], terms: &[(&[f32], bool)]) {
+    for (src, _) in terms {
+        assert_eq!(out.len(), src.len(), "accumulation rows must match in width");
+    }
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::accumulate_signed_avx512(out, terms) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::accumulate_signed_avx2(out, terms) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::accumulate_signed_neon(out, terms) },
+        _ => scalar::accumulate_signed(out, terms),
+    }
+}
+
+/// Unpacks the width-`k` tiles of a packed bit-row into `out`, for
+/// word-aligned widths (`64 % k == 0`): tile `i` is bits
+/// `[i·k, i·k + k)` of `words`, low-aligned. Trailing bits of the final
+/// word beyond `out.len()` tiles are ignored.
+///
+/// # Panics
+///
+/// Panics if `k` is not a divisor of 64, or if `words` holds fewer than
+/// `out.len()` tiles.
+pub fn extract_aligned_tiles(words: &[u64], k: usize, out: &mut [u64]) {
+    assert!(k > 0 && 64 % k == 0, "tile width must divide 64");
+    let tiles_per_word = 64 / k;
+    assert!(
+        out.len() <= words.len() * tiles_per_word,
+        "tile buffer exceeds the packed row ({} tiles from {} words at k = {k})",
+        out.len(),
+        words.len()
+    );
+    match level() {
+        // AVX-512 hosts take the AVX2 shift kernel too: extraction is a
+        // variable 64-bit shift + mask, which gains lanes but no new
+        // instruction past AVX2, and the 256-bit form covers the k = 16
+        // hot case (4 tiles per word) exactly.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 | SimdLevel::Avx2 => unsafe {
+            x86::extract_aligned_tiles_avx2(words, k, out)
+        },
+        _ => scalar::extract_aligned_tiles(words, k, out),
+    }
+}
+
+/// Portable reference implementations of every dispatched kernel.
+///
+/// These are the bit-identity oracles the `simd_equivalence` property
+/// suite compares the vector paths against, and the fallback bodies the
+/// dispatchers run at [`SimdLevel::Scalar`].
+pub mod scalar {
+    /// Scalar twin of [`super::popcount_words`].
+    pub fn popcount_words(words: &[u64]) -> u64 {
+        words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Scalar twin of [`super::hamming_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != patterns.len()`.
+    pub fn hamming_batch(patterns: &[u64], tile: u64, out: &mut [u32]) {
+        assert_eq!(patterns.len(), out.len(), "distance buffer must match the pattern count");
+        for (d, &p) in out.iter_mut().zip(patterns) {
+            *d = (p ^ tile).count_ones();
+        }
+    }
+
+    /// Scalar twin of [`super::min_hamming`]: left-to-right
+    /// strict-improvement scan (lowest position wins ties), stopping on
+    /// an exact hit.
+    pub fn min_hamming(patterns: &[u64], tile: u64) -> Option<(usize, u32)> {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, &p) in patterns.iter().enumerate() {
+            let d = (p ^ tile).count_ones();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Scalar twin of [`super::add_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn add_assign(out: &mut [f32], src: &[f32]) {
+        assert_eq!(out.len(), src.len(), "accumulation rows must match in width");
+        for (a, &v) in out.iter_mut().zip(src) {
+            *a += v;
+        }
+    }
+
+    /// Scalar twin of [`super::sub_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn sub_assign(out: &mut [f32], src: &[f32]) {
+        assert_eq!(out.len(), src.len(), "accumulation rows must match in width");
+        for (a, &v) in out.iter_mut().zip(src) {
+            *a -= v;
+        }
+    }
+
+    /// Scalar twin of [`super::accumulate_signed`]: the plain term-major
+    /// sweep (one [`add_assign`]/[`sub_assign`] pass per term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any term differs from `out` in length.
+    pub fn accumulate_signed(out: &mut [f32], terms: &[(&[f32], bool)]) {
+        for &(src, negate) in terms {
+            if negate {
+                sub_assign(out, src);
+            } else {
+                add_assign(out, src);
+            }
+        }
+    }
+
+    /// Scalar twin of [`super::extract_aligned_tiles`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as the dispatcher.
+    pub fn extract_aligned_tiles(words: &[u64], k: usize, out: &mut [u64]) {
+        assert!(k > 0 && 64 % k == 0, "tile width must divide 64");
+        let tiles_per_word = 64 / k;
+        let mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+        let mut part = 0usize;
+        for &word in words {
+            let n = tiles_per_word.min(out.len() - part);
+            for (j, slot) in out[part..part + n].iter_mut().enumerate() {
+                *slot = (word >> (j * k)) & mask;
+            }
+            part += n;
+            if part == out.len() {
+                break;
+            }
+        }
+        assert_eq!(part, out.len(), "packed row holds fewer tiles than the buffer");
+    }
+}
+
+/// x86-64 AVX2 / AVX-512 kernel bodies.
+///
+/// Every function is `unsafe` solely because of its `#[target_feature]`
+/// attribute; the dispatcher guarantees the feature is present before
+/// calling (runtime `is_x86_feature_detected!`, cached in [`LEVEL`]).
+/// All memory access is through `loadu`/`storeu` on slice-derived
+/// pointers with explicit remainder handling, so no alignment or bounds
+/// invariants beyond the borrow checker's are assumed.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// 64-bit lane popcount via the nibble-LUT + `psadbw` reduction
+    /// (Muła's method): per-byte counts from two 4-bit table lookups,
+    /// summed into each 64-bit lane by the sum-of-absolute-differences
+    /// against zero.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn popcount_epi64_avx2(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+        let counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(counts, _mm256_setzero_si256())
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn popcount_words_avx2(words: &[u64]) -> u64 {
+        let mut acc = _mm256_setzero_si256();
+        let chunks = words.chunks_exact(4);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // SAFETY: `chunk` is 4 contiguous u64s; unaligned load.
+            let v = _mm256_loadu_si256(chunk.as_ptr().cast());
+            acc = _mm256_add_epi64(acc, popcount_epi64_avx2(v));
+        }
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is 32 writable bytes; unaligned store.
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        lanes.iter().sum::<u64>() + super::scalar::popcount_words(tail)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and AVX-512VPOPCNTDQ are available.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn popcount_words_avx512(words: &[u64]) -> u64 {
+        let mut acc = _mm512_setzero_si512();
+        let chunks = words.chunks_exact(8);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // SAFETY: `chunk` is 8 contiguous u64s; unaligned load.
+            let v = _mm512_loadu_si512(chunk.as_ptr().cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        }
+        _mm512_reduce_add_epi64(acc) as u64 + super::scalar::popcount_words(tail)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available, and `out.len() ==
+    /// patterns.len()` (the dispatcher asserts it).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hamming_batch_avx2(patterns: &[u64], tile: u64, out: &mut [u32]) {
+        let t = _mm256_set1_epi64x(tile as i64);
+        let chunks = patterns.chunks_exact(4);
+        let tail_at = patterns.len() - chunks.remainder().len();
+        for (ci, chunk) in chunks.enumerate() {
+            // SAFETY: `chunk` is 4 contiguous u64s; unaligned load.
+            let v = _mm256_loadu_si256(chunk.as_ptr().cast());
+            let d = popcount_epi64_avx2(_mm256_xor_si256(v, t));
+            let mut lanes = [0u64; 4];
+            // SAFETY: `lanes` is 32 writable bytes; unaligned store.
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), d);
+            for (li, &dl) in lanes.iter().enumerate() {
+                out[ci * 4 + li] = dl as u32;
+            }
+        }
+        for i in tail_at..patterns.len() {
+            out[i] = (patterns[i] ^ tile).count_ones();
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and AVX-512VPOPCNTDQ are available,
+    /// and `out.len() == patterns.len()` (the dispatcher asserts it).
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn hamming_batch_avx512(patterns: &[u64], tile: u64, out: &mut [u32]) {
+        let t = _mm512_set1_epi64(tile as i64);
+        let chunks = patterns.chunks_exact(8);
+        let tail_at = patterns.len() - chunks.remainder().len();
+        for (ci, chunk) in chunks.enumerate() {
+            // SAFETY: `chunk` is 8 contiguous u64s; unaligned load.
+            let v = _mm512_loadu_si512(chunk.as_ptr().cast());
+            let d = _mm512_popcnt_epi64(_mm512_xor_si512(v, t));
+            let mut lanes = [0u64; 8];
+            // SAFETY: `lanes` is 64 writable bytes; unaligned store.
+            _mm512_storeu_si512(lanes.as_mut_ptr().cast(), d);
+            for (li, &dl) in lanes.iter().enumerate() {
+                out[ci * 8 + li] = dl as u32;
+            }
+        }
+        for i in tail_at..patterns.len() {
+            out[i] = (patterns[i] ^ tile).count_ones();
+        }
+    }
+
+    /// First-minimum scan, 4 distances per iteration. Lanes are checked
+    /// in ascending order with strict `<`, which preserves the scalar
+    /// scan's lowest-position tie rule exactly.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_hamming_avx2(patterns: &[u64], tile: u64) -> Option<(usize, u32)> {
+        if patterns.is_empty() {
+            return None;
+        }
+        let t = _mm256_set1_epi64x(tile as i64);
+        let mut best_i = 0usize;
+        let mut best_d = u32::MAX;
+        let chunks = patterns.chunks_exact(4);
+        let tail_at = patterns.len() - chunks.remainder().len();
+        for (ci, chunk) in chunks.enumerate() {
+            // SAFETY: `chunk` is 4 contiguous u64s; unaligned load.
+            let v = _mm256_loadu_si256(chunk.as_ptr().cast());
+            let d = popcount_epi64_avx2(_mm256_xor_si256(v, t));
+            let mut lanes = [0u64; 4];
+            // SAFETY: `lanes` is 32 writable bytes; unaligned store.
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), d);
+            for (li, &dl) in lanes.iter().enumerate() {
+                if (dl as u32) < best_d {
+                    best_d = dl as u32;
+                    best_i = ci * 4 + li;
+                    if best_d == 0 {
+                        return Some((best_i, 0));
+                    }
+                }
+            }
+        }
+        for (i, &p) in patterns.iter().enumerate().skip(tail_at) {
+            let d = (p ^ tile).count_ones();
+            if d < best_d {
+                best_d = d;
+                best_i = i;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        Some((best_i, best_d))
+    }
+
+    /// First-minimum scan, 8 distances per iteration; same lane-order
+    /// tie rule as [`min_hamming_avx2`].
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and AVX-512VPOPCNTDQ are available.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn min_hamming_avx512(patterns: &[u64], tile: u64) -> Option<(usize, u32)> {
+        if patterns.is_empty() {
+            return None;
+        }
+        let t = _mm512_set1_epi64(tile as i64);
+        let mut best_i = 0usize;
+        let mut best_d = u32::MAX;
+        let chunks = patterns.chunks_exact(8);
+        let tail_at = patterns.len() - chunks.remainder().len();
+        for (ci, chunk) in chunks.enumerate() {
+            // SAFETY: `chunk` is 8 contiguous u64s; unaligned load.
+            let v = _mm512_loadu_si512(chunk.as_ptr().cast());
+            let d = _mm512_popcnt_epi64(_mm512_xor_si512(v, t));
+            // Skip the in-order lane walk whenever the chunk cannot
+            // improve on the running best.
+            let chunk_min = _mm512_reduce_min_epu64(d) as u32;
+            if chunk_min >= best_d {
+                continue;
+            }
+            let mut lanes = [0u64; 8];
+            // SAFETY: `lanes` is 64 writable bytes; unaligned store.
+            _mm512_storeu_si512(lanes.as_mut_ptr().cast(), d);
+            for (li, &dl) in lanes.iter().enumerate() {
+                if dl as u32 == chunk_min {
+                    best_d = chunk_min;
+                    best_i = ci * 8 + li;
+                    break;
+                }
+            }
+            if best_d == 0 {
+                return Some((best_i, 0));
+            }
+        }
+        for (i, &p) in patterns.iter().enumerate().skip(tail_at) {
+            let d = (p ^ tile).count_ones();
+            if d < best_d {
+                best_d = d;
+                best_i = i;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        Some((best_i, best_d))
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and the slices are equal in
+    /// length (the dispatcher asserts it).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign_avx2(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n == src.len()`; unaligned loads/store.
+            let a = _mm256_loadu_ps(out.as_ptr().add(i));
+            let b = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(a, b));
+            i += 8;
+        }
+        while i < n {
+            out[i] += src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and the slices are equal in
+    /// length (the dispatcher asserts it).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_assign_avx2(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n == src.len()`; unaligned loads/store.
+            let a = _mm256_loadu_ps(out.as_ptr().add(i));
+            let b = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_sub_ps(a, b));
+            i += 8;
+        }
+        while i < n {
+            out[i] -= src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available and the slices are equal
+    /// in length (the dispatcher asserts it).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn add_assign_avx512(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n == src.len()`; unaligned loads/store.
+            let a = _mm512_loadu_ps(out.as_ptr().add(i));
+            let b = _mm512_loadu_ps(src.as_ptr().add(i));
+            _mm512_storeu_ps(out.as_mut_ptr().add(i), _mm512_add_ps(a, b));
+            i += 16;
+        }
+        while i < n {
+            out[i] += src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available and the slices are equal
+    /// in length (the dispatcher asserts it).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sub_assign_avx512(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n == src.len()`; unaligned loads/store.
+            let a = _mm512_loadu_ps(out.as_ptr().add(i));
+            let b = _mm512_loadu_ps(src.as_ptr().add(i));
+            _mm512_storeu_ps(out.as_mut_ptr().add(i), _mm512_sub_ps(a, b));
+            i += 16;
+        }
+        while i < n {
+            out[i] -= src[i];
+            i += 1;
+        }
+    }
+
+    /// Issue prefetches for the head of the next couple of term rows so
+    /// their streams are already in flight when the current pass ends.
+    /// The accumulation is latency-bound, not bandwidth-bound: term rows
+    /// are short (a few cache lines each) and scattered across the PWP
+    /// tables and weight matrix, so every term pass otherwise stalls on a
+    /// cold stream startup. Prefetching never faults, and the pointers
+    /// use `wrapping_add` so going past a short row's end is harmless.
+    #[inline(always)]
+    unsafe fn prefetch_terms(terms: &[(&[f32], bool)], next: usize) {
+        for &(src, _) in terms.iter().skip(next).take(2) {
+            let p = src.as_ptr().cast::<i8>();
+            _mm_prefetch::<_MM_HINT_T0>(p);
+            _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(64));
+            _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(128));
+            _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(192));
+        }
+    }
+
+    /// Fused signed accumulation, term-major: `out` is a few cache lines
+    /// and stays resident in L1 while each term row is streamed through
+    /// it exactly once, with the next rows prefetched ahead of the pass.
+    /// The per-element operation order is the term order, so the result
+    /// is bit-identical to the scalar sweep.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and every term slice equals
+    /// `out` in length (the dispatcher asserts it).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_signed_avx2(out: &mut [f32], terms: &[(&[f32], bool)]) {
+        for (t, &(src, negate)) in terms.iter().enumerate() {
+            prefetch_terms(terms, t + 1);
+            // SAFETY: dispatcher asserted `src.len() == out.len()`.
+            if negate {
+                sub_assign_avx2(out, src);
+            } else {
+                add_assign_avx2(out, src);
+            }
+        }
+    }
+
+    /// [`accumulate_signed_avx2`] over the 16-float AVX-512 kernels.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available and every term slice
+    /// equals `out` in length (the dispatcher asserts it).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_signed_avx512(out: &mut [f32], terms: &[(&[f32], bool)]) {
+        for (t, &(src, negate)) in terms.iter().enumerate() {
+            prefetch_terms(terms, t + 1);
+            // SAFETY: dispatcher asserted `src.len() == out.len()`.
+            if negate {
+                sub_assign_avx512(out, src);
+            } else {
+                add_assign_avx512(out, src);
+            }
+        }
+    }
+
+    /// Aligned tile unpack: each source word is broadcast and sheared by
+    /// a variable 64-bit shift (`vpsrlvq`) into 4 tile lanes at a time.
+    /// Widths with fewer than 4 tiles per word (k = 32, 64) fall back to
+    /// the scalar unpack — they are a move apiece either way.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available, and the dispatcher's shape
+    /// assertions hold (`64 % k == 0`, `out` fits the packed row).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn extract_aligned_tiles_avx2(words: &[u64], k: usize, out: &mut [u64]) {
+        let tiles_per_word = 64 / k;
+        if tiles_per_word < 4 {
+            return super::scalar::extract_aligned_tiles(words, k, out);
+        }
+        let mask = _mm256_set1_epi64x(((1u64 << k) - 1) as i64);
+        let base_shift = _mm256_setr_epi64x(0, k as i64, 2 * k as i64, 3 * k as i64);
+        let step = _mm256_set1_epi64x(4 * k as i64);
+        let mut part = 0usize;
+        for &word in words {
+            let w = _mm256_set1_epi64x(word as i64);
+            let mut shift = base_shift;
+            let full = (out.len() - part).min(tiles_per_word);
+            let mut j = 0usize;
+            while j + 4 <= full {
+                let tiles = _mm256_and_si256(_mm256_srlv_epi64(w, shift), mask);
+                // SAFETY: `part + j + 4 <= out.len()`; unaligned store.
+                _mm256_storeu_si256(out.as_mut_ptr().add(part + j).cast(), tiles);
+                shift = _mm256_add_epi64(shift, step);
+                j += 4;
+            }
+            let kmask = (1u64 << k) - 1;
+            while j < full {
+                out[part + j] = (word >> (j * k)) & kmask;
+                j += 1;
+            }
+            part += full;
+            if part == out.len() {
+                break;
+            }
+        }
+        assert_eq!(part, out.len(), "packed row holds fewer tiles than the buffer");
+    }
+}
+
+/// aarch64 NEON kernel bodies (128-bit): byte popcounts via `vcnt`
+/// summed per 64-bit lane, and 4-lane `f32` accumulation. `min_hamming`
+/// stays scalar on NEON — two 64-bit lanes don't amortize the lane
+/// extraction the first-minimum rule needs.
+///
+/// Every function is `unsafe` for its `#[target_feature]` attribute
+/// only; NEON is architecturally guaranteed on aarch64 and the
+/// dispatcher only routes here on that architecture.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use core::arch::aarch64::*;
+
+    /// # Safety
+    ///
+    /// NEON must be available (guaranteed on aarch64).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn popcount_words_neon(words: &[u64]) -> u64 {
+        let mut acc = vdupq_n_u64(0);
+        let chunks = words.chunks_exact(2);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // SAFETY: `chunk` is 2 contiguous u64s.
+            let v = vld1q_u64(chunk.as_ptr());
+            let counts = vcntq_u8(vreinterpretq_u8_u64(v));
+            acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(counts))));
+        }
+        vgetq_lane_u64::<0>(acc) + vgetq_lane_u64::<1>(acc) + super::scalar::popcount_words(tail)
+    }
+
+    /// # Safety
+    ///
+    /// NEON must be available (guaranteed on aarch64); `out.len() ==
+    /// patterns.len()` (the dispatcher asserts it).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn hamming_batch_neon(patterns: &[u64], tile: u64, out: &mut [u32]) {
+        let t = vdupq_n_u64(tile);
+        let chunks = patterns.chunks_exact(2);
+        let tail_at = patterns.len() - chunks.remainder().len();
+        for (ci, chunk) in chunks.enumerate() {
+            // SAFETY: `chunk` is 2 contiguous u64s.
+            let v = veorq_u64(vld1q_u64(chunk.as_ptr()), t);
+            let counts = vcntq_u8(vreinterpretq_u8_u64(v));
+            let sums = vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(counts)));
+            out[ci * 2] = vgetq_lane_u64::<0>(sums) as u32;
+            out[ci * 2 + 1] = vgetq_lane_u64::<1>(sums) as u32;
+        }
+        for i in tail_at..patterns.len() {
+            out[i] = (patterns[i] ^ tile).count_ones();
+        }
+    }
+
+    /// # Safety
+    ///
+    /// NEON must be available (guaranteed on aarch64); slices equal in
+    /// length (the dispatcher asserts it).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn add_assign_neon(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n == src.len()`.
+            let a = vld1q_f32(out.as_ptr().add(i));
+            let b = vld1q_f32(src.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vaddq_f32(a, b));
+            i += 4;
+        }
+        while i < n {
+            out[i] += src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// NEON must be available (guaranteed on aarch64); slices equal in
+    /// length (the dispatcher asserts it).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sub_assign_neon(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n == src.len()`.
+            let a = vld1q_f32(out.as_ptr().add(i));
+            let b = vld1q_f32(src.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vsubq_f32(a, b));
+            i += 4;
+        }
+        while i < n {
+            out[i] -= src[i];
+            i += 1;
+        }
+    }
+
+    /// Fused signed accumulation, term-major — the NEON shape of
+    /// `accumulate_signed_avx2` (same pass order, same bit-identity
+    /// argument; no explicit prefetch, aarch64 has no stable intrinsic
+    /// for it).
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available (guaranteed on aarch64); every term slice
+    /// equals `out` in length (the dispatcher asserts it).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn accumulate_signed_neon(out: &mut [f32], terms: &[(&[f32], bool)]) {
+        for &(src, negate) in terms {
+            // SAFETY: dispatcher asserted `src.len() == out.len()`.
+            if negate {
+                sub_assign_neon(out, src);
+            } else {
+                add_assign_neon(out, src);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random word stream (no RNG dependency in
+    /// this crate's dev profile beyond what the tests need).
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                s ^= s >> 30;
+                s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                s ^= s >> 27;
+                s = s.wrapping_mul(0x94D0_49BB_1331_11EB);
+                s ^ (s >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_twins() {
+        // The dispatched functions run at whatever level the host
+        // supports; the property suite in phi-core forces each tier
+        // explicitly. Here: dispatched == scalar on assorted shapes,
+        // including ragged tails and empty inputs.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 31, 64, 129] {
+            let ws = words(n as u64, n);
+            assert_eq!(popcount_words(&ws), scalar::popcount_words(&ws), "n = {n}");
+            let tile = 0xDEAD_BEEF_F00D_u64;
+            let mut got = vec![0u32; n];
+            let mut want = vec![0u32; n];
+            hamming_batch(&ws, tile, &mut got);
+            scalar::hamming_batch(&ws, tile, &mut want);
+            assert_eq!(got, want, "n = {n}");
+            assert_eq!(min_hamming(&ws, tile), scalar::min_hamming(&ws, tile), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn min_hamming_prefers_the_lowest_position() {
+        // Duplicate minima across vector-lane boundaries must resolve to
+        // the first position, like the scalar scan.
+        let pats = vec![0b1111u64, 0b0110, 0b1001, 0b0110, 0b0110, 0b0111];
+        assert_eq!(min_hamming(&pats, 0b0100), Some((1, 1)));
+        assert_eq!(min_hamming(&pats, 0b0110), Some((1, 0)));
+        assert_eq!(min_hamming(&[], 0b1), None);
+    }
+
+    #[test]
+    fn f32_accumulation_is_bit_identical() {
+        for n in [0usize, 1, 7, 8, 15, 16, 17, 64, 100] {
+            let src: Vec<f32> =
+                words(n as u64, n).iter().map(|&w| (w as f64 / u64::MAX as f64) as f32).collect();
+            let mut a: Vec<f32> = src.iter().map(|v| v * 0.5 - 0.1).collect();
+            let mut b = a.clone();
+            add_assign(&mut a, &src);
+            scalar::add_assign(&mut b, &src);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "add n = {n}"
+            );
+            sub_assign(&mut a, &src);
+            scalar::sub_assign(&mut b, &src);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "sub n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_extraction_matches_scalar_for_every_divisor_width() {
+        for k in [1usize, 2, 4, 8, 16, 32, 64] {
+            let tiles_per_word = 64 / k;
+            for nwords in [1usize, 2, 3, 5] {
+                let ws = words(k as u64 * 31 + nwords as u64, nwords);
+                for parts in [1, nwords * tiles_per_word - 1, nwords * tiles_per_word] {
+                    if parts == 0 {
+                        continue;
+                    }
+                    let mut got = vec![0u64; parts];
+                    let mut want = vec![0u64; parts];
+                    extract_aligned_tiles(&ws, k, &mut got);
+                    scalar::extract_aligned_tiles(&ws, k, &mut want);
+                    assert_eq!(got, want, "k = {k}, words = {nwords}, parts = {parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_clamps_to_the_detected_capability() {
+        let prev = force(SimdLevel::Scalar);
+        assert_eq!(level(), SimdLevel::Scalar);
+        // Forcing a vector tier lands on it only when the host's family
+        // supports it, and never exceeds the detected capability.
+        force(SimdLevel::Avx512);
+        let expect = if detected() == SimdLevel::Neon {
+            SimdLevel::Scalar
+        } else {
+            detected().min(SimdLevel::Avx512)
+        };
+        assert_eq!(level(), expect);
+        force(prev);
+        assert_eq!(level(), prev);
+    }
+
+    #[test]
+    fn levels_have_stable_names() {
+        assert_eq!(SimdLevel::Scalar.to_string(), "scalar");
+        assert_eq!(SimdLevel::Avx2.to_string(), "avx2");
+        assert_eq!(SimdLevel::Avx512.to_string(), "avx512");
+        assert_eq!(SimdLevel::Neon.to_string(), "neon");
+    }
+
+    #[test]
+    fn hamming64_is_xor_popcount() {
+        assert_eq!(hamming64(0b1100, 0b1010), 2);
+        assert_eq!(hamming64(u64::MAX, 0), 64);
+        assert_eq!(hamming64(42, 42), 0);
+    }
+}
