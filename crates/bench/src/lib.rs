@@ -7,6 +7,8 @@
 //! handling. Results are printed as aligned tables and also written as CSV
 //! under `results/`.
 
+pub mod openloop;
+
 use phi_core::CalibrationConfig;
 use phi_snn::pipeline::PipelineConfig;
 use snn_baselines::{Accelerator, Ptb, Sato, SpikingEyeriss, SpinalFlow, Stellar};

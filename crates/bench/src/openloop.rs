@@ -1,0 +1,225 @@
+//! Open-loop load generation for the serving benchmarks.
+//!
+//! Closed-loop clients (each waiting for its response before submitting
+//! again) self-throttle: when the server slows down, the offered load
+//! drops with it, so queueing collapse is invisible and tail latencies
+//! look flat. An **open-loop** generator submits on a fixed schedule
+//! regardless of how the server is doing — the traffic shape real
+//! services face — which is what exposes throughput saturation, queue
+//! growth, and shedding.
+//!
+//! [`ArrivalSchedule`] precomputes a deterministic Poisson arrival
+//! process (exponential inter-arrival times from a seeded generator), so
+//! a benchmark run is reproducible for a fixed seed and the schedule can
+//! be audited before any traffic flows. [`LatencySummary`] condenses
+//! per-request latencies into the tail percentiles the benchmark
+//! reports. To stay free of coordinated omission, callers should charge
+//! each request from its *scheduled* arrival instant — a submitter
+//! running late adds the slip to the request's latency instead of
+//! silently thinning the offered load.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A precomputed open-loop arrival schedule: each entry is an offset
+/// from the (caller-chosen) start instant at which one request must be
+/// submitted. Offsets are non-decreasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSchedule {
+    offsets: Vec<Duration>,
+}
+
+impl ArrivalSchedule {
+    /// A Poisson process at `rate_per_s` arrivals per second: `count`
+    /// arrivals whose inter-arrival gaps are exponentially distributed
+    /// with mean `1 / rate_per_s`, drawn from a deterministic generator —
+    /// the same `(rate, count, seed)` always yields the same schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_s` is finite and positive.
+    pub fn poisson(rate_per_s: f64, count: usize, seed: u64) -> Self {
+        assert!(
+            rate_per_s.is_finite() && rate_per_s > 0.0,
+            "arrival rate must be finite and positive, got {rate_per_s}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = Vec::with_capacity(count);
+        let mut at = 0.0f64;
+        for _ in 0..count {
+            // Inverse-CDF exponential sample. `u` is in [0, 1), so
+            // `1 - u` is in (0, 1] and the log is finite.
+            let u: f64 = rng.gen();
+            at += -(1.0 - u).ln() / rate_per_s;
+            offsets.push(Duration::from_secs_f64(at));
+        }
+        ArrivalSchedule { offsets }
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the schedule holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The arrival offsets from the start instant, non-decreasing.
+    pub fn offsets(&self) -> &[Duration] {
+        &self.offsets
+    }
+
+    /// When the last arrival is due (zero for an empty schedule) — the
+    /// shortest wall-clock time an on-schedule run can take.
+    pub fn span(&self) -> Duration {
+        self.offsets.last().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean gap between consecutive arrivals (zero with fewer than two);
+    /// for a Poisson schedule this estimates `1 / rate`.
+    pub fn mean_interarrival(&self) -> Duration {
+        if self.offsets.len() < 2 {
+            return Duration::ZERO;
+        }
+        // Offsets are cumulative, so the gaps telescope.
+        self.span() / (self.offsets.len() - 1) as u32
+    }
+}
+
+/// Tail-focused summary of a set of per-request latencies, in
+/// microseconds. Percentiles are nearest-rank (no interpolation), so
+/// every reported value is a latency some request actually saw.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// Worst observed, µs.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes latency samples given in microseconds; all zeros for an
+    /// empty input.
+    pub fn from_samples_us(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        let count = samples.len();
+        LatencySummary {
+            count,
+            mean_us: samples.iter().sum::<f64>() / count as f64,
+            p50_us: percentile_sorted(&samples, 50.0),
+            p99_us: percentile_sorted(&samples, 99.0),
+            p999_us: percentile_sorted(&samples, 99.9),
+            max_us: samples[count - 1],
+        }
+    }
+
+    /// Summarizes latency samples given as [`Duration`]s.
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        LatencySummary::from_samples_us(samples.iter().map(|d| d.as_secs_f64() * 1e6).collect())
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`0 < p ≤ 100`);
+/// 0 for an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // The epsilon keeps exact rank boundaries (e.g. p99.9 of 1000
+    // samples) from ceiling one rank too high on float noise.
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_the_same_schedule() {
+        let a = ArrivalSchedule::poisson(50_000.0, 512, 42);
+        let b = ArrivalSchedule::poisson(50_000.0, 512, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 512);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ArrivalSchedule::poisson(50_000.0, 512, 42);
+        let b = ArrivalSchedule::poisson(50_000.0, 512, 43);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn offsets_are_nondecreasing() {
+        let s = ArrivalSchedule::poisson(10_000.0, 1024, 7);
+        assert!(s.offsets().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.span(), *s.offsets().last().unwrap());
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_rate() {
+        // 1/rate = 100 µs; with 8192 samples the empirical mean of an
+        // exponential is within a few percent of the true mean with
+        // overwhelming probability (and the schedule is deterministic, so
+        // this is not a flaky bound).
+        let rate = 10_000.0;
+        let s = ArrivalSchedule::poisson(rate, 8192, 1234);
+        let mean_s = s.mean_interarrival().as_secs_f64();
+        let expected = 1.0 / rate;
+        assert!(
+            (mean_s - expected).abs() / expected < 0.05,
+            "empirical mean {mean_s} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_schedules_are_sane() {
+        let empty = ArrivalSchedule::poisson(1000.0, 0, 1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.span(), Duration::ZERO);
+        assert_eq!(empty.mean_interarrival(), Duration::ZERO);
+        let one = ArrivalSchedule::poisson(1000.0, 1, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.mean_interarrival(), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_summary_reports_nearest_rank_tails() {
+        let samples: Vec<f64> = (1..=1000).map(|v| v as f64).collect();
+        let s = LatencySummary::from_samples_us(samples);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_us, 500.0);
+        assert_eq!(s.p99_us, 990.0);
+        assert_eq!(s.p999_us, 999.0);
+        assert_eq!(s.max_us, 1000.0);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+        assert_eq!(LatencySummary::from_samples_us(Vec::new()), LatencySummary::default());
+    }
+
+    #[test]
+    fn duration_samples_convert_to_microseconds() {
+        let s = LatencySummary::from_durations(&[
+            Duration::from_micros(100),
+            Duration::from_micros(300),
+            Duration::from_micros(200),
+        ]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_us, 200.0);
+        assert_eq!(s.max_us, 300.0);
+    }
+}

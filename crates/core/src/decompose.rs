@@ -1043,6 +1043,16 @@ impl TileCacheStats {
         self.entries += other.entries;
         self.capacity += other.capacity;
     }
+
+    /// Sums a set of counters into one aggregate — the executor-level
+    /// (per-layer) and server-level (per-worker cache shard) rollup.
+    pub fn merged<I: IntoIterator<Item = TileCacheStats>>(stats: I) -> TileCacheStats {
+        let mut total = TileCacheStats::default();
+        for s in stats {
+            total.merge(&s);
+        }
+        total
+    }
 }
 
 /// Largest partition count a [`TileCache`] key can encode: the partition

@@ -337,11 +337,14 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
     /// Aggregated hit/miss/eviction counters over the per-layer tile
     /// caches (capacity and entries sum across layers).
     pub fn tile_cache_stats(&self) -> TileCacheStats {
-        let mut total = TileCacheStats::default();
-        for cache in self.caches.iter() {
-            total.merge(&cache.stats());
-        }
-        total
+        TileCacheStats::merged(self.tile_cache_stats_per_layer())
+    }
+
+    /// Point-in-time counters of each per-layer tile cache, in layer
+    /// order — the fine-grained view behind [`Self::tile_cache_stats`],
+    /// used by serving code to report hit rates per cache shard.
+    pub fn tile_cache_stats_per_layer(&self) -> Vec<TileCacheStats> {
+        self.caches.iter().map(TileCache::stats).collect()
     }
 
     /// Executes a batch of requests under the backend's default metrics

@@ -107,8 +107,8 @@ pub use executor::{
     RequestResult, DEFAULT_TILE_CACHE_CAPACITY, PHI_TILE_CACHE_ENV,
 };
 pub use server::{
-    ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle, ServedResponse, ServerConfig,
-    ServerResult,
+    available_cores, IntakeMode, ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle,
+    ServedResponse, ServerConfig, ServerResult, TileCacheMode,
 };
 // The backend vocabulary serving code needs — including everything
 // required to implement a custom `ExecutionBackend` — re-exported so

@@ -12,12 +12,12 @@
 //! [`PhiServer`] is that someone else. The request lifecycle:
 //!
 //! ```text
-//!  submit(key, request)                 collector thread            worker pool
-//!  ───────────────────┐           ┌──────────────────────┐      ┌──────────────────┐
-//!  admission control  │  enqueue  │ drain queue, coalesce │ batch│ BatchExecutor<B> │
-//!  · unknown model    ├──────────▶│ by (model, rows) into ├─────▶│ execute(&batch)  │
-//!  · ragged/oversized │  bounded  │ batches bounded by    │ mpsc │ resolve handles  │
-//!  · queue-full shed  │  queue    │ max_batch / max_wait  │      │ record stats     │
+//!  submit(key, request)                  collector thread            worker pool
+//!  ───────────────────┐  shard 0  ┌──────────────────────┐      ┌──────────────────┐
+//!  admission control  │ ┌───────┐ │ drain all shards,     │ batch│ BatchExecutor<B> │
+//!  · unknown model    ├─┤ shard…├▶│ restore arrival order,├─────▶│ execute(&batch)  │
+//!  · ragged/oversized │ └───────┘ │ coalesce (model, rows)│ mpsc │ resolve handles  │
+//!  · queue-full shed  │  shard N  │ groups ≤ max_batch    │      │ record stats     │
 //!  ───────────────────┘           └──────────────────────┘      └──────────────────┘
 //!          │ Err(ServerError)                                          │
 //!          ▼                                                           ▼
@@ -31,26 +31,57 @@
 //!   that names an unknown model, is ragged, oversized, or mis-shaped is
 //!   refused by [`PhiServer::submit`] before it can join a batch — so one
 //!   bad request can never fail the well-formed requests coalesced around
-//!   it. When the bounded queue is at capacity the request is *shed*
+//!   it. When the admitted-but-undispatched count reaches
+//!   [`ServerConfig::queue_capacity`] the request is *shed*
 //!   ([`ServerError::QueueFull`]) instead of blocking the submitter.
+//! * **The submit path is sharded for contention.** Under the default
+//!   [`IntakeMode::Sharded`] intake, submitters round-robin across
+//!   several small mutex-guarded deques instead of serializing on one
+//!   queue lock; admission capacity and per-group occupancy are plain
+//!   atomics, and the collector's condition variable is touched only on
+//!   an idle→traffic transition or when an arrival completes a full
+//!   batch. [`IntakeMode::Mutex`] collapses the shard count to one — the
+//!   PR 4 single Mutex/Condvar intake, kept selectable so the two can be
+//!   measured head-to-head (`bench_server` does).
 //! * **Batches are coalesced by `(model, rows)`.** The executor requires
-//!   row-uniform batches (one extrapolation factor per fused matrix), so
-//!   the collector groups the queue head's key and dispatches when the
-//!   group reaches [`ServerConfig::max_batch`] or the head request has
-//!   waited [`ServerConfig::max_wait`].
+//!   row-uniform batches (one extrapolation factor per fused matrix). The
+//!   collector drains every shard, restores global arrival order by
+//!   sequence stamp, and buffers requests per group: a group dispatches
+//!   as soon as it holds [`ServerConfig::max_batch`] requests, and no
+//!   later than [`ServerConfig::max_wait`] after its oldest request
+//!   enqueued. Groups dispatch independently — a slow-filling group never
+//!   head-of-line-blocks a full one.
+//! * **One collector, many workers — by design.** Coalescing is the
+//!   batching policy's serialization point and stays on a single thread
+//!   (its work per request is a few pointer moves; execution is what
+//!   scales). The worker pool ([`ServerConfig::workers`], defaulting to
+//!   one per available core) executes dispatched batches concurrently,
+//!   and per-model stats are maintained so that concurrent batch
+//!   completions can never over-count a batch's mean size.
+//! * **Tile caches can be shared or per-worker.**
+//!   [`TileCacheMode::Shared`] (default) gives each model one executor
+//!   whose per-layer [`TileCache`](phi_core::TileCache)s all workers
+//!   share — maximum reuse,
+//!   but every worker commits misses into the same tables.
+//!   [`TileCacheMode::PerWorker`] gives each worker its own executor
+//!   with an independent cache lineage — zero cross-worker cache
+//!   contention at the cost of duplicated warmup. Readouts are
+//!   bit-identical either way (and with caching disabled); snapshots
+//!   report hit rates per cache shard so the trade can be measured.
 //! * **Execution is bit-identical to calling [`BatchExecutor`] directly.**
 //!   The server adds queueing and coalescing, never arithmetic: readouts
 //!   are the same bits a direct `execute` of the same requests produces,
-//!   regardless of how traffic interleaves (pinned by the
-//!   `server_admission` integration suite).
+//!   regardless of how traffic interleaves or how many workers race
+//!   (pinned by the `server_admission` and `server_concurrency`
+//!   integration suites).
 //! * **One server hosts many models.** A [`ModelRegistry`] maps string
 //!   keys to `Arc`'d [`CompiledModel`] artifacts; registering a model is
 //!   zero-copy, and per-model [`ModelStatsSnapshot`] counters (served /
 //!   shed / rejected, p50/p99 queue-wait and exec latency) come for free.
 //! * **No async runtime.** The workspace vendors its dependencies, so the
-//!   collector and workers are `std::thread`s coordinated with a
-//!   `Mutex`/`Condvar` queue and `mpsc` channels; [`ResponseHandle`] is
-//!   the blocking future equivalent.
+//!   collector and workers are `std::thread`s coordinated with mutexes,
+//!   atomics, and `mpsc` channels; [`ResponseHandle`] is the blocking
+//!   future equivalent.
 //!
 //! # Example: start a server, submit, wait
 //!
@@ -85,31 +116,110 @@ use crate::artifact::CompiledModel;
 use crate::error::ServerError;
 use crate::executor::{BatchExecutor, InferenceRequest};
 use phi_accel::{BackendKind, ExecutionBackend};
+use phi_core::TileCacheStats;
 use snn_core::Matrix;
 use std::collections::{HashMap, VecDeque};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Outcome alias for server calls.
 pub type ServerResult<T> = std::result::Result<T, ServerError>;
 
+/// How submitted requests reach the collector — the contention trade of
+/// the submit path (see [`ServerConfig::intake`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntakeMode {
+    /// One mutex-guarded intake queue: every submitter serializes on the
+    /// same lock. The PR 4 design, kept selectable as the head-to-head
+    /// baseline for the sharded path.
+    Mutex,
+    /// Several mutex-guarded intake shards ([`ServerConfig::intake_shards`]),
+    /// round-robined by arrival stamp: concurrent submitters contend on a
+    /// given shard lock only `1/shards` of the time, and the collector
+    /// restores global arrival order when it drains. The default.
+    #[default]
+    Sharded,
+}
+
+impl std::fmt::Display for IntakeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IntakeMode::Mutex => "mutex",
+            IntakeMode::Sharded => "sharded",
+        })
+    }
+}
+
+impl std::str::FromStr for IntakeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "mutex" => Ok(IntakeMode::Mutex),
+            "sharded" => Ok(IntakeMode::Sharded),
+            other => Err(format!("unknown intake mode '{other}' (expected 'mutex' or 'sharded')")),
+        }
+    }
+}
+
+/// How a hosted model's decomposition tile caches are wired across the
+/// worker pool (see [`ServerConfig::cache_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileCacheMode {
+    /// One executor per model whose per-layer [`TileCache`]s every worker
+    /// shares (`Arc`'d): a tile resolved by any worker is a hit for all
+    /// of them, at the cost of committing misses into shared tables. The
+    /// default.
+    ///
+    /// [`TileCache`]: phi_core::TileCache
+    #[default]
+    Shared,
+    /// One executor (and cache lineage) per worker: workers never touch
+    /// each other's cache tables, at the cost of each warming its own
+    /// copy. Stats report hit rates per shard. Readouts are bit-identical
+    /// to the shared wiring — caches only ever change speed.
+    PerWorker,
+}
+
+impl std::fmt::Display for TileCacheMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TileCacheMode::Shared => "shared",
+            TileCacheMode::PerWorker => "per-worker",
+        })
+    }
+}
+
+impl std::str::FromStr for TileCacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "shared" => Ok(TileCacheMode::Shared),
+            "per-worker" | "per_worker" => Ok(TileCacheMode::PerWorker),
+            other => Err(format!(
+                "unknown tile-cache mode '{other}' (expected 'shared' or 'per-worker')"
+            )),
+        }
+    }
+}
+
 /// Tuning knobs of the dynamic batcher. Start from
 /// [`ServerConfig::default`] and override with the `with_*` builders.
 ///
 /// The two policy bounds interact: a batch for one `(model, rows)` group
 /// is dispatched as soon as `max_batch` requests have coalesced, and no
-/// later than `max_wait` after its oldest request enqueued (plus any
-/// head-of-line time while an earlier group's batch forms — the collector
-/// coalesces one group at a time, in arrival order). So `max_wait` bounds
-/// the batching latency a request is charged, and `max_batch` caps how
-/// much traffic one execution fuses. Closed-loop deployments get the best
-/// throughput when `max_batch` is near the expected concurrency (a full
-/// batch dispatches immediately, with `max_wait` only catching
-/// stragglers).
+/// later than `max_wait` after its oldest request enqueued. So `max_wait`
+/// bounds the batching latency a request is charged, and `max_batch` caps
+/// how much traffic one execution fuses. Closed-loop deployments get the
+/// best throughput when `max_batch` is near the expected concurrency (a
+/// full batch dispatches immediately, with `max_wait` only catching
+/// stragglers); open-loop traffic near saturation is dominated by
+/// `queue_capacity` (how much burst is absorbed before shedding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Largest batch the collector will fuse (default 64).
@@ -117,14 +227,17 @@ pub struct ServerConfig {
     /// Longest a queued request waits for its batch to fill before the
     /// collector dispatches the partial batch (default 1 ms).
     pub max_wait: Duration,
-    /// Bounded admission-queue capacity; submissions beyond it are shed
-    /// with [`ServerError::QueueFull`] (default 1024).
+    /// Bounded admission capacity — admitted-but-not-yet-dispatched
+    /// requests; submissions beyond it are shed with
+    /// [`ServerError::QueueFull`] (default 1024).
     pub queue_capacity: usize,
     /// Largest per-layer row count a request may carry; anything larger
     /// is refused with [`ServerError::Oversized`] (default 256).
     pub max_request_rows: usize,
     /// Worker threads executing dispatched batches (default: one per
-    /// available core).
+    /// available core — execution, not coalescing, is the scalable part
+    /// of the pipeline, so workers track the CPU count while the
+    /// collector stays a single thread).
     pub workers: usize,
     /// Which [`ExecutionBackend`] every hosted model executes on
     /// (default [`BackendKind::Cpu`] — serving wants throughput; pick
@@ -135,6 +248,18 @@ pub struct ServerConfig {
     /// [`crate::executor::default_tile_cache_capacity`], i.e. the
     /// `PHI_TILE_CACHE` environment knob).
     pub tile_cache: usize,
+    /// How the submit path hands requests to the collector (default
+    /// [`IntakeMode::Sharded`]).
+    pub intake: IntakeMode,
+    /// Intake shard count under [`IntakeMode::Sharded`]; `0` (the
+    /// default) auto-sizes to the available core count, floored at 2 so
+    /// the sharded path stays structurally distinct from
+    /// [`IntakeMode::Mutex`] even on one core. Ignored under
+    /// [`IntakeMode::Mutex`] (always one shard).
+    pub intake_shards: usize,
+    /// How tile caches are wired across workers (default
+    /// [`TileCacheMode::Shared`]).
+    pub cache_mode: TileCacheMode,
 }
 
 impl Default for ServerConfig {
@@ -144,11 +269,21 @@ impl Default for ServerConfig {
             max_wait: Duration::from_millis(1),
             queue_capacity: 1024,
             max_request_rows: 256,
-            workers: std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            workers: available_cores(),
             backend: BackendKind::default(),
             tile_cache: crate::executor::default_tile_cache_capacity(),
+            intake: IntakeMode::default(),
+            intake_shards: 0,
+            cache_mode: TileCacheMode::default(),
         }
     }
+}
+
+/// The host's available core count (1 when undetectable) — the default
+/// for [`ServerConfig::workers`] and the auto-sizing basis for
+/// [`ServerConfig::intake_shards`].
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 impl ServerConfig {
@@ -192,6 +327,52 @@ impl ServerConfig {
     pub fn with_tile_cache(mut self, tile_cache: usize) -> Self {
         self.tile_cache = tile_cache;
         self
+    }
+
+    /// Overrides the intake mode.
+    pub fn with_intake(mut self, intake: IntakeMode) -> Self {
+        self.intake = intake;
+        self
+    }
+
+    /// Overrides the intake shard count (`0` auto-sizes; only meaningful
+    /// under [`IntakeMode::Sharded`]).
+    pub fn with_intake_shards(mut self, intake_shards: usize) -> Self {
+        self.intake_shards = intake_shards;
+        self
+    }
+
+    /// Overrides the tile-cache wiring mode.
+    pub fn with_cache_mode(mut self, cache_mode: TileCacheMode) -> Self {
+        self.cache_mode = cache_mode;
+        self
+    }
+
+    /// The intake shard count this configuration resolves to: 1 under
+    /// [`IntakeMode::Mutex`]; the explicit [`ServerConfig::intake_shards`]
+    /// (or the core count, floored at 2, when that is 0) under
+    /// [`IntakeMode::Sharded`].
+    pub fn intake_shard_count(&self) -> usize {
+        match self.intake {
+            IntakeMode::Mutex => 1,
+            IntakeMode::Sharded => {
+                if self.intake_shards > 0 {
+                    self.intake_shards
+                } else {
+                    available_cores().max(2)
+                }
+            }
+        }
+    }
+
+    /// How many executors (tile-cache shards) each hosted model gets: one
+    /// under [`TileCacheMode::Shared`], [`ServerConfig::workers`] under
+    /// [`TileCacheMode::PerWorker`].
+    pub fn cache_shard_count(&self) -> usize {
+        match self.cache_mode {
+            TileCacheMode::Shared => 1,
+            TileCacheMode::PerWorker => self.workers,
+        }
     }
 }
 
@@ -322,10 +503,15 @@ pub struct ModelStatsSnapshot {
     pub p50_exec_us: f64,
     /// 99th-percentile execution time, µs.
     pub p99_exec_us: f64,
-    /// Decomposition tile-cache counters of this model's executor,
-    /// aggregated over its per-layer caches (all zeros when the cache is
-    /// disabled via [`ServerConfig::tile_cache`]).
-    pub tile_cache: phi_core::TileCacheStats,
+    /// Decomposition tile-cache counters of this model's executors,
+    /// aggregated over every cache shard and layer (all zeros when the
+    /// cache is disabled via [`ServerConfig::tile_cache`]).
+    pub tile_cache: TileCacheStats,
+    /// The same counters per cache shard: one entry under
+    /// [`TileCacheMode::Shared`], one per worker under
+    /// [`TileCacheMode::PerWorker`] — so shard balance and per-worker
+    /// warmup are observable, not just the aggregate.
+    pub tile_cache_shards: Vec<TileCacheStats>,
 }
 
 /// How many latency samples each per-model series retains (a ring; the
@@ -376,8 +562,17 @@ struct ModelStats {
 impl ModelStats {
     fn record_batch(&self, queue_waits: &[Duration], exec: Duration) {
         let batch = queue_waits.len() as u64;
-        self.served.fetch_add(batch, Ordering::Relaxed);
+        // Attribution order matters once several workers record batches
+        // concurrently: `batches` is incremented *before* `served` (with
+        // a release store), and `snapshot` reads `served` first (with an
+        // acquire load). Any rider visible in `served` therefore has its
+        // batch visible in `batches`, so `mean_batch` can never
+        // transiently exceed the true mean or `max_batch`. The reverse
+        // order had exactly that race: a snapshot taken between the two
+        // increments of another worker could divide a newer `served` by
+        // an older `batches`.
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.served.fetch_add(batch, Ordering::Release);
         let mut ring = self.queue_wait_us.lock().expect("stats lock");
         for wait in queue_waits {
             ring.push(wait.as_secs_f64() * 1e6);
@@ -390,8 +585,13 @@ impl ModelStats {
         }
     }
 
-    fn snapshot(&self, tile_cache: phi_core::TileCacheStats) -> ModelStatsSnapshot {
-        let served = self.served.load(Ordering::Relaxed);
+    fn snapshot(
+        &self,
+        tile_cache: TileCacheStats,
+        tile_cache_shards: Vec<TileCacheStats>,
+    ) -> ModelStatsSnapshot {
+        // `served` before `batches` — see `record_batch`.
+        let served = self.served.load(Ordering::Acquire);
         let batches = self.batches.load(Ordering::Relaxed);
         let queue = self.queue_wait_us.lock().expect("stats lock");
         let exec = self.exec_us.lock().expect("stats lock");
@@ -407,16 +607,41 @@ impl ModelStats {
             p50_exec_us: exec.percentile(50.0),
             p99_exec_us: exec.percentile(99.0),
             tile_cache,
+            tile_cache_shards,
         }
     }
 }
 
-/// One hosted model: its executor (artifact + backend) and counters.
+/// One hosted model: its executor(s), counters, and per-group occupancy.
 /// Coalescing groups identify entries by `Arc` pointer, so no key is
 /// stored here.
 struct ModelEntry {
-    executor: BatchExecutor<Box<dyn ExecutionBackend>>,
+    /// One executor per cache shard: a single entry under
+    /// [`TileCacheMode::Shared`] (all workers share its caches), one per
+    /// worker under [`TileCacheMode::PerWorker`]. Every executor shares
+    /// the same `Arc`'d artifact; only cache lineage (and backend
+    /// instance) differ.
+    executors: Vec<BatchExecutor<Box<dyn ExecutionBackend>>>,
     stats: ModelStats,
+    /// Admitted-but-undispatched occupancy per row-count group, so a
+    /// submitter can tell in O(1) whether its arrival completed a batch
+    /// without touching the intake locks. Counters are registered once
+    /// per distinct row count and then only touched atomically.
+    group_counts: RwLock<HashMap<usize, Arc<AtomicUsize>>>,
+}
+
+impl ModelEntry {
+    fn model(&self) -> &CompiledModel {
+        self.executors[0].model()
+    }
+
+    /// The occupancy counter for `rows`, registering it on first use.
+    fn group_counter(&self, rows: usize) -> Arc<AtomicUsize> {
+        if let Some(counter) = self.group_counts.read().expect("group counts").get(&rows) {
+            return Arc::clone(counter);
+        }
+        Arc::clone(self.group_counts.write().expect("group counts").entry(rows).or_default())
+    }
 }
 
 /// One admitted, not-yet-dispatched request.
@@ -428,71 +653,74 @@ struct Pending {
     tx: mpsc::Sender<ServerResult<ServedResponse>>,
 }
 
+/// A [`Pending`] plus its global arrival stamp, as stored in an intake
+/// shard (the stamp restores cross-shard arrival order at drain time).
+struct Stamped {
+    seq: u64,
+    pending: Pending,
+}
+
 /// A coalesced batch on its way to a worker.
 struct Batch {
     entry: Arc<ModelEntry>,
     pending: Vec<Pending>,
 }
 
+/// One intake shard: a short-held mutex around a deque. `closed` is set
+/// (under the lock) during shutdown *before* the final drain, so a
+/// racing submitter either lands its request in the drained deque or
+/// observes the closure — a request can never be stranded.
+struct IntakeShard {
+    items: VecDeque<Stamped>,
+    closed: bool,
+}
+
 /// State shared between submitters and the collector.
 struct Shared {
     config: ServerConfig,
-    queue: Mutex<QueueState>,
+    shards: Vec<Mutex<IntakeShard>>,
+    /// Admitted-but-not-yet-dispatched requests (the queue-capacity
+    /// accounting; includes requests the collector has drained but not
+    /// dispatched).
+    queued: AtomicUsize,
+    /// Global arrival stamp: selects the shard (round-robin) and restores
+    /// cross-shard arrival order at drain time.
+    seq: AtomicU64,
+    /// True when some shard holds undrained traffic. Written with `swap`
+    /// on both sides so the RMW chain orders a submitter's push before
+    /// the collector's next drain.
+    dirty: AtomicBool,
+    shutdown: AtomicBool,
+    /// Anchor mutex for `cond`; holds no data — the predicates are the
+    /// atomics above, and wakers lock/unlock it to order flag updates
+    /// against the collector's check-then-wait.
+    ctrl: Mutex<()>,
     cond: Condvar,
     unknown_model: AtomicU64,
-}
-
-struct QueueState {
-    items: VecDeque<Pending>,
-    /// Queued requests per coalescing group, kept in lockstep with
-    /// `items` so a submitter can tell in O(1) whether its arrival
-    /// completed a batch (and the collector can count without scanning).
-    counts: HashMap<GroupKey, usize>,
-    shutdown: bool,
 }
 
 /// A coalescing group: one hosted model (by entry identity) at one
 /// per-layer row count — exactly the requests the executor may fuse.
 type GroupKey = (usize, usize);
 
-impl QueueState {
-    fn group(pending: &Pending) -> GroupKey {
-        (Arc::as_ptr(&pending.entry) as usize, pending.rows)
-    }
+/// The collector's private per-group buffers (drained from the shards,
+/// in arrival order).
+type Groups = HashMap<GroupKey, VecDeque<Pending>>;
 
-    /// Appends a request and returns its group's queued count.
-    fn push(&mut self, pending: Pending) -> usize {
-        let group = Self::group(&pending);
-        self.items.push_back(pending);
-        let count = self.counts.entry(group).or_insert(0);
-        *count += 1;
-        *count
-    }
+fn group_of(pending: &Pending) -> GroupKey {
+    (Arc::as_ptr(&pending.entry) as usize, pending.rows)
+}
 
-    fn group_count(&self, group: GroupKey) -> usize {
-        self.counts.get(&group).copied().unwrap_or(0)
-    }
-
-    /// Removes up to `limit` requests of `group` (in arrival order),
-    /// leaving everything else queued in order.
-    fn extract(&mut self, group: GroupKey, limit: usize) -> Vec<Pending> {
-        let mut batch = Vec::new();
-        let mut rest = VecDeque::with_capacity(self.items.len());
-        for pending in self.items.drain(..) {
-            if batch.len() < limit && Self::group(&pending) == group {
-                batch.push(pending);
-            } else {
-                rest.push_back(pending);
-            }
-        }
-        self.items = rest;
-        match self.counts.get_mut(&group) {
-            Some(count) if *count > batch.len() => *count -= batch.len(),
-            _ => {
-                self.counts.remove(&group);
-            }
-        }
-        batch
+impl Shared {
+    /// Wakes the collector. Locking (and immediately releasing) the ctrl
+    /// mutex orders this wake against the collector's predicate check:
+    /// the collector holds `ctrl` from predicate read to `Condvar::wait`,
+    /// so a waker either updates the flags before the read, or blocks
+    /// here until the collector is parked and then wakes it — no lost
+    /// wakeups.
+    fn wake_collector(&self) {
+        drop(self.ctrl.lock().expect("ctrl lock"));
+        self.cond.notify_all();
     }
 }
 
@@ -506,16 +734,17 @@ impl QueueState {
 pub struct PhiServer {
     shared: Arc<Shared>,
     entries: HashMap<String, Arc<ModelEntry>>,
-    collector: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    collector: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl PhiServer {
     /// Spawns the collector and worker threads and starts serving.
     ///
-    /// Every registered model gets its own executor over a fresh instance
-    /// of the configured backend; artifacts stay shared (`Arc`-cloned from
-    /// the registry, never copied).
+    /// Every registered model gets one executor per cache shard
+    /// ([`ServerConfig::cache_mode`]), each over a fresh instance of the
+    /// configured backend; artifacts stay shared (`Arc`-cloned from the
+    /// registry, never copied).
     ///
     /// # Panics
     ///
@@ -533,22 +762,32 @@ impl PhiServer {
             .models
             .into_iter()
             .map(|(key, model)| {
+                let executors = (0..config.cache_shard_count())
+                    .map(|_| {
+                        BatchExecutor::with_backend(Arc::clone(&model), config.backend.create())
+                            .with_tile_cache_capacity(config.tile_cache)
+                    })
+                    .collect();
                 let entry = ModelEntry {
-                    executor: BatchExecutor::with_backend(model, config.backend.create())
-                        .with_tile_cache_capacity(config.tile_cache),
+                    executors,
                     stats: ModelStats::default(),
+                    group_counts: RwLock::new(HashMap::new()),
                 };
                 (key, Arc::new(entry))
             })
             .collect();
 
+        let shards = (0..config.intake_shard_count())
+            .map(|_| Mutex::new(IntakeShard { items: VecDeque::new(), closed: false }))
+            .collect();
         let shared = Arc::new(Shared {
             config,
-            queue: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                counts: HashMap::new(),
-                shutdown: false,
-            }),
+            shards,
+            queued: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            ctrl: Mutex::new(()),
             cond: Condvar::new(),
             unknown_model: AtomicU64::new(0),
         });
@@ -560,7 +799,7 @@ impl PhiServer {
                 let rx = Arc::clone(&dispatch_rx);
                 std::thread::Builder::new()
                     .name(format!("phi-server-worker-{w}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(w, &rx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -572,7 +811,12 @@ impl PhiServer {
                 .expect("spawn collector thread")
         };
 
-        PhiServer { shared, entries, collector: Some(collector), workers }
+        PhiServer {
+            shared,
+            entries,
+            collector: Mutex::new(Some(collector)),
+            workers: Mutex::new(workers),
+        }
     }
 
     /// The active configuration.
@@ -594,8 +838,12 @@ impl PhiServer {
     /// Admission control runs here, synchronously: the model key is
     /// resolved, the request is shape-validated against that model
     /// (including the ragged check), the row ceiling is enforced, and the
-    /// bounded queue is checked — so every error below is returned before
-    /// the request can influence any other request's batch.
+    /// admission capacity is reserved — so every error below is returned
+    /// before the request can influence any other request's batch. The
+    /// hot path then touches one intake-shard lock (1 / `intake_shards`
+    /// contention under the default sharded intake) plus a handful of
+    /// atomics; the collector's condition variable is involved only when
+    /// this arrival is the first after idle or completes a full batch.
     ///
     /// # Errors
     ///
@@ -603,47 +851,81 @@ impl PhiServer {
     /// mis-shaped / zero-row), [`ServerError::Oversized`],
     /// [`ServerError::QueueFull`] (shed), or [`ServerError::ShuttingDown`].
     pub fn submit(&self, key: &str, request: InferenceRequest) -> ServerResult<ResponseHandle> {
+        let shared = &self.shared;
         let entry = self.entries.get(key).ok_or_else(|| {
-            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            shared.unknown_model.fetch_add(1, Ordering::Relaxed);
             ServerError::UnknownModel { key: key.to_string() }
         })?;
-        let rows = request.validate_against(entry.executor.model()).map_err(|e| {
+        let rows = request.validate_against(entry.model()).map_err(|e| {
             entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
             ServerError::Rejected(e)
         })?;
-        let max = self.shared.config.max_request_rows;
+        let max = shared.config.max_request_rows;
         if rows > max {
             entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServerError::Oversized { rows, max });
         }
-
-        let (tx, rx) = mpsc::channel();
-        let mut queue = self.shared.queue.lock().expect("queue lock");
-        if queue.shutdown {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServerError::ShuttingDown);
         }
-        if queue.items.len() >= self.shared.config.queue_capacity {
-            entry.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(ServerError::QueueFull { capacity: self.shared.config.queue_capacity });
+
+        // Reserve admission capacity. The CAS loop keeps the bound strict
+        // under concurrent submitters (a plain check-then-add could admit
+        // one extra request per racing thread).
+        let capacity = shared.config.queue_capacity;
+        let mut queued = shared.queued.load(Ordering::SeqCst);
+        loop {
+            if queued >= capacity {
+                entry.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServerError::QueueFull { capacity });
+            }
+            match shared.queued.compare_exchange_weak(
+                queued,
+                queued + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(actual) => queued = actual,
+            }
         }
-        let was_idle = queue.items.is_empty();
-        let matching = queue.push(Pending {
-            entry: Arc::clone(entry),
-            request,
-            rows,
-            enqueued: Instant::now(),
-            tx,
-        });
-        let completes_batch = matching >= self.shared.config.max_batch;
-        drop(queue);
+
+        // Count into the coalescing group *before* the push: the counter
+        // must never under-run when the collector dispatches this request
+        // and decrements. A premature full-group wake (counter full, push
+        // still in flight) is harmless — the collector dispatches on its
+        // buffered length, not the counter.
+        let counter = entry.group_counter(rows);
+        let matching = counter.fetch_add(1, Ordering::SeqCst) + 1;
+
+        let (tx, rx) = mpsc::channel();
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let pending =
+            Pending { entry: Arc::clone(entry), request, rows, enqueued: Instant::now(), tx };
+        {
+            let mut shard =
+                shared.shards[seq as usize % shared.shards.len()].lock().expect("intake shard");
+            if shard.closed {
+                // Shutdown closed this shard between the fast check above
+                // and our lock: roll back the reservation and refuse.
+                drop(shard);
+                counter.fetch_sub(1, Ordering::SeqCst);
+                shared.queued.fetch_sub(1, Ordering::SeqCst);
+                return Err(ServerError::ShuttingDown);
+            }
+            shard.items.push_back(Stamped { seq, pending });
+        }
+
         // Wake the collector only when this arrival changes its decision:
         // traffic after idle starts a batch, and a full group dispatches
-        // immediately. Intermediate arrivals just raise the count the
-        // collector will read at its deadline — skipping their wakeups
+        // immediately. Intermediate arrivals just set `dirty`, which the
+        // collector reads at its next deadline — skipping their wakeups
         // keeps the submit path (and the whole box, on small hosts) off
-        // the context-switch treadmill.
-        if was_idle || completes_batch {
-            self.shared.cond.notify_all();
+        // the context-switch treadmill. Both sides `swap` the dirty flag,
+        // so the collector's drain is ordered after this push.
+        let first_after_idle = !shared.dirty.swap(true, Ordering::SeqCst);
+        if first_after_idle || matching >= shared.config.max_batch {
+            shared.wake_collector();
         }
         Ok(ResponseHandle { rx })
     }
@@ -651,7 +933,11 @@ impl PhiServer {
     /// Counters for the model registered under `key`; `None` for an
     /// unknown key.
     pub fn stats(&self, key: &str) -> Option<ModelStatsSnapshot> {
-        self.entries.get(key).map(|e| e.stats.snapshot(e.executor.tile_cache_stats()))
+        self.entries.get(key).map(|e| {
+            let shards: Vec<TileCacheStats> =
+                e.executors.iter().map(BatchExecutor::tile_cache_stats).collect();
+            e.stats.snapshot(TileCacheStats::merged(shards.iter().copied()), shards)
+        })
     }
 
     /// How many submissions named a key no model is registered under.
@@ -662,23 +948,27 @@ impl PhiServer {
     /// Stops accepting requests, resolves everything still queued with
     /// [`ServerError::ShuttingDown`], and joins the collector and worker
     /// threads. Batches already dispatched still complete and resolve
-    /// normally. Called automatically on drop.
+    /// normally. Called automatically on drop; takes `&self` so a
+    /// shutdown can race in-flight submitters on other threads (repeated
+    /// and concurrent calls are safe — the first claims the join
+    /// handles, the rest only re-run the idempotent resolve sweep).
     ///
     /// A worker that panicked earlier (e.g. a panicking custom backend)
     /// is joined tolerantly: its requests already resolved with
     /// [`ServerError::Disconnected`], and re-raising the panic here would
     /// turn a served error into an abort when the server is dropped
     /// during unwinding.
-    pub fn shutdown(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
-            queue.shutdown = true;
-        }
-        self.shared.cond.notify_all();
-        if let Some(collector) = self.collector.take() {
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_collector();
+        if let Some(collector) = self.collector.lock().expect("collector handle").take() {
             let _ = collector.join();
         }
-        for worker in self.workers.drain(..) {
+        // The collector's shutdown sweep already closed and drained every
+        // shard; repeat it here in case the collector died early (a
+        // panicked collector must not strand submitted requests).
+        close_and_resolve_shards(&self.shared);
+        for worker in self.workers.lock().expect("worker handles").drain(..) {
             let _ = worker.join();
         }
     }
@@ -699,75 +989,167 @@ impl std::fmt::Debug for PhiServer {
     }
 }
 
-/// The dynamic batcher: waits for traffic, coalesces the queue head's
-/// `(model, rows)` group until it is full or its deadline passes, and
-/// hands the batch to the worker pool. Requests stay *in the shared
-/// queue* while their batch forms, so admission capacity bounds queued
-/// work and later arrivals join an open batch without extra plumbing.
+/// The dynamic batcher: sleeps until traffic (or a group deadline, or
+/// shutdown), drains every intake shard into private per-group buffers in
+/// global arrival order, and dispatches each group that is full or past
+/// its deadline to the worker pool. Coalescing is intentionally a single
+/// thread — it is the batching policy's serialization point and does a
+/// few pointer moves per request, while execution (the scalable part)
+/// fans out across the worker pool.
 fn collector_loop(shared: &Shared, dispatch: &mpsc::Sender<Batch>) {
-    let config = shared.config;
+    let max_wait = shared.config.max_wait;
+    let mut groups: Groups = HashMap::new();
     loop {
-        let mut queue = shared.queue.lock().expect("queue lock");
-        // Sleep until there is traffic (or we are told to stop).
-        while queue.items.is_empty() && !queue.shutdown {
-            queue = shared.cond.wait(queue).expect("queue lock");
-        }
-        if queue.shutdown {
-            resolve_shutdown(&mut queue);
-            return;
+        // Sleep phase: hold ctrl from predicate check to wait so wakers
+        // can never slip a flag update between the two (see
+        // `Shared::wake_collector`).
+        {
+            let mut guard = shared.ctrl.lock().expect("ctrl lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(guard);
+                    resolve_shutdown(shared, &mut groups);
+                    return;
+                }
+                if shared.dirty.load(Ordering::SeqCst) {
+                    break;
+                }
+                match earliest_deadline(&groups, max_wait) {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (g, _) =
+                            shared.cond.wait_timeout(guard, deadline - now).expect("ctrl lock");
+                        guard = g;
+                    }
+                    None => guard = shared.cond.wait(guard).expect("ctrl lock"),
+                }
+            }
         }
 
-        // Coalesce around the head request's group until the batch is
-        // full or the head has waited its max_wait. The group counts are
-        // maintained by `submit`, which only wakes this thread when a
-        // group completes — in between, this loop sleeps through
-        // arrivals and reads the final count at the deadline.
-        let group = QueueState::group(&queue.items[0]);
-        let deadline = queue.items[0].enqueued + config.max_wait;
+        drain_intake(shared, &mut groups);
+        if dispatch_due(shared, &mut groups, dispatch).is_err() {
+            // Every worker is gone (the pool panicked); nothing can
+            // execute batches, so resolve what is left instead of
+            // stranding the handles.
+            resolve_all(shared, &mut groups, &ServerError::Disconnected);
+            return;
+        }
+    }
+}
+
+/// The next instant some buffered group must dispatch (its oldest
+/// request's enqueue time plus `max_wait`); `None` with no buffered work.
+fn earliest_deadline(groups: &Groups, max_wait: Duration) -> Option<Instant> {
+    groups.values().filter_map(|buf| buf.front().map(|p| p.enqueued + max_wait)).min()
+}
+
+/// Moves everything the shards hold into the collector's per-group
+/// buffers, restoring global arrival order by sequence stamp. Shard locks
+/// are held only for the O(1) deque handoff.
+fn drain_intake(shared: &Shared, groups: &mut Groups) {
+    // Clear the flag *before* draining (with a swap, pairing with the
+    // submitters' swap): a push that lands after this drain re-raises the
+    // flag, so the next loop iteration drains it.
+    shared.dirty.swap(false, Ordering::SeqCst);
+    let mut drained: Vec<Stamped> = Vec::new();
+    for shard in &shared.shards {
+        let mut shard = shard.lock().expect("intake shard");
+        if !shard.items.is_empty() {
+            drained.extend(shard.items.drain(..));
+        }
+    }
+    drained.sort_unstable_by_key(|stamped| stamped.seq);
+    for stamped in drained {
+        groups.entry(group_of(&stamped.pending)).or_default().push_back(stamped.pending);
+    }
+}
+
+/// Dispatches every group that is full (in `max_batch` cuts) or whose
+/// oldest request has waited out `max_wait`; empty groups are dropped.
+/// Errors when the worker pool has hung up the dispatch channel.
+fn dispatch_due(
+    shared: &Shared,
+    groups: &mut Groups,
+    dispatch: &mpsc::Sender<Batch>,
+) -> std::result::Result<(), ()> {
+    let max_batch = shared.config.max_batch;
+    let max_wait = shared.config.max_wait;
+    let now = Instant::now();
+    let keys: Vec<GroupKey> = groups.keys().copied().collect();
+    for key in keys {
+        let buf = groups.get_mut(&key).expect("group just listed");
         loop {
-            if queue.group_count(group) >= config.max_batch || queue.shutdown {
+            let due =
+                buf.len() >= max_batch || buf.front().is_some_and(|p| now >= p.enqueued + max_wait);
+            if !due {
                 break;
             }
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            let (guard, result) =
-                shared.cond.wait_timeout(queue, deadline - now).expect("queue lock");
-            queue = guard;
-            if result.timed_out() {
-                break;
+            let take = buf.len().min(max_batch);
+            let pending: Vec<Pending> = buf.drain(..take).collect();
+            let entry = Arc::clone(&pending[0].entry);
+            // Release the admission capacity and group occupancy these
+            // requests held; they are the workers' problem now.
+            shared.queued.fetch_sub(pending.len(), Ordering::SeqCst);
+            entry.group_counter(key.1).fetch_sub(pending.len(), Ordering::SeqCst);
+            if dispatch.send(Batch { entry, pending }).is_err() {
+                return Err(());
             }
         }
-        if queue.shutdown {
-            resolve_shutdown(&mut queue);
-            return;
+        if buf.is_empty() {
+            groups.remove(&key);
         }
+    }
+    Ok(())
+}
 
-        // Extract the batch, preserving arrival order for everything left.
-        let pending = queue.extract(group, config.max_batch);
-        drop(queue);
+/// The collector's shutdown sweep: close every shard (so racing
+/// submitters observe the closure instead of stranding a request), then
+/// resolve everything undispatched with [`ServerError::ShuttingDown`].
+fn resolve_shutdown(shared: &Shared, groups: &mut Groups) {
+    resolve_all(shared, groups, &ServerError::ShuttingDown);
+}
 
-        let entry = Arc::clone(&pending[0].entry);
-        if dispatch.send(Batch { entry, pending }).is_err() {
-            return; // every worker is gone; nothing can execute batches
+/// Closes and drains the intake shards, resolving the drained requests
+/// with [`ServerError::ShuttingDown`]; idempotent.
+fn close_and_resolve_shards(shared: &Shared) {
+    let mut resolved = 0usize;
+    for shard in &shared.shards {
+        let mut shard = shard.lock().expect("intake shard");
+        shard.closed = true;
+        for stamped in shard.items.drain(..) {
+            let _ = stamped.pending.tx.send(Err(ServerError::ShuttingDown));
+            resolved += 1;
         }
+    }
+    if resolved > 0 {
+        shared.queued.fetch_sub(resolved, Ordering::SeqCst);
     }
 }
 
-/// Resolves everything still queued at shutdown; nothing vanishes
-/// silently.
-fn resolve_shutdown(queue: &mut QueueState) {
-    queue.counts.clear();
-    for pending in queue.items.drain(..) {
-        let _ = pending.tx.send(Err(ServerError::ShuttingDown));
+/// Resolves every undispatched request — shards and private buffers —
+/// with `error`; nothing vanishes silently.
+fn resolve_all(shared: &Shared, groups: &mut Groups, error: &ServerError) {
+    close_and_resolve_shards(shared);
+    let mut resolved = 0usize;
+    for (_, buf) in groups.drain() {
+        for pending in buf {
+            let _ = pending.tx.send(Err(error.clone()));
+            resolved += 1;
+        }
+    }
+    if resolved > 0 {
+        shared.queued.fetch_sub(resolved, Ordering::SeqCst);
     }
 }
 
-/// A worker: pull a batch, execute it on the model's executor, resolve
-/// every rider with its share of the report plus wall-clock latency, and
-/// record stats. Exits when the collector hangs up the channel.
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Batch>>) {
+/// A worker: pull a batch, execute it on this worker's cache shard of the
+/// model, resolve every rider with its share of the report plus
+/// wall-clock latency, and record stats. Exits when the collector hangs
+/// up the channel.
+fn worker_loop(worker: usize, rx: &Mutex<mpsc::Receiver<Batch>>) {
     loop {
         // Hold the receiver lock only while waiting; execution happens
         // after it is released so other workers can pick up batches.
@@ -775,19 +1157,23 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Batch>>) {
             Ok(batch) => batch,
             Err(_) => return,
         };
-        serve_batch(batch);
+        serve_batch(batch, worker);
     }
 }
 
-fn serve_batch(batch: Batch) {
+fn serve_batch(batch: Batch, worker: usize) {
     let Batch { entry, pending } = batch;
+    // Under TileCacheMode::Shared there is one executor (index 0) whose
+    // caches every worker shares; under PerWorker each worker owns the
+    // executor (and cache lineage) at its own index.
+    let executor = &entry.executors[worker % entry.executors.len()];
     let exec_start = Instant::now();
     let queue_waits: Vec<Duration> =
         pending.iter().map(|p| exec_start.duration_since(p.enqueued)).collect();
     let (requests, resolvers): (Vec<InferenceRequest>, Vec<_>) =
         pending.into_iter().map(|p| (p.request, (p.tx, p.enqueued))).unzip();
 
-    match entry.executor.execute(&requests) {
+    match executor.execute(&requests) {
         Ok(report) => {
             let exec = exec_start.elapsed();
             entry.stats.record_batch(&queue_waits, exec);
@@ -856,6 +1242,33 @@ mod tests {
     }
 
     #[test]
+    fn intake_and_cache_modes_parse_and_display() {
+        for mode in [IntakeMode::Mutex, IntakeMode::Sharded] {
+            assert_eq!(mode.to_string().parse::<IntakeMode>(), Ok(mode));
+        }
+        for mode in [TileCacheMode::Shared, TileCacheMode::PerWorker] {
+            assert_eq!(mode.to_string().parse::<TileCacheMode>(), Ok(mode));
+        }
+        assert!("bogus".parse::<IntakeMode>().is_err());
+        assert!("bogus".parse::<TileCacheMode>().is_err());
+    }
+
+    #[test]
+    fn config_resolves_shard_counts() {
+        let config = ServerConfig::default();
+        assert_eq!(config.with_intake(IntakeMode::Mutex).intake_shard_count(), 1);
+        // Auto-sizing floors the sharded intake at 2 so it stays
+        // structurally distinct from the mutex baseline on one core.
+        assert!(config.with_intake(IntakeMode::Sharded).intake_shard_count() >= 2);
+        assert_eq!(config.with_intake_shards(5).intake_shard_count(), 5);
+        assert_eq!(config.cache_shard_count(), 1);
+        assert_eq!(
+            config.with_cache_mode(TileCacheMode::PerWorker).with_workers(3).cache_shard_count(),
+            3
+        );
+    }
+
+    #[test]
     fn server_serves_and_counts_requests() {
         let w = tiny_workload();
         let mut registry = ModelRegistry::new();
@@ -901,6 +1314,26 @@ mod tests {
         let stats = server.stats("m").unwrap();
         assert_eq!((stats.served, stats.batches), (4, 1));
         assert!((stats.mean_batch - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutex_intake_serves_the_same_contract() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config = ServerConfig::default()
+            .with_intake(IntakeMode::Mutex)
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_secs(3600))
+            .with_workers(1);
+        let server = PhiServer::start(registry, config);
+        assert_eq!(server.config().intake, IntakeMode::Mutex);
+        let handles: Vec<ResponseHandle> =
+            requests(&w, 4, 4, 5).into_iter().map(|r| server.submit("m", r).unwrap()).collect();
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().batch_size, 4);
+        }
+        assert_eq!(server.stats("m").unwrap().served, 4);
     }
 
     #[test]
@@ -965,7 +1398,7 @@ mod tests {
             .with_max_batch(64)
             .with_max_wait(Duration::from_secs(3600))
             .with_workers(1);
-        let mut server = PhiServer::start(registry, config);
+        let server = PhiServer::start(registry, config);
         let held = server.submit("m", requests(&w, 1, 4, 11).remove(0)).unwrap();
         server.shutdown();
         assert!(matches!(held.wait(), Err(ServerError::ShuttingDown)));
@@ -996,6 +1429,9 @@ mod tests {
         assert!(stats.tile_cache.capacity > 0);
         assert!(stats.tile_cache.hits > 0, "repeated traffic must hit: {:?}", stats.tile_cache);
         assert!(stats.tile_cache.hit_rate() > 0.0);
+        // Shared wiring: one cache shard whose counters equal the rollup.
+        assert_eq!(stats.tile_cache_shards.len(), 1);
+        assert_eq!(stats.tile_cache_shards[0], stats.tile_cache);
 
         // A cache-disabled server serves identical readouts.
         let mut registry = ModelRegistry::new();
@@ -1007,7 +1443,30 @@ mod tests {
             assert_eq!(a.readout, b.readout);
         }
         let stats = off.stats("m").unwrap();
-        assert_eq!(stats.tile_cache, phi_core::TileCacheStats::default());
+        assert_eq!(stats.tile_cache, TileCacheStats::default());
+    }
+
+    #[test]
+    fn per_worker_cache_mode_reports_one_shard_per_worker() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config = ServerConfig::default()
+            .with_workers(2)
+            .with_cache_mode(TileCacheMode::PerWorker)
+            .with_tile_cache(1 << 12);
+        let server = PhiServer::start(registry, config);
+        for r in requests(&w, 6, 4, 17) {
+            server.submit("m", r).unwrap().wait().unwrap();
+        }
+        let stats = server.stats("m").unwrap();
+        assert_eq!(stats.served, 6);
+        assert_eq!(stats.tile_cache_shards.len(), 2);
+        // The aggregate is exactly the shard sum.
+        let rollup = TileCacheStats::merged(stats.tile_cache_shards.iter().copied());
+        assert_eq!(rollup, stats.tile_cache);
+        // Someone decomposed something, so at least one shard saw misses.
+        assert!(stats.tile_cache.misses > 0);
     }
 
     #[test]

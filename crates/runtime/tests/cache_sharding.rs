@@ -1,0 +1,138 @@
+//! Property tests pinning the tile-cache wiring modes to bit-identity.
+//!
+//! The server's tile caches only ever change speed: across randomized
+//! cache capacities (including 0 = disabled and 1 = pure thrash), batch
+//! shapes, and worker counts, a [`TileCacheMode::PerWorker`] server, a
+//! [`TileCacheMode::Shared`] server, a cache-disabled server, and a
+//! direct uncached [`BatchExecutor`] must all produce the same readout
+//! bits for the same requests.
+
+mod common;
+
+use common::tiny_workload;
+use phi_runtime::{
+    BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler, ModelRegistry,
+    PhiServer, ServerConfig, TileCacheMode,
+};
+use proptest::prelude::*;
+use snn_core::Matrix;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One compiled fixture for every proptest case (compilation dominates
+/// the per-case cost otherwise).
+fn fixture() -> &'static (snn_workloads::Workload, Arc<CompiledModel>) {
+    static FIXTURE: OnceLock<(snn_workloads::Workload, Arc<CompiledModel>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let workload = tiny_workload(3, 0xCACE);
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&workload));
+        (workload, model)
+    })
+}
+
+/// Serves `traffic` through a fresh server in the given cache
+/// configuration and returns the readouts in submission order.
+fn serve(
+    model: &Arc<CompiledModel>,
+    traffic: &[InferenceRequest],
+    cache_mode: TileCacheMode,
+    tile_cache: usize,
+    workers: usize,
+) -> Vec<Option<Matrix>> {
+    let mut registry = ModelRegistry::new();
+    registry.register("model", Arc::clone(model));
+    let config = ServerConfig::default()
+        .with_workers(workers)
+        .with_max_batch(4)
+        .with_max_wait(Duration::from_micros(100))
+        .with_cache_mode(cache_mode)
+        .with_tile_cache(tile_cache);
+    let server = PhiServer::start(registry, config);
+    // Submit everything before waiting, so requests coalesce and the
+    // worker pool (not one request at a time) does the serving.
+    let handles: Vec<_> =
+        traffic.iter().map(|r| server.submit("model", r.clone()).expect("admitted")).collect();
+    handles.into_iter().map(|h| h.wait().expect("served").readout).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-worker caches == shared cache == disabled cache == direct
+    /// execution, bit for bit, across capacities, shapes, and workers.
+    #[test]
+    fn cache_wiring_is_invisible_in_readouts(
+        capacity in prop::sample::select(vec![0usize, 1, 8, 1 << 12]),
+        row_choices in prop::collection::vec(3usize..=6, 1..10),
+        workers in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (w, model) = fixture();
+        // Mixed row counts per case force several coalescing groups, so
+        // batches land on different workers (and different cache shards).
+        let traffic: Vec<InferenceRequest> = row_choices
+            .iter()
+            .enumerate()
+            .map(|(i, &rows)| {
+                InferenceRequest::new(w.sample_requests(1, rows, seed ^ i as u64).remove(0))
+            })
+            .collect();
+
+        let direct = BatchExecutor::cpu(Arc::clone(model)).with_tile_cache_capacity(0);
+        let expected: Vec<Option<Matrix>> =
+            traffic.iter().map(|r| direct.execute_one(r).expect("direct").readout).collect();
+
+        let per_worker = serve(model, &traffic, TileCacheMode::PerWorker, capacity, workers);
+        let shared = serve(model, &traffic, TileCacheMode::Shared, capacity, workers);
+        let disabled = serve(model, &traffic, TileCacheMode::Shared, 0, workers);
+
+        prop_assert_eq!(&per_worker, &expected, "per-worker caches diverged from direct");
+        prop_assert_eq!(&shared, &expected, "shared cache diverged from direct");
+        prop_assert_eq!(&disabled, &expected, "disabled cache diverged from direct");
+    }
+
+    /// Replaying identical traffic twice through a per-worker-cached
+    /// server is still bit-identical (warm caches change nothing), and
+    /// the stats expose one cache shard per worker.
+    #[test]
+    fn warm_per_worker_caches_stay_bit_identical(
+        rows in 3usize..=6,
+        count in 2usize..8,
+        workers in 2usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (w, model) = fixture();
+        let traffic: Vec<InferenceRequest> = w
+            .sample_requests(count, rows, seed)
+            .into_iter()
+            .map(InferenceRequest::new)
+            .collect();
+        let mut registry = ModelRegistry::new();
+        registry.register("model", Arc::clone(model));
+        let config = ServerConfig::default()
+            .with_workers(workers)
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_micros(100))
+            .with_cache_mode(TileCacheMode::PerWorker)
+            .with_tile_cache(1 << 12);
+        let server = PhiServer::start(registry, config);
+        let direct = BatchExecutor::cpu(Arc::clone(model)).with_tile_cache_capacity(0);
+
+        for wave in ["cold", "warm"] {
+            let handles: Vec<_> = traffic
+                .iter()
+                .map(|r| server.submit("model", r.clone()).expect("admitted"))
+                .collect();
+            let readouts: Vec<Option<Matrix>> =
+                handles.into_iter().map(|h| h.wait().expect("served").readout).collect();
+            for (request, readout) in traffic.iter().zip(&readouts) {
+                let expected = direct.execute_one(request).expect("direct").readout;
+                prop_assert_eq!(readout, &expected, "{} wave diverged", wave);
+            }
+        }
+        let stats = server.stats("model").expect("registered");
+        prop_assert_eq!(stats.tile_cache_shards.len(), workers);
+        let merged = phi_core::TileCacheStats::merged(stats.tile_cache_shards.iter().copied());
+        prop_assert_eq!(merged, stats.tile_cache);
+    }
+}

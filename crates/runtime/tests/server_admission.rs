@@ -138,7 +138,7 @@ fn queue_full_sheds_instead_of_blocking() {
         .with_queue_capacity(3)
         .with_max_batch(64)
         .with_max_wait(Duration::from_secs(3600));
-    let mut server = server_with(model, config);
+    let server = server_with(model, config);
     let mut held = Vec::new();
     for request in requests(&w, 3, 4, 5) {
         held.push(server.submit("model", request).unwrap());

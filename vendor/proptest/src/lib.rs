@@ -1,9 +1,10 @@
 //! Minimal in-tree stand-in for the `proptest` crate.
 //!
 //! Supports the subset this workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
-//! [`any`], `prop::sample::select`, [`ProptestConfig::with_cases`], and
-//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//! [`Strategy`] trait with `prop_map`, range (exclusive and inclusive)
+//! and tuple strategies, [`any`], `prop::sample::select`,
+//! `prop::collection::vec`, [`ProptestConfig::with_cases`], and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
 //!
 //! Unlike upstream there is no shrinking: each test runs `cases`
 //! deterministic cases seeded from the test's name, so a failure
@@ -12,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 #[doc(hidden)]
 pub use rand as __rand;
@@ -80,6 +81,20 @@ macro_rules! range_strategy {
     )*};
 }
 range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+// Integers only, matching the ranges the vendored rand shim can sample.
+range_inclusive_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 macro_rules! tuple_strategy {
     ($($s:ident . $idx:tt),+) => {
@@ -170,8 +185,39 @@ pub mod sample {
     }
 }
 
-/// Namespace mirror (`prop::sample::select`).
+pub mod collection {
+    //! Strategies generating collections of other strategies' values.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy produced by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of values drawn from `element`, with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror (`prop::sample::select`, `prop::collection::vec`).
 pub mod prop {
+    pub use crate::collection;
     pub use crate::sample;
 }
 
@@ -287,10 +333,15 @@ mod tests {
         #[test]
         fn macro_generates_cases(
             n in 1usize..10,
+            m in 1usize..=3,
+            items in prop::collection::vec(0u8..4, 2..6),
             choice in prop::sample::select(vec![2u64, 4, 8]),
             seed in any::<u64>(),
         ) {
             prop_assert!((1..10).contains(&n));
+            prop_assert!((1..=3).contains(&m));
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(items.iter().all(|&i| i < 4));
             prop_assert!(choice == 2 || choice == 4 || choice == 8);
             prop_assert_eq!(seed, seed);
         }
