@@ -1,0 +1,153 @@
+//! Cross-row reuse == per-row sweep, property-tested: a [`ReusePlan`]
+//! built for a fused batch must reproduce `par_phi_matmul` bit for bit —
+//! on random batches, on batches engineered to be duplicate- and
+//! subset-heavy (so the class / prefix / shared-product paths all fire),
+//! at both paper pattern budgets, and at every worker count. The reuse
+//! executor reorders *row traversal* (term-stationary sweeps), never the
+//! per-element accumulation order, which is what these properties pin.
+
+use phi_core::{
+    decompose, force_reuse, par_phi_matmul, phi_matmul, phi_matmul_batch_reuse, reuse_mode,
+    CalibrationConfig, Calibrator, PwpTable, ReuseMode, ReusePlan,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_core::{Matrix, SpikeMatrix};
+use std::sync::Mutex;
+
+/// Serializes the tests that flip the process-global reuse mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// A batch drawn from a few prototype rows: copied verbatim (duplicate
+/// rows → shared products), truncated to a prefix of their active columns
+/// (subset rows → prefix chains), or lightly perturbed (near-duplicates →
+/// shared Level-1 classes with divergent Level-2 corrections).
+fn clustered_batch(rows: usize, cols: usize, seed: u64) -> SpikeMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let protos: Vec<Vec<bool>> =
+        (0..3).map(|_| (0..cols).map(|_| rng.gen_bool(0.25)).collect()).collect();
+    let picks: Vec<(usize, f64, usize)> = (0..rows)
+        .map(|_| (rng.gen_range(0..protos.len()), rng.gen::<f64>(), rng.gen_range(0..cols)))
+        .collect();
+    SpikeMatrix::from_fn(rows, cols, |r, c| {
+        let (p, kind, at) = picks[r];
+        let on = protos[p][c];
+        if kind < 0.4 {
+            on
+        } else if kind < 0.7 {
+            // Keep only a prefix of the columns: the row's Level-1 term
+            // sequence becomes a (near-)prefix of the prototype's.
+            on && c < at
+        } else {
+            on ^ (c == at)
+        }
+    })
+}
+
+/// Decomposes a batch and returns everything the equivalence checks need.
+fn pipeline(
+    acts: &SpikeMatrix,
+    q: usize,
+    out_cols: usize,
+    seed: u64,
+) -> (phi_core::Decomposition, PwpTable, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = Matrix::random(acts.cols(), out_cols, &mut rng);
+    let patterns =
+        Calibrator::new(CalibrationConfig { q, ..Default::default() }).calibrate(acts, &mut rng);
+    let d = decompose(acts, &patterns);
+    let pwp = PwpTable::new(&patterns, &weights).expect("shapes match");
+    (d, pwp, weights)
+}
+
+proptest! {
+    // Each case runs a full calibration; keep counts in line with the
+    // other pipeline-level property suites.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Planned execution is bit-identical to the per-row sweep on
+    /// duplicate/subset-heavy batches across the paper pattern budgets,
+    /// batch sizes 1–64, and 1–3 workers — and the `phi_matmul_batch_reuse`
+    /// entry point agrees regardless of which path its profitability gate
+    /// picked.
+    #[test]
+    fn reuse_matches_per_row_bitwise(
+        q in prop::sample::select(vec![32usize, 128]),
+        rows in 1usize..=64,
+        cols in prop::sample::select(vec![24usize, 48, 100]),
+        out_cols in prop::sample::select(vec![10usize, 33]),
+        seed in any::<u64>(),
+    ) {
+        let acts = clustered_batch(rows, cols, seed);
+        let (d, pwp, weights) = pipeline(&acts, q, out_cols, seed ^ 0xC0FFEE);
+        let baseline = par_phi_matmul(&d, &pwp, &weights).expect("shapes match");
+        // Matrix == is exact f32 equality; finite inputs under adds
+        // produce no NaNs, so equality pins the bits.
+        prop_assert_eq!(&baseline, &phi_matmul(&d, &pwp, &weights).expect("shapes match"));
+
+        let plan = ReusePlan::build(&d);
+        for workers in 1..=3 {
+            let out = plan.execute_with_workers(&d, &pwp, &weights, workers)
+                .expect("shapes match");
+            prop_assert_eq!(&baseline, &out, "workers = {}", workers);
+        }
+        let (out, stats) = phi_matmul_batch_reuse(&d, &pwp, &weights).expect("shapes match");
+        prop_assert_eq!(&baseline, &out);
+        prop_assert_eq!(stats.rows, rows as u64);
+        prop_assert!(stats.term_rows_computed <= stats.term_rows_total);
+        prop_assert!(stats.term_loads <= stats.term_rows_total);
+    }
+
+    /// Forcing the reuse mode off and back on round-trips the switch and
+    /// never perturbs the numerics: `phi_matmul_batch_reuse` output is
+    /// the same bits under either mode (the mode gates routing in the
+    /// backend, not correctness anywhere).
+    #[test]
+    fn reuse_mode_off_round_trips(
+        rows in 2usize..=24,
+        seed in any::<u64>(),
+    ) {
+        let acts = clustered_batch(rows, 48, seed);
+        let (d, pwp, weights) = pipeline(&acts, 32, 10, seed ^ 0x0FF);
+        let _guard = MODE_LOCK.lock().unwrap();
+        let prev = force_reuse(ReuseMode::Off);
+        prop_assert_eq!(reuse_mode(), ReuseMode::Off);
+        let off = phi_matmul_batch_reuse(&d, &pwp, &weights).expect("shapes match").0;
+        force_reuse(ReuseMode::Auto);
+        prop_assert_eq!(reuse_mode(), ReuseMode::Auto);
+        let auto = phi_matmul_batch_reuse(&d, &pwp, &weights).expect("shapes match").0;
+        force_reuse(prev);
+        prop_assert_eq!(off, auto);
+    }
+}
+
+/// A batch of identical rows collapses to one Level-1 class and one
+/// shared product: the plan loads each term row once and every row is a
+/// copy of the single materialized product.
+#[test]
+fn identical_rows_collapse_to_one_product() {
+    let one = clustered_batch(1, 64, 7);
+    let acts = SpikeMatrix::from_fn(32, 64, |_, c| one.get(0, c));
+    let (d, pwp, weights) = pipeline(&acts, 32, 16, 99);
+    let plan = ReusePlan::build(&d);
+    let stats = plan.stats();
+    assert_eq!(stats.l1_classes, 1);
+    assert_eq!(stats.products, 1);
+    assert_eq!(stats.shared_partial_hits, 32);
+    // One row's worth of term references, loaded exactly once.
+    let single = stats.term_rows_total / 32;
+    assert_eq!(stats.term_loads, single);
+    assert!(plan.is_profitable(), "32-way collapse must clear the gate");
+    // The width-refined gate: a 32-way collapse saves ~97% of term
+    // loads, which pays the builder at wide outputs but not at a
+    // 10-class readout (10 saved lanes per reference < the 16-lane
+    // floor).
+    assert!(plan.is_profitable_for(64));
+    assert!(!plan.is_profitable_for(10));
+    let baseline = par_phi_matmul(&d, &pwp, &weights).expect("shapes match");
+    for workers in 1..=3 {
+        let out = plan.execute_with_workers(&d, &pwp, &weights, workers).expect("shapes match");
+        assert_eq!(baseline, out, "workers = {workers}");
+    }
+}

@@ -34,7 +34,7 @@ use phi_accel::{
     CpuBackend, ExecutionBackend, LayerReport, LayerWork, MetricsMode, PhiConfig, ReadoutPlan,
     SimBackend,
 };
-use phi_core::{decompose_cached, Decomposition, TileCache, TileCacheStats};
+use phi_core::{decompose_cached, Decomposition, ReuseStats, TileCache, TileCacheStats};
 use rayon::prelude::*;
 use snn_core::{Matrix, SpikeMatrix};
 use std::sync::{Arc, Mutex};
@@ -261,6 +261,10 @@ pub struct BatchExecutor<B = SimBackend> {
     caches: Arc<Vec<TileCache>>,
     /// Recycled word buffers for batch assembly ([`SpikeMatrix::vstack_into`]).
     scratch: Arc<Mutex<Vec<Vec<u64>>>>,
+    /// Cumulative cross-row reuse counters from every layer the backend
+    /// executed through a product-sparsity plan, shared across clones
+    /// like the tile caches.
+    reuse: Arc<Mutex<ReuseStats>>,
 }
 
 impl BatchExecutor<SimBackend> {
@@ -313,7 +317,13 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
     /// caches at [`default_tile_cache_capacity`].
     pub fn with_backend(model: Arc<CompiledModel>, backend: B) -> Self {
         let caches = build_caches(&model, default_tile_cache_capacity());
-        BatchExecutor { model, backend, caches, scratch: Arc::new(Mutex::new(Vec::new())) }
+        BatchExecutor {
+            model,
+            backend,
+            caches,
+            scratch: Arc::new(Mutex::new(Vec::new())),
+            reuse: Arc::new(Mutex::new(ReuseStats::default())),
+        }
     }
 
     /// Replaces the per-layer tile caches with fresh ones of `capacity`
@@ -345,6 +355,16 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
     /// used by serving code to report hit rates per cache shard.
     pub fn tile_cache_stats_per_layer(&self) -> Vec<TileCacheStats> {
         self.caches.iter().map(TileCache::stats).collect()
+    }
+
+    /// Cumulative product-sparsity reuse counters over every readout layer
+    /// the backend executed through a cross-row reuse plan (see
+    /// `phi_core::phi_matmul_batch_reuse`). All-zero when the backend
+    /// never took the planned path — e.g. under `PHI_REUSE=off`, under
+    /// [`MetricsMode::FullSim`], or on a backend without the CPU readout
+    /// fast path. Shared across clones, like the tile caches.
+    pub fn reuse_stats(&self) -> ReuseStats {
+        *self.reuse.lock().expect("reuse stats")
     }
 
     /// Executes a batch of requests under the backend's default metrics
@@ -524,6 +544,9 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
             readout,
         };
         let output = self.backend.run_layer(&work, metrics);
+        if let Some(stats) = output.reuse {
+            self.reuse.lock().expect("reuse stats").merge(&stats);
+        }
         let shares =
             output.report.is_some().then(|| attribution_shares(&decomp, batch.len(), rows));
         LayerOutcome { report: output.report, shares, readout: output.readout }
@@ -617,6 +640,29 @@ mod tests {
         assert_eq!(fast.metrics, MetricsMode::OutputsOnly);
         assert!(fast.layer_reports.is_empty());
         assert!(fast.requests.iter().all(|r| r.cycles == 0.0 && r.energy_j == 0.0));
+    }
+
+    #[test]
+    fn cpu_executor_accumulates_reuse_stats() {
+        let w = tiny_workload();
+        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&w));
+        let sim = BatchExecutor::new(Arc::clone(&model));
+        let cpu = BatchExecutor::cpu(model);
+        let batch = requests(&w, 5, 17);
+        let prev = phi_core::force_reuse(phi_core::ReuseMode::Auto);
+        let fast = cpu.execute(&batch).unwrap();
+        let full = sim.execute(&batch).unwrap();
+        phi_core::force_reuse(prev);
+        assert!(readouts_identical(&fast, &full));
+        // Every fused readout row went through a reuse plan: 5 requests
+        // of 4 rows each, and the counters persist on the executor.
+        let stats = cpu.reuse_stats();
+        assert_eq!(stats.rows, 20);
+        assert!(stats.term_rows_total >= stats.term_rows_computed);
+        // The sim backend never takes the planned readout path.
+        assert_eq!(sim.reuse_stats(), phi_core::ReuseStats::default());
+        // Clones share the accumulator, like the tile caches.
+        assert_eq!(cpu.clone().reuse_stats(), stats);
     }
 
     #[test]

@@ -116,7 +116,7 @@ use crate::artifact::CompiledModel;
 use crate::error::ServerError;
 use crate::executor::{BatchExecutor, InferenceRequest};
 use phi_accel::{BackendKind, ExecutionBackend};
-use phi_core::TileCacheStats;
+use phi_core::{ReuseStats, TileCacheStats};
 use snn_core::Matrix;
 use std::collections::{HashMap, VecDeque};
 use std::num::NonZeroUsize;
@@ -512,6 +512,11 @@ pub struct ModelStatsSnapshot {
     /// [`TileCacheMode::PerWorker`] — so shard balance and per-worker
     /// warmup are observable, not just the aggregate.
     pub tile_cache_shards: Vec<TileCacheStats>,
+    /// Cross-row product-sparsity reuse counters of this model's
+    /// executors, aggregated over every shard (all zeros when the CPU
+    /// reuse pass is disabled via `PHI_REUSE=off` or the backend never
+    /// took the planned readout path).
+    pub reuse: ReuseStats,
 }
 
 /// How many latency samples each per-model series retains (a ring; the
@@ -589,6 +594,7 @@ impl ModelStats {
         &self,
         tile_cache: TileCacheStats,
         tile_cache_shards: Vec<TileCacheStats>,
+        reuse: ReuseStats,
     ) -> ModelStatsSnapshot {
         // `served` before `batches` — see `record_batch`.
         let served = self.served.load(Ordering::Acquire);
@@ -608,6 +614,7 @@ impl ModelStats {
             p99_exec_us: exec.percentile(99.0),
             tile_cache,
             tile_cache_shards,
+            reuse,
         }
     }
 }
@@ -936,7 +943,8 @@ impl PhiServer {
         self.entries.get(key).map(|e| {
             let shards: Vec<TileCacheStats> =
                 e.executors.iter().map(BatchExecutor::tile_cache_stats).collect();
-            e.stats.snapshot(TileCacheStats::merged(shards.iter().copied()), shards)
+            let reuse = ReuseStats::merged(e.executors.iter().map(BatchExecutor::reuse_stats));
+            e.stats.snapshot(TileCacheStats::merged(shards.iter().copied()), shards, reuse)
         })
     }
 
