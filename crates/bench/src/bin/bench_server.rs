@@ -55,10 +55,29 @@
 //!   slip counts against the server — no coordinated omission), and the
 //!   shed rate near saturation.
 //!
-//! Every server response readout — closed- and open-loop — is asserted
-//! bit-identical to a direct [`BatchExecutor`] call on the same request,
-//! on every run: the server adds queueing and coalescing, never
-//! arithmetic.
+//! PR 9 adds a **streaming** section: N persistent sessions (opened via
+//! [`PhiServer::open_session`]) each drive a closed loop of `T`
+//! temporally-correlated 64-row frames through
+//! [`PhiServer::submit_stream`] — frame `t+1` is frame `t` with each row
+//! resampled at probability δ, swept at δ ∈ {0, 0.1, 0.5}. The server
+//! keeps each session's frames in timestep order while coalescing across
+//! sessions, and the executor decomposes each frame *incrementally*
+//! against the session's previous frame. The same traffic is then served
+//! through the stateless `submit` path (full re-decomposition of every
+//! frame) as the baseline, interleaved run by run with the incremental
+//! measurements (back-to-back pairs keep the ratio honest when the
+//! container's host share drifts); at δ = 0.1 the median per-pair ratio
+//! must be at least `PHI_SERVER_MIN_STREAM_SPEEDUP`×. Both streaming servers
+//! run with the tile cache disabled so the baseline is genuinely
+//! uncached re-decomposition rather than cache warmth (the cache is an
+//! orthogonal mechanism with its own tracks above). Every streamed readout
+//! is asserted bit-identical to direct stateless execution — incremental
+//! decomposition changes cost, never bits.
+//!
+//! Every server response readout — closed- and open-loop and streamed —
+//! is asserted bit-identical to a direct [`BatchExecutor`] call on the
+//! same request, on every run: the server adds queueing and coalescing,
+//! never arithmetic.
 //!
 //! Run with `cargo run --release -p phi_bench --bin bench_server`.
 //! Environment knobs:
@@ -72,13 +91,18 @@
 //!   (default 1.5; 0 disables).
 //! * `PHI_SERVER_WORKERS` — worker count of the multi-worker and
 //!   cache-mode comparisons (default: the core count, floored at 2).
-//! * `PHI_SERVER_SMOKE=1` — CI smoke: a small traffic volume per client
-//!   and no `BENCH_server.json` rewrite (asserts stay hard).
+//! * `PHI_SERVER_MIN_STREAM_SPEEDUP` — floor for the incremental-vs-full
+//!   streaming throughput ratio at δ = 0.1 (default 1.2; 0 disables).
+//! * `PHI_SERVER_SMOKE=1` — CI smoke: a small traffic volume per client,
+//!   2 streaming sessions, and no `BENCH_server.json` rewrite (asserts
+//!   stay hard).
 //! * `PHI_TILE_CACHE` — per-layer decomposition tile-cache capacity for
 //!   the servers (0 disables; the direct reference executor always runs
 //!   uncached, so the bit-identity assert covers both paths either way).
 //!
 //! [`PhiServer`]: phi_runtime::PhiServer
+//! [`PhiServer::open_session`]: phi_runtime::PhiServer::open_session
+//! [`PhiServer::submit_stream`]: phi_runtime::PhiServer::submit_stream
 //! [`BatchExecutor`]: phi_runtime::BatchExecutor
 //! [`BatchExecutor::execute_one`]: phi_runtime::BatchExecutor::execute_one
 //! [`ResponseHandle`]: phi_runtime::ResponseHandle
@@ -90,12 +114,14 @@
 //! [`Workload::sample_client_requests`]: snn_workloads::Workload::sample_client_requests
 
 use phi_bench::openloop::{ArrivalSchedule, LatencySummary};
-use phi_bench::{bench_runs, env_f64, median};
+use phi_bench::{bench_runs, env_f64, median, median_f64};
 use phi_runtime::{
     available_cores, BatchExecutor, CompileOptions, CompiledModel, CpuBackend, InferenceRequest,
     IntakeMode, ModelCompiler, ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle,
     ServerConfig, ServerError, TileCacheMode,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use snn_core::Matrix;
 use snn_workloads::{DatasetId, ModelId, Workload, WorkloadConfig};
 use std::path::PathBuf;
@@ -121,6 +147,23 @@ const OPEN_LOOP_FRACTIONS: [f64; 4] = [0.5, 0.8, 0.95, 1.1];
 const FIXED_LOAD_FRACTION: f64 = 0.8;
 /// Arrival-schedule seed (per-track seeds offset from it).
 const OPEN_LOOP_SEED: u64 = 0x0051_0015;
+/// Concurrent streaming sessions (shrunk under smoke).
+const STREAM_SESSIONS: usize = 8;
+const SMOKE_STREAM_SESSIONS: usize = 2;
+/// Timesteps per streamed session (shrunk under smoke).
+const STREAM_TIMESTEPS: usize = 48;
+const SMOKE_STREAM_TIMESTEPS: usize = 12;
+/// Rows per streamed frame. Streaming frames are much wider than the
+/// 4-row stateless requests: with tiny frames the per-frame serving
+/// fixed costs (queue handoff, batching deadline, thread wakeup) drown
+/// the decomposition work, and the incremental-vs-full ratio measures
+/// scheduler noise instead of the decomposition saving it gates.
+const STREAM_ROWS: usize = 64;
+/// Row-churn rates swept by the streaming section: identical frames,
+/// the gated 10% point, and heavy churn.
+const STREAM_DELTAS: [f64; 3] = [0.0, 0.1, 0.5];
+/// The delta whose incremental-vs-full ratio is gated.
+const STREAM_GATED_DELTA: f64 = 0.1;
 /// The batching deadline: long enough for a closed-loop wave of clients
 /// to coalesce, short enough that a straggler-truncated batch costs
 /// little.
@@ -246,6 +289,132 @@ fn measure_server(
         last_stats = Some(stats);
     }
     (total / median(times).as_secs_f64(), last_stats.expect("at least one run"))
+}
+
+/// Per-session temporal streams: frame `t+1` is frame `t` with each row
+/// resampled (across every layer) at probability `delta` — the
+/// correlated workload shape incremental decomposition is built for.
+fn stream_traffic(
+    workload: &Workload,
+    sessions: usize,
+    timesteps: usize,
+    delta: f64,
+) -> Vec<Traffic> {
+    (0..sessions as u64)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(0x57AE ^ (s << 24));
+            let mut frames: Traffic = workload
+                .sample_client_requests(s, 1, STREAM_ROWS, 0x5EED)
+                .into_iter()
+                .map(InferenceRequest::new)
+                .collect();
+            while frames.len() < timesteps {
+                let fresh = InferenceRequest::new(
+                    workload.sample_client_requests(s, 1, STREAM_ROWS, rng.gen()).remove(0),
+                );
+                let prev = frames.last().expect("seeded with one frame");
+                let resample: Vec<bool> = (0..STREAM_ROWS).map(|_| rng.gen_bool(delta)).collect();
+                let layers = prev
+                    .layers
+                    .iter()
+                    .zip(&fresh.layers)
+                    .map(|(p, f)| {
+                        let mut m = p.clone();
+                        for (r, &hit) in resample.iter().enumerate() {
+                            if hit {
+                                for c in 0..m.cols() {
+                                    m.set(r, c, f.get(r, c));
+                                }
+                            }
+                        }
+                        m
+                    })
+                    .collect();
+                frames.push(InferenceRequest::new(layers));
+            }
+            frames
+        })
+        .collect()
+}
+
+/// Serves each session's stream through `submit_stream` in closed loop
+/// (one thread per session, next frame only after the previous
+/// resolved — the per-timestep latency a streaming client experiences),
+/// asserting every streamed readout bit-identical to `expected` and
+/// every session's close-time accounting exact. Returns the wall time,
+/// per-frame latencies (µs), and the final stats snapshot.
+fn run_stream(
+    model: &Arc<CompiledModel>,
+    streams: &[Traffic],
+    expected: &[Vec<Option<Matrix>>],
+    config: ServerConfig,
+) -> (Duration, Vec<f64>, ModelStatsSnapshot) {
+    let sessions = streams.len();
+    let timesteps = streams[0].len();
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL_KEY, Arc::clone(model));
+    let server = PhiServer::start(registry, config);
+    let ids: Vec<u64> =
+        (0..sessions).map(|_| server.open_session(MODEL_KEY).expect("session")).collect();
+    let owned: Vec<std::sync::Mutex<Option<Traffic>>> =
+        streams.iter().map(|t| std::sync::Mutex::new(Some(t.clone()))).collect();
+    let barrier = Barrier::new(sessions + 1);
+    let mut elapsed = Duration::ZERO;
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let barrier = &barrier;
+                let server = &server;
+                let owned = &owned;
+                let expected = &expected[s];
+                let id = ids[s];
+                scope.spawn(move || {
+                    let frames =
+                        owned[s].lock().expect("traffic lock").take().expect("one run per copy");
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(frames.len());
+                    for (t, frame) in frames.into_iter().enumerate() {
+                        let t0 = Instant::now();
+                        let handle = server.submit_stream(MODEL_KEY, id, frame).expect("admitted");
+                        let response = handle.wait().expect("served");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert!(
+                            response.readout == expected[t],
+                            "streamed readout diverged from direct execution at timestep {t}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            latencies.extend(handle.join().expect("session thread"));
+        }
+        elapsed = start.elapsed();
+    });
+    let stats = server.stats(MODEL_KEY).expect("registered model");
+    for id in ids {
+        let closed = server.close_session(MODEL_KEY, id).expect("close session");
+        assert_eq!(closed.timesteps, timesteps as u64, "session lost timesteps");
+        assert!(closed.rate.is_some(), "streamed sessions must carry a rate readout");
+    }
+    (elapsed, latencies, stats)
+}
+
+/// One streaming delta track: incremental streamed serving vs full
+/// re-decomposition of the same frames through the stateless path.
+struct StreamTrack {
+    delta: f64,
+    stream_inf_s: f64,
+    full_inf_s: f64,
+    /// Median of the per-run (incremental / full) rate ratios, from
+    /// back-to-back interleaved pairs — robust to host-share drift.
+    speedup: f64,
+    latency: LatencySummary,
+    stats: ModelStatsSnapshot,
 }
 
 /// One open-loop measurement at a fixed offered rate.
@@ -537,6 +706,88 @@ fn main() {
     let saturation = open_tracks.last().expect("at least one open-loop track");
     let saturation_shed_rate = saturation.run.shed as f64 / open_loop_n as f64;
 
+    // ---- Streaming: persistent sessions, incremental vs full decompose ----
+    let stream_sessions = if smoke { SMOKE_STREAM_SESSIONS } else { STREAM_SESSIONS };
+    let stream_timesteps = if smoke { SMOKE_STREAM_TIMESTEPS } else { STREAM_TIMESTEPS };
+    // Both streaming servers run with the per-layer tile cache disabled:
+    // the baseline must genuinely re-decompose every frame from scratch
+    // (with the cache on, temporally-correlated traffic is largely
+    // memoized by the second run and the comparison measures cache
+    // warmth, not incremental decomposition — the cache's own win is
+    // benchmarked separately above).
+    let stream_cfg = base_config().with_max_batch(stream_sessions).with_tile_cache(0);
+    let stream_total = (stream_sessions * stream_timesteps) as f64;
+    let mut stream_tracks: Vec<StreamTrack> = Vec::new();
+    for delta in STREAM_DELTAS {
+        let streams = stream_traffic(&workload, stream_sessions, stream_timesteps, delta);
+        let expected: Vec<Vec<Option<Matrix>>> = streams
+            .iter()
+            .map(|frames| {
+                frames
+                    .iter()
+                    .map(|f| direct.execute_one(f).expect("stream reference").readout)
+                    .collect()
+            })
+            .collect();
+
+        // Interleave the incremental and full measurements run by run
+        // (the bench_pipeline idiom): on a container whose host share
+        // drifts over a minutes-long run, back-to-back pairs keep each
+        // ratio honest where two widely separated blocks would measure
+        // the scheduler. The gated ratio is the median of the per-pair
+        // ratios; the reported rates are the per-path medians.
+        let mut stream_rates = Vec::with_capacity(runs);
+        let mut full_rates = Vec::with_capacity(runs);
+        let mut ratios = Vec::with_capacity(runs);
+        let mut last: Option<(Vec<f64>, ModelStatsSnapshot)> = None;
+        for _ in 0..runs {
+            let (elapsed, lats, stats) = run_stream(&model, &streams, &expected, stream_cfg);
+            let stream_rate = stream_total / elapsed.as_secs_f64();
+            // The full-re-decomposition baseline: the same frames through
+            // the stateless path (every frame decomposed from scratch),
+            // same batcher, same coalescing width.
+            let (full_rate, _) = measure_server(&model, &streams, &expected, stream_cfg, 1);
+            stream_rates.push(stream_rate);
+            full_rates.push(full_rate);
+            ratios.push(stream_rate / full_rate);
+            last = Some((lats, stats));
+        }
+        let (lats, stats) = last.expect("at least one stream run");
+        let stream_inf_s = median_f64(stream_rates);
+        let full_inf_s = median_f64(full_rates);
+        let paired_speedup = median_f64(ratios);
+        let skip_rate = if stats.stream_delta.rows_total > 0 {
+            stats.stream_delta.rows_skipped as f64 / stats.stream_delta.rows_total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  stream δ={delta:.2} @ {stream_sessions} sessions: incremental \
+             {stream_inf_s:>9.1} fr/s | full {full_inf_s:>9.1} fr/s ({paired_speedup:.2}x \
+             paired, rows skipped {:.1}%, p50 frame {:.0} us)",
+            100.0 * skip_rate,
+            LatencySummary::from_samples_us(lats.clone()).p50_us,
+        );
+        stream_tracks.push(StreamTrack {
+            delta,
+            stream_inf_s,
+            full_inf_s,
+            speedup: paired_speedup,
+            latency: LatencySummary::from_samples_us(lats),
+            stats,
+        });
+    }
+    let gated = stream_tracks
+        .iter()
+        .find(|t| t.delta == STREAM_GATED_DELTA)
+        .expect("the gated delta is always swept");
+    let stream_speedup = gated.speedup;
+    let stream_floor = env_f64("PHI_SERVER_MIN_STREAM_SPEEDUP", 1.2);
+    println!(
+        "incremental streaming at δ={STREAM_GATED_DELTA:.2} vs full re-decomposition: \
+         {stream_speedup:.2}x"
+    );
+
     // The canonical "per-request (batch-1) serving" rate is the 1-client
     // direct track: one request stream through `execute_one`, nothing
     // coalesced — exactly bench_serving's CPU batch-1 configuration. The
@@ -601,6 +852,44 @@ fn main() {
                 p50_exec = t.stats.p50_exec_us,
                 p99_exec = t.stats.p99_exec_us,
                 cache_hit_rate = t.stats.tile_cache.hit_rate(),
+            )
+        })
+        .collect();
+    let stream_track_json: Vec<String> = stream_tracks
+        .iter()
+        .map(|t| {
+            let d = &t.stats.stream_delta;
+            format!(
+                r#"      {{
+        "delta": {delta:.2},
+        "stream_inf_per_s": {stream:.3},
+        "full_inf_per_s": {full:.3},
+        "speedup": {speedup:.3},
+        "p50_frame_latency_us": {p50:.1},
+        "p99_frame_latency_us": {p99:.1},
+        "stream_frames": {frames},
+        "rows_total": {rows_total},
+        "rows_skipped": {rows_skipped},
+        "rows_skipped_rate": {skip_rate:.6},
+        "tiles_reused": {tiles_reused},
+        "tiles_rematched": {tiles_rematched}
+      }}"#,
+                delta = t.delta,
+                stream = t.stream_inf_s,
+                full = t.full_inf_s,
+                speedup = t.speedup,
+                p50 = t.latency.p50_us,
+                p99 = t.latency.p99_us,
+                frames = t.stats.stream_frames,
+                rows_total = d.rows_total,
+                rows_skipped = d.rows_skipped,
+                skip_rate = if d.rows_total > 0 {
+                    d.rows_skipped as f64 / d.rows_total as f64
+                } else {
+                    0.0
+                },
+                tiles_reused = d.tiles_reused,
+                tiles_rematched = d.tiles_rematched,
             )
         })
         .collect();
@@ -690,6 +979,17 @@ fn main() {
     }},
     "saturation_shed_rate": {saturation_shed_rate:.6}
   }},
+  "streaming": {{
+    "sessions": {stream_sessions},
+    "timesteps": {stream_timesteps},
+    "rows_per_frame": {STREAM_ROWS},
+    "gated_delta": {STREAM_GATED_DELTA:.2},
+    "gated_speedup": {stream_speedup:.3},
+    "min_stream_speedup": {stream_floor},
+    "tracks": [
+{stream_tracks_json}
+    ]
+  }},
   "server_outputs_match_direct_executor": {all_match}
 }}
 "#,
@@ -705,6 +1005,7 @@ fn main() {
         threads = cores,
         tracks = track_json.join(",\n"),
         open_tracks = open_track_json.join(",\n"),
+        stream_tracks_json = stream_track_json.join(",\n"),
         shared_hit = shared_stats.tile_cache.hit_rate(),
         shared_shards = shards_json(&shared_stats.tile_cache_shards),
         per_worker_hit = per_worker_stats.tile_cache.hit_rate(),
@@ -732,6 +1033,15 @@ fn main() {
             "{workers_multi} workers ({multi_inf_s:.1} inf/s) must be at least \
              {worker_floor}x one worker ({single_inf_s:.1} inf/s) on a {cores}-core host, \
              got {worker_speedup:.2}x"
+        );
+    }
+    if stream_floor > 0.0 {
+        assert!(
+            stream_speedup >= stream_floor,
+            "incremental streaming at δ={STREAM_GATED_DELTA:.2} ({:.1} fr/s) must be at least \
+             {stream_floor}x full re-decomposition ({:.1} fr/s), got {stream_speedup:.2}x",
+            gated.stream_inf_s,
+            gated.full_inf_s,
         );
     }
     if smoke {

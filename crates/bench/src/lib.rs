@@ -96,6 +96,18 @@ pub fn median(mut times: Vec<std::time::Duration>) -> std::time::Duration {
     times[times.len() / 2]
 }
 
+/// Median of a set of rates or ratios (the `bench_*` binaries' central
+/// estimate for already-derived numbers, e.g. per-run speedup pairs).
+///
+/// # Panics
+///
+/// Panics on an empty input.
+pub fn median_f64(mut values: Vec<f64>) -> f64 {
+    assert!(!values.is_empty(), "median of no values");
+    values.sort_unstable_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
 /// Repetition count for the `bench_*` binaries: `PHI_BENCH_RUNS`, with
 /// non-numeric or missing values falling back to 5.
 pub fn bench_runs() -> usize {

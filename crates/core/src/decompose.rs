@@ -290,6 +290,332 @@ pub fn decompose_cached(
     combine(activations, patterns, chunks)
 }
 
+/// Counters describing how much matcher work one [`decompose_delta`]
+/// sweep avoided relative to a full decomposition of the same frame.
+///
+/// Trivial tiles (empty, and the inline single-bit shortcut once a tile
+/// *is* re-decided) follow the same accounting as the full paths: empty
+/// tiles appear in no bucket, and every nonzero tile of a changed row
+/// lands in exactly one of `tiles_reused` / `tiles_rematched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Rows in the frame.
+    pub rows_total: u64,
+    /// Rows bit-identical to the previous frame: replayed wholesale from
+    /// the memo without unpacking tiles or touching any matcher or cache
+    /// counter.
+    pub rows_skipped: u64,
+    /// Nonzero tiles in *changed* rows whose bits still matched the
+    /// previous frame's tile: decision replayed from the memo, no
+    /// matcher, no cache counter movement.
+    pub tiles_reused: u64,
+    /// Nonzero tiles decided afresh (single-bit inline or through the
+    /// cache/index matcher — exactly the tiles that move cache
+    /// counters, when nontrivial).
+    pub tiles_rematched: u64,
+}
+
+impl DeltaStats {
+    /// Accumulates another sweep's counters (the per-session rollup over
+    /// a streaming window).
+    pub fn merge(&mut self, other: &DeltaStats) {
+        self.rows_total += other.rows_total;
+        self.rows_skipped += other.rows_skipped;
+        self.tiles_reused += other.tiles_reused;
+        self.tiles_rematched += other.tiles_rematched;
+    }
+}
+
+/// Per-stream memo of the previous frame consumed by
+/// [`decompose_delta`]: the prior frame's row words (for the whole-row
+/// skip), its unpacked tiles, and the [`TileDecision`] each tile
+/// received.
+///
+/// A memo is tied to one `(patterns, index)` pair: decisions are pure
+/// functions of `(partition, width, tile)` *within one layer's pattern
+/// sets*, so replaying a memo built against different patterns would
+/// produce garbage. Frame shape (`rows × cols` at partition width `k`)
+/// may change between calls — a mismatch resets the memo to cold, it
+/// never corrupts the output.
+#[derive(Debug, Default)]
+pub struct FrameMemo {
+    rows: usize,
+    cols: usize,
+    k: usize,
+    /// Whether the stored frame is trustworthy; false on a fresh or
+    /// shape-reset memo, so the first sweep re-decides every tile.
+    valid: bool,
+    words_per_row: usize,
+    /// The previous frame's raw row words, `rows × words_per_row`.
+    words: Vec<u64>,
+    /// The previous frame's unpacked tiles, `rows × parts` (0 doubles as
+    /// the "empty" sentinel, exactly as in the cached sweep's memo).
+    tiles: Vec<u64>,
+    /// The decision each nonzero tile received, position-aligned with
+    /// `tiles`.
+    decisions: Vec<TileDecision>,
+    /// Per-row outcome of the most recent sweep: `false` where the row
+    /// was bit-identical to the previous frame and replayed wholesale,
+    /// `true` where it was (re)decided. Cold sweeps mark every row
+    /// changed.
+    changed: Vec<bool>,
+}
+
+impl FrameMemo {
+    /// A cold memo; the first [`decompose_delta`] sweep against it
+    /// re-decides every tile (bit-identically to [`decompose`]).
+    pub fn new() -> Self {
+        FrameMemo::default()
+    }
+
+    /// Forgets the stored frame: the next sweep runs cold. Use when the
+    /// memo is re-targeted at a different pattern set.
+    pub fn reset(&mut self) {
+        self.valid = false;
+    }
+
+    /// Whether the memo holds a previous frame to diff against.
+    pub fn is_warm(&self) -> bool {
+        self.valid
+    }
+
+    /// Per-row outcome of the most recent [`decompose_delta`] sweep:
+    /// `false` where the row was bit-identical to the previous frame
+    /// (its decomposition — and therefore any per-row product of it,
+    /// like a readout row — is unchanged), `true` where it was
+    /// re-decided. Empty before the first sweep.
+    pub fn row_changed(&self) -> &[bool] {
+        &self.changed
+    }
+}
+
+/// [`decompose_cached`] for one timestep frame of a stream: diffs
+/// `activations` against the previous frame stored in `memo`, replays
+/// the prior decisions for unchanged rows and unchanged tiles, and
+/// re-decides only what changed — returning the new [`Decomposition`]
+/// (bit-identical to [`decompose`] of the raw frame regardless of memo
+/// or cache state) plus the sweep's [`DeltaStats`].
+///
+/// The fast paths move no cache counters: a skipped row or reused tile
+/// is pure memo replay. Re-decided nontrivial tiles probe and commit
+/// the [`TileCache`] with exactly the accounting of
+/// [`decompose_cached`]; on a disabled cache they resolve through the
+/// index directly, as [`decompose_indexed`] would.
+///
+/// The sweep is sequential — streaming frames are a handful of rows, and
+/// batch-level parallelism belongs to the caller fanning out sessions.
+///
+/// # Panics
+///
+/// Panics if the pattern partition count does not match the activation
+/// width, if `index` does not cover `patterns`' partitioning, or if the
+/// partition count exceeds [`MAX_CACHE_PARTITIONS`].
+pub fn decompose_delta(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    index: &LayerMatchIndex,
+    cache: &TileCache,
+    memo: &mut FrameMemo,
+) -> (Decomposition, DeltaStats) {
+    delta_sweep(activations, patterns, index, cache, memo, true)
+}
+
+/// [`decompose_delta`] that emits only the rows whose activations changed
+/// since the previous frame, skipping unchanged rows' emission entirely
+/// (no L1/L2 writes, not even memo replay).
+///
+/// The returned decomposition has one row per changed activation row, in
+/// activation-row order; [`FrameMemo::row_changed`] maps them back to
+/// their original positions. Each emitted row is bit-identical to the
+/// corresponding row of the full decomposition (rows are independent
+/// under the matcher rule), so a caller that replays the unchanged rows'
+/// previous per-row results — as the streaming executor replays readout
+/// rows — reconstructs the full output exactly. Memo updates, delta
+/// stats, and [`TileCache`] accounting are identical to
+/// [`decompose_delta`]'s.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`decompose_delta`].
+pub fn decompose_delta_sparse(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    index: &LayerMatchIndex,
+    cache: &TileCache,
+    memo: &mut FrameMemo,
+) -> (Decomposition, DeltaStats) {
+    delta_sweep(activations, patterns, index, cache, memo, false)
+}
+
+/// The shared incremental sweep behind [`decompose_delta`]
+/// (`emit_unchanged = true`) and [`decompose_delta_sparse`]
+/// (`emit_unchanged = false`). Memo bookkeeping always covers every row;
+/// only which rows reach the output differs.
+fn delta_sweep(
+    activations: &SpikeMatrix,
+    patterns: &LayerPatterns,
+    index: &LayerMatchIndex,
+    cache: &TileCache,
+    memo: &mut FrameMemo,
+    emit_unchanged: bool,
+) -> (Decomposition, DeltaStats) {
+    check_partitioning(activations, patterns);
+    check_index(patterns, index);
+    let parts = patterns.num_partitions();
+    assert!(parts <= MAX_CACHE_PARTITIONS, "partition count {parts} exceeds the cache key space");
+    let k = patterns.k();
+    let rows = activations.rows();
+    let cols = activations.cols();
+    let words_per_row = if rows == 0 { 0 } else { activations.row_words(0).len() };
+    if memo.rows != rows || memo.cols != cols || memo.k != k {
+        memo.rows = rows;
+        memo.cols = cols;
+        memo.k = k;
+        memo.valid = false;
+        memo.words_per_row = words_per_row;
+        memo.words.clear();
+        memo.words.resize(rows * words_per_row, 0);
+        memo.tiles.clear();
+        memo.tiles.resize(rows * parts, 0);
+        memo.decisions.clear();
+        memo.decisions.resize(rows * parts, TileDecision { pattern: None, diff: 0 });
+        memo.changed.clear();
+        memo.changed.resize(rows, true);
+    }
+    // Only the final partition can be narrower than k (see
+    // `decompose_cached`).
+    let last_part = parts.wrapping_sub(1);
+    let last_width = if parts == 0 { 0 } else { k.min(cols - last_part * k) as u32 };
+    let snapshot = if cache.is_enabled() { Some(cache.snapshot()) } else { None };
+    let mut hits = 0u64;
+    let mut miss_probes = 0u64;
+    let mut resolved = TileMap::default();
+    let mut stats = DeltaStats { rows_total: rows as u64, ..DeltaStats::default() };
+    let nnz: usize = (0..rows).map(|r| activations.row_nnz(r)).sum();
+    let mut out = ChunkDecomposition {
+        l1: vec![NO_PATTERN; rows * parts],
+        l2: Vec::with_capacity(nnz),
+        l2_ends: Vec::with_capacity(rows),
+        l1_ones: 0,
+        l2_pos: 0,
+        l2_neg: 0,
+    };
+    let mut tiles = vec![0u64; parts];
+    // Output rows are written at `emitted * parts`, which tracks
+    // `r * parts` exactly when every row is emitted and compacts the
+    // changed rows together in the sparse sweep.
+    let mut emitted = 0usize;
+    let mut bit_nnz = 0u64;
+    for r in 0..rows {
+        let row_base = r * parts;
+        let words = activations.row_words(r);
+        if memo.valid && words == &memo.words[r * words_per_row..(r + 1) * words_per_row] {
+            // The whole row is bit-identical to the previous frame.
+            stats.rows_skipped += 1;
+            memo.changed[r] = false;
+            if emit_unchanged {
+                // Replay its tiles and decisions without unpacking
+                // anything.
+                let out_base = emitted * parts;
+                for part in 0..parts {
+                    let tile = memo.tiles[row_base + part];
+                    if tile == 0 {
+                        continue;
+                    }
+                    let decision = memo.decisions[row_base + part];
+                    emit_tile(&mut out, decision, tile, out_base + part, part, k);
+                }
+                out.l2_ends.push(out.l2.len() as u32);
+                emitted += 1;
+                bit_nnz += activations.row_nnz(r) as u64;
+            }
+            continue;
+        }
+        memo.changed[r] = true;
+        activations.row_partition_tiles_into(r, k, &mut tiles);
+        let out_base = emitted * parts;
+        for (part, &tile) in tiles.iter().enumerate() {
+            let slot = row_base + part;
+            if tile == 0 {
+                memo.tiles[slot] = 0;
+                continue;
+            }
+            let decision = if memo.valid && memo.tiles[slot] == tile {
+                stats.tiles_reused += 1;
+                memo.decisions[slot]
+            } else {
+                stats.tiles_rematched += 1;
+                let decision = match tile.count_ones() {
+                    // Trivial tiles are decided inline, off the cache —
+                    // the same split the full sweeps make.
+                    1 => single_bit_tile(patterns.set(part), tile),
+                    baseline => match &snapshot {
+                        Some(snap) => {
+                            let width = if part == last_part { last_width } else { k as u32 };
+                            let key = tile_key(part as u32, width, tile);
+                            match snap.get(&key) {
+                                Some(&decision) => {
+                                    hits += 1;
+                                    decision
+                                }
+                                None => {
+                                    miss_probes += 1;
+                                    *resolved.entry(key).or_insert_with(|| {
+                                        resolve_tile(
+                                            activations,
+                                            patterns,
+                                            index,
+                                            part,
+                                            tile,
+                                            baseline,
+                                        )
+                                    })
+                                }
+                            }
+                        }
+                        None => resolve_tile(activations, patterns, index, part, tile, baseline),
+                    },
+                };
+                memo.tiles[slot] = tile;
+                memo.decisions[slot] = decision;
+                decision
+            };
+            emit_tile(&mut out, decision, tile, out_base + part, part, k);
+        }
+        memo.words[r * words_per_row..(r + 1) * words_per_row].copy_from_slice(words);
+        out.l2_ends.push(out.l2.len() as u32);
+        emitted += 1;
+        bit_nnz += activations.row_nnz(r) as u64;
+    }
+    memo.valid = true;
+    drop(snapshot);
+    if cache.is_enabled() {
+        cache.commit(hits, miss_probes, resolved.into_iter().collect());
+    }
+    // Assembled directly rather than via `combine`, which sizes the
+    // result to the full activation row count: the sparse sweep's row
+    // count is whatever survived the skip check.
+    out.l1.truncate(emitted * parts);
+    let mut l2_offsets = Vec::with_capacity(emitted + 1);
+    l2_offsets.push(0u32);
+    l2_offsets.extend(out.l2_ends);
+    (
+        Decomposition {
+            rows: emitted,
+            cols,
+            patterns: patterns.clone(),
+            l1: out.l1,
+            l2: out.l2,
+            l2_offsets,
+            l1_ones: out.l1_ones,
+            l2_pos: out.l2_pos,
+            l2_neg: out.l2_neg,
+            bit_nnz,
+        },
+        stats,
+    )
+}
+
 /// Panics unless the pattern partitioning tiles the activation width.
 fn check_partitioning(activations: &SpikeMatrix, patterns: &LayerPatterns) {
     assert_eq!(
@@ -769,6 +1095,63 @@ impl Decomposition {
     /// Whether `L1 + L2` reconstructs `original` exactly.
     pub fn verify_lossless(&self, original: &SpikeMatrix) -> bool {
         self.reconstruct() == *original
+    }
+
+    /// Concatenates decompositions row-wise, as if their activation
+    /// matrices had been vstacked and decomposed in one sweep — rows are
+    /// independent under the matcher rule, so the result is bit-identical
+    /// to the fused decomposition. This is how the streaming executor
+    /// coalesces per-session incremental frames into one fused batch
+    /// without re-decomposing the stacked raw matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the decompositions disagree on
+    /// column count or pattern sets.
+    pub fn concat(parts: &[&Decomposition]) -> Decomposition {
+        let first = *parts.first().expect("cannot concatenate zero decompositions");
+        if parts.len() == 1 {
+            return first.clone();
+        }
+        for d in &parts[1..] {
+            assert_eq!(d.cols, first.cols, "concatenated decompositions must share column count");
+            assert!(
+                d.patterns == first.patterns,
+                "concatenated decompositions must share pattern sets"
+            );
+        }
+        let rows = parts.iter().map(|d| d.rows).sum();
+        let np = first.num_partitions();
+        let mut l1 = Vec::with_capacity(rows * np);
+        let mut l2: Vec<L2Entry> = Vec::with_capacity(parts.iter().map(|d| d.l2.len()).sum());
+        let mut l2_offsets = Vec::with_capacity(rows + 1);
+        l2_offsets.push(0u32);
+        let mut l1_ones = 0u64;
+        let mut l2_pos = 0u64;
+        let mut l2_neg = 0u64;
+        let mut bit_nnz = 0u64;
+        for d in parts {
+            let base = l2.len() as u32;
+            l1.extend_from_slice(&d.l1);
+            l2.extend_from_slice(&d.l2);
+            l2_offsets.extend(d.l2_offsets[1..].iter().map(|&e| base + e));
+            l1_ones += d.l1_ones;
+            l2_pos += d.l2_pos;
+            l2_neg += d.l2_neg;
+            bit_nnz += d.bit_nnz;
+        }
+        Decomposition {
+            rows,
+            cols: first.cols,
+            patterns: first.patterns.clone(),
+            l1,
+            l2,
+            l2_offsets,
+            l1_ones,
+            l2_pos,
+            l2_neg,
+            bit_nnz,
+        }
     }
 }
 

@@ -65,8 +65,9 @@ pub mod wire;
 pub use bitslice::{BitSlicedMatrix, BitSlicedPhi};
 pub use calibrate::{CalibrationConfig, CalibrationEngine, Calibrator, LayerPatterns};
 pub use decompose::{
-    decompose, decompose_cached, decompose_indexed, Decomposition, L2Entry, LayerMatchIndex,
-    MatchIndex, TileAssignment, TileCache, TileCacheStats, TileDecision, MAX_CACHE_PARTITIONS,
+    decompose, decompose_cached, decompose_delta, decompose_delta_sparse, decompose_indexed,
+    Decomposition, DeltaStats, FrameMemo, L2Entry, LayerMatchIndex, MatchIndex, TileAssignment,
+    TileCache, TileCacheStats, TileDecision, MAX_CACHE_PARTITIONS,
 };
 pub use greedy::{greedy_frequent_patterns, greedy_pattern_set};
 pub use kmeans::{

@@ -155,6 +155,20 @@ pub enum ServerError {
     /// The batch this request was coalesced into failed to execute. Every
     /// request of the batch observes the same error.
     Execution(RuntimeError),
+    /// A streamed frame named a session id the model does not hold (never
+    /// opened, already closed, or expired past its TTL and evicted).
+    UnknownSession {
+        /// The session id that failed to resolve.
+        session: u64,
+    },
+    /// Opening a new session would exceed the per-model session ceiling;
+    /// memory for session state (per-layer frame memos plus LIF membrane
+    /// banks) is bounded by refusing, not by silently evicting live
+    /// clients.
+    SessionLimit {
+        /// The configured maximum number of live sessions per model.
+        max: usize,
+    },
     /// The server is shutting down; queued requests are resolved with
     /// this error instead of silently vanishing.
     ShuttingDown,
@@ -172,6 +186,12 @@ impl fmt::Display for ServerError {
             }
             ServerError::Oversized { rows, max } => {
                 write!(f, "request carries {rows} rows per layer; server admits at most {max}")
+            }
+            ServerError::UnknownSession { session } => {
+                write!(f, "unknown session id {session} (never opened, closed, or expired)")
+            }
+            ServerError::SessionLimit { max } => {
+                write!(f, "session limit reached: model already holds {max} live sessions")
             }
             ServerError::Rejected(e) => write!(f, "request rejected at enqueue: {e}"),
             ServerError::Execution(e) => write!(f, "batch execution failed: {e}"),
@@ -217,5 +237,14 @@ mod tests {
         let e = ServerError::QueueFull { capacity: 8 };
         assert!(e.to_string().contains('8'));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn session_errors_carry_their_numbers() {
+        let e = ServerError::UnknownSession { session: 42 };
+        assert!(e.to_string().contains("42"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ServerError::SessionLimit { max: 16 };
+        assert!(e.to_string().contains("16"));
     }
 }

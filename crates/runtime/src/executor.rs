@@ -30,11 +30,15 @@
 
 use crate::artifact::{CompiledLayer, CompiledModel};
 use crate::error::{Result, RuntimeError};
+use crate::stream::StreamSession;
 use phi_accel::{
     CpuBackend, ExecutionBackend, LayerReport, LayerWork, MetricsMode, PhiConfig, ReadoutPlan,
     SimBackend,
 };
-use phi_core::{decompose_cached, Decomposition, ReuseStats, TileCache, TileCacheStats};
+use phi_core::{
+    decompose_cached, decompose_delta, decompose_delta_sparse, Decomposition, DeltaStats,
+    ReuseStats, TileCache, TileCacheStats,
+};
 use rayon::prelude::*;
 use snn_core::{Matrix, SpikeMatrix};
 use std::sync::{Arc, Mutex};
@@ -507,6 +511,267 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
             }
         }
         Ok(true)
+    }
+
+    /// Executes one streamed frame per session, with per-timestep
+    /// incremental decomposition against each session's persistent
+    /// [`phi_core::FrameMemo`]s.
+    ///
+    /// `frames[i]` is the next timestep of `sessions[i]`. Per layer, each
+    /// frame is diffed against its session's previous timestep
+    /// ([`decompose_delta`]): unchanged rows are skipped whole, unchanged
+    /// tiles replay their memoized decisions, and only changed tiles
+    /// re-match — then the per-frame decompositions are spliced
+    /// ([`Decomposition::concat`]) into one fused layer for the backend,
+    /// exactly as [`BatchExecutor::execute_with`] fuses raw rows. Both
+    /// steps are bit-identical to full decomposition, so every streamed
+    /// readout equals serving the same frame statelessly.
+    ///
+    /// After the batch, each session absorbs its frame: its LIF readout
+    /// bank advances one timestep (accumulating spike counts for the
+    /// rate-coded readout) and its delta counters grow.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute_with`], plus
+    /// [`RuntimeError::Shape`] when a frame's row count disagrees with the
+    /// one its session was fixed to by its first frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frames` and `sessions` disagree in length or a session
+    /// appears more than once in the batch (a session holds one "previous
+    /// timestep" — two frames of the same session must be served in
+    /// order, not fused side by side; the server's session router
+    /// guarantees this).
+    pub fn execute_stream_with(
+        &self,
+        frames: &[InferenceRequest],
+        sessions: &[&StreamSession],
+        metrics: MetricsMode,
+    ) -> Result<BatchReport> {
+        assert_eq!(frames.len(), sessions.len(), "one session per streamed frame");
+        for (i, a) in sessions.iter().enumerate() {
+            for b in &sessions[i + 1..] {
+                assert!(
+                    !std::ptr::eq(*a, *b),
+                    "a session may appear at most once per streamed batch"
+                );
+            }
+        }
+        if metrics == MetricsMode::FullSim && !self.backend.models_hardware() {
+            return Err(RuntimeError::MetricsUnavailable { backend: self.backend.name() });
+        }
+        let first = frames.first().ok_or(RuntimeError::EmptyBatch)?;
+        let rows = first.rows()?;
+        for frame in frames {
+            frame.validate(&self.model, rows)?;
+        }
+        for session in sessions {
+            session.fix_rows(rows)?;
+        }
+
+        let layers = self.model.layers();
+        let last = layers.len() - 1;
+        // The same observable-product pruning as the stateless path.
+        let indexed: Vec<(usize, &CompiledLayer)> = layers
+            .iter()
+            .enumerate()
+            .filter(|&(l, layer)| {
+                metrics == MetricsMode::FullSim
+                    || (l == last && layer.pwp.is_some() && layer.weights.is_some())
+            })
+            .collect();
+        let outcomes: Vec<(LayerOutcome, Vec<DeltaStats>)> = indexed
+            .into_par_iter()
+            .map(|(l, layer)| {
+                self.run_layer_stream(l, l == last, layer, frames, sessions, rows, metrics)
+            })
+            .collect();
+
+        let mut requests: Vec<RequestResult> = (0..frames.len())
+            .map(|_| RequestResult { readout: None, cycles: 0.0, energy_j: 0.0 })
+            .collect();
+        let mut deltas = vec![DeltaStats::default(); frames.len()];
+        let mut layer_reports = Vec::with_capacity(outcomes.len());
+        for (outcome, frame_deltas) in outcomes {
+            for (total, delta) in deltas.iter_mut().zip(&frame_deltas) {
+                total.merge(delta);
+            }
+            if let (Some(report), Some(shares)) = (outcome.report, outcome.shares) {
+                let total: f64 = shares.iter().sum();
+                let energy_j = report.energy.total_j();
+                for (b, share) in shares.iter().enumerate() {
+                    let frac = share / total;
+                    requests[b].cycles += report.cycles * frac;
+                    requests[b].energy_j += energy_j * frac;
+                }
+                layer_reports.push(report);
+            }
+            if let Some(readout) = outcome.readout {
+                for (b, request) in requests.iter_mut().enumerate() {
+                    request.readout = Some(readout.row_range(b * rows, (b + 1) * rows));
+                }
+            }
+        }
+        for ((session, result), delta) in sessions.iter().zip(&requests).zip(deltas) {
+            session.absorb(result.readout.as_ref(), delta);
+        }
+        Ok(BatchReport { metrics, layer_reports, requests })
+    }
+
+    /// [`BatchExecutor::execute_stream_with`] under the backend's default
+    /// metrics mode (full simulation for hardware-modeling backends,
+    /// outputs-only otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute_stream_with`].
+    pub fn execute_stream(
+        &self,
+        frames: &[InferenceRequest],
+        sessions: &[&StreamSession],
+    ) -> Result<BatchReport> {
+        self.execute_stream_with(frames, sessions, self.backend.default_metrics())
+    }
+
+    /// Streams one frame through one session: a batch of one via
+    /// [`BatchExecutor::execute_stream_with`], under the backend's default
+    /// metrics mode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute_stream_with`].
+    pub fn execute_stream_one(
+        &self,
+        frame: &InferenceRequest,
+        session: &StreamSession,
+    ) -> Result<RequestResult> {
+        let mut report = self.execute_stream_with(
+            std::slice::from_ref(frame),
+            &[session],
+            self.backend.default_metrics(),
+        )?;
+        Ok(report.requests.pop().expect("batch of one yields one result"))
+    }
+
+    /// Incrementally decomposes one layer of each streamed frame against
+    /// its session's memo, splices the per-frame decompositions into one
+    /// fused layer, and hands it to the backend.
+    #[allow(clippy::too_many_arguments)]
+    fn run_layer_stream(
+        &self,
+        l: usize,
+        is_readout: bool,
+        layer: &CompiledLayer,
+        frames: &[InferenceRequest],
+        sessions: &[&StreamSession],
+        rows: usize,
+        metrics: MetricsMode,
+    ) -> (LayerOutcome, Vec<DeltaStats>) {
+        let readout = match (&layer.pwp, &layer.weights) {
+            (Some(pwp), Some(weights)) if is_readout => Some(ReadoutPlan { pwp, weights }),
+            _ => None,
+        };
+        // Delta-sparse execution: in outputs-only mode a row the frame
+        // left bit-identical has a bit-identical decomposition row, and
+        // readout rows are a pure per-row function of the decomposition
+        // (the batch-invariance the equivalence suites pin down) — so the
+        // session's previous readout row IS this frame's. Sessions with a
+        // cached readout sweep sparsely (unchanged rows are never even
+        // emitted), the backend sees only the changed rows, and the rest
+        // replay — skipping their matmul as well as their decomposition.
+        // Full simulation keeps the full sweep: its cycle and energy
+        // attribution models the hardware executing every row.
+        let replay = metrics == MetricsMode::OutputsOnly && readout.is_some();
+        let prevs: Vec<Option<Matrix>> = if replay {
+            sessions.iter().map(|s| s.prev_readout()).collect()
+        } else {
+            vec![None; sessions.len()]
+        };
+        let mut decomps = Vec::with_capacity(frames.len());
+        let mut deltas = Vec::with_capacity(frames.len());
+        let mut changed: Vec<bool> = Vec::with_capacity(frames.len() * rows);
+        for ((frame, session), prev) in frames.iter().zip(sessions).zip(&prevs) {
+            let mut memo = session.memo(l).lock().expect("frame memo");
+            let sweep = if prev.is_some() { decompose_delta_sparse } else { decompose_delta };
+            let (decomp, stats) = sweep(
+                &frame.layers[l],
+                &layer.patterns,
+                &layer.match_index,
+                &self.caches[l],
+                &mut memo,
+            );
+            if prev.is_some() {
+                changed.extend_from_slice(memo.row_changed());
+            } else {
+                // No cached readout to replay from (first frame, or a
+                // readout-less run absorbed earlier): decompose and
+                // execute every row.
+                changed.resize(changed.len() + rows, true);
+            }
+            decomps.push(decomp);
+            deltas.push(stats);
+        }
+        let parts: Vec<&Decomposition> = decomps.iter().collect();
+        let decomp = Decomposition::concat(&parts);
+
+        if replay && changed.iter().any(|&c| !c) {
+            // `decomp` already holds exactly the changed rows, in batch
+            // order; execute them and scatter, filling the gaps from each
+            // session's previous readout.
+            let computed = if decomp.rows() == 0 {
+                None
+            } else {
+                let work = LayerWork {
+                    decomp: &decomp,
+                    shape: layer.shape,
+                    row_scale: layer.total_rows() as f64 / rows as f64,
+                    name: &layer.name,
+                    readout,
+                };
+                let output = self.backend.run_layer(&work, metrics);
+                if let Some(stats) = output.reuse {
+                    self.reuse.lock().expect("reuse stats").merge(&stats);
+                }
+                output.readout
+            };
+            let n = layer.shape.n;
+            let mut data = vec![0f32; frames.len() * rows * n];
+            let mut next = 0usize;
+            for (b, prev) in prevs.iter().enumerate() {
+                for r in 0..rows {
+                    let slot = b * rows + r;
+                    let dst = &mut data[slot * n..(slot + 1) * n];
+                    if changed[slot] {
+                        let src = computed.as_ref().expect("changed rows were executed");
+                        dst.copy_from_slice(&src.as_slice()[next * n..(next + 1) * n]);
+                        next += 1;
+                    } else {
+                        let src = prev.as_ref().expect("unchanged row has a cached readout");
+                        dst.copy_from_slice(&src.as_slice()[r * n..(r + 1) * n]);
+                    }
+                }
+            }
+            let full = Matrix::from_vec(frames.len() * rows, n, data)
+                .expect("scattered readout matches the batch shape");
+            return (LayerOutcome { report: None, shares: None, readout: Some(full) }, deltas);
+        }
+
+        let work = LayerWork {
+            decomp: &decomp,
+            shape: layer.shape,
+            row_scale: layer.total_rows() as f64 / rows as f64,
+            name: &layer.name,
+            readout,
+        };
+        let output = self.backend.run_layer(&work, metrics);
+        if let Some(stats) = output.reuse {
+            self.reuse.lock().expect("reuse stats").merge(&stats);
+        }
+        let shares =
+            output.report.is_some().then(|| attribution_shares(&decomp, frames.len(), rows));
+        (LayerOutcome { report: output.report, shares, readout: output.readout }, deltas)
     }
 
     /// Fuses and decomposes one layer of the batch, hands it to the

@@ -44,6 +44,16 @@
 //! admission control sheds or rejects bad traffic with typed
 //! [`ServerError`]s before it can reach a batch.
 //!
+//! Temporal workloads stream through the same machinery: a
+//! [`StreamSession`] holds per-client LIF membrane state and a per-layer
+//! frame memo between requests, so consecutive timesteps decompose
+//! *incrementally* (bit-identical to full decomposition, cheaper by the
+//! unchanged fraction) and the window's rate-coded readout accumulates
+//! server-side. Sessions are driven directly via
+//! [`BatchExecutor::execute_stream_with`] or through
+//! [`PhiServer::submit_stream`], which keeps each session's frames in
+//! timestep order while coalescing across sessions into fused batches.
+//!
 //! # Example: compile → serialize → load → serve
 //!
 //! ```
@@ -98,6 +108,7 @@ pub mod compile;
 pub mod error;
 pub mod executor;
 pub mod server;
+pub mod stream;
 
 pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC, OLDEST_SUPPORTED_VERSION};
 pub use compile::{CompileOptions, ModelCompiler, WeightsMode};
@@ -108,8 +119,9 @@ pub use executor::{
 };
 pub use server::{
     available_cores, IntakeMode, ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle,
-    ServedResponse, ServerConfig, ServerResult, TileCacheMode,
+    ServedResponse, ServerConfig, ServerResult, SessionReadout, TileCacheMode,
 };
+pub use stream::StreamSession;
 // The backend vocabulary serving code needs — including everything
 // required to implement a custom `ExecutionBackend` — re-exported so
 // callers can stay on `phi_runtime` alone.
@@ -120,7 +132,7 @@ pub use phi_accel::{
 // The decomposition-accelerator vocabulary of the online hot path (the
 // artifact's per-layer match indexes and the executor's tile caches),
 // likewise re-exported.
-pub use phi_core::{LayerMatchIndex, MatchIndex, TileCache, TileCacheStats};
+pub use phi_core::{DeltaStats, FrameMemo, LayerMatchIndex, MatchIndex, TileCache, TileCacheStats};
 // The product-sparsity vocabulary (`PHI_REUSE` knob and its counters):
 // executors surface [`ReuseStats`] and servers embed them in
 // [`ModelStatsSnapshot`], so the knob and types ride along.

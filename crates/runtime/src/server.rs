@@ -78,6 +78,18 @@
 //!   keys to `Arc`'d [`CompiledModel`] artifacts; registering a model is
 //!   zero-copy, and per-model [`ModelStatsSnapshot`] counters (served /
 //!   shed / rejected, p50/p99 queue-wait and exec latency) come for free.
+//! * **Temporal streams ride the same batcher.** A client serving an SNN
+//!   over consecutive timesteps opens a [`StreamSession`]
+//!   ([`PhiServer::open_session`]) and submits frames through
+//!   [`PhiServer::submit_stream`]: the server keeps each session's frames
+//!   in timestep order (at most one in flight; later frames park on the
+//!   session until the earlier one resolves) while coalescing frames of
+//!   *different* sessions into fused batches, executed through
+//!   [`BatchExecutor::execute_stream_with`] with per-timestep incremental
+//!   decomposition and persistent LIF readout state. Streamed readouts
+//!   stay bit-identical to stateless serving; sessions are bounded
+//!   ([`ServerConfig::max_sessions`]) and expire after
+//!   [`ServerConfig::session_ttl`] of inactivity.
 //! * **No async runtime.** The workspace vendors its dependencies, so the
 //!   collector and workers are `std::thread`s coordinated with mutexes,
 //!   atomics, and `mpsc` channels; [`ResponseHandle`] is the blocking
@@ -115,8 +127,9 @@
 use crate::artifact::CompiledModel;
 use crate::error::ServerError;
 use crate::executor::{BatchExecutor, InferenceRequest};
+use crate::stream::StreamSession;
 use phi_accel::{BackendKind, ExecutionBackend};
-use phi_core::{ReuseStats, TileCacheStats};
+use phi_core::{DeltaStats, ReuseStats, TileCacheStats};
 use snn_core::Matrix;
 use std::collections::{HashMap, VecDeque};
 use std::num::NonZeroUsize;
@@ -260,6 +273,17 @@ pub struct ServerConfig {
     /// How tile caches are wired across workers (default
     /// [`TileCacheMode::Shared`]).
     pub cache_mode: TileCacheMode,
+    /// Most live streaming sessions one hosted model may hold; opening
+    /// beyond it is refused with [`ServerError::SessionLimit`] — session
+    /// state (per-layer frame memos plus LIF membrane banks) is memory
+    /// the server retains between requests, so the bound is enforced by
+    /// refusing, never by silently evicting a live client (default 256).
+    pub max_sessions: usize,
+    /// How long a session with no traffic (no parked or in-flight frame,
+    /// no new [`PhiServer::submit_stream`]) survives before it is
+    /// eligible for eviction; expired sessions are swept lazily when new
+    /// sessions open (default 60 s).
+    pub session_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -275,6 +299,8 @@ impl Default for ServerConfig {
             intake: IntakeMode::default(),
             intake_shards: 0,
             cache_mode: TileCacheMode::default(),
+            max_sessions: 256,
+            session_ttl: Duration::from_secs(60),
         }
     }
 }
@@ -345,6 +371,18 @@ impl ServerConfig {
     /// Overrides the tile-cache wiring mode.
     pub fn with_cache_mode(mut self, cache_mode: TileCacheMode) -> Self {
         self.cache_mode = cache_mode;
+        self
+    }
+
+    /// Overrides the per-model live-session ceiling.
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Overrides the idle-session time-to-live.
+    pub fn with_session_ttl(mut self, session_ttl: Duration) -> Self {
+        self.session_ttl = session_ttl;
         self
     }
 
@@ -517,6 +555,16 @@ pub struct ModelStatsSnapshot {
     /// reuse pass is disabled via `PHI_REUSE=off` or the backend never
     /// took the planned readout path).
     pub reuse: ReuseStats,
+    /// Live streaming sessions this model currently holds (open, not yet
+    /// closed or expired).
+    pub sessions_open: usize,
+    /// Streamed frames served to completion across every session
+    /// (a subset of `served` — streamed frames also count there).
+    pub stream_frames: u64,
+    /// Aggregate incremental-decomposition counters over every streamed
+    /// frame served: how many rows were skipped whole and tiles replayed
+    /// versus re-matched, summed across sessions and layers.
+    pub stream_delta: DeltaStats,
 }
 
 /// How many latency samples each per-model series retains (a ring; the
@@ -562,6 +610,8 @@ struct ModelStats {
     batches: AtomicU64,
     queue_wait_us: Mutex<SampleRing>,
     exec_us: Mutex<SampleRing>,
+    stream_frames: AtomicU64,
+    stream_delta: Mutex<DeltaStats>,
 }
 
 impl ModelStats {
@@ -595,6 +645,7 @@ impl ModelStats {
         tile_cache: TileCacheStats,
         tile_cache_shards: Vec<TileCacheStats>,
         reuse: ReuseStats,
+        sessions_open: usize,
     ) -> ModelStatsSnapshot {
         // `served` before `batches` — see `record_batch`.
         let served = self.served.load(Ordering::Acquire);
@@ -615,6 +666,9 @@ impl ModelStats {
             tile_cache,
             tile_cache_shards,
             reuse,
+            sessions_open,
+            stream_frames: self.stream_frames.load(Ordering::Relaxed),
+            stream_delta: *self.stream_delta.lock().expect("stats lock"),
         }
     }
 }
@@ -635,6 +689,13 @@ struct ModelEntry {
     /// without touching the intake locks. Counters are registered once
     /// per distinct row count and then only touched atomically.
     group_counts: RwLock<HashMap<usize, Arc<AtomicUsize>>>,
+    /// Live streaming sessions, by id. Bounded by
+    /// [`ServerConfig::max_sessions`]; idle sessions past
+    /// [`ServerConfig::session_ttl`] are swept when new ones open.
+    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    /// Monotonic session-id source (ids are never reused, so a closed or
+    /// expired session's id can never alias a new client).
+    session_seq: AtomicU64,
 }
 
 impl ModelEntry {
@@ -651,6 +712,49 @@ impl ModelEntry {
     }
 }
 
+/// One live streaming session as the server tracks it: the executor-side
+/// state plus the ordering queue that keeps the session's frames in
+/// timestep order.
+struct SessionEntry {
+    /// The executor-side session state (frame memos + LIF readout bank).
+    state: StreamSession,
+    queue: Mutex<SessionQueue>,
+}
+
+/// The ordering queue of one session. Invariant: at most one of the
+/// session's frames is ever past this queue (in an intake shard, a
+/// collector buffer, or an executing batch) — `in_flight` guards the
+/// slot, later frames park here in arrival order, and the worker that
+/// resolves the in-flight frame promotes the next parked one. That is
+/// both what serializes the session's timesteps and what lets frames of
+/// *different* sessions coalesce freely.
+struct SessionQueue {
+    parked: VecDeque<Pending>,
+    in_flight: bool,
+    /// Last client activity ([`PhiServer::submit_stream`]), for TTL
+    /// eviction.
+    last_active: Instant,
+    /// Set by the shutdown sweep (under the lock) so a racing submitter
+    /// can never park a frame nobody will ever promote.
+    closed: bool,
+}
+
+/// Point-in-time view of one streaming session (returned by
+/// [`PhiServer::session_snapshot`] and, terminally, by
+/// [`PhiServer::close_session`]).
+#[derive(Debug, Clone)]
+pub struct SessionReadout {
+    /// The rate-coded readout of the window so far: per readout slot, LIF
+    /// spike count divided by timesteps served. `None` before the first
+    /// frame or when the model carries no readout weights.
+    pub rate: Option<Matrix>,
+    /// Timesteps (frames) served so far.
+    pub timesteps: u64,
+    /// Cumulative incremental-decomposition counters over the session's
+    /// served frames.
+    pub delta: DeltaStats,
+}
+
 /// One admitted, not-yet-dispatched request.
 struct Pending {
     entry: Arc<ModelEntry>,
@@ -658,6 +762,10 @@ struct Pending {
     rows: usize,
     enqueued: Instant,
     tx: mpsc::Sender<ServerResult<ServedResponse>>,
+    /// `Some` for a streamed frame: the session whose in-flight slot the
+    /// frame occupies (the resolving worker releases it). `None` for
+    /// plain stateless traffic.
+    session: Option<Arc<SessionEntry>>,
 }
 
 /// A [`Pending`] plus its global arrival stamp, as stored in an intake
@@ -707,15 +815,20 @@ struct Shared {
 }
 
 /// A coalescing group: one hosted model (by entry identity) at one
-/// per-layer row count — exactly the requests the executor may fuse.
-type GroupKey = (usize, usize);
+/// per-layer row count, split by plain-vs-streamed — exactly the
+/// requests the executor may fuse. Streamed frames go through
+/// [`BatchExecutor::execute_stream_with`] (per-session incremental
+/// decomposition) and plain requests through
+/// [`BatchExecutor::execute`], so the two can never share a batch even
+/// at the same row count.
+type GroupKey = (usize, usize, bool);
 
 /// The collector's private per-group buffers (drained from the shards,
 /// in arrival order).
 type Groups = HashMap<GroupKey, VecDeque<Pending>>;
 
 fn group_of(pending: &Pending) -> GroupKey {
-    (Arc::as_ptr(&pending.entry) as usize, pending.rows)
+    (Arc::as_ptr(&pending.entry) as usize, pending.rows, pending.session.is_some())
 }
 
 impl Shared {
@@ -764,6 +877,7 @@ impl PhiServer {
         assert!(config.queue_capacity > 0, "queue_capacity must be at least 1");
         assert!(config.max_request_rows > 0, "max_request_rows must be at least 1");
         assert!(config.workers > 0, "workers must be at least 1");
+        assert!(config.max_sessions > 0, "max_sessions must be at least 1");
 
         let entries: HashMap<String, Arc<ModelEntry>> = registry
             .models
@@ -779,6 +893,8 @@ impl PhiServer {
                     executors,
                     stats: ModelStats::default(),
                     group_counts: RwLock::new(HashMap::new()),
+                    sessions: Mutex::new(HashMap::new()),
+                    session_seq: AtomicU64::new(0),
                 };
                 (key, Arc::new(entry))
             })
@@ -804,9 +920,10 @@ impl PhiServer {
         let workers: Vec<JoinHandle<()>> = (0..config.workers)
             .map(|w| {
                 let rx = Arc::clone(&dispatch_rx);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("phi-server-worker-{w}"))
-                    .spawn(move || worker_loop(w, &rx))
+                    .spawn(move || worker_loop(w, &rx, &shared))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -906,35 +1023,245 @@ impl PhiServer {
         let matching = counter.fetch_add(1, Ordering::SeqCst) + 1;
 
         let (tx, rx) = mpsc::channel();
-        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
-        let pending =
-            Pending { entry: Arc::clone(entry), request, rows, enqueued: Instant::now(), tx };
-        {
-            let mut shard =
-                shared.shards[seq as usize % shared.shards.len()].lock().expect("intake shard");
-            if shard.closed {
-                // Shutdown closed this shard between the fast check above
-                // and our lock: roll back the reservation and refuse.
-                drop(shard);
-                counter.fetch_sub(1, Ordering::SeqCst);
-                shared.queued.fetch_sub(1, Ordering::SeqCst);
-                return Err(ServerError::ShuttingDown);
-            }
-            shard.items.push_back(Stamped { seq, pending });
-        }
-
-        // Wake the collector only when this arrival changes its decision:
-        // traffic after idle starts a batch, and a full group dispatches
-        // immediately. Intermediate arrivals just set `dirty`, which the
-        // collector reads at its next deadline — skipping their wakeups
-        // keeps the submit path (and the whole box, on small hosts) off
-        // the context-switch treadmill. Both sides `swap` the dirty flag,
-        // so the collector's drain is ordered after this push.
-        let first_after_idle = !shared.dirty.swap(true, Ordering::SeqCst);
-        if first_after_idle || matching >= shared.config.max_batch {
-            shared.wake_collector();
+        let pending = Pending {
+            entry: Arc::clone(entry),
+            request,
+            rows,
+            enqueued: Instant::now(),
+            tx,
+            session: None,
+        };
+        if let Err(_pending) = push_admitted(shared, pending, matching) {
+            // Shutdown closed the shard between the fast check above and
+            // the push: roll back the reservation and refuse.
+            counter.fetch_sub(1, Ordering::SeqCst);
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServerError::ShuttingDown);
         }
         Ok(ResponseHandle { rx })
+    }
+
+    /// Opens a streaming session on the model registered under `key` and
+    /// returns its id. The session starts cold — empty per-layer frame
+    /// memos, LIF readout bank at resting potential — and is shaped by
+    /// the first frame submitted to it.
+    ///
+    /// Expired sessions (idle past [`ServerConfig::session_ttl`] with no
+    /// parked or in-flight frame) are swept here, so an abandoned client
+    /// releases its slot the next time anyone opens one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`], [`ServerError::SessionLimit`] when
+    /// the model already holds [`ServerConfig::max_sessions`] live
+    /// sessions, or [`ServerError::ShuttingDown`].
+    pub fn open_session(&self, key: &str) -> ServerResult<u64> {
+        let entry = self.entries.get(key).ok_or_else(|| {
+            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            ServerError::UnknownModel { key: key.to_string() }
+        })?;
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::ShuttingDown);
+        }
+        let ttl = self.shared.config.session_ttl;
+        let now = Instant::now();
+        let mut sessions = entry.sessions.lock().expect("sessions");
+        sessions.retain(|_, session| {
+            let queue = session.queue.lock().expect("session queue");
+            queue.in_flight
+                || !queue.parked.is_empty()
+                || now.duration_since(queue.last_active) <= ttl
+        });
+        let max = self.shared.config.max_sessions;
+        if sessions.len() >= max {
+            return Err(ServerError::SessionLimit { max });
+        }
+        let id = entry.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let session = SessionEntry {
+            state: StreamSession::new(entry.model()),
+            queue: Mutex::new(SessionQueue {
+                parked: VecDeque::new(),
+                in_flight: false,
+                last_active: now,
+                closed: false,
+            }),
+        };
+        sessions.insert(id, Arc::new(session));
+        Ok(id)
+    }
+
+    /// Submits the next timestep frame of session `session_id`.
+    ///
+    /// Admission control is the same as [`PhiServer::submit`] (shape
+    /// validation, row ceiling, capacity reservation), plus the session
+    /// checks: the id must resolve, and the frame's row count must match
+    /// the one the session was locked to by its first admitted frame.
+    /// After admission the frame either enters the batcher directly or —
+    /// when the session already has a frame in flight — parks on the
+    /// session and is promoted (in arrival order) by the worker that
+    /// resolves the earlier frame. Frames of the *same* session therefore
+    /// execute strictly in submission order, one at a time, while frames
+    /// of different sessions coalesce into fused batches.
+    ///
+    /// The resolved [`ServedResponse::readout`] is the frame's own
+    /// per-timestep readout, bit-identical to stateless serving of the
+    /// same request; the session separately accumulates the rate-coded
+    /// window readout ([`PhiServer::session_snapshot`],
+    /// [`PhiServer::close_session`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PhiServer::submit`] returns, plus
+    /// [`ServerError::UnknownSession`] for an id that was never opened,
+    /// was closed, or expired.
+    pub fn submit_stream(
+        &self,
+        key: &str,
+        session_id: u64,
+        frame: InferenceRequest,
+    ) -> ServerResult<ResponseHandle> {
+        let shared = &self.shared;
+        let entry = self.entries.get(key).ok_or_else(|| {
+            shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            ServerError::UnknownModel { key: key.to_string() }
+        })?;
+        let session = entry
+            .sessions
+            .lock()
+            .expect("sessions")
+            .get(&session_id)
+            .map(Arc::clone)
+            .ok_or(ServerError::UnknownSession { session: session_id })?;
+        let rows = frame.validate_against(entry.model()).map_err(|e| {
+            entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            ServerError::Rejected(e)
+        })?;
+        let max = shared.config.max_request_rows;
+        if rows > max {
+            entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Oversized { rows, max });
+        }
+        // Lock the session to its first admitted frame's row count, and
+        // refuse mismatching frames here — synchronously, before the
+        // frame can ride in (and poison) a coalesced batch.
+        session.state.fix_rows(rows).map_err(|e| {
+            entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            ServerError::Rejected(e)
+        })?;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::ShuttingDown);
+        }
+
+        // Reserve admission capacity — parked frames hold a reservation
+        // too, so a slow session cannot buffer unbounded frames.
+        let capacity = shared.config.queue_capacity;
+        let mut queued = shared.queued.load(Ordering::SeqCst);
+        loop {
+            if queued >= capacity {
+                entry.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServerError::QueueFull { capacity });
+            }
+            match shared.queued.compare_exchange_weak(
+                queued,
+                queued + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(actual) => queued = actual,
+            }
+        }
+        let counter = entry.group_counter(rows);
+        let matching = counter.fetch_add(1, Ordering::SeqCst) + 1;
+
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            entry: Arc::clone(entry),
+            request: frame,
+            rows,
+            enqueued: Instant::now(),
+            tx,
+            session: Some(Arc::clone(&session)),
+        };
+
+        // Claim the session's in-flight slot or park behind it. The queue
+        // lock is held across the shard push so a concurrent release
+        // can never observe the slot claimed with the frame not yet
+        // visible anywhere.
+        let mut queue = session.queue.lock().expect("session queue");
+        queue.last_active = pending.enqueued;
+        if queue.closed {
+            drop(queue);
+            counter.fetch_sub(1, Ordering::SeqCst);
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServerError::ShuttingDown);
+        }
+        if queue.in_flight {
+            queue.parked.push_back(pending);
+            return Ok(ResponseHandle { rx });
+        }
+        queue.in_flight = true;
+        if let Err(_pending) = push_admitted(shared, pending, matching) {
+            queue.in_flight = false;
+            drop(queue);
+            counter.fetch_sub(1, Ordering::SeqCst);
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServerError::ShuttingDown);
+        }
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Point-in-time view of one streaming session: its rate-coded
+    /// readout so far, timesteps served, and delta counters. The session
+    /// stays open.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`] or [`ServerError::UnknownSession`].
+    pub fn session_snapshot(&self, key: &str, session_id: u64) -> ServerResult<SessionReadout> {
+        let entry = self.entries.get(key).ok_or_else(|| {
+            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            ServerError::UnknownModel { key: key.to_string() }
+        })?;
+        let session = entry
+            .sessions
+            .lock()
+            .expect("sessions")
+            .get(&session_id)
+            .map(Arc::clone)
+            .ok_or(ServerError::UnknownSession { session: session_id })?;
+        Ok(SessionReadout {
+            rate: session.state.rate_readout(),
+            timesteps: session.state.timesteps(),
+            delta: session.state.delta_stats(),
+        })
+    }
+
+    /// Closes a streaming session and returns its final readout snapshot.
+    /// The id stops resolving immediately; frames already admitted still
+    /// execute and resolve their handles (against state the snapshot no
+    /// longer reflects), so callers wanting a complete window readout
+    /// should wait on their outstanding handles first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`] or [`ServerError::UnknownSession`].
+    pub fn close_session(&self, key: &str, session_id: u64) -> ServerResult<SessionReadout> {
+        let entry = self.entries.get(key).ok_or_else(|| {
+            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            ServerError::UnknownModel { key: key.to_string() }
+        })?;
+        let session = entry
+            .sessions
+            .lock()
+            .expect("sessions")
+            .remove(&session_id)
+            .ok_or(ServerError::UnknownSession { session: session_id })?;
+        Ok(SessionReadout {
+            rate: session.state.rate_readout(),
+            timesteps: session.state.timesteps(),
+            delta: session.state.delta_stats(),
+        })
     }
 
     /// Counters for the model registered under `key`; `None` for an
@@ -944,7 +1271,13 @@ impl PhiServer {
             let shards: Vec<TileCacheStats> =
                 e.executors.iter().map(BatchExecutor::tile_cache_stats).collect();
             let reuse = ReuseStats::merged(e.executors.iter().map(BatchExecutor::reuse_stats));
-            e.stats.snapshot(TileCacheStats::merged(shards.iter().copied()), shards, reuse)
+            let sessions_open = e.sessions.lock().expect("sessions").len();
+            e.stats.snapshot(
+                TileCacheStats::merged(shards.iter().copied()),
+                shards,
+                reuse,
+                sessions_open,
+            )
         })
     }
 
@@ -976,6 +1309,27 @@ impl PhiServer {
         // shard; repeat it here in case the collector died early (a
         // panicked collector must not strand submitted requests).
         close_and_resolve_shards(&self.shared);
+        // Frames parked on sessions never reached a shard — close each
+        // session queue (so racing submitters can no longer park) and
+        // resolve the parked frames with the same typed error. In-flight
+        // streamed frames are already dispatched and resolve normally.
+        for entry in self.entries.values() {
+            let sessions = entry.sessions.lock().expect("sessions");
+            let mut resolved = 0usize;
+            for session in sessions.values() {
+                let mut queue = session.queue.lock().expect("session queue");
+                queue.closed = true;
+                for pending in queue.parked.drain(..) {
+                    pending.entry.group_counter(pending.rows).fetch_sub(1, Ordering::SeqCst);
+                    let _ = pending.tx.send(Err(ServerError::ShuttingDown));
+                    resolved += 1;
+                }
+            }
+            drop(sessions);
+            if resolved > 0 {
+                self.shared.queued.fetch_sub(resolved, Ordering::SeqCst);
+            }
+        }
         for worker in self.workers.lock().expect("worker handles").drain(..) {
             let _ = worker.join();
         }
@@ -1153,11 +1507,70 @@ fn resolve_all(shared: &Shared, groups: &mut Groups, error: &ServerError) {
     }
 }
 
+/// Pushes an admitted request into an intake shard and wakes the
+/// collector when the arrival changes its decision: traffic after idle
+/// starts a batch, and a full group dispatches immediately. Intermediate
+/// arrivals just set `dirty`, which the collector reads at its next
+/// deadline — skipping their wakeups keeps the submit path (and the
+/// whole box, on small hosts) off the context-switch treadmill. Both
+/// sides `swap` the dirty flag, so the collector's drain is ordered
+/// after this push.
+///
+/// On a closed shard (a shutdown race) the pending is handed back so the
+/// caller can unwind its reservations and resolve or refuse it.
+fn push_admitted(shared: &Shared, pending: Pending, matching: usize) -> Result<(), Pending> {
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut shard =
+            shared.shards[seq as usize % shared.shards.len()].lock().expect("intake shard");
+        if shard.closed {
+            return Err(pending);
+        }
+        shard.items.push_back(Stamped { seq, pending });
+    }
+    let first_after_idle = !shared.dirty.swap(true, Ordering::SeqCst);
+    if first_after_idle || matching >= shared.config.max_batch {
+        shared.wake_collector();
+    }
+    Ok(())
+}
+
+/// Releases a session's in-flight slot after its frame resolved: the
+/// next parked frame (if any) takes the slot over and enters the
+/// batcher; otherwise the slot frees. Called by the worker that served
+/// (or failed) the session's frame — this hand-off is what keeps a
+/// session's frames in strict timestep order.
+fn release_session(shared: &Shared, session: &Arc<SessionEntry>) {
+    let next = {
+        let mut queue = session.queue.lock().expect("session queue");
+        match queue.parked.pop_front() {
+            // The slot stays claimed: the promoted frame occupies it.
+            Some(pending) => Some(pending),
+            None => {
+                queue.in_flight = false;
+                None
+            }
+        }
+    };
+    if let Some(pending) = next {
+        let counter = pending.entry.group_counter(pending.rows);
+        let matching = counter.load(Ordering::SeqCst);
+        if let Err(pending) = push_admitted(shared, pending, matching) {
+            // Shutdown closed the shards; resolve the promoted frame the
+            // same way the shard drain would have.
+            counter.fetch_sub(1, Ordering::SeqCst);
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            let _ = pending.tx.send(Err(ServerError::ShuttingDown));
+            session.queue.lock().expect("session queue").in_flight = false;
+        }
+    }
+}
+
 /// A worker: pull a batch, execute it on this worker's cache shard of the
 /// model, resolve every rider with its share of the report plus
 /// wall-clock latency, and record stats. Exits when the collector hangs
 /// up the channel.
-fn worker_loop(worker: usize, rx: &Mutex<mpsc::Receiver<Batch>>) {
+fn worker_loop(worker: usize, rx: &Mutex<mpsc::Receiver<Batch>>, shared: &Shared) {
     loop {
         // Hold the receiver lock only while waiting; execution happens
         // after it is released so other workers can pick up batches.
@@ -1165,11 +1578,11 @@ fn worker_loop(worker: usize, rx: &Mutex<mpsc::Receiver<Batch>>) {
             Ok(batch) => batch,
             Err(_) => return,
         };
-        serve_batch(batch, worker);
+        serve_batch(batch, worker, shared);
     }
 }
 
-fn serve_batch(batch: Batch, worker: usize) {
+fn serve_batch(batch: Batch, worker: usize, shared: &Shared) {
     let Batch { entry, pending } = batch;
     // Under TileCacheMode::Shared there is one executor (index 0) whose
     // caches every worker shares; under PerWorker each worker owns the
@@ -1178,6 +1591,12 @@ fn serve_batch(batch: Batch, worker: usize) {
     let exec_start = Instant::now();
     let queue_waits: Vec<Duration> =
         pending.iter().map(|p| exec_start.duration_since(p.enqueued)).collect();
+    // The group key carries the stream discriminant, so a batch is
+    // homogeneous: all streamed frames or all plain requests.
+    if pending[0].session.is_some() {
+        serve_stream_batch(shared, &entry, executor, pending, exec_start, &queue_waits);
+        return;
+    }
     let (requests, resolvers): (Vec<InferenceRequest>, Vec<_>) =
         pending.into_iter().map(|p| (p.request, (p.tx, p.enqueued))).unzip();
 
@@ -1205,6 +1624,71 @@ fn serve_batch(batch: Batch, worker: usize) {
                 let _ = tx.send(Err(ServerError::Execution(e.clone())));
             }
         }
+    }
+}
+
+/// Executes one coalesced batch of streamed frames — one frame per
+/// distinct session — through the incremental streaming path, resolves
+/// every rider, records the stream counters, and releases each session's
+/// in-flight slot (promoting its next parked frame, if any).
+fn serve_stream_batch(
+    shared: &Shared,
+    entry: &Arc<ModelEntry>,
+    executor: &BatchExecutor<Box<dyn ExecutionBackend>>,
+    pending: Vec<Pending>,
+    exec_start: Instant,
+    queue_waits: &[Duration],
+) {
+    let mut frames = Vec::with_capacity(pending.len());
+    let mut resolvers = Vec::with_capacity(pending.len());
+    let mut sessions = Vec::with_capacity(pending.len());
+    for p in pending {
+        frames.push(p.request);
+        resolvers.push((p.tx, p.enqueued));
+        sessions.push(p.session.expect("stream batch carries sessions"));
+    }
+    let session_refs: Vec<&StreamSession> = sessions.iter().map(|s| &s.state).collect();
+    // Each session rides at most one frame per batch, so the per-batch
+    // delta is the difference of its cumulative counters around the call.
+    let before: Vec<DeltaStats> = sessions.iter().map(|s| s.state.delta_stats()).collect();
+
+    match executor.execute_stream(&frames, &session_refs) {
+        Ok(report) => {
+            let exec = exec_start.elapsed();
+            entry.stats.record_batch(queue_waits, exec);
+            entry.stats.stream_frames.fetch_add(frames.len() as u64, Ordering::Relaxed);
+            let mut batch_delta = DeltaStats::default();
+            for (session, prior) in sessions.iter().zip(&before) {
+                let after = session.state.delta_stats();
+                batch_delta.merge(&DeltaStats {
+                    rows_total: after.rows_total - prior.rows_total,
+                    rows_skipped: after.rows_skipped - prior.rows_skipped,
+                    tiles_reused: after.tiles_reused - prior.tiles_reused,
+                    tiles_rematched: after.tiles_rematched - prior.tiles_rematched,
+                });
+            }
+            entry.stats.stream_delta.lock().expect("stats lock").merge(&batch_delta);
+            let batch_size = frames.len();
+            for ((tx, enqueued), result) in resolvers.into_iter().zip(report.requests) {
+                let _ = tx.send(Ok(ServedResponse {
+                    readout: result.readout,
+                    cycles: result.cycles,
+                    energy_j: result.energy_j,
+                    queue_wait: exec_start.duration_since(enqueued),
+                    exec,
+                    batch_size,
+                }));
+            }
+        }
+        Err(e) => {
+            entry.stats.failed.fetch_add(frames.len() as u64, Ordering::Relaxed);
+            for (tx, _) in resolvers {
+                let _ = tx.send(Err(ServerError::Execution(e.clone())));
+            }
+        }
+    }
+    for session in &sessions {
+        release_session(shared, session);
     }
 }
 
@@ -1475,6 +1959,107 @@ mod tests {
         assert_eq!(rollup, stats.tile_cache);
         // Someone decomposed something, so at least one shard saw misses.
         assert!(stats.tile_cache.misses > 0);
+    }
+
+    #[test]
+    fn streaming_session_serves_frames_in_order_with_stateless_readouts() {
+        let w = tiny_workload();
+        let m = model(&w);
+        let mut registry = ModelRegistry::new();
+        registry.register("m", Arc::clone(&m));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(2));
+        let direct = BatchExecutor::cpu(Arc::clone(&m)).with_tile_cache_capacity(0);
+
+        let session = server.open_session("m").unwrap();
+        let frames = requests(&w, 5, 4, 71);
+        // Submit the whole stream before waiting: later frames park on
+        // the session while the first is in flight.
+        let handles: Vec<ResponseHandle> =
+            frames.iter().map(|f| server.submit_stream("m", session, f.clone()).unwrap()).collect();
+        for (frame, handle) in frames.iter().zip(handles) {
+            let response = handle.wait().unwrap();
+            // Each streamed frame's readout is bit-identical to stateless
+            // direct execution of the same request.
+            assert_eq!(response.readout, direct.execute_one(frame).unwrap().readout);
+        }
+
+        let snapshot = server.session_snapshot("m", session).unwrap();
+        assert_eq!(snapshot.timesteps, 5);
+        assert!(snapshot.rate.is_some());
+        // Outputs-only serving executes one layer (the readout) per
+        // frame, so the delta counters cover 5 frames × 4 rows.
+        assert_eq!(snapshot.delta.rows_total, 20);
+        let stats = server.stats("m").unwrap();
+        assert_eq!(stats.stream_frames, 5);
+        assert_eq!(stats.served, 5);
+        assert_eq!(stats.sessions_open, 1);
+        assert_eq!(stats.stream_delta, snapshot.delta);
+
+        let closed = server.close_session("m", session).unwrap();
+        assert_eq!(closed.timesteps, 5);
+        assert_eq!(server.stats("m").unwrap().sessions_open, 0);
+        assert!(matches!(
+            server.submit_stream("m", session, frames[0].clone()),
+            Err(ServerError::UnknownSession { session: s }) if s == session
+        ));
+    }
+
+    #[test]
+    fn session_limit_refuses_and_ttl_sweeps_idle_sessions() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let config = ServerConfig::default().with_workers(1).with_max_sessions(2);
+        let server = PhiServer::start(registry, config);
+        let a = server.open_session("m").unwrap();
+        let b = server.open_session("m").unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(server.open_session("m"), Err(ServerError::SessionLimit { max: 2 })));
+        assert!(matches!(server.open_session("nope"), Err(ServerError::UnknownModel { .. })));
+        // Dropping the TTL to zero makes both idle sessions expire: the
+        // next open sweeps them and succeeds.
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let ttl_server = PhiServer::start(
+            registry,
+            ServerConfig::default()
+                .with_workers(1)
+                .with_max_sessions(1)
+                .with_session_ttl(Duration::ZERO),
+        );
+        let old = ttl_server.open_session("m").unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        let fresh = ttl_server.open_session("m").unwrap();
+        assert_ne!(old, fresh);
+        assert!(matches!(
+            ttl_server.submit_stream("m", old, requests(&w, 1, 4, 1).remove(0)),
+            Err(ServerError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_frames_with_mismatched_rows_are_rejected_at_enqueue() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(1));
+        let session = server.open_session("m").unwrap();
+        server
+            .submit_stream("m", session, requests(&w, 1, 4, 3).remove(0))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // The session is locked to 4 rows by its first frame.
+        assert!(matches!(
+            server.submit_stream("m", session, requests(&w, 1, 5, 3).remove(0)),
+            Err(ServerError::Rejected(crate::error::RuntimeError::Shape {
+                op: "stream session rows",
+                expected: 4,
+                actual: 5,
+            }))
+        ));
+        // Matching frames still serve.
+        assert!(server.submit_stream("m", session, requests(&w, 1, 4, 9).remove(0)).is_ok());
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 mod common;
 
-use common::tiny_workload;
 use phi_runtime::{
-    BatchExecutor, CompileOptions, CompiledModel, InferenceRequest, ModelCompiler, ModelRegistry,
-    PhiServer, ServerConfig, TileCacheMode,
+    BatchExecutor, CompiledModel, InferenceRequest, ModelRegistry, PhiServer, ServerConfig,
+    TileCacheMode,
 };
 use proptest::prelude::*;
 use snn_core::Matrix;
@@ -23,11 +22,7 @@ use std::time::Duration;
 /// the per-case cost otherwise).
 fn fixture() -> &'static (snn_workloads::Workload, Arc<CompiledModel>) {
     static FIXTURE: OnceLock<(snn_workloads::Workload, Arc<CompiledModel>)> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
-        let workload = tiny_workload(3, 0xCACE);
-        let model = Arc::new(ModelCompiler::new(CompileOptions::fast()).compile(&workload));
-        (workload, model)
-    })
+    FIXTURE.get_or_init(|| common::compiled(0xCACE))
 }
 
 /// Serves `traffic` through a fresh server in the given cache

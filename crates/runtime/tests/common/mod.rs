@@ -1,14 +1,24 @@
 //! Shared fixture for the runtime integration tests: a small synthetic
 //! workload with clustered activations and a latent spec per layer —
 //! enough structure to exercise multi-partition patterns without
-//! model-zoo cost.
+//! model-zoo cost — plus the compile/server/traffic builders every
+//! suite used to duplicate.
+//!
+//! Each test binary compiles this module independently, so helpers a
+//! given suite doesn't call carry `#[allow(dead_code)]`.
 
+use phi_core::CalibrationConfig;
+use phi_runtime::{
+    CompileOptions, CompiledModel, InferenceRequest, ModelCompiler, ModelRegistry, PhiServer,
+    ServerConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_core::LayerSpec;
 use snn_workloads::{
     activation_profile, generate_clustered, DatasetId, LayerWorkload, ModelId, Workload,
 };
+use std::sync::Arc;
 
 /// Builds a `layers`-deep workload of varying width (deliberately ragged
 /// final partitions), deterministic in `seed`.
@@ -40,4 +50,38 @@ pub fn tiny_workload(layers: usize, seed: u64) -> Workload {
         profile,
         layers: layer_workloads,
     }
+}
+
+/// Compiles the 3-layer tiny workload at the fast (q = 16) budget — the
+/// fixture every serving suite starts from.
+#[allow(dead_code)]
+pub fn compiled(seed: u64) -> (Workload, Arc<CompiledModel>) {
+    compiled_q(3, seed, 16)
+}
+
+/// Compiles a `layers`-deep tiny workload at pattern budget `q`,
+/// deterministic in `seed`.
+#[allow(dead_code)]
+pub fn compiled_q(layers: usize, seed: u64, q: usize) -> (Workload, Arc<CompiledModel>) {
+    let workload = tiny_workload(layers, seed);
+    let options = CompileOptions {
+        calibration: CalibrationConfig { q, max_rows: 512, ..Default::default() },
+        ..Default::default()
+    };
+    let model = ModelCompiler::new(options).compile(&workload);
+    (workload, Arc::new(model))
+}
+
+/// Starts a server hosting `model` under the key `"model"`.
+#[allow(dead_code)]
+pub fn server_with(model: Arc<CompiledModel>, config: ServerConfig) -> PhiServer {
+    let mut registry = ModelRegistry::new();
+    registry.register("model", model);
+    PhiServer::start(registry, config)
+}
+
+/// Samples `count` well-formed requests of `rows` rows from `w`.
+#[allow(dead_code)]
+pub fn requests(w: &Workload, count: usize, rows: usize, seed: u64) -> Vec<InferenceRequest> {
+    w.sample_requests(count, rows, seed).into_iter().map(InferenceRequest::new).collect()
 }

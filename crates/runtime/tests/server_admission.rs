@@ -10,35 +10,11 @@
 
 mod common;
 
-use common::tiny_workload;
-use phi_runtime::{
-    BatchExecutor, CompileOptions, InferenceRequest, ModelCompiler, ModelRegistry, PhiServer,
-    RuntimeError, ServerConfig, ServerError,
-};
+use common::{compiled, requests, server_with};
+use phi_runtime::{BatchExecutor, InferenceRequest, RuntimeError, ServerConfig, ServerError};
 use snn_core::SpikeMatrix;
 use std::sync::Arc;
 use std::time::Duration;
-
-fn compiled(seed: u64) -> (snn_workloads::Workload, Arc<phi_runtime::CompiledModel>) {
-    let workload = tiny_workload(3, seed);
-    let model = ModelCompiler::new(CompileOptions::fast()).compile(&workload);
-    (workload, Arc::new(model))
-}
-
-fn server_with(model: Arc<phi_runtime::CompiledModel>, config: ServerConfig) -> PhiServer {
-    let mut registry = ModelRegistry::new();
-    registry.register("model", model);
-    PhiServer::start(registry, config)
-}
-
-fn requests(
-    w: &snn_workloads::Workload,
-    count: usize,
-    rows: usize,
-    seed: u64,
-) -> Vec<InferenceRequest> {
-    w.sample_requests(count, rows, seed).into_iter().map(InferenceRequest::new).collect()
-}
 
 #[test]
 fn unknown_model_key_is_rejected_at_enqueue() {

@@ -11,10 +11,10 @@
 
 mod common;
 
-use common::tiny_workload;
+use common::{compiled, requests};
 use phi_runtime::{
-    available_cores, BatchExecutor, CompileOptions, InferenceRequest, IntakeMode, ModelCompiler,
-    ModelRegistry, PhiServer, RuntimeError, ServerConfig, ServerError,
+    available_cores, BatchExecutor, IntakeMode, ModelRegistry, PhiServer, RuntimeError,
+    ServerConfig, ServerError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,21 +22,6 @@ use snn_core::SpikeMatrix;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-fn compiled(seed: u64) -> (snn_workloads::Workload, Arc<phi_runtime::CompiledModel>) {
-    let workload = tiny_workload(3, seed);
-    let model = ModelCompiler::new(CompileOptions::fast()).compile(&workload);
-    (workload, Arc::new(model))
-}
-
-fn requests(
-    w: &snn_workloads::Workload,
-    count: usize,
-    rows: usize,
-    seed: u64,
-) -> Vec<InferenceRequest> {
-    w.sample_requests(count, rows, seed).into_iter().map(InferenceRequest::new).collect()
-}
 
 /// The randomized stress body: two hosted models, 12 submitter threads,
 /// and per-thread seeded traffic that interleaves well-formed requests

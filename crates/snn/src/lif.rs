@@ -146,6 +146,35 @@ impl LifLayer {
         spikes
     }
 
+    /// Advances one timestep, incrementing each spiking neuron's slot in
+    /// `counts`; returns the number of neurons that spiked this step.
+    /// This is the rate-coded readout accumulator: spike counts over a
+    /// window divided by its timestep count approximate the encoded
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `counts` length differs from [`Self::width`].
+    pub fn step_count_into(&mut self, inputs: &[f32], counts: &mut [u32]) -> u32 {
+        assert_eq!(inputs.len(), self.v.len(), "input width mismatch");
+        assert_eq!(counts.len(), self.v.len(), "count buffer width mismatch");
+        let mut fired_total = 0;
+        for ((v, &input), count) in self.v.iter_mut().zip(inputs).zip(counts.iter_mut()) {
+            let u = self.config.leak * *v + input;
+            let fired = u >= self.config.v_threshold;
+            *v = match (fired, self.config.reset) {
+                (true, ResetMode::Subtract) => u - self.config.v_threshold,
+                (true, ResetMode::Zero) => 0.0,
+                (false, _) => u,
+            };
+            if fired {
+                *count += 1;
+                fired_total += 1;
+            }
+        }
+        fired_total
+    }
+
     /// Resets every neuron to resting potential.
     pub fn reset(&mut self) {
         self.v.fill(0.0);
@@ -226,6 +255,31 @@ mod tests {
     fn layer_rejects_wrong_width() {
         let mut layer = LifLayer::new(2, LifConfig::default());
         layer.step(&[1.0]);
+    }
+
+    #[test]
+    fn step_count_matches_step_into() {
+        let config = LifConfig { leak: 0.8, ..LifConfig::default() };
+        let mut counting = LifLayer::new(3, config);
+        let mut reference = LifLayer::new(3, config);
+        let mut counts = vec![0u32; 3];
+        let mut expected = vec![0u32; 3];
+        let mut spikes = vec![false; 3];
+        let inputs = [[0.5, 1.2, 0.0], [0.7, 0.1, 0.3], [0.2, 0.9, 0.9], [1.1, 0.0, 0.6]];
+        for step in &inputs {
+            let fired = counting.step_count_into(step, &mut counts);
+            reference.step_into(step, &mut spikes);
+            let step_total: u32 = spikes.iter().map(|&s| u32::from(s)).sum();
+            assert_eq!(fired, step_total);
+            for (e, &s) in expected.iter_mut().zip(&spikes) {
+                *e += u32::from(s);
+            }
+            assert_eq!(counts, expected);
+            for (a, b) in counting.potentials().iter().zip(reference.potentials()) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+        assert!(counts.iter().sum::<u32>() > 0);
     }
 
     #[test]
