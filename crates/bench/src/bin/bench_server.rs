@@ -74,10 +74,24 @@
 //! is asserted bit-identical to direct stateless execution — incremental
 //! decomposition changes cost, never bits.
 //!
+//! PR 10 adds a **drift** track exercising the live model lifecycle:
+//! serving traffic shifts to a drifted distribution
+//! ([`Workload::drifted`]) and throughput collapses (the calibrated
+//! patterns stop matching), the background recalibrator is nudged
+//! ([`PhiServer::request_recalibration`]), recompiles from a reservoir of
+//! served requests, shadow-executes the candidate on live traffic, and
+//! hot-swaps it in — after which throughput on the drifted traffic must
+//! recover to within `PHI_SERVER_MIN_DRIFT_RECOVERY` of the pre-drift
+//! baseline. A rival artifact with different weights is then proposed
+//! under a bit-identity tolerance and must roll back without shedding or
+//! disturbing a single live request. Setting `PHI_LIFECYCLE=off` skips
+//! the track (that run instead smoke-checks the static-registry path).
+//!
 //! Every server response readout — closed- and open-loop and streamed —
 //! is asserted bit-identical to a direct [`BatchExecutor`] call on the
 //! same request, on every run: the server adds queueing and coalescing,
-//! never arithmetic.
+//! never arithmetic. Across the drift track's hot swap each response is
+//! bit-identical to direct execution on the version that admitted it.
 //!
 //! Run with `cargo run --release -p phi_bench --bin bench_server`.
 //! Environment knobs:
@@ -93,6 +107,13 @@
 //!   cache-mode comparisons (default: the core count, floored at 2).
 //! * `PHI_SERVER_MIN_STREAM_SPEEDUP` — floor for the incremental-vs-full
 //!   streaming throughput ratio at δ = 0.1 (default 1.2; 0 disables).
+//! * `PHI_SERVER_MIN_DRIFT_RECOVERY` — floor for the post-recalibration
+//!   vs pre-drift throughput ratio on the drift track (default 0.9;
+//!   0 disables; skipped under smoke, where the track's correctness
+//!   asserts stay hard but wall-clock ratios are too noisy to gate).
+//! * `PHI_LIFECYCLE=off` — skip the drift track and run everything else
+//!   against the default static registry (the lifecycle-disabled path CI
+//!   smokes).
 //! * `PHI_SERVER_SMOKE=1` — CI smoke: a small traffic volume per client,
 //!   2 streaming sessions, and no `BENCH_server.json` rewrite (asserts
 //!   stay hard).
@@ -112,13 +133,15 @@
 //! [`TileCacheMode::PerWorker`]: phi_runtime::TileCacheMode::PerWorker
 //! [`ArrivalSchedule::poisson`]: phi_bench::openloop::ArrivalSchedule::poisson
 //! [`Workload::sample_client_requests`]: snn_workloads::Workload::sample_client_requests
+//! [`Workload::drifted`]: snn_workloads::Workload::drifted
+//! [`PhiServer::request_recalibration`]: phi_runtime::PhiServer::request_recalibration
 
 use phi_bench::openloop::{ArrivalSchedule, LatencySummary};
 use phi_bench::{bench_runs, env_f64, median, median_f64};
 use phi_runtime::{
     available_cores, BatchExecutor, CompileOptions, CompiledModel, CpuBackend, InferenceRequest,
-    IntakeMode, ModelCompiler, ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle,
-    ServerConfig, ServerError, TileCacheMode,
+    IntakeMode, LifecycleMode, ModelCompiler, ModelRegistry, ModelStatsSnapshot, PhiServer,
+    ResponseHandle, ServerConfig, ServerError, TileCacheMode, TolerancePolicy, PHI_LIFECYCLE_ENV,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -170,6 +193,19 @@ const STREAM_GATED_DELTA: f64 = 0.1;
 const MAX_WAIT: Duration = Duration::from_micros(200);
 /// The model key used for the registry.
 const MODEL_KEY: &str = "vgg16-cifar10";
+/// Concurrent clients of the drift track.
+const DRIFT_CLIENTS: usize = 8;
+/// Seed of the drifted serving distribution ([`Workload::drifted`]).
+const DRIFT_SEED: u64 = 0x0D41_F7ED;
+/// Canary comparisons required before the recalibrated candidate is
+/// promoted (every drift-track request shadow-executes: slice 1.0).
+const DRIFT_CANARY_TARGET: u64 = 16;
+/// Served-request reservoir the recalibrator recompiles from.
+const DRIFT_RESERVOIR: usize = 32;
+/// Lifecycle thread tick while the drift track waits on a decision.
+const DRIFT_INTERVAL: Duration = Duration::from_millis(5);
+/// Ceiling on waiting for an asynchronous lifecycle decision.
+const DRIFT_DEADLINE: Duration = Duration::from_secs(180);
 
 /// One client's pre-generated closed-loop traffic.
 type Traffic = Vec<InferenceRequest>;
@@ -239,22 +275,17 @@ fn base_config() -> ServerConfig {
     ServerConfig::default().with_max_wait(MAX_WAIT)
 }
 
-/// The serving front-end: every client submits to the shared server.
-fn run_server(
-    model: &Arc<CompiledModel>,
-    traffic: &[Traffic],
-    config: ServerConfig,
-) -> (Duration, Vec<Vec<Option<Matrix>>>, ModelStatsSnapshot) {
-    let clients = traffic.len();
-    let mut registry = ModelRegistry::new();
-    registry.register(MODEL_KEY, Arc::clone(model));
-    let server = PhiServer::start(registry, config);
+/// One closed-loop wave of the given traffic against an already-running
+/// server — the drift track drives a long-lived server through several
+/// of these across a hot swap, where `run_server`'s fresh-server-per-run
+/// shape would reset the very lifecycle state under measurement.
+fn serve_wave(server: &PhiServer, traffic: &[Traffic]) -> (Duration, Vec<Vec<Option<Matrix>>>) {
     // Each client's owned copy of its traffic, built before the timer:
     // `submit` consumes requests, and cloning spike matrices inside the
     // measured loop would charge request construction to the server.
     let owned: Vec<std::sync::Mutex<Option<Traffic>>> =
         traffic.iter().map(|t| std::sync::Mutex::new(Some(t.clone()))).collect();
-    let (elapsed, outputs) = closed_loop(clients, |c| {
+    closed_loop(traffic.len(), |c| {
         let requests = owned[c].lock().expect("traffic lock").take().expect("one run per copy");
         requests
             .into_iter()
@@ -263,7 +294,19 @@ fn run_server(
                 handle.wait().expect("served").readout
             })
             .collect()
-    });
+    })
+}
+
+/// The serving front-end: every client submits to the shared server.
+fn run_server(
+    model: &Arc<CompiledModel>,
+    traffic: &[Traffic],
+    config: ServerConfig,
+) -> (Duration, Vec<Vec<Option<Matrix>>>, ModelStatsSnapshot) {
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL_KEY, Arc::clone(model));
+    let server = PhiServer::start(registry, config);
+    let (elapsed, outputs) = serve_wave(&server, traffic);
     let stats = server.stats(MODEL_KEY).expect("registered model");
     (elapsed, outputs, stats)
 }
@@ -518,6 +561,188 @@ struct OpenLoopTrack {
 fn shards_json(shards: &[phi_core::TileCacheStats]) -> String {
     let entries: Vec<String> = shards.iter().map(|s| format!("{:.6}", s.hit_rate())).collect();
     format!("[{}]", entries.join(", "))
+}
+
+/// Per-client reference readouts for `traffic` on one executor.
+fn reference(direct: &BatchExecutor<CpuBackend>, traffic: &[Traffic]) -> Expected {
+    traffic
+        .iter()
+        .map(|frames| {
+            frames.iter().map(|r| direct.execute_one(r).expect("reference").readout).collect()
+        })
+        .collect()
+}
+
+/// What the drift track measured (see [`run_drift_track`]).
+struct DriftReport {
+    baseline_inf_s: f64,
+    drifted_inf_s: f64,
+    recovered_inf_s: f64,
+    promoted_version: u64,
+    recompiles: u64,
+    canary_compared: u64,
+    samples_seen: u64,
+    rolled_back_delta: u64,
+    rollback_shed_delta: u64,
+    version_after_rollback: u64,
+}
+
+/// The drift track: serving traffic shifts away from the distribution
+/// the artifact was calibrated on, throughput collapses (patterns stop
+/// matching, every mismatch decomposes the slow way), the lifecycle
+/// recalibrator recompiles from a reservoir of *served* requests,
+/// shadow-executes the candidate on live traffic, hot-swaps it in — and
+/// throughput on the drifted traffic recovers to within
+/// `PHI_SERVER_MIN_DRIFT_RECOVERY` of the pre-drift baseline. A second
+/// proposal with genuinely different weights is then injected under
+/// [`TolerancePolicy::BitIdentical`] and must roll back without
+/// disturbing (or shedding) a single live request.
+///
+/// Every readout in every phase is asserted bit-identical to direct
+/// execution on the version that served it; across the swap itself a
+/// response may come from the incumbent or the promoted artifact, but
+/// never from a blend of the two.
+fn run_drift_track(
+    workload: &Workload,
+    model: &Arc<CompiledModel>,
+    direct: &BatchExecutor<CpuBackend>,
+    runs: usize,
+    per_client: usize,
+) -> DriftReport {
+    let drift_cfg = base_config()
+        .with_max_batch(DRIFT_CLIENTS)
+        .with_lifecycle(LifecycleMode::Auto)
+        .with_canary_slice(1.0)
+        .with_canary_target(DRIFT_CANARY_TARGET)
+        .with_reservoir_capacity(DRIFT_RESERVOIR)
+        // Recalibration fires on the explicit nudge below, never on a
+        // served-request counter: the phases stay deterministic.
+        .with_recalibrate_after(u64::MAX)
+        .with_lifecycle_interval(DRIFT_INTERVAL);
+    let total = (DRIFT_CLIENTS * per_client) as f64;
+
+    // Phase 1 — baseline: the calibrated distribution, throwaway servers.
+    let traffic = client_traffic(workload, DRIFT_CLIENTS, per_client);
+    let expected = reference(direct, &traffic);
+    let (baseline_inf_s, _) = measure_server(model, &traffic, &expected, drift_cfg, runs);
+
+    // Phase 2 — collapse: the same artifact serving drifted traffic. The
+    // nudge never fires on these throwaway servers, so they pin the
+    // un-recalibrated rate (and its bit-identity to the incumbent).
+    let drifted_workload = workload.drifted(DRIFT_SEED);
+    let drift_traffic = client_traffic(&drifted_workload, DRIFT_CLIENTS, per_client);
+    let expected_v1 = reference(direct, &drift_traffic);
+    let (drifted_inf_s, _) = measure_server(model, &drift_traffic, &expected_v1, drift_cfg, runs);
+
+    // Phase 3 — recalibrate: one long-lived server sees only drifted
+    // traffic (its reservoir samples nothing stale), is nudged, and is
+    // driven until the recompiled candidate survives its canary window.
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL_KEY, Arc::clone(model));
+    let server = PhiServer::start(registry, drift_cfg);
+    let (_, warm) = serve_wave(&server, &drift_traffic);
+    assert!(warm == expected_v1, "pre-recalibration serving diverged from the incumbent");
+    server.request_recalibration(MODEL_KEY).expect("registered model");
+    let deadline = Instant::now() + DRIFT_DEADLINE;
+    let mut drive_waves: Vec<Vec<Vec<Option<Matrix>>>> = Vec::new();
+    loop {
+        let (_, outputs) = serve_wave(&server, &drift_traffic);
+        drive_waves.push(outputs);
+        let lc = server.lifecycle_stats(MODEL_KEY).expect("registered model");
+        assert_eq!(lc.compile_failures, 0, "recompiling from served samples must not fail");
+        if lc.promoted >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "recalibration never promoted (recompiles {}, canary comparisons {})",
+            lc.recompiles,
+            lc.canary_compared,
+        );
+    }
+    let promoted = server.model(MODEL_KEY).expect("registered model");
+    assert_ne!(
+        promoted.to_bytes(),
+        model.to_bytes(),
+        "promotion must have installed the recalibrated artifact"
+    );
+    // Responses that straddled the swap came from whichever version
+    // admitted them — each must be bit-identical to direct execution on
+    // that version, never a mixture.
+    let direct_v2 = BatchExecutor::cpu(Arc::clone(&promoted)).with_tile_cache_capacity(0);
+    let expected_v2 = reference(&direct_v2, &drift_traffic);
+    for wave in &drive_waves {
+        for (c, client) in wave.iter().enumerate() {
+            for (i, readout) in client.iter().enumerate() {
+                assert!(
+                    *readout == expected_v1[c][i] || *readout == expected_v2[c][i],
+                    "swap-window readout matches neither the incumbent nor the promoted artifact"
+                );
+            }
+        }
+    }
+
+    // Phase 4 — recovery: the promoted artifact serving the drifted
+    // traffic it was recalibrated for (one warm pass first — a freshly
+    // promoted artifact starts with cold tile caches).
+    let (_, warm) = serve_wave(&server, &drift_traffic);
+    assert!(warm == expected_v2, "post-promotion serving diverged from the promoted artifact");
+    let mut times = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let (elapsed, outputs) = serve_wave(&server, &drift_traffic);
+        assert!(outputs == expected_v2, "recovered serving diverged from the promoted artifact");
+        times.push(elapsed);
+    }
+    let recovered_inf_s = total / median(times).as_secs_f64();
+    let lc = server.lifecycle_stats(MODEL_KEY).expect("registered model");
+    let (promoted_version, recompiles, canary_compared, samples_seen) =
+        (lc.version, lc.recompiles, lc.canary_compared, lc.samples_seen);
+
+    // Phase 5 — injected failure: a rival with genuinely different
+    // weights can never survive a bit-identity canary. The incumbent
+    // must keep serving untouched and nothing may be shed.
+    let rival =
+        Arc::new(ModelCompiler::new(CompileOptions::default().with_seed(8)).compile(workload));
+    assert_ne!(rival.to_bytes(), promoted.to_bytes(), "the rival must genuinely diverge");
+    let stats_before = server.stats(MODEL_KEY).expect("registered model");
+    let lc_before = server.lifecycle_stats(MODEL_KEY).expect("registered model");
+    let proposed = server
+        .propose(MODEL_KEY, rival, TolerancePolicy::BitIdentical)
+        .expect("no canary in flight");
+    assert!(proposed > lc_before.version, "a proposal always takes a fresh version");
+    let deadline = Instant::now() + DRIFT_DEADLINE;
+    loop {
+        let (_, outputs) = serve_wave(&server, &drift_traffic);
+        assert!(outputs == expected_v2, "a rejected canary must never disturb live traffic");
+        let lc = server.lifecycle_stats(MODEL_KEY).expect("registered model");
+        if lc.rolled_back > lc_before.rolled_back {
+            break;
+        }
+        assert!(Instant::now() < deadline, "diverging canary never rolled back");
+    }
+    let lc_after = server.lifecycle_stats(MODEL_KEY).expect("registered model");
+    let stats_after = server.stats(MODEL_KEY).expect("registered model");
+    assert_eq!(lc_after.version, lc_before.version, "rollback must keep the incumbent version");
+    assert_eq!(lc_after.promoted, lc_before.promoted, "a rolled-back canary must not promote");
+    let rollback_shed_delta = stats_after.shed - stats_before.shed;
+    assert_eq!(
+        (rollback_shed_delta, stats_after.failed - stats_before.failed),
+        (0, 0),
+        "rollback must not shed or fail a single live request"
+    );
+
+    DriftReport {
+        baseline_inf_s,
+        drifted_inf_s,
+        recovered_inf_s,
+        promoted_version,
+        recompiles,
+        canary_compared,
+        samples_seen,
+        rolled_back_delta: lc_after.rolled_back - lc_before.rolled_back,
+        rollback_shed_delta,
+        version_after_rollback: lc_after.version,
+    }
 }
 
 fn main() {
@@ -788,6 +1013,34 @@ fn main() {
          {stream_speedup:.2}x"
     );
 
+    // ---- Drift: shift -> collapse -> recalibrate -> hot swap -> recover ----
+    let lifecycle_off =
+        std::env::var(PHI_LIFECYCLE_ENV).is_ok_and(|v| v.trim().eq_ignore_ascii_case("off"));
+    let drift = if lifecycle_off {
+        println!("  drift: skipped ({PHI_LIFECYCLE_ENV}=off pins the static-registry path)");
+        None
+    } else {
+        let d = run_drift_track(&workload, &model, &direct, runs, per_client);
+        println!(
+            "  drift: baseline {:>9.1} inf/s | drifted {:>9.1} inf/s ({:.2}x) | recovered \
+             {:>9.1} inf/s ({:.2}x of baseline; version {}, {} recompiles, {} canary \
+             comparisons)",
+            d.baseline_inf_s,
+            d.drifted_inf_s,
+            d.drifted_inf_s / d.baseline_inf_s,
+            d.recovered_inf_s,
+            d.recovered_inf_s / d.baseline_inf_s,
+            d.promoted_version,
+            d.recompiles,
+            d.canary_compared,
+        );
+        println!(
+            "  drift rollback: diverging canary rolled back (version {} kept, {} requests shed)",
+            d.version_after_rollback, d.rollback_shed_delta,
+        );
+        Some(d)
+    };
+
     // The canonical "per-request (batch-1) serving" rate is the 1-client
     // direct track: one request stream through `execute_one`, nothing
     // coalesced — exactly bench_serving's CPU batch-1 configuration. The
@@ -893,6 +1146,42 @@ fn main() {
             )
         })
         .collect();
+    let drift_floor = env_f64("PHI_SERVER_MIN_DRIFT_RECOVERY", 0.9);
+    let drift_json = match &drift {
+        Some(d) => format!(
+            r#"{{
+    "clients": {DRIFT_CLIENTS},
+    "requests_per_client": {per_client},
+    "drift_seed": {DRIFT_SEED},
+    "canary_target": {DRIFT_CANARY_TARGET},
+    "reservoir_capacity": {DRIFT_RESERVOIR},
+    "baseline_inf_per_s": {baseline:.3},
+    "drifted_inf_per_s": {drifted:.3},
+    "collapse_ratio": {collapse:.3},
+    "recovered_inf_per_s": {recovered:.3},
+    "recovery_ratio": {recovery:.3},
+    "min_recovery": {drift_floor},
+    "promoted_version": {version},
+    "recompiles": {recompiles},
+    "canary_compared": {compared},
+    "samples_seen": {samples},
+    "rollback": {{ "rolled_back": {rolled_back}, "shed": {shed}, "version_kept": {kept} }}
+  }}"#,
+            baseline = d.baseline_inf_s,
+            drifted = d.drifted_inf_s,
+            collapse = d.drifted_inf_s / d.baseline_inf_s,
+            recovered = d.recovered_inf_s,
+            recovery = d.recovered_inf_s / d.baseline_inf_s,
+            version = d.promoted_version,
+            recompiles = d.recompiles,
+            compared = d.canary_compared,
+            samples = d.samples_seen,
+            rolled_back = d.rolled_back_delta,
+            shed = d.rollback_shed_delta,
+            kept = d.version_after_rollback,
+        ),
+        None => "null".to_string(),
+    };
     let open_track_json: Vec<String> = open_tracks
         .iter()
         .map(|t| {
@@ -990,6 +1279,7 @@ fn main() {
 {stream_tracks_json}
     ]
   }},
+  "drift": {drift_json},
   "server_outputs_match_direct_executor": {all_match}
 }}
 "#,
@@ -1034,6 +1324,21 @@ fn main() {
              {worker_floor}x one worker ({single_inf_s:.1} inf/s) on a {cores}-core host, \
              got {worker_speedup:.2}x"
         );
+    }
+    if let Some(d) = &drift {
+        // The recovery floor holds on full runs; smoke volumes are too
+        // small for a stable wall-clock ratio (the bit-identity, swap,
+        // and rollback asserts inside the track stay hard either way).
+        if !smoke && drift_floor > 0.0 {
+            assert!(
+                d.recovered_inf_s >= drift_floor * d.baseline_inf_s,
+                "post-recalibration serving ({:.1} inf/s) must recover to at least \
+                 {drift_floor}x the pre-drift baseline ({:.1} inf/s), got {:.2}x",
+                d.recovered_inf_s,
+                d.baseline_inf_s,
+                d.recovered_inf_s / d.baseline_inf_s,
+            );
+        }
     }
     if stream_floor > 0.0 {
         assert!(

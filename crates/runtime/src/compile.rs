@@ -7,6 +7,8 @@
 //! calibration path.
 
 use crate::artifact::{CompiledLayer, CompiledModel};
+use crate::error::{Result, RuntimeError};
+use crate::executor::InferenceRequest;
 use phi_core::{CalibrationConfig, Calibrator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,6 +139,88 @@ impl ModelCompiler {
             layers,
         )
     }
+
+    /// Recalibrates an incumbent artifact's pattern sets from served
+    /// traffic — the model-lifecycle entry point behind
+    /// [`LifecycleMode::Auto`](crate::LifecycleMode::Auto).
+    ///
+    /// Per layer, the samples' activations for that layer become the
+    /// calibration dumps (each sample weighted equally), calibrated with
+    /// this compiler's engine under the incumbent's `(k, q)` so the new
+    /// pattern sets drop into the same tile geometry. Everything else —
+    /// label, seed, shapes, timesteps, and crucially the *weights* — is
+    /// carried over from the incumbent, so a recalibration that lands on
+    /// identical patterns produces a byte-identical artifact (the basis of
+    /// the canary's bit-identity tolerance tier), and a drift-adapted one
+    /// changes only the pattern sets and their derived PWPs.
+    ///
+    /// Deterministic in `(incumbent, samples)`: the per-layer RNG streams
+    /// derive from the incumbent's seed exactly as in [`Self::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyBatch`] when `samples` is empty, and
+    /// a shape error when any sample's layer count or per-layer column
+    /// width disagrees with the incumbent. (Unlike serving, calibration
+    /// stacks dumps row-wise, so samples may be ragged across layers —
+    /// the original calibration split itself is.)
+    pub fn recompile_from_samples(
+        &self,
+        incumbent: &CompiledModel,
+        samples: &[InferenceRequest],
+    ) -> Result<CompiledModel> {
+        if samples.is_empty() {
+            return Err(RuntimeError::EmptyBatch);
+        }
+        for sample in samples {
+            if sample.layers.len() != incumbent.layers().len() {
+                return Err(RuntimeError::Shape {
+                    op: "sample layer count",
+                    expected: incumbent.layers().len(),
+                    actual: sample.layers.len(),
+                });
+            }
+            for (m, layer) in sample.layers.iter().zip(incumbent.layers()) {
+                if m.cols() != layer.shape.k {
+                    return Err(RuntimeError::Shape {
+                        op: "sample layer width",
+                        expected: layer.shape.k,
+                        actual: m.cols(),
+                    });
+                }
+                if m.rows() == 0 {
+                    return Err(RuntimeError::Shape { op: "sample rows", expected: 1, actual: 0 });
+                }
+            }
+        }
+        let calibration =
+            CalibrationConfig { k: incumbent.k(), q: incumbent.q(), ..self.options.calibration };
+        let calibrator = Calibrator::new(calibration);
+        let indexed: Vec<(usize, &CompiledLayer)> = incumbent.layers().iter().enumerate().collect();
+        let layers: Vec<CompiledLayer> = indexed
+            .into_par_iter()
+            .map(|(i, layer)| {
+                let dumps: Vec<snn_core::SpikeMatrix> =
+                    samples.iter().map(|s| s.layers[i].clone()).collect();
+                let mut rng = StdRng::seed_from_u64(incumbent.seed().wrapping_add(i as u64));
+                let patterns = calibrator.calibrate_many(&dumps, &mut rng);
+                CompiledLayer::new(
+                    layer.name.clone(),
+                    layer.shape,
+                    layer.timesteps,
+                    patterns,
+                    layer.weights.clone(),
+                )
+            })
+            .collect();
+        Ok(CompiledModel::new(
+            incumbent.label().to_string(),
+            incumbent.k(),
+            incumbent.q(),
+            incumbent.seed(),
+            layers,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +274,53 @@ mod tests {
             let indexed: usize = layer.match_index.indexes().iter().map(|i| i.len()).sum();
             assert_eq!(indexed, layer.patterns.total_patterns());
         }
+    }
+
+    #[test]
+    fn recompile_from_the_calibration_split_reproduces_the_artifact() {
+        // Feeding the original per-layer calibration dumps back through
+        // `recompile_from_samples` must reproduce the incumbent byte for
+        // byte: same dumps, same RNG streams, same weights carried over.
+        let w = tiny_workload();
+        let compiler = ModelCompiler::new(CompileOptions::fast());
+        let incumbent = compiler.compile(&w);
+        let sample =
+            InferenceRequest::new(w.layers.iter().map(|l| l.calibration.clone()).collect());
+        let recompiled = compiler.recompile_from_samples(&incumbent, &[sample]).unwrap();
+        assert_eq!(recompiled.to_bytes(), incumbent.to_bytes());
+    }
+
+    #[test]
+    fn recompile_adapts_patterns_to_shifted_samples_and_keeps_weights() {
+        let w = tiny_workload();
+        let compiler = ModelCompiler::new(CompileOptions::fast());
+        let incumbent = compiler.compile(&w);
+        let drifted = w.drifted(0xD81F);
+        let samples: Vec<InferenceRequest> =
+            drifted.sample_requests(4, 16, 99).into_iter().map(InferenceRequest::new).collect();
+        let recompiled = compiler.recompile_from_samples(&incumbent, &samples).unwrap();
+        assert_ne!(recompiled.to_bytes(), incumbent.to_bytes(), "patterns must adapt");
+        for (new, old) in recompiled.layers().iter().zip(incumbent.layers()) {
+            assert_eq!(new.weights, old.weights, "weights carry over unchanged");
+            assert_eq!((new.shape, new.timesteps), (old.shape, old.timesteps));
+        }
+        assert_eq!(recompiled.label(), incumbent.label());
+        // Deterministic in (incumbent, samples).
+        let again = compiler.recompile_from_samples(&incumbent, &samples).unwrap();
+        assert_eq!(again.to_bytes(), recompiled.to_bytes());
+    }
+
+    #[test]
+    fn recompile_refuses_empty_or_mismatched_samples() {
+        let w = tiny_workload();
+        let compiler = ModelCompiler::new(CompileOptions::fast());
+        let incumbent = compiler.compile(&w);
+        assert!(matches!(
+            compiler.recompile_from_samples(&incumbent, &[]),
+            Err(RuntimeError::EmptyBatch)
+        ));
+        let bad = InferenceRequest::new(vec![snn_core::SpikeMatrix::zeros(2, 64)]);
+        assert!(compiler.recompile_from_samples(&incumbent, &[bad]).is_err());
     }
 
     #[test]

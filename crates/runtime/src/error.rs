@@ -169,6 +169,20 @@ pub enum ServerError {
         /// The configured maximum number of live sessions per model.
         max: usize,
     },
+    /// The request waited in the admission queue past its own deadline
+    /// ([`InferenceRequest::with_deadline`](crate::InferenceRequest::with_deadline))
+    /// and was shed at dequeue, before wasting executor time on an answer
+    /// the caller would discard.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline: std::time::Duration,
+    },
+    /// A deploy or proposal targeted a model slot whose previous canary
+    /// is still undecided; at most one candidate is in flight per slot.
+    CanaryInProgress {
+        /// The model key whose canary is still pending.
+        key: String,
+    },
     /// The server is shutting down; queued requests are resolved with
     /// this error instead of silently vanishing.
     ShuttingDown,
@@ -192,6 +206,12 @@ impl fmt::Display for ServerError {
             }
             ServerError::SessionLimit { max } => {
                 write!(f, "session limit reached: model already holds {max} live sessions")
+            }
+            ServerError::DeadlineExceeded { deadline } => {
+                write!(f, "request shed: waited past its {deadline:?} deadline")
+            }
+            ServerError::CanaryInProgress { key } => {
+                write!(f, "model '{key}' already has a canary in flight; decide it first")
             }
             ServerError::Rejected(e) => write!(f, "request rejected at enqueue: {e}"),
             ServerError::Execution(e) => write!(f, "batch execution failed: {e}"),
@@ -246,5 +266,15 @@ mod tests {
         assert!(std::error::Error::source(&e).is_none());
         let e = ServerError::SessionLimit { max: 16 };
         assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn lifecycle_errors_display_their_context() {
+        let e = ServerError::DeadlineExceeded { deadline: std::time::Duration::from_millis(5) };
+        assert!(e.to_string().contains("5ms"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ServerError::CanaryInProgress { key: "vgg16".into() };
+        assert!(e.to_string().contains("vgg16"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

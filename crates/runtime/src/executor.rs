@@ -37,7 +37,7 @@ use phi_accel::{
 };
 use phi_core::{
     decompose_cached, decompose_delta, decompose_delta_sparse, Decomposition, DeltaStats,
-    ReuseStats, TileCache, TileCacheStats,
+    FrameMemo, ReuseStats, TileCache, TileCacheStats,
 };
 use rayon::prelude::*;
 use snn_core::{Matrix, SpikeMatrix};
@@ -71,13 +71,30 @@ pub fn default_tile_cache_capacity() -> usize {
 pub struct InferenceRequest {
     /// One spike matrix per model layer, in execution order.
     pub layers: Vec<SpikeMatrix>,
+    /// Longest the request may wait in a serving queue before the caller
+    /// would discard the answer anyway. A server sheds the request with
+    /// [`ServerError::DeadlineExceeded`](crate::ServerError::DeadlineExceeded)
+    /// when it comes up for dispatch past this age — *before* spending
+    /// executor time on it. `None` (the default) waits indefinitely.
+    /// Direct [`BatchExecutor`] calls ignore it: the caller that holds
+    /// the executor is the caller that would shed.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl InferenceRequest {
     /// Wraps per-layer spike matrices (e.g. one entry of
-    /// [`snn_workloads::Workload::sample_requests`]).
+    /// [`snn_workloads::Workload::sample_requests`]), with no deadline.
     pub fn new(layers: Vec<SpikeMatrix>) -> Self {
-        InferenceRequest { layers }
+        InferenceRequest { layers, deadline: None }
+    }
+
+    /// Attaches a queue-wait deadline: if the request is still queued when
+    /// it comes up for dispatch more than `deadline` after submission, it
+    /// is shed instead of executed.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The row count every layer carries (0 for an empty request).
@@ -368,7 +385,7 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
     /// [`MetricsMode::FullSim`], or on a backend without the CPU readout
     /// fast path. Shared across clones, like the tile caches.
     pub fn reuse_stats(&self) -> ReuseStats {
-        *self.reuse.lock().expect("reuse stats")
+        *crate::sync::lock(&self.reuse)
     }
 
     /// Executes a batch of requests under the backend's default metrics
@@ -693,7 +710,16 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
         let mut deltas = Vec::with_capacity(frames.len());
         let mut changed: Vec<bool> = Vec::with_capacity(frames.len() * rows);
         for ((frame, session), prev) in frames.iter().zip(sessions).zip(&prevs) {
-            let mut memo = session.memo(l).lock().expect("frame memo");
+            // A panic mid-update can leave a memo internally inconsistent
+            // (tiles from two different frames), so poison here is repaired
+            // rather than merely tolerated: reset to a cold memo, which is
+            // always sound — the next frame simply pays one full
+            // decomposition instead of an incremental one.
+            let mut memo = session.memo(l).lock().unwrap_or_else(|poisoned| {
+                let mut memo = poisoned.into_inner();
+                *memo = FrameMemo::new();
+                memo
+            });
             let sweep = if prev.is_some() { decompose_delta_sparse } else { decompose_delta };
             let (decomp, stats) = sweep(
                 &frame.layers[l],
@@ -732,7 +758,7 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
                 };
                 let output = self.backend.run_layer(&work, metrics);
                 if let Some(stats) = output.reuse {
-                    self.reuse.lock().expect("reuse stats").merge(&stats);
+                    crate::sync::lock(&self.reuse).merge(&stats);
                 }
                 output.readout
             };
@@ -767,7 +793,7 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
         };
         let output = self.backend.run_layer(&work, metrics);
         if let Some(stats) = output.reuse {
-            self.reuse.lock().expect("reuse stats").merge(&stats);
+            crate::sync::lock(&self.reuse).merge(&stats);
         }
         let shares =
             output.report.is_some().then(|| attribution_shares(&decomp, frames.len(), rows));
@@ -792,11 +818,11 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
         // through the artifact's match index and this executor's
         // persistent tile cache, then return the buffer for the next
         // batch.
-        let buffer = self.scratch.lock().expect("scratch pool").pop().unwrap_or_default();
+        let buffer = crate::sync::lock(&self.scratch).pop().unwrap_or_default();
         let stacked = SpikeMatrix::vstack_into(&mats, buffer).expect("widths validated");
         let decomp =
             decompose_cached(&stacked, &layer.patterns, &layer.match_index, &self.caches[l]);
-        self.scratch.lock().expect("scratch pool").push(stacked.into_bits());
+        crate::sync::lock(&self.scratch).push(stacked.into_bits());
         let readout = match (&layer.pwp, &layer.weights) {
             (Some(pwp), Some(weights)) if is_readout => Some(ReadoutPlan { pwp, weights }),
             _ => None,
@@ -810,7 +836,7 @@ impl<B: ExecutionBackend> BatchExecutor<B> {
         };
         let output = self.backend.run_layer(&work, metrics);
         if let Some(stats) = output.reuse {
-            self.reuse.lock().expect("reuse stats").merge(&stats);
+            crate::sync::lock(&self.reuse).merge(&stats);
         }
         let shares =
             output.report.is_some().then(|| attribution_shares(&decomp, batch.len(), rows));

@@ -44,6 +44,15 @@
 //! admission control sheds or rejects bad traffic with typed
 //! [`ServerError`]s before it can reach a batch.
 //!
+//! The registry is *live* ([`lifecycle`] module): each model key is a
+//! versioned slot whose active artifact can be hot-swapped atomically
+//! ([`PhiServer::deploy`]) — in-flight batches finish on the version they
+//! started on — and under [`LifecycleMode::Auto`] a background
+//! recalibrator samples served traffic, recompiles the patterns
+//! off-thread ([`ModelCompiler::recompile_from_samples`]), shadow-executes
+//! a canary slice of live traffic on the candidate, and promotes it or
+//! rolls back under a typed [`TolerancePolicy`].
+//!
 //! Temporal workloads stream through the same machinery: a
 //! [`StreamSession`] holds per-client LIF membrane state and a per-layer
 //! frame memo between requests, so consecutive timesteps decompose
@@ -107,8 +116,10 @@ pub mod artifact;
 pub mod compile;
 pub mod error;
 pub mod executor;
+pub mod lifecycle;
 pub mod server;
 pub mod stream;
+mod sync;
 
 pub use artifact::{CompiledLayer, CompiledModel, FORMAT_VERSION, MAGIC, OLDEST_SUPPORTED_VERSION};
 pub use compile::{CompileOptions, ModelCompiler, WeightsMode};
@@ -116,6 +127,11 @@ pub use error::{Result, RuntimeError, ServerError};
 pub use executor::{
     default_tile_cache_capacity, readouts_identical, BatchExecutor, BatchReport, InferenceRequest,
     RequestResult, DEFAULT_TILE_CACHE_CAPACITY, PHI_TILE_CACHE_ENV,
+};
+pub use lifecycle::{
+    default_canary_slice, lifecycle_mode, LifecycleEvent, LifecycleMode, LifecycleStatsSnapshot,
+    RollbackReason, TolerancePolicy, DEFAULT_DIVERGENCE_TOLERANCE, PHI_CANARY_SLICE_ENV,
+    PHI_LIFECYCLE_ENV,
 };
 pub use server::{
     available_cores, IntakeMode, ModelRegistry, ModelStatsSnapshot, PhiServer, ResponseHandle,

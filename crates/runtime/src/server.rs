@@ -125,17 +125,24 @@
 //! ```
 
 use crate::artifact::CompiledModel;
+use crate::compile::ModelCompiler;
 use crate::error::ServerError;
 use crate::executor::{BatchExecutor, InferenceRequest};
+use crate::lifecycle::{
+    default_canary_slice, lifecycle_mode, LifecycleEvent, LifecycleMode, LifecycleStatsSnapshot,
+    RollbackReason, SampleReservoir, TolerancePolicy, DEFAULT_DIVERGENCE_TOLERANCE,
+};
 use crate::stream::StreamSession;
+use crate::sync::{lock, read, write};
 use phi_accel::{BackendKind, ExecutionBackend};
 use phi_core::{DeltaStats, ReuseStats, TileCacheStats};
 use snn_core::Matrix;
 use std::collections::{HashMap, VecDeque};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -233,7 +240,7 @@ impl std::str::FromStr for TileCacheMode {
 /// full batch dispatches immediately, with `max_wait` only catching
 /// stragglers); open-loop traffic near saturation is dominated by
 /// `queue_capacity` (how much burst is absorbed before shedding).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
     /// Largest batch the collector will fuse (default 64).
     pub max_batch: usize,
@@ -284,6 +291,34 @@ pub struct ServerConfig {
     /// eligible for eviction; expired sessions are swept lazily when new
     /// sessions open (default 60 s).
     pub session_ttl: Duration,
+    /// Whether the automatic lifecycle machinery runs: under
+    /// [`LifecycleMode::Auto`] every hosted model samples served traffic
+    /// into a bounded reservoir and a background recalibrator thread
+    /// recompiles / canaries / swaps when enough new traffic accumulated.
+    /// Under [`LifecycleMode::Off`] (the default, overridable via the
+    /// `PHI_LIFECYCLE` environment knob) the serving stack is exactly the
+    /// pre-lifecycle one — no sampling, no extra thread — though manual
+    /// [`PhiServer::deploy`] / [`PhiServer::propose`] still work.
+    pub lifecycle: LifecycleMode,
+    /// Fraction of live batches shadow-executed on a pending canary
+    /// candidate, within `(0, 1]` (default: the `PHI_CANARY_SLICE`
+    /// environment knob, else `1.0`). Shadow execution happens on the
+    /// worker *after* the riders' responses are sent, so it costs batch
+    /// throughput while a canary is pending, never response latency.
+    pub canary_slice: f64,
+    /// Requests whose shadow readouts must compare clean before a
+    /// canary candidate is promoted (default 64).
+    pub canary_target: u64,
+    /// Capacity of the per-model served-request sampling reservoir under
+    /// [`LifecycleMode::Auto`]; `0` disables sampling (default 64).
+    pub reservoir_capacity: usize,
+    /// Served requests since the last proposal that trigger an automatic
+    /// recalibration (default 4096). [`PhiServer::request_recalibration`]
+    /// bypasses the threshold.
+    pub recalibrate_after: u64,
+    /// How often the background recalibrator wakes to check its
+    /// thresholds (default 100 ms).
+    pub lifecycle_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -301,6 +336,12 @@ impl Default for ServerConfig {
             cache_mode: TileCacheMode::default(),
             max_sessions: 256,
             session_ttl: Duration::from_secs(60),
+            lifecycle: lifecycle_mode(),
+            canary_slice: default_canary_slice(),
+            canary_target: 64,
+            reservoir_capacity: 64,
+            recalibrate_after: 4096,
+            lifecycle_interval: Duration::from_millis(100),
         }
     }
 }
@@ -383,6 +424,42 @@ impl ServerConfig {
     /// Overrides the idle-session time-to-live.
     pub fn with_session_ttl(mut self, session_ttl: Duration) -> Self {
         self.session_ttl = session_ttl;
+        self
+    }
+
+    /// Overrides the lifecycle mode.
+    pub fn with_lifecycle(mut self, lifecycle: LifecycleMode) -> Self {
+        self.lifecycle = lifecycle;
+        self
+    }
+
+    /// Overrides the canary shadow slice (must be within `(0, 1]`).
+    pub fn with_canary_slice(mut self, canary_slice: f64) -> Self {
+        self.canary_slice = canary_slice;
+        self
+    }
+
+    /// Overrides the canary comparison target.
+    pub fn with_canary_target(mut self, canary_target: u64) -> Self {
+        self.canary_target = canary_target;
+        self
+    }
+
+    /// Overrides the sampling-reservoir capacity (`0` disables sampling).
+    pub fn with_reservoir_capacity(mut self, reservoir_capacity: usize) -> Self {
+        self.reservoir_capacity = reservoir_capacity;
+        self
+    }
+
+    /// Overrides the served-traffic recalibration threshold.
+    pub fn with_recalibrate_after(mut self, recalibrate_after: u64) -> Self {
+        self.recalibrate_after = recalibrate_after;
+        self
+    }
+
+    /// Overrides the recalibrator wake interval.
+    pub fn with_lifecycle_interval(mut self, lifecycle_interval: Duration) -> Self {
+        self.lifecycle_interval = lifecycle_interval;
         self
     }
 
@@ -524,6 +601,9 @@ pub struct ModelStatsSnapshot {
     pub served: u64,
     /// Requests shed at admission because the queue was full.
     pub shed: u64,
+    /// Requests shed at dispatch because they waited in the queue past
+    /// their own [`InferenceRequest::with_deadline`] bound.
+    pub deadline_exceeded: u64,
     /// Requests refused at admission as malformed (ragged, mis-shaped,
     /// zero-row, oversized).
     pub rejected: u64,
@@ -605,6 +685,7 @@ impl SampleRing {
 struct ModelStats {
     served: AtomicU64,
     shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
@@ -628,12 +709,12 @@ impl ModelStats {
         // an older `batches`.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.served.fetch_add(batch, Ordering::Release);
-        let mut ring = self.queue_wait_us.lock().expect("stats lock");
+        let mut ring = lock(&self.queue_wait_us);
         for wait in queue_waits {
             ring.push(wait.as_secs_f64() * 1e6);
         }
         drop(ring);
-        let mut ring = self.exec_us.lock().expect("stats lock");
+        let mut ring = lock(&self.exec_us);
         // One exec sample per request, so percentiles weight by traffic.
         for _ in 0..batch {
             ring.push(exec.as_secs_f64() * 1e6);
@@ -650,11 +731,12 @@ impl ModelStats {
         // `served` before `batches` — see `record_batch`.
         let served = self.served.load(Ordering::Acquire);
         let batches = self.batches.load(Ordering::Relaxed);
-        let queue = self.queue_wait_us.lock().expect("stats lock");
-        let exec = self.exec_us.lock().expect("stats lock");
+        let queue = lock(&self.queue_wait_us);
+        let exec = lock(&self.exec_us);
         ModelStatsSnapshot {
             served,
             shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches,
@@ -668,47 +750,220 @@ impl ModelStats {
             reuse,
             sessions_open,
             stream_frames: self.stream_frames.load(Ordering::Relaxed),
-            stream_delta: *self.stream_delta.lock().expect("stats lock"),
+            stream_delta: *lock(&self.stream_delta),
         }
     }
 }
 
-/// One hosted model: its executor(s), counters, and per-group occupancy.
-/// Coalescing groups identify entries by `Arc` pointer, so no key is
-/// stored here.
+/// One *version* of a hosted model: the immutable artifact plus its
+/// executors and per-group occupancy. Coalescing groups identify entries
+/// by `Arc` pointer, so a batch is homogeneous in version by construction
+/// — an in-flight batch finishes on the entry it was admitted against
+/// even if the slot swaps mid-execution.
 struct ModelEntry {
+    /// Monotonic version tag within the slot (1 = the registration).
+    version: u64,
+    /// The compiled artifact this version serves.
+    model: Arc<CompiledModel>,
     /// One executor per cache shard: a single entry under
     /// [`TileCacheMode::Shared`] (all workers share its caches), one per
     /// worker under [`TileCacheMode::PerWorker`]. Every executor shares
     /// the same `Arc`'d artifact; only cache lineage (and backend
     /// instance) differ.
     executors: Vec<BatchExecutor<Box<dyn ExecutionBackend>>>,
-    stats: ModelStats,
+    /// The slot's counters, shared across every version (a swap must not
+    /// reset a model's served/shed history).
+    stats: Arc<ModelStats>,
     /// Admitted-but-undispatched occupancy per row-count group, so a
     /// submitter can tell in O(1) whether its arrival completed a batch
     /// without touching the intake locks. Counters are registered once
     /// per distinct row count and then only touched atomically.
     group_counts: RwLock<HashMap<usize, Arc<AtomicUsize>>>,
-    /// Live streaming sessions, by id. Bounded by
-    /// [`ServerConfig::max_sessions`]; idle sessions past
-    /// [`ServerConfig::session_ttl`] are swept when new ones open.
-    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
-    /// Monotonic session-id source (ids are never reused, so a closed or
-    /// expired session's id can never alias a new client).
-    session_seq: AtomicU64,
+    /// Back-reference to the owning slot (weak: the slot owns its entries
+    /// via `history`, so a strong pointer here would leak the pair).
+    /// Workers upgrade it to find the pending canary, if any.
+    slot: Weak<ModelSlot>,
 }
 
 impl ModelEntry {
     fn model(&self) -> &CompiledModel {
-        self.executors[0].model()
+        &self.model
     }
 
     /// The occupancy counter for `rows`, registering it on first use.
     fn group_counter(&self, rows: usize) -> Arc<AtomicUsize> {
-        if let Some(counter) = self.group_counts.read().expect("group counts").get(&rows) {
+        if let Some(counter) = read(&self.group_counts).get(&rows) {
             return Arc::clone(counter);
         }
-        Arc::clone(self.group_counts.write().expect("group counts").entry(rows).or_default())
+        Arc::clone(write(&self.group_counts).entry(rows).or_default())
+    }
+}
+
+/// Builds the executor bank for one model version.
+fn build_entry(
+    model: Arc<CompiledModel>,
+    version: u64,
+    stats: Arc<ModelStats>,
+    slot: Weak<ModelSlot>,
+    config: &ServerConfig,
+) -> ModelEntry {
+    let executors = (0..config.cache_shard_count())
+        .map(|_| {
+            BatchExecutor::with_backend(Arc::clone(&model), config.backend.create())
+                .with_tile_cache_capacity(config.tile_cache)
+        })
+        .collect();
+    ModelEntry { version, model, executors, stats, group_counts: RwLock::new(HashMap::new()), slot }
+}
+
+/// How many lifecycle events a slot retains for its snapshot (older
+/// events age out of the log but stay counted).
+const EVENT_LOG_CAP: usize = 64;
+
+/// Lifecycle counters of one slot (see [`LifecycleStatsSnapshot`]).
+#[derive(Debug, Default)]
+struct LifecycleCounters {
+    installed: AtomicU64,
+    proposed: AtomicU64,
+    promoted: AtomicU64,
+    rolled_back: AtomicU64,
+    canary_compared: AtomicU64,
+    recompiles: AtomicU64,
+    compile_failures: AtomicU64,
+}
+
+/// A candidate version in its canary stage: shadow-executes a slice of
+/// live traffic until `target` comparisons pass (promote) or one fails
+/// (rollback). `decided` is the single-decision gate — racing workers and
+/// shutdown agree on exactly one outcome.
+struct CandidateState {
+    entry: Arc<ModelEntry>,
+    tolerance: TolerancePolicy,
+    target: u64,
+    compared: AtomicU64,
+    /// Counts shadow opportunities (batches observed while pending) for
+    /// the deterministic slice gate.
+    shadow_seq: AtomicU64,
+    decided: AtomicBool,
+    max_divergence: Mutex<f32>,
+}
+
+/// One hosted model *key*: a live, versioned slot. The active entry is
+/// published through an atomic pointer — the submit path reads it with
+/// one `Acquire` load and two reference-count bumps, no lock — while
+/// `history` retains every version ever installed (so the pointer is
+/// always backed by a live allocation, and in-flight batches plus pinned
+/// sessions can keep serving on superseded versions).
+struct ModelSlot {
+    /// Points at the entry new admissions serve on. Always one of the
+    /// `history` elements.
+    active: AtomicPtr<ModelEntry>,
+    /// Every version ever installed, in install order. Entries are never
+    /// removed while the slot lives: retention is what makes the raw
+    /// `active` pointer (and version-pinned sessions) sound, and a
+    /// server hosts few enough versions per run that the executors'
+    /// memory is not a concern. Lock order: `candidate` before `history`.
+    history: Mutex<Vec<Arc<ModelEntry>>>,
+    /// Monotonic version source (`1` = the registration).
+    version_seq: AtomicU64,
+    /// Counters shared by every version of this slot.
+    stats: Arc<ModelStats>,
+    /// Live streaming sessions, by id. Bounded by
+    /// [`ServerConfig::max_sessions`]; idle sessions past
+    /// [`ServerConfig::session_ttl`] are swept when new ones open.
+    /// Sessions pin the entry they opened on, so a swap never tears a
+    /// stream mid-window.
+    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    /// Monotonic session-id source (ids are never reused, so a closed or
+    /// expired session's id can never alias a new client).
+    session_seq: AtomicU64,
+    /// The fraction of served batches a pending canary shadows
+    /// ([`ServerConfig::canary_slice`], fixed at start).
+    canary_slice: f64,
+    /// The pending canary candidate, if any (at most one per slot).
+    candidate: Mutex<Option<Arc<CandidateState>>>,
+    /// Fast-path mirror of `candidate.is_some()`, so workers serving
+    /// traffic with no canary pending pay one relaxed-ish load, not a
+    /// lock.
+    canary_active: AtomicBool,
+    /// Bounded uniform sample of served requests (the recalibration
+    /// corpus) under [`LifecycleMode::Auto`].
+    reservoir: SampleReservoir,
+    /// Set by [`PhiServer::request_recalibration`]; the recalibrator
+    /// consumes it to bypass the served-traffic threshold.
+    nudge: AtomicBool,
+    /// `stats.served` at the last proposal, so `recalibrate_after`
+    /// measures traffic *since* then.
+    served_at_proposal: AtomicU64,
+    lifecycle: LifecycleCounters,
+    /// The most recent lifecycle events, oldest first (bounded by
+    /// [`EVENT_LOG_CAP`]).
+    events: Mutex<VecDeque<LifecycleEvent>>,
+}
+
+impl ModelSlot {
+    /// Creates a slot serving `model` as version 1.
+    fn new(model: Arc<CompiledModel>, config: &ServerConfig) -> Arc<ModelSlot> {
+        let stats = Arc::new(ModelStats::default());
+        let slot = Arc::new_cyclic(|weak: &Weak<ModelSlot>| {
+            let entry = Arc::new(build_entry(model, 1, Arc::clone(&stats), weak.clone(), config));
+            let active = AtomicPtr::new(Arc::as_ptr(&entry) as *mut ModelEntry);
+            ModelSlot {
+                active,
+                history: Mutex::new(vec![entry]),
+                version_seq: AtomicU64::new(1),
+                stats,
+                sessions: Mutex::new(HashMap::new()),
+                session_seq: AtomicU64::new(0),
+                canary_slice: config.canary_slice,
+                candidate: Mutex::new(None),
+                canary_active: AtomicBool::new(false),
+                reservoir: SampleReservoir::new(config.reservoir_capacity),
+                nudge: AtomicBool::new(false),
+                served_at_proposal: AtomicU64::new(0),
+                lifecycle: LifecycleCounters::default(),
+                events: Mutex::new(VecDeque::new()),
+            }
+        });
+        slot.lifecycle.installed.store(1, Ordering::Relaxed);
+        slot
+    }
+
+    /// An owned handle to the entry new admissions serve on — the
+    /// lock-free read side of the hot swap.
+    fn active_entry(&self) -> Arc<ModelEntry> {
+        let ptr = self.active.load(Ordering::Acquire);
+        // SAFETY: every pointer ever stored in `active` comes from an
+        // `Arc` that `history` retains for the slot's whole lifetime
+        // (`install` pushes to history *before* publishing the pointer),
+        // so `ptr` is a live Arc allocation and bumping its strong count
+        // manufactures a legitimate owned clone.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Publishes `entry` as the slot's active version. Retention first,
+    /// publication second — the order `active_entry`'s safety leans on.
+    fn install(&self, entry: Arc<ModelEntry>) {
+        let ptr = Arc::as_ptr(&entry) as *mut ModelEntry;
+        lock(&self.history).push(entry);
+        self.active.store(ptr, Ordering::Release);
+    }
+
+    /// Allocates the next version tag.
+    fn next_version(&self) -> u64 {
+        self.version_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Appends to the bounded event log.
+    fn push_event(&self, event: LifecycleEvent) {
+        let mut events = lock(&self.events);
+        if events.len() == EVENT_LOG_CAP {
+            events.pop_front();
+        }
+        events.push_back(event);
     }
 }
 
@@ -716,6 +971,12 @@ impl ModelEntry {
 /// state plus the ordering queue that keeps the session's frames in
 /// timestep order.
 struct SessionEntry {
+    /// The model version the session opened on. Pinned for the session's
+    /// whole life: a stream's incremental state (frame memos, LIF bank,
+    /// previous readout) is only meaningful against the artifact that
+    /// produced it, so frames keep executing on this entry across hot
+    /// swaps and the stream stays bit-coherent.
+    entry: Arc<ModelEntry>,
     /// The executor-side session state (frame memos + LIF readout bank).
     state: StreamSession,
     queue: Mutex<SessionQueue>,
@@ -811,6 +1072,11 @@ struct Shared {
     /// against the collector's check-then-wait.
     ctrl: Mutex<()>,
     cond: Condvar,
+    /// Anchor mutex + condvar for the lifecycle thread's timed sleep, so
+    /// shutdown (and [`PhiServer::request_recalibration`]) can cut its
+    /// [`ServerConfig::lifecycle_interval`] nap short.
+    lc_ctrl: Mutex<()>,
+    lc_cond: Condvar,
     unknown_model: AtomicU64,
 }
 
@@ -839,8 +1105,15 @@ impl Shared {
     /// here until the collector is parked and then wakes it — no lost
     /// wakeups.
     fn wake_collector(&self) {
-        drop(self.ctrl.lock().expect("ctrl lock"));
+        drop(lock(&self.ctrl));
         self.cond.notify_all();
+    }
+
+    /// Wakes the lifecycle thread (same ordering argument as
+    /// [`Shared::wake_collector`], against its timed wait).
+    fn wake_lifecycle(&self) {
+        drop(lock(&self.lc_ctrl));
+        self.lc_cond.notify_all();
     }
 }
 
@@ -853,8 +1126,9 @@ impl Shared {
 /// requests with [`ServerError::ShuttingDown`], and joins every thread.
 pub struct PhiServer {
     shared: Arc<Shared>,
-    entries: HashMap<String, Arc<ModelEntry>>,
+    slots: HashMap<String, Arc<ModelSlot>>,
     collector: Mutex<Option<JoinHandle<()>>>,
+    lifecycle: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -878,26 +1152,15 @@ impl PhiServer {
         assert!(config.max_request_rows > 0, "max_request_rows must be at least 1");
         assert!(config.workers > 0, "workers must be at least 1");
         assert!(config.max_sessions > 0, "max_sessions must be at least 1");
+        assert!(
+            config.canary_slice > 0.0 && config.canary_slice <= 1.0,
+            "canary_slice must be in (0, 1]"
+        );
 
-        let entries: HashMap<String, Arc<ModelEntry>> = registry
+        let slots: HashMap<String, Arc<ModelSlot>> = registry
             .models
             .into_iter()
-            .map(|(key, model)| {
-                let executors = (0..config.cache_shard_count())
-                    .map(|_| {
-                        BatchExecutor::with_backend(Arc::clone(&model), config.backend.create())
-                            .with_tile_cache_capacity(config.tile_cache)
-                    })
-                    .collect();
-                let entry = ModelEntry {
-                    executors,
-                    stats: ModelStats::default(),
-                    group_counts: RwLock::new(HashMap::new()),
-                    sessions: Mutex::new(HashMap::new()),
-                    session_seq: AtomicU64::new(0),
-                };
-                (key, Arc::new(entry))
-            })
+            .map(|(key, model)| (key, ModelSlot::new(model, &config)))
             .collect();
 
         let shards = (0..config.intake_shard_count())
@@ -912,6 +1175,8 @@ impl PhiServer {
             shutdown: AtomicBool::new(false),
             ctrl: Mutex::new(()),
             cond: Condvar::new(),
+            lc_ctrl: Mutex::new(()),
+            lc_cond: Condvar::new(),
             unknown_model: AtomicU64::new(0),
         });
 
@@ -934,11 +1199,20 @@ impl PhiServer {
                 .spawn(move || collector_loop(&shared, &dispatch_tx))
                 .expect("spawn collector thread")
         };
+        let lifecycle = (config.lifecycle == LifecycleMode::Auto).then(|| {
+            let shared = Arc::clone(&shared);
+            let slots: Vec<Arc<ModelSlot>> = slots.values().map(Arc::clone).collect();
+            std::thread::Builder::new()
+                .name("phi-server-lifecycle".into())
+                .spawn(move || lifecycle_loop(&shared, &slots))
+                .expect("spawn lifecycle thread")
+        });
 
         PhiServer {
             shared,
-            entries,
+            slots,
             collector: Mutex::new(Some(collector)),
+            lifecycle: Mutex::new(lifecycle),
             workers: Mutex::new(workers),
         }
     }
@@ -950,9 +1224,137 @@ impl PhiServer {
 
     /// Hosted model keys, sorted.
     pub fn model_keys(&self) -> Vec<&str> {
-        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        let mut keys: Vec<&str> = self.slots.keys().map(String::as_str).collect();
         keys.sort_unstable();
         keys
+    }
+
+    /// The artifact currently serving `key` (the *active* version);
+    /// `None` for an unknown key.
+    pub fn model(&self, key: &str) -> Option<Arc<CompiledModel>> {
+        self.slots.get(key).map(|slot| Arc::clone(&slot.active_entry().model))
+    }
+
+    /// The version tag of the artifact currently serving `key` (1 = the
+    /// registration); `None` for an unknown key.
+    pub fn model_version(&self, key: &str) -> Option<u64> {
+        self.slots.get(key).map(|slot| slot.active_entry().version)
+    }
+
+    /// Hot-swaps the model serving `key` to `model`, immediately and
+    /// without a canary stage, returning the new version tag.
+    ///
+    /// The swap is atomic and zero-downtime: submissions admitted before
+    /// the swap execute (and their batches complete) on the version they
+    /// were admitted against; submissions after it serve on `model`.
+    /// Open streaming sessions stay pinned to the version they opened on.
+    /// No request is shed or errored by the swap itself.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`], [`ServerError::ShuttingDown`], or
+    /// [`ServerError::CanaryInProgress`] when a proposed candidate is
+    /// still undecided (decide it first — a direct swap under an active
+    /// canary would make the comparison baseline ambiguous).
+    pub fn deploy(&self, key: &str, model: Arc<CompiledModel>) -> ServerResult<u64> {
+        let slot = self.slot(key)?;
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::ShuttingDown);
+        }
+        // Hold the candidate lock across the install so a concurrent
+        // propose cannot interleave a canary with the swap.
+        let guard = lock(&slot.candidate);
+        if guard.is_some() {
+            return Err(ServerError::CanaryInProgress { key: key.to_string() });
+        }
+        let version = slot.next_version();
+        let entry = Arc::new(build_entry(
+            model,
+            version,
+            Arc::clone(&slot.stats),
+            Arc::downgrade(slot),
+            &self.shared.config,
+        ));
+        slot.install(entry);
+        drop(guard);
+        slot.lifecycle.installed.fetch_add(1, Ordering::Relaxed);
+        slot.lifecycle.promoted.fetch_add(1, Ordering::Relaxed);
+        slot.push_event(LifecycleEvent::Promoted { version });
+        Ok(version)
+    }
+
+    /// Proposes `model` as a canary candidate for `key`: a
+    /// [`ServerConfig::canary_slice`] fraction of live stateless traffic
+    /// is shadow-executed on the candidate and compared to the served
+    /// readouts under `tolerance`. After
+    /// [`ServerConfig::canary_target`] comparisons within tolerance the
+    /// candidate is promoted (hot-swapped in, exactly like
+    /// [`PhiServer::deploy`]); one comparison outside tolerance — or a
+    /// candidate that panics or errors — rolls it back, leaving the
+    /// incumbent serving untouched. Returns the candidate's version tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`], [`ServerError::ShuttingDown`], or
+    /// [`ServerError::CanaryInProgress`] when a candidate is already
+    /// pending.
+    pub fn propose(
+        &self,
+        key: &str,
+        model: Arc<CompiledModel>,
+        tolerance: TolerancePolicy,
+    ) -> ServerResult<u64> {
+        let slot = self.slot(key)?;
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::ShuttingDown);
+        }
+        propose_candidate(slot, model, tolerance, &self.shared.config)
+            .ok_or_else(|| ServerError::CanaryInProgress { key: key.to_string() })
+    }
+
+    /// Asks the background recalibrator to recalibrate `key` from its
+    /// traffic reservoir at the next lifecycle tick, bypassing the
+    /// [`ServerConfig::recalibrate_after`] traffic threshold. A no-op
+    /// (beyond arming the flag) unless the server runs
+    /// [`LifecycleMode::Auto`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownModel`].
+    pub fn request_recalibration(&self, key: &str) -> ServerResult<()> {
+        let slot = self.slot(key)?;
+        slot.nudge.store(true, Ordering::Release);
+        self.shared.wake_lifecycle();
+        Ok(())
+    }
+
+    /// Lifecycle counters and recent events for `key`; `None` for an
+    /// unknown key.
+    pub fn lifecycle_stats(&self, key: &str) -> Option<LifecycleStatsSnapshot> {
+        self.slots.get(key).map(|slot| {
+            let lc = &slot.lifecycle;
+            LifecycleStatsSnapshot {
+                version: slot.active_entry().version,
+                versions_installed: lc.installed.load(Ordering::Relaxed),
+                proposed: lc.proposed.load(Ordering::Relaxed),
+                promoted: lc.promoted.load(Ordering::Relaxed),
+                rolled_back: lc.rolled_back.load(Ordering::Relaxed),
+                canary_pending: slot.canary_active.load(Ordering::Acquire),
+                canary_compared: lc.canary_compared.load(Ordering::Relaxed),
+                recompiles: lc.recompiles.load(Ordering::Relaxed),
+                compile_failures: lc.compile_failures.load(Ordering::Relaxed),
+                samples_seen: slot.reservoir.seen(),
+                samples_held: slot.reservoir.held(),
+                events: lock(&slot.events).iter().cloned().collect(),
+            }
+        })
+    }
+
+    fn slot(&self, key: &str) -> ServerResult<&Arc<ModelSlot>> {
+        self.slots.get(key).ok_or_else(|| {
+            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
+            ServerError::UnknownModel { key: key.to_string() }
+        })
     }
 
     /// Submits one request for the model registered under `key`,
@@ -976,10 +1378,10 @@ impl PhiServer {
     /// [`ServerError::QueueFull`] (shed), or [`ServerError::ShuttingDown`].
     pub fn submit(&self, key: &str, request: InferenceRequest) -> ServerResult<ResponseHandle> {
         let shared = &self.shared;
-        let entry = self.entries.get(key).ok_or_else(|| {
-            shared.unknown_model.fetch_add(1, Ordering::Relaxed);
-            ServerError::UnknownModel { key: key.to_string() }
-        })?;
+        let slot = self.slot(key)?;
+        // The admission-time active version; the request rides this entry
+        // to completion even if the slot swaps before dispatch.
+        let entry = slot.active_entry();
         let rows = request.validate_against(entry.model()).map_err(|e| {
             entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
             ServerError::Rejected(e)
@@ -1014,6 +1416,12 @@ impl PhiServer {
             }
         }
 
+        // Feed the recalibration reservoir from admitted traffic (Auto
+        // mode only; a lock-free try-offer, never blocking the hot path).
+        if shared.config.lifecycle == LifecycleMode::Auto {
+            slot.reservoir.offer(&request);
+        }
+
         // Count into the coalescing group *before* the push: the counter
         // must never under-run when the collector dispatches this request
         // and decrements. A premature full-group wake (counter full, push
@@ -1023,14 +1431,7 @@ impl PhiServer {
         let matching = counter.fetch_add(1, Ordering::SeqCst) + 1;
 
         let (tx, rx) = mpsc::channel();
-        let pending = Pending {
-            entry: Arc::clone(entry),
-            request,
-            rows,
-            enqueued: Instant::now(),
-            tx,
-            session: None,
-        };
+        let pending = Pending { entry, request, rows, enqueued: Instant::now(), tx, session: None };
         if let Err(_pending) = push_admitted(shared, pending, matching) {
             // Shutdown closed the shard between the fast check above and
             // the push: roll back the reservation and refuse.
@@ -1056,18 +1457,19 @@ impl PhiServer {
     /// the model already holds [`ServerConfig::max_sessions`] live
     /// sessions, or [`ServerError::ShuttingDown`].
     pub fn open_session(&self, key: &str) -> ServerResult<u64> {
-        let entry = self.entries.get(key).ok_or_else(|| {
-            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
-            ServerError::UnknownModel { key: key.to_string() }
-        })?;
+        let slot = self.slot(key)?;
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServerError::ShuttingDown);
         }
+        // Pin the session to the version active at open time: streaming
+        // state is only meaningful against one artifact, so the session
+        // keeps serving on this entry across hot swaps.
+        let entry = slot.active_entry();
         let ttl = self.shared.config.session_ttl;
         let now = Instant::now();
-        let mut sessions = entry.sessions.lock().expect("sessions");
+        let mut sessions = lock(&slot.sessions);
         sessions.retain(|_, session| {
-            let queue = session.queue.lock().expect("session queue");
+            let queue = lock(&session.queue);
             queue.in_flight
                 || !queue.parked.is_empty()
                 || now.duration_since(queue.last_active) <= ttl
@@ -1076,9 +1478,11 @@ impl PhiServer {
         if sessions.len() >= max {
             return Err(ServerError::SessionLimit { max });
         }
-        let id = entry.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = slot.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let state = StreamSession::new(entry.model());
         let session = SessionEntry {
-            state: StreamSession::new(entry.model()),
+            entry,
+            state,
             queue: Mutex::new(SessionQueue {
                 parked: VecDeque::new(),
                 in_flight: false,
@@ -1121,17 +1525,14 @@ impl PhiServer {
         frame: InferenceRequest,
     ) -> ServerResult<ResponseHandle> {
         let shared = &self.shared;
-        let entry = self.entries.get(key).ok_or_else(|| {
-            shared.unknown_model.fetch_add(1, Ordering::Relaxed);
-            ServerError::UnknownModel { key: key.to_string() }
-        })?;
-        let session = entry
-            .sessions
-            .lock()
-            .expect("sessions")
+        let slot = self.slot(key)?;
+        let session = lock(&slot.sessions)
             .get(&session_id)
             .map(Arc::clone)
             .ok_or(ServerError::UnknownSession { session: session_id })?;
+        // Frames validate and serve against the session's *pinned*
+        // version, not the slot's current one.
+        let entry = Arc::clone(&session.entry);
         let rows = frame.validate_against(entry.model()).map_err(|e| {
             entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
             ServerError::Rejected(e)
@@ -1171,12 +1572,15 @@ impl PhiServer {
                 Err(actual) => queued = actual,
             }
         }
+        if shared.config.lifecycle == LifecycleMode::Auto {
+            slot.reservoir.offer(&frame);
+        }
         let counter = entry.group_counter(rows);
         let matching = counter.fetch_add(1, Ordering::SeqCst) + 1;
 
         let (tx, rx) = mpsc::channel();
         let pending = Pending {
-            entry: Arc::clone(entry),
+            entry,
             request: frame,
             rows,
             enqueued: Instant::now(),
@@ -1188,7 +1592,7 @@ impl PhiServer {
         // lock is held across the shard push so a concurrent release
         // can never observe the slot claimed with the frame not yet
         // visible anywhere.
-        let mut queue = session.queue.lock().expect("session queue");
+        let mut queue = lock(&session.queue);
         queue.last_active = pending.enqueued;
         if queue.closed {
             drop(queue);
@@ -1219,14 +1623,8 @@ impl PhiServer {
     ///
     /// [`ServerError::UnknownModel`] or [`ServerError::UnknownSession`].
     pub fn session_snapshot(&self, key: &str, session_id: u64) -> ServerResult<SessionReadout> {
-        let entry = self.entries.get(key).ok_or_else(|| {
-            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
-            ServerError::UnknownModel { key: key.to_string() }
-        })?;
-        let session = entry
-            .sessions
-            .lock()
-            .expect("sessions")
+        let slot = self.slot(key)?;
+        let session = lock(&slot.sessions)
             .get(&session_id)
             .map(Arc::clone)
             .ok_or(ServerError::UnknownSession { session: session_id })?;
@@ -1247,14 +1645,8 @@ impl PhiServer {
     ///
     /// [`ServerError::UnknownModel`] or [`ServerError::UnknownSession`].
     pub fn close_session(&self, key: &str, session_id: u64) -> ServerResult<SessionReadout> {
-        let entry = self.entries.get(key).ok_or_else(|| {
-            self.shared.unknown_model.fetch_add(1, Ordering::Relaxed);
-            ServerError::UnknownModel { key: key.to_string() }
-        })?;
-        let session = entry
-            .sessions
-            .lock()
-            .expect("sessions")
+        let slot = self.slot(key)?;
+        let session = lock(&slot.sessions)
             .remove(&session_id)
             .ok_or(ServerError::UnknownSession { session: session_id })?;
         Ok(SessionReadout {
@@ -1267,12 +1659,16 @@ impl PhiServer {
     /// Counters for the model registered under `key`; `None` for an
     /// unknown key.
     pub fn stats(&self, key: &str) -> Option<ModelStatsSnapshot> {
-        self.entries.get(key).map(|e| {
+        self.slots.get(key).map(|slot| {
+            // Cache/reuse counters come from the *active* version's
+            // executors; the admission/latency counters live on the slot
+            // and span every version.
+            let active = slot.active_entry();
             let shards: Vec<TileCacheStats> =
-                e.executors.iter().map(BatchExecutor::tile_cache_stats).collect();
-            let reuse = ReuseStats::merged(e.executors.iter().map(BatchExecutor::reuse_stats));
-            let sessions_open = e.sessions.lock().expect("sessions").len();
-            e.stats.snapshot(
+                active.executors.iter().map(BatchExecutor::tile_cache_stats).collect();
+            let reuse = ReuseStats::merged(active.executors.iter().map(BatchExecutor::reuse_stats));
+            let sessions_open = lock(&slot.sessions).len();
+            slot.stats.snapshot(
                 TileCacheStats::merged(shards.iter().copied()),
                 shards,
                 reuse,
@@ -1302,8 +1698,12 @@ impl PhiServer {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake_collector();
-        if let Some(collector) = self.collector.lock().expect("collector handle").take() {
+        self.shared.wake_lifecycle();
+        if let Some(collector) = lock(&self.collector).take() {
             let _ = collector.join();
+        }
+        if let Some(lifecycle) = lock(&self.lifecycle).take() {
+            let _ = lifecycle.join();
         }
         // The collector's shutdown sweep already closed and drained every
         // shard; repeat it here in case the collector died early (a
@@ -1313,11 +1713,11 @@ impl PhiServer {
         // session queue (so racing submitters can no longer park) and
         // resolve the parked frames with the same typed error. In-flight
         // streamed frames are already dispatched and resolve normally.
-        for entry in self.entries.values() {
-            let sessions = entry.sessions.lock().expect("sessions");
+        for slot in self.slots.values() {
+            let sessions = lock(&slot.sessions);
             let mut resolved = 0usize;
             for session in sessions.values() {
-                let mut queue = session.queue.lock().expect("session queue");
+                let mut queue = lock(&session.queue);
                 queue.closed = true;
                 for pending in queue.parked.drain(..) {
                     pending.entry.group_counter(pending.rows).fetch_sub(1, Ordering::SeqCst);
@@ -1330,8 +1730,18 @@ impl PhiServer {
                 self.shared.queued.fetch_sub(resolved, Ordering::SeqCst);
             }
         }
-        for worker in self.workers.lock().expect("worker handles").drain(..) {
+        for worker in lock(&self.workers).drain(..) {
             let _ = worker.join();
+        }
+        // Resolve any still-undecided canary: workers are gone, so nothing
+        // will ever finish its comparisons. Rolling back (never promoting)
+        // keeps an unvetted candidate out of the history a restart might
+        // inspect.
+        for slot in self.slots.values() {
+            let candidate = lock(&slot.candidate).clone();
+            if let Some(candidate) = candidate {
+                rollback_candidate(slot, &candidate, RollbackReason::ShuttingDown);
+            }
         }
     }
 }
@@ -1366,7 +1776,7 @@ fn collector_loop(shared: &Shared, dispatch: &mpsc::Sender<Batch>) {
         // can never slip a flag update between the two (see
         // `Shared::wake_collector`).
         {
-            let mut guard = shared.ctrl.lock().expect("ctrl lock");
+            let mut guard = lock(&shared.ctrl);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     drop(guard);
@@ -1382,11 +1792,15 @@ fn collector_loop(shared: &Shared, dispatch: &mpsc::Sender<Batch>) {
                         if now >= deadline {
                             break;
                         }
-                        let (g, _) =
-                            shared.cond.wait_timeout(guard, deadline - now).expect("ctrl lock");
+                        let (g, _) = shared
+                            .cond
+                            .wait_timeout(guard, deadline - now)
+                            .unwrap_or_else(PoisonError::into_inner);
                         guard = g;
                     }
-                    None => guard = shared.cond.wait(guard).expect("ctrl lock"),
+                    None => {
+                        guard = shared.cond.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                    }
                 }
             }
         }
@@ -1402,10 +1816,22 @@ fn collector_loop(shared: &Shared, dispatch: &mpsc::Sender<Batch>) {
     }
 }
 
-/// The next instant some buffered group must dispatch (its oldest
-/// request's enqueue time plus `max_wait`); `None` with no buffered work.
+/// The next instant some buffered work forces the collector awake: the
+/// oldest request of each group plus `max_wait` (the dispatch deadline),
+/// and every per-request [`InferenceRequest::deadline`] (the shed
+/// deadline — without these a lone deadlined request under a generous
+/// `max_wait` would outwait its own expiry). `None` with no buffered
+/// work.
 fn earliest_deadline(groups: &Groups, max_wait: Duration) -> Option<Instant> {
-    groups.values().filter_map(|buf| buf.front().map(|p| p.enqueued + max_wait)).min()
+    groups
+        .values()
+        .flat_map(|buf| {
+            let group = buf.front().map(|p| p.enqueued + max_wait);
+            let per_request =
+                buf.iter().filter_map(|p| p.request.deadline.map(|d| p.enqueued + d)).min();
+            group.into_iter().chain(per_request)
+        })
+        .min()
 }
 
 /// Moves everything the shards hold into the collector's per-group
@@ -1418,7 +1844,7 @@ fn drain_intake(shared: &Shared, groups: &mut Groups) {
     shared.dirty.swap(false, Ordering::SeqCst);
     let mut drained: Vec<Stamped> = Vec::new();
     for shard in &shared.shards {
-        let mut shard = shard.lock().expect("intake shard");
+        let mut shard = lock(shard);
         if !shard.items.is_empty() {
             drained.extend(shard.items.drain(..));
         }
@@ -1443,6 +1869,22 @@ fn dispatch_due(
     let keys: Vec<GroupKey> = groups.keys().copied().collect();
     for key in keys {
         let buf = groups.get_mut(&key).expect("group just listed");
+        // Shed requests that waited out their own deadline before cutting
+        // batches — an expired request must resolve with the typed shed
+        // error, not ride into a batch it asked not to wait for.
+        let mut idx = 0;
+        while idx < buf.len() {
+            let expired = buf[idx]
+                .request
+                .deadline
+                .is_some_and(|d| now.duration_since(buf[idx].enqueued) >= d);
+            if expired {
+                let pending = buf.remove(idx).expect("index in bounds");
+                shed_deadline(shared, pending);
+            } else {
+                idx += 1;
+            }
+        }
         loop {
             let due =
                 buf.len() >= max_batch || buf.front().is_some_and(|p| now >= p.enqueued + max_wait);
@@ -1467,6 +1909,21 @@ fn dispatch_due(
     Ok(())
 }
 
+/// Resolves one deadline-expired request with
+/// [`ServerError::DeadlineExceeded`], releasing every reservation it held
+/// (admission capacity, group occupancy, and — for a streamed frame — its
+/// session's in-flight slot, promoting the next parked frame).
+fn shed_deadline(shared: &Shared, pending: Pending) {
+    shared.queued.fetch_sub(1, Ordering::SeqCst);
+    pending.entry.group_counter(pending.rows).fetch_sub(1, Ordering::SeqCst);
+    pending.entry.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    let deadline = pending.request.deadline.expect("only deadlined requests are shed here");
+    let _ = pending.tx.send(Err(ServerError::DeadlineExceeded { deadline }));
+    if let Some(session) = pending.session {
+        release_session(shared, &session);
+    }
+}
+
 /// The collector's shutdown sweep: close every shard (so racing
 /// submitters observe the closure instead of stranding a request), then
 /// resolve everything undispatched with [`ServerError::ShuttingDown`].
@@ -1479,7 +1936,7 @@ fn resolve_shutdown(shared: &Shared, groups: &mut Groups) {
 fn close_and_resolve_shards(shared: &Shared) {
     let mut resolved = 0usize;
     for shard in &shared.shards {
-        let mut shard = shard.lock().expect("intake shard");
+        let mut shard = lock(shard);
         shard.closed = true;
         for stamped in shard.items.drain(..) {
             let _ = stamped.pending.tx.send(Err(ServerError::ShuttingDown));
@@ -1521,8 +1978,7 @@ fn resolve_all(shared: &Shared, groups: &mut Groups, error: &ServerError) {
 fn push_admitted(shared: &Shared, pending: Pending, matching: usize) -> Result<(), Pending> {
     let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
     {
-        let mut shard =
-            shared.shards[seq as usize % shared.shards.len()].lock().expect("intake shard");
+        let mut shard = lock(&shared.shards[seq as usize % shared.shards.len()]);
         if shard.closed {
             return Err(pending);
         }
@@ -1542,7 +1998,7 @@ fn push_admitted(shared: &Shared, pending: Pending, matching: usize) -> Result<(
 /// session's frames in strict timestep order.
 fn release_session(shared: &Shared, session: &Arc<SessionEntry>) {
     let next = {
-        let mut queue = session.queue.lock().expect("session queue");
+        let mut queue = lock(&session.queue);
         match queue.parked.pop_front() {
             // The slot stays claimed: the promoted frame occupies it.
             Some(pending) => Some(pending),
@@ -1561,7 +2017,7 @@ fn release_session(shared: &Shared, session: &Arc<SessionEntry>) {
             counter.fetch_sub(1, Ordering::SeqCst);
             shared.queued.fetch_sub(1, Ordering::SeqCst);
             let _ = pending.tx.send(Err(ServerError::ShuttingDown));
-            session.queue.lock().expect("session queue").in_flight = false;
+            lock(&session.queue).in_flight = false;
         }
     }
 }
@@ -1574,7 +2030,7 @@ fn worker_loop(worker: usize, rx: &Mutex<mpsc::Receiver<Batch>>, shared: &Shared
     loop {
         // Hold the receiver lock only while waiting; execution happens
         // after it is released so other workers can pick up batches.
-        let batch = match rx.lock().expect("dispatch lock").recv() {
+        let batch = match lock(rx).recv() {
             Ok(batch) => batch,
             Err(_) => return,
         };
@@ -1605,6 +2061,13 @@ fn serve_batch(batch: Batch, worker: usize, shared: &Shared) {
             let exec = exec_start.elapsed();
             entry.stats.record_batch(&queue_waits, exec);
             let batch_size = requests.len();
+            // Snapshot the served readouts for the canary comparison
+            // *before* rider resolution consumes the report — but only
+            // when a canary is actually pending on this entry's slot.
+            let shadow = canary_candidate(&entry);
+            let served: Option<Vec<Option<Matrix>>> = shadow
+                .as_ref()
+                .map(|_| report.requests.iter().map(|r| r.readout.clone()).collect());
             for ((tx, enqueued), result) in resolvers.into_iter().zip(report.requests) {
                 let _ = tx.send(Ok(ServedResponse {
                     readout: result.readout,
@@ -1614,6 +2077,18 @@ fn serve_batch(batch: Batch, worker: usize, shared: &Shared) {
                     exec,
                     batch_size,
                 }));
+            }
+            // Shadow execution runs after every rider resolved: the
+            // canary costs candidate-side throughput, never served
+            // latency.
+            if let Some((slot, candidate)) = shadow {
+                run_canary_shadow(
+                    &slot,
+                    &candidate,
+                    &requests,
+                    &served.unwrap_or_default(),
+                    worker,
+                );
             }
         }
         Err(e) => {
@@ -1667,7 +2142,7 @@ fn serve_stream_batch(
                     tiles_rematched: after.tiles_rematched - prior.tiles_rematched,
                 });
             }
-            entry.stats.stream_delta.lock().expect("stats lock").merge(&batch_delta);
+            lock(&entry.stats.stream_delta).merge(&batch_delta);
             let batch_size = frames.len();
             for ((tx, enqueued), result) in resolvers.into_iter().zip(report.requests) {
                 let _ = tx.send(Ok(ServedResponse {
@@ -1690,6 +2165,285 @@ fn serve_stream_batch(
     for session in &sessions {
         release_session(shared, session);
     }
+}
+
+/// Installs `model` as a canary candidate on `slot`, or returns `None`
+/// when one is already pending.
+fn propose_candidate(
+    slot: &Arc<ModelSlot>,
+    model: Arc<CompiledModel>,
+    tolerance: TolerancePolicy,
+    config: &ServerConfig,
+) -> Option<u64> {
+    let mut guard = lock(&slot.candidate);
+    if guard.is_some() {
+        return None;
+    }
+    let version = slot.next_version();
+    let entry = Arc::new(build_entry(
+        model,
+        version,
+        Arc::clone(&slot.stats),
+        Arc::downgrade(slot),
+        config,
+    ));
+    *guard = Some(Arc::new(CandidateState {
+        entry,
+        tolerance,
+        target: config.canary_target.max(1),
+        compared: AtomicU64::new(0),
+        shadow_seq: AtomicU64::new(0),
+        decided: AtomicBool::new(false),
+        max_divergence: Mutex::new(0.0),
+    }));
+    slot.canary_active.store(true, Ordering::Release);
+    drop(guard);
+    slot.lifecycle.proposed.fetch_add(1, Ordering::Relaxed);
+    slot.push_event(LifecycleEvent::Proposed { version, tolerance });
+    Some(version)
+}
+
+/// The pending canary a batch served on `entry` should shadow, if any:
+/// the slot must have an active candidate *and* `entry` must still be the
+/// slot's active version (batches riding a superseded version are the
+/// wrong comparison baseline).
+fn canary_candidate(entry: &Arc<ModelEntry>) -> Option<(Arc<ModelSlot>, Arc<CandidateState>)> {
+    let slot = entry.slot.upgrade()?;
+    if !slot.canary_active.load(Ordering::Acquire) {
+        return None;
+    }
+    if !std::ptr::eq(slot.active.load(Ordering::Acquire), Arc::as_ptr(entry)) {
+        return None;
+    }
+    let candidate = lock(&slot.candidate).clone()?;
+    Some((slot, candidate))
+}
+
+/// Shadow-executes one served batch on the canary candidate and compares
+/// readouts under the candidate's tolerance. Promotes after `target`
+/// in-tolerance comparisons; rolls back on the first out-of-tolerance
+/// pair, an execution error, or a panic (the candidate's failure modes
+/// must never reach the incumbent's riders — they already resolved).
+fn run_canary_shadow(
+    slot: &Arc<ModelSlot>,
+    candidate: &Arc<CandidateState>,
+    requests: &[InferenceRequest],
+    served: &[Option<Matrix>],
+    worker: usize,
+) {
+    if candidate.decided.load(Ordering::Acquire) {
+        return;
+    }
+    // Deterministic slice gate: admit the batches whose index crosses a
+    // new integer multiple of the slice, giving exactly a `slice`
+    // fraction of shadow opportunities without RNG state.
+    let slice = slot.canary_slice;
+    let tick = candidate.shadow_seq.fetch_add(1, Ordering::Relaxed);
+    let admitted = ((tick + 1) as f64 * slice).floor() > (tick as f64 * slice).floor();
+    if !admitted {
+        return;
+    }
+    let executor = &candidate.entry.executors[worker % candidate.entry.executors.len()];
+    let outcome = catch_unwind(AssertUnwindSafe(|| executor.execute(requests)));
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        Ok(Err(_)) => {
+            rollback_candidate(slot, candidate, RollbackReason::CanaryExecutionFailed);
+            return;
+        }
+        Err(_) => {
+            rollback_candidate(slot, candidate, RollbackReason::CanaryPanicked);
+            return;
+        }
+    };
+    let mut worst = 0.0f32;
+    for (shadow, baseline) in report.requests.iter().zip(served) {
+        match readout_divergence(shadow.readout.as_ref(), baseline.as_ref()) {
+            Some(d) if candidate.tolerance.allows(d) => worst = worst.max(d),
+            _ => {
+                rollback_candidate(slot, candidate, RollbackReason::CanaryDivergence);
+                return;
+            }
+        }
+    }
+    {
+        let mut max = lock(&candidate.max_divergence);
+        *max = max.max(worst);
+    }
+    let n = served.len() as u64;
+    slot.lifecycle.canary_compared.fetch_add(n, Ordering::Relaxed);
+    let compared = candidate.compared.fetch_add(n, Ordering::AcqRel) + n;
+    if compared >= candidate.target {
+        promote_candidate(slot, candidate);
+    }
+}
+
+/// Worst per-element absolute divergence between a shadow readout and the
+/// served baseline. `None` (always out of tolerance) for mismatched
+/// presence or shape, or a non-finite difference. A pair of bit-unequal
+/// but numerically equal values (`0.0` vs `-0.0`) reports the smallest
+/// positive divergence, so [`TolerancePolicy::BitIdentical`] still fails.
+fn readout_divergence(shadow: Option<&Matrix>, served: Option<&Matrix>) -> Option<f32> {
+    match (shadow, served) {
+        (None, None) => Some(0.0),
+        (Some(a), Some(b)) => {
+            if a.rows() != b.rows() || a.cols() != b.cols() {
+                return None;
+            }
+            let mut worst = 0.0f32;
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                if x.to_bits() == y.to_bits() {
+                    continue;
+                }
+                let d = (x - y).abs();
+                if !d.is_finite() {
+                    return None;
+                }
+                worst = worst.max(d.max(f32::MIN_POSITIVE));
+            }
+            Some(worst)
+        }
+        _ => None,
+    }
+}
+
+/// Promotes the canary candidate: installs its entry as the slot's active
+/// version. The `decided` swap makes the decision exactly-once against
+/// racing workers and shutdown.
+fn promote_candidate(slot: &Arc<ModelSlot>, candidate: &Arc<CandidateState>) {
+    if candidate.decided.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    {
+        let mut guard = lock(&slot.candidate);
+        if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, candidate)) {
+            *guard = None;
+        }
+        slot.canary_active.store(false, Ordering::Release);
+    }
+    slot.install(Arc::clone(&candidate.entry));
+    slot.lifecycle.installed.fetch_add(1, Ordering::Relaxed);
+    slot.lifecycle.promoted.fetch_add(1, Ordering::Relaxed);
+    let version = candidate.entry.version;
+    slot.push_event(LifecycleEvent::CanaryPass {
+        version,
+        compared: candidate.compared.load(Ordering::Acquire),
+        max_divergence: *lock(&candidate.max_divergence),
+    });
+    slot.push_event(LifecycleEvent::Promoted { version });
+}
+
+/// Rolls the canary candidate back: the incumbent keeps serving, the
+/// candidate's entry is dropped (it was never installed). Exactly-once,
+/// like promotion.
+fn rollback_candidate(
+    slot: &Arc<ModelSlot>,
+    candidate: &Arc<CandidateState>,
+    reason: RollbackReason,
+) {
+    if candidate.decided.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    {
+        let mut guard = lock(&slot.candidate);
+        if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, candidate)) {
+            *guard = None;
+        }
+        slot.canary_active.store(false, Ordering::Release);
+    }
+    slot.lifecycle.rolled_back.fetch_add(1, Ordering::Relaxed);
+    slot.push_event(LifecycleEvent::RolledBack { version: candidate.entry.version, reason });
+}
+
+/// The background recalibrator ([`LifecycleMode::Auto`] only): every
+/// [`ServerConfig::lifecycle_interval`] (or sooner, when nudged), checks
+/// each slot for enough fresh traffic since its last proposal, recompiles
+/// the incumbent's patterns from the reservoir off-thread, and proposes
+/// the result as a canary candidate. A panicking or failing recompile
+/// degrades to the incumbent — it is counted and logged, and never
+/// touches the registry.
+fn lifecycle_loop(shared: &Shared, slots: &[Arc<ModelSlot>]) {
+    let interval = shared.config.lifecycle_interval;
+    loop {
+        {
+            let guard = lock(&shared.lc_ctrl);
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = shared
+                .lc_cond
+                .wait_timeout(guard, interval)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for slot in slots {
+            maybe_recalibrate(shared, slot);
+        }
+    }
+}
+
+/// One recalibration check for one slot (see [`lifecycle_loop`]).
+fn maybe_recalibrate(shared: &Shared, slot: &Arc<ModelSlot>) {
+    if lock(&slot.candidate).is_some() {
+        return;
+    }
+    let nudged = slot.nudge.swap(false, Ordering::AcqRel);
+    let served = slot.stats.served.load(Ordering::Acquire);
+    let due = served.saturating_sub(slot.served_at_proposal.load(Ordering::Acquire))
+        >= shared.config.recalibrate_after;
+    if !nudged && !due {
+        return;
+    }
+    let incumbent = slot.active_entry();
+    let samples: Vec<InferenceRequest> = slot
+        .reservoir
+        .drain()
+        .into_iter()
+        .filter(|s| s.validate_against(incumbent.model()).is_ok())
+        .collect();
+    if samples.is_empty() {
+        // Nothing to calibrate from yet; keep an explicit nudge armed so
+        // it fires once traffic arrives.
+        if nudged {
+            slot.nudge.store(true, Ordering::Release);
+        }
+        return;
+    }
+    slot.served_at_proposal.store(served, Ordering::Release);
+    slot.lifecycle.recompiles.fetch_add(1, Ordering::Relaxed);
+    let compiled = catch_unwind(AssertUnwindSafe(|| {
+        ModelCompiler::default().recompile_from_samples(&incumbent.model, &samples)
+    }));
+    let candidate = match compiled {
+        Ok(Ok(model)) => Arc::new(model),
+        Ok(Err(_)) | Err(_) => {
+            slot.lifecycle.compile_failures.fetch_add(1, Ordering::Relaxed);
+            slot.lifecycle.rolled_back.fetch_add(1, Ordering::Relaxed);
+            slot.push_event(LifecycleEvent::RolledBack {
+                version: incumbent.version,
+                reason: RollbackReason::CompileFailed,
+            });
+            return;
+        }
+    };
+    // A recompile that reproduced the incumbent's patterns must be
+    // byte-identical end to end (same weights, same PWP folding), so the
+    // canary can demand bit-identity; drift-adapted patterns change the
+    // decomposition and warrant a bounded numeric tolerance instead.
+    let same_patterns = incumbent
+        .model
+        .layers()
+        .iter()
+        .zip(candidate.layers())
+        .all(|(a, b)| a.patterns == b.patterns);
+    let tolerance = if same_patterns {
+        TolerancePolicy::BitIdentical
+    } else {
+        TolerancePolicy::BoundedDivergence { max_abs: DEFAULT_DIVERGENCE_TOLERANCE }
+    };
+    propose_candidate(slot, candidate, tolerance, &shared.config);
 }
 
 #[cfg(test)]
@@ -2073,5 +2827,259 @@ mod tests {
         assert!(ring.percentile(0.1) >= 10.0);
         assert_eq!(ring.percentile(100.0), (STAT_SAMPLE_CAP + 9) as f64);
         assert_eq!(SampleRing::default().percentile(50.0), 0.0);
+    }
+
+    /// Direct (unserved) readouts of `batch` on `model`, for comparing
+    /// served responses against ground truth.
+    fn direct_readouts(model: &Arc<CompiledModel>, batch: &[InferenceRequest]) -> Vec<Matrix> {
+        let executor = BatchExecutor::new(Arc::clone(model));
+        let report = executor.execute(batch).unwrap();
+        report.requests.into_iter().map(|r| r.readout.unwrap()).collect()
+    }
+
+    /// Polls `predicate` for up to ~5s; panics with `what` on timeout.
+    fn wait_until(what: &str, mut predicate: impl FnMut() -> bool) {
+        for _ in 0..1000 {
+            if predicate() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn deadline_expired_requests_shed_with_typed_error() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        // max_batch and max_wait both out of reach: only the request's own
+        // deadline can resolve it.
+        let config = ServerConfig::default()
+            .with_max_batch(64)
+            .with_max_wait(Duration::from_secs(3600))
+            .with_workers(1);
+        let server = PhiServer::start(registry, config);
+        let request = requests(&w, 1, 4, 3).remove(0).with_deadline(Duration::from_millis(1));
+        let handle = server.submit("m", request).unwrap();
+        assert!(matches!(
+            handle.wait(),
+            Err(ServerError::DeadlineExceeded { deadline }) if deadline == Duration::from_millis(1)
+        ));
+        let stats = server.stats("m").unwrap();
+        assert_eq!((stats.deadline_exceeded, stats.served, stats.shed), (1, 0, 0));
+
+        // A generous deadline rides along without ever triggering.
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(1));
+        let request = requests(&w, 1, 4, 3).remove(0).with_deadline(Duration::from_secs(30));
+        let response = server.submit("m", request).unwrap().wait().unwrap();
+        assert!(response.readout.is_some());
+        assert_eq!(server.stats("m").unwrap().deadline_exceeded, 0);
+    }
+
+    #[test]
+    fn deploy_swaps_atomically_and_new_admissions_serve_the_new_version() {
+        let w = tiny_workload();
+        let a = model(&w);
+        let b = Arc::new(ModelCompiler::new(CompileOptions::fast().with_seed(8)).compile(&w));
+        let mut registry = ModelRegistry::new();
+        registry.register("m", Arc::clone(&a));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(1));
+        assert_eq!(server.model_version("m"), Some(1));
+
+        let batch = requests(&w, 2, 4, 3);
+        let before = server.submit("m", batch[0].clone()).unwrap().wait().unwrap();
+        assert_eq!(before.readout.as_ref(), Some(&direct_readouts(&a, &batch[..1])[0]));
+
+        assert_eq!(server.deploy("m", Arc::clone(&b)).unwrap(), 2);
+        assert_eq!(server.model_version("m"), Some(2));
+        assert!(Arc::ptr_eq(&server.model("m").unwrap(), &b));
+
+        let after = server.submit("m", batch[1].clone()).unwrap().wait().unwrap();
+        assert_eq!(after.readout.as_ref(), Some(&direct_readouts(&b, &batch[1..])[0]));
+        let lc = server.lifecycle_stats("m").unwrap();
+        assert_eq!((lc.version, lc.versions_installed, lc.promoted), (2, 2, 1));
+        assert_eq!(lc.events.last(), Some(&LifecycleEvent::Promoted { version: 2 }));
+        // The swap itself shed or failed nothing.
+        let stats = server.stats("m").unwrap();
+        assert_eq!((stats.shed, stats.failed, stats.served), (0, 0, 2));
+    }
+
+    #[test]
+    fn deploy_and_propose_refuse_while_a_canary_is_pending() {
+        let w = tiny_workload();
+        let a = model(&w);
+        let mut registry = ModelRegistry::new();
+        registry.register("m", Arc::clone(&a));
+        let server = PhiServer::start(
+            registry,
+            ServerConfig::default().with_workers(1).with_canary_target(1_000_000),
+        );
+        server.propose("m", Arc::clone(&a), TolerancePolicy::BitIdentical).unwrap();
+        assert!(server.lifecycle_stats("m").unwrap().canary_pending);
+        assert!(matches!(
+            server.deploy("m", Arc::clone(&a)),
+            Err(ServerError::CanaryInProgress { .. })
+        ));
+        assert!(matches!(
+            server.propose("m", Arc::clone(&a), TolerancePolicy::BitIdentical),
+            Err(ServerError::CanaryInProgress { .. })
+        ));
+        // Shutdown resolves the undecided canary as a rollback.
+        server.shutdown();
+        let lc = server.lifecycle_stats("m").unwrap();
+        assert_eq!(lc.rolled_back, 1);
+        assert_eq!(
+            lc.events.last(),
+            Some(&LifecycleEvent::RolledBack { version: 2, reason: RollbackReason::ShuttingDown })
+        );
+    }
+
+    #[test]
+    fn canary_promotes_after_enough_bit_identical_comparisons() {
+        let w = tiny_workload();
+        let a = model(&w);
+        let mut registry = ModelRegistry::new();
+        registry.register("m", Arc::clone(&a));
+        let server = PhiServer::start(
+            registry,
+            ServerConfig::default().with_workers(1).with_canary_target(2).with_canary_slice(1.0),
+        );
+        // Proposing the identical artifact: every shadow must match bit
+        // for bit, so the canary passes on live traffic alone.
+        let version = server.propose("m", Arc::clone(&a), TolerancePolicy::BitIdentical).unwrap();
+        assert_eq!(version, 2);
+        let batch = requests(&w, 8, 4, 3);
+        wait_until("canary promotion", || {
+            for r in &batch {
+                let _ = server.submit("m", r.clone()).unwrap().wait().unwrap();
+            }
+            server.lifecycle_stats("m").unwrap().promoted == 1
+        });
+        let lc = server.lifecycle_stats("m").unwrap();
+        assert_eq!((lc.version, lc.rolled_back, lc.compile_failures), (2, 0, 0));
+        assert!(lc.canary_compared >= 2);
+        assert!(!lc.canary_pending);
+        assert!(lc.events.iter().any(|e| matches!(
+            e,
+            LifecycleEvent::CanaryPass { version: 2, max_divergence, .. } if *max_divergence == 0.0
+        )));
+    }
+
+    #[test]
+    fn diverging_canary_rolls_back_and_incumbent_serves_bit_identically() {
+        let w = tiny_workload();
+        let a = model(&w);
+        // Different weight seed ⇒ genuinely different readouts.
+        let b = Arc::new(ModelCompiler::new(CompileOptions::fast().with_seed(8)).compile(&w));
+        let mut registry = ModelRegistry::new();
+        registry.register("m", Arc::clone(&a));
+        let server = PhiServer::start(
+            registry,
+            ServerConfig::default().with_workers(1).with_canary_target(4).with_canary_slice(1.0),
+        );
+        server.propose("m", Arc::clone(&b), TolerancePolicy::BitIdentical).unwrap();
+        let batch = requests(&w, 4, 4, 3);
+        let expected = direct_readouts(&a, &batch);
+        wait_until("canary rollback", || {
+            for (r, want) in batch.iter().zip(&expected) {
+                let got = server.submit("m", r.clone()).unwrap().wait().unwrap();
+                // Shadow execution never perturbs served readouts.
+                assert_eq!(got.readout.as_ref(), Some(want));
+            }
+            server.lifecycle_stats("m").unwrap().rolled_back == 1
+        });
+        let lc = server.lifecycle_stats("m").unwrap();
+        assert_eq!((lc.version, lc.promoted), (1, 0));
+        assert!(lc.events.iter().any(|e| matches!(
+            e,
+            LifecycleEvent::RolledBack { version: 2, reason: RollbackReason::CanaryDivergence }
+        )));
+        // The failed canary is invisible to clients: nothing shed, nothing
+        // failed, nothing expired.
+        let stats = server.stats("m").unwrap();
+        assert_eq!((stats.shed, stats.failed, stats.deadline_exceeded), (0, 0, 0));
+    }
+
+    #[test]
+    fn poisoned_stats_and_group_locks_never_take_down_serving() {
+        let w = tiny_workload();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", model(&w));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(1));
+        let slot = Arc::clone(server.slots.get("m").unwrap());
+
+        // Poison the latency-sample mutex and the group-counts RwLock by
+        // panicking while holding them.
+        let stats = Arc::clone(&slot.stats);
+        let entry = slot.active_entry();
+        std::thread::spawn(move || {
+            let _stats_guard = stats.queue_wait_us.lock().unwrap();
+            let _group_guard = entry.group_counts.write().unwrap();
+            panic!("deliberate poison");
+        })
+        .join()
+        .unwrap_err();
+
+        // The hot path shrugs: admission, execution, and stats all still
+        // work through the poison-tolerant locks.
+        let response = server.submit("m", requests(&w, 1, 4, 3).remove(0)).unwrap().wait().unwrap();
+        assert!(response.readout.is_some());
+        let stats = server.stats("m").unwrap();
+        assert_eq!(stats.served, 1);
+        assert!(stats.p50_queue_wait_us >= 0.0);
+    }
+
+    #[test]
+    fn poisoned_session_locks_still_serve_streamed_frames() {
+        let w = tiny_workload();
+        let m = model(&w);
+        let mut registry = ModelRegistry::new();
+        registry.register("m", Arc::clone(&m));
+        let server = PhiServer::start(registry, ServerConfig::default().with_workers(1));
+        let session_id = server.open_session("m").unwrap();
+        let session =
+            Arc::clone(lock(&server.slots.get("m").unwrap().sessions).get(&session_id).unwrap());
+
+        // Poison the session's ordering queue and its first frame memo.
+        {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || {
+                let _queue_guard = session.queue.lock().unwrap();
+                let _memo_guard = session.state.memo(0).lock().unwrap();
+                panic!("deliberate poison");
+            })
+            .join()
+            .unwrap_err();
+        }
+
+        // A frame still serves; the poisoned memo is reset (sound, merely
+        // un-memoized), so the first frame matches stateless execution
+        // bit for bit.
+        let frame = requests(&w, 1, 4, 7).remove(0);
+        let expected = direct_readouts(&m, std::slice::from_ref(&frame));
+        let got = server.submit_stream("m", session_id, frame).unwrap().wait().unwrap();
+        assert_eq!(got.readout.as_ref(), Some(&expected[0]));
+        assert_eq!(server.session_snapshot("m", session_id).unwrap().timesteps, 1);
+    }
+
+    #[test]
+    fn readout_divergence_classifies_pairs() {
+        let m = |v: &[f32]| Matrix::from_vec(1, v.len(), v.to_vec()).unwrap();
+        assert_eq!(readout_divergence(None, None), Some(0.0));
+        assert_eq!(readout_divergence(Some(&m(&[1.0, 2.0])), Some(&m(&[1.0, 2.0]))), Some(0.0));
+        // Numeric difference reports its magnitude.
+        assert_eq!(readout_divergence(Some(&m(&[1.5])), Some(&m(&[1.0]))), Some(0.5));
+        // Bit-unequal zeros count as (minimal) divergence: BitIdentical
+        // must fail, BoundedDivergence may pass.
+        let d = readout_divergence(Some(&m(&[0.0])), Some(&m(&[-0.0]))).unwrap();
+        assert!(d > 0.0);
+        assert!(!TolerancePolicy::BitIdentical.allows(d));
+        // Mismatched presence, shape, or non-finite difference: hard fail.
+        assert_eq!(readout_divergence(Some(&m(&[1.0])), None), None);
+        assert_eq!(readout_divergence(Some(&m(&[1.0])), Some(&m(&[1.0, 2.0]))), None);
+        assert_eq!(readout_divergence(Some(&m(&[f32::NAN])), Some(&m(&[1.0]))), None);
     }
 }

@@ -85,19 +85,19 @@ impl StreamSession {
     /// The row count the session is locked to, or `None` before its
     /// first frame.
     pub fn rows(&self) -> Option<usize> {
-        let rows = self.inner.lock().expect("stream session").rows;
+        let rows = crate::sync::lock(&self.inner).rows;
         (rows != 0).then_some(rows)
     }
 
     /// Timesteps served so far.
     pub fn timesteps(&self) -> u64 {
-        self.inner.lock().expect("stream session").timesteps
+        crate::sync::lock(&self.inner).timesteps
     }
 
     /// Cumulative incremental-decomposition counters over every executed
     /// layer of every served frame.
     pub fn delta_stats(&self) -> DeltaStats {
-        self.inner.lock().expect("stream session").delta
+        crate::sync::lock(&self.inner).delta
     }
 
     /// The rate-coded readout of the window so far: per readout slot,
@@ -105,7 +105,7 @@ impl StreamSession {
     /// `None` before the first frame or when the artifact carries no
     /// readout weights.
     pub fn rate_readout(&self) -> Option<Matrix> {
-        let inner = self.inner.lock().expect("stream session");
+        let inner = crate::sync::lock(&self.inner);
         if inner.timesteps == 0 || inner.lif.is_none() {
             return None;
         }
@@ -120,7 +120,7 @@ impl StreamSession {
     /// Raw LIF spike counts over the window, flattened row-major
     /// (`rows × N_readout` slots); empty before the first readout.
     pub fn spike_counts(&self) -> Vec<u32> {
-        self.inner.lock().expect("stream session").counts.clone()
+        crate::sync::lock(&self.inner).counts.clone()
     }
 
     /// The per-layer frame memo the streaming executor diffs against.
@@ -135,13 +135,13 @@ impl StreamSession {
     /// function of the decomposition (the batch-invariance the
     /// equivalence suites pin down).
     pub(crate) fn prev_readout(&self) -> Option<Matrix> {
-        self.inner.lock().expect("stream session").prev_readout.clone()
+        crate::sync::lock(&self.inner).prev_readout.clone()
     }
 
     /// Locks the session to its first frame's row count; later frames
     /// must match (the memo diff and the LIF bank are shaped by it).
     pub(crate) fn fix_rows(&self, rows: usize) -> Result<()> {
-        let mut inner = self.inner.lock().expect("stream session");
+        let mut inner = crate::sync::lock(&self.inner);
         if inner.rows == 0 {
             inner.rows = rows;
             return Ok(());
@@ -160,7 +160,7 @@ impl StreamSession {
     /// over the flattened readout (accumulating spike counts), counts
     /// the timestep, and merges the frame's delta counters.
     pub(crate) fn absorb(&self, readout: Option<&Matrix>, delta: DeltaStats) {
-        let mut inner = self.inner.lock().expect("stream session");
+        let mut inner = crate::sync::lock(&self.inner);
         inner.timesteps += 1;
         inner.delta.merge(&delta);
         if let Some(readout) = readout {

@@ -28,6 +28,7 @@ pub struct ClusterSpec {
     density: f64,
     noise: f64,
     outlier_fraction: f64,
+    partition_active: f64,
 }
 
 impl ClusterSpec {
@@ -96,7 +97,35 @@ impl ClusterSpec {
                 acc
             })
             .collect();
-        ClusterSpec { k, cols, prototypes, cumulative, density, noise, outlier_fraction }
+        ClusterSpec {
+            k,
+            cols,
+            prototypes,
+            cumulative,
+            density,
+            noise,
+            outlier_fraction,
+            partition_active,
+        }
+    }
+
+    /// Re-draws the latent structure with the same distribution
+    /// *parameters* (width, cluster count, density, noise, outliers,
+    /// partition activity) but fresh prototypes from `rng` — a
+    /// distribution shift in the sense that matters to Phi: per-tile
+    /// statistics are unchanged, yet the concrete patterns a calibrated
+    /// artifact matched against are gone.
+    pub fn redrawn<R: Rng + ?Sized>(&self, rng: &mut R) -> ClusterSpec {
+        ClusterSpec::new(
+            self.cols,
+            self.k,
+            self.clusters(),
+            self.density,
+            self.noise,
+            self.outlier_fraction,
+            self.partition_active,
+            rng,
+        )
     }
 
     /// Partition width.
@@ -301,6 +330,42 @@ impl Workload {
             ^ 0xA02B_DBF7_8BB0_96EA
             ^ client.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03);
         self.sample_requests(count, rows_per_layer, client_seed)
+    }
+
+    /// Derives a drift-shifted sibling of this workload: every layer's
+    /// latent cluster structure is [re-drawn](ClusterSpec::redrawn) with
+    /// the same distribution parameters but fresh prototypes, and the
+    /// calibration/runtime splits are re-sampled from the new structure at
+    /// the same row counts. Layer specs, row scales, and the profile carry
+    /// over, so the drifted workload compiles and serves interchangeably
+    /// with the original — but patterns calibrated on the original stop
+    /// matching its traffic, which is exactly the scenario the serving
+    /// lifecycle's recalibration path exists for.
+    ///
+    /// Deterministic in `(self, seed)`, with per-layer streams derived
+    /// from `(seed, layer index)` alone.
+    pub fn drifted(&self, seed: u64) -> Workload {
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                );
+                let cluster = layer.cluster.redrawn(&mut rng);
+                let calibration = cluster.sample(layer.calibration.rows(), &mut rng);
+                let activations = cluster.sample(layer.activations.rows(), &mut rng);
+                LayerWorkload {
+                    spec: layer.spec.clone(),
+                    activations,
+                    calibration,
+                    row_scale: layer.row_scale,
+                    cluster,
+                }
+            })
+            .collect();
+        Workload { model: self.model, dataset: self.dataset, profile: self.profile, layers }
     }
 
     /// The extrapolation factor from a request's `rows_per_layer`
@@ -560,6 +625,39 @@ mod tests {
                 assert_eq!((m.rows(), m.cols()), (4, layer.spec.shape.k));
             }
         }
+    }
+
+    #[test]
+    fn drifted_workload_keeps_shape_and_distribution_but_not_prototypes() {
+        let w =
+            WorkloadConfig::new(ModelId::Vgg16, DatasetId::Cifar10).with_max_rows(128).generate();
+        let d = w.drifted(0x5EED);
+        // Deterministic in (workload, seed); distinct seeds drift apart.
+        assert_eq!(d.layers[0].activations, w.drifted(0x5EED).layers[0].activations);
+        assert_ne!(d.layers[0].activations, w.drifted(0x5EED + 1).layers[0].activations);
+        for (dl, wl) in d.layers.iter().zip(&w.layers) {
+            // Same specs, splits, and scales — only the latent prototypes moved.
+            assert_eq!(dl.spec, wl.spec);
+            assert_eq!(dl.row_scale, wl.row_scale);
+            assert_eq!(dl.activations.rows(), wl.activations.rows());
+            assert_eq!(dl.calibration.rows(), wl.calibration.rows());
+            assert_eq!(dl.cluster.k(), wl.cluster.k());
+            assert_eq!(dl.cluster.clusters(), wl.cluster.clusters());
+            assert_ne!(dl.activations, wl.activations, "{}", wl.spec.name);
+        }
+        // Distribution parameters carry over: aggregate density matches.
+        let density = |w: &Workload| {
+            let (mut nnz, mut total) = (0f64, 0f64);
+            for l in &w.layers {
+                nnz += l.activations.nnz() as f64;
+                total += (l.activations.rows() * l.activations.cols()) as f64;
+            }
+            nnz / total
+        };
+        assert!((density(&d) - density(&w)).abs() < 0.02);
+        // Drifted traffic is still clustered — it is a shift, not noise.
+        let score = check_clusters(&d.layers[2].activations, d.layers[2].cluster.k());
+        assert!(score > 0.3, "drifted activations lost their cluster structure ({score})");
     }
 
     #[test]
